@@ -1,0 +1,88 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one paper artifact (a table or figure) at
+laptop scale and prints a side-by-side report.  ``REPRO_BENCH_SCALE``
+(default 1.0) scales the workload sizes; the assertions check the
+*shape* of each result (who wins, monotonicity, ratios), never absolute
+microseconds — see DESIGN.md §3 for the shape targets.
+
+Dataset builds are cached per session so the eight workloads are only
+generated once across all benchmark modules.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.datasets.builders import (
+    DATASET_BUILDERS, PAPER_TABLE2, Dataset, build_dataset,
+)
+from repro.replay.engine import DeltaNetEngine, ReplayResult, VeriflowEngine, replay
+
+#: Workload multiplier, settable from the environment.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: All eight Table 2 datasets, in the paper's row order.
+DATASET_NAMES: Tuple[str, ...] = (
+    "Berkeley", "INET", "RF-1755", "RF-3257", "RF-6461",
+    "Airtel1", "Airtel2", "4Switch",
+)
+
+#: Smaller subset for the quadratic baselines (Veriflow-RI is slow by design).
+BASELINE_DATASET_NAMES: Tuple[str, ...] = ("Berkeley", "Airtel1", "4Switch")
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str) -> Dataset:
+    """Build (once) a Table 2 dataset at the configured benchmark scale."""
+    return build_dataset(name, scale=BENCH_SCALE)
+
+
+@lru_cache(maxsize=None)
+def deltanet_replay(name: str, check_loops: bool = True) -> Tuple[DeltaNetEngine, ReplayResult]:
+    """Replay a dataset through Delta-net once, caching the result."""
+    engine = DeltaNetEngine(check_loops=check_loops)
+    result = replay(dataset(name).ops, engine, engine_name="Delta-net")
+    return engine, result
+
+
+@lru_cache(maxsize=None)
+def veriflow_replay(name: str, check_loops: bool = True) -> Tuple[VeriflowEngine, ReplayResult]:
+    engine = VeriflowEngine(check_loops=check_loops)
+    result = replay(dataset(name).ops, engine, engine_name="Veriflow-RI")
+    return engine, result
+
+
+@lru_cache(maxsize=None)
+def insert_only_deltanet(name: str) -> DeltaNetEngine:
+    """A consistent data plane: apply only the dataset's insertions.
+
+    This mirrors §4.3.2: "we generate a consistent data plane from all
+    the rule insertions in the ... data sets".
+    """
+    engine = DeltaNetEngine(check_loops=False)
+    for op in dataset(name).ops:
+        if op.is_insert:
+            engine.process(op)
+    return engine
+
+
+@lru_cache(maxsize=None)
+def insert_only_veriflow(name: str) -> VeriflowEngine:
+    engine = VeriflowEngine(check_loops=False)
+    for op in dataset(name).ops:
+        if op.is_insert:
+            engine.process(op)
+    return engine
+
+
+def microseconds(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def print_report(text: str) -> None:
+    """Print a report block that survives pytest's capture (-s not needed
+    when the run fails; use `pytest -s benchmarks/` to always see these)."""
+    print("\n" + text + "\n")

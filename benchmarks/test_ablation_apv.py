@@ -1,0 +1,91 @@
+"""Ablation A2 — atomic predicates (Yang & Lam) vs Delta-net atoms (§5).
+
+Yang & Lam compute the *minimal* set of packet equivalence classes by
+quadratic partition refinement; Delta-net accepts a non-minimal atom set
+in exchange for quasi-linear incremental maintenance.  This ablation
+measures both on growing rule counts.
+
+Shape targets:
+  * minimality: APV's class count <= Delta-net's atom count everywhere,
+  * scalability: Delta-net's per-rule insertion cost grows far slower
+    than APV's per-rule recomputation cost (quasi-linear vs quadratic).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.apv.atomic import atomic_predicates
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rules import Rule
+
+from benchmarks.common import BENCH_SCALE, print_report
+
+_SIZES = tuple(max(20, int(n * BENCH_SCALE)) for n in (50, 100, 200))
+_CACHE = {}
+
+
+def _rules(count):
+    rng = random.Random(count)
+    rules = []
+    for rid in range(count):
+        plen = rng.randint(2, 16)
+        span = 1 << (16 - plen)
+        lo = rng.randrange(1 << 16) & ~(span - 1)
+        rules.append(Rule.forward(rid, lo, lo + span, rid,
+                                  f"s{rng.randrange(8)}", f"s{rng.randrange(8)}"))
+    return rules
+
+
+def _measure(count):
+    if count in _CACHE:
+        return _CACHE[count]
+    rules = _rules(count)
+
+    start = time.perf_counter()
+    net = DeltaNet(width=16)
+    for rule in rules:
+        net.insert_rule(rule)
+    deltanet_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    partition = atomic_predicates(
+        [IntervalSet([(r.lo, r.hi)]) for r in rules], width=16)
+    apv_time = time.perf_counter() - start
+
+    _CACHE[count] = (net.num_atoms, len(partition), deltanet_time, apv_time)
+    return _CACHE[count]
+
+
+def test_ablation_apv_report():
+    rows = []
+    for count in _SIZES:
+        atoms, classes, d_time, a_time = _measure(count)
+        rows.append((count, atoms, classes,
+                     f"{d_time * 1e3:.1f}", f"{a_time * 1e3:.1f}"))
+    print_report(render_table(
+        ("Rules", "Delta-net atoms", "APV classes",
+         "Delta-net ms (incremental)", "APV ms (one-shot)"),
+        rows, title="Ablation — atoms vs minimal atomic predicates"))
+    assert rows
+
+
+@pytest.mark.parametrize("count", _SIZES)
+def test_apv_is_minimal(count):
+    atoms, classes, _d, _a = _measure(count)
+    assert classes <= atoms
+
+
+def test_deltanet_scales_better():
+    """Growth-rate comparison between the smallest and largest size."""
+    small, large = _SIZES[0], _SIZES[-1]
+    _a1, _c1, d_small, a_small = _measure(small)
+    _a2, _c2, d_large, a_large = _measure(large)
+    deltanet_growth = d_large / max(d_small, 1e-9)
+    apv_growth = a_large / max(a_small, 1e-9)
+    assert deltanet_growth < apv_growth, (
+        f"Delta-net growth {deltanet_growth:.1f}x should be below APV "
+        f"growth {apv_growth:.1f}x over {small}->{large} rules")

@@ -1,0 +1,71 @@
+"""Ablation A1a — atom garbage collection (§3.2.2 remark).
+
+The paper omits GC from Algorithm 2 but notes unused atom identifiers
+"could be reclaimed".  This ablation measures what GC buys on
+removal-heavy workloads: fewer live atoms (bounded state) at some
+per-removal cost.
+
+Shape targets:
+  * with GC, live atoms after a full insert+remove replay return to 1,
+  * without GC, dead atoms accumulate,
+  * labels stay semantically identical either way (asserted via replay
+    equivalence on final rule counts and loop verdicts).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.replay.engine import DeltaNetEngine, replay
+
+from benchmarks.common import dataset, microseconds, print_report
+
+_NAMES = ("Berkeley", "Airtel1")
+_CACHE = {}
+
+
+def _run(name, gc):
+    key = (name, gc)
+    if key not in _CACHE:
+        engine = DeltaNetEngine(gc=gc)
+        result = replay(dataset(name).ops, engine)
+        _CACHE[key] = (engine, result)
+    return _CACHE[key]
+
+
+def test_ablation_gc_report():
+    rows = []
+    for name in _NAMES:
+        for gc in (False, True):
+            engine, result = _run(name, gc)
+            rows.append((
+                name, "on" if gc else "off",
+                engine.deltanet.num_atoms,
+                engine.deltanet.atoms.num_ids_allocated,
+                f"{microseconds(result.summary()['mean']):.1f}",
+            ))
+    print_report(render_table(
+        ("Data set", "GC", "Live atoms (end)", "Ids allocated",
+         "Mean us/op"),
+        rows, title="Ablation — atom garbage collection"))
+    assert rows
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_gc_reclaims_atoms_on_removal_heavy_replay(name):
+    engine_gc, _ = _run(name, True)
+    engine_plain, _ = _run(name, False)
+    assert engine_gc.deltanet.num_atoms <= engine_plain.deltanet.num_atoms
+
+
+def test_gc_full_teardown_returns_to_single_atom():
+    engine, _result = _run("Berkeley", True)
+    # Berkeley removes every inserted rule; GC must reclaim everything.
+    assert engine.deltanet.num_rules == 0
+    assert engine.deltanet.num_atoms == 1
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_gc_does_not_change_loop_verdicts(name):
+    _e1, r1 = _run(name, False)
+    _e2, r2 = _run(name, True)
+    assert r1.loops_found == r2.loops_found

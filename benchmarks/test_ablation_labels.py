@@ -1,0 +1,85 @@
+"""Ablation A1b — label representation: hash sets vs int bitmasks.
+
+DESIGN.md calls out the two-representation choice: mutable sets for the
+incremental add/discard pattern of Algorithms 1/2, int bitmasks for the
+bulk unions/intersections of Algorithm 3 and what-if queries.  This
+ablation quantifies both directions on a real data plane.
+
+Shape targets:
+  * single-atom updates: sets are not slower than rebuild-the-bitmask,
+  * bulk pairwise intersections: bitmasks beat sets.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.atomset import atoms_to_bitmask
+
+from benchmarks.common import insert_only_deltanet, print_report
+
+
+def _labels(name="Airtel1"):
+    deltanet = insert_only_deltanet(name).deltanet
+    labels = [set(atoms) for atoms in deltanet.label.values() if atoms]
+    masks = [atoms_to_bitmask(atoms) for atoms in labels]
+    return labels, masks
+
+
+def test_bulk_intersections_favor_bitmasks():
+    labels, masks = _labels()
+    pairs = [(i, j) for i in range(len(labels))
+             for j in range(i + 1, min(i + 30, len(labels)))]
+
+    start = time.perf_counter()
+    set_hits = sum(1 for i, j in pairs if labels[i] & labels[j])
+    set_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    mask_hits = sum(1 for i, j in pairs if masks[i] & masks[j])
+    mask_time = time.perf_counter() - start
+
+    print_report(render_table(
+        ("Representation", "Pairwise intersections", "Non-empty", "Time ms"),
+        [("set[int]", len(pairs), set_hits, f"{set_time * 1e3:.2f}"),
+         ("int bitmask", len(pairs), mask_hits, f"{mask_time * 1e3:.2f}")],
+        title="Ablation — label representation (bulk ops)"))
+    assert set_hits == mask_hits
+    assert mask_time <= set_time * 1.5  # bitmasks competitive-to-better
+
+
+def test_incremental_updates_favor_sets():
+    """Adding/removing one atom: O(1) set ops vs O(K/64) big-int ops."""
+    labels, masks = _labels()
+    atoms = sorted(set().union(*labels))[:200]
+
+    start = time.perf_counter()
+    bucket = set(labels[0])
+    for _round in range(50):
+        for atom in atoms:
+            bucket.add(atom)
+            bucket.discard(atom)
+    set_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    mask = masks[0]
+    for _round in range(50):
+        for atom in atoms:
+            mask |= (1 << atom)
+            mask &= ~(1 << atom)
+    mask_time = time.perf_counter() - start
+
+    print_report(render_table(
+        ("Representation", "Single-atom updates", "Time ms"),
+        [("set[int]", 50 * len(atoms) * 2, f"{set_time * 1e3:.2f}"),
+         ("int bitmask", 50 * len(atoms) * 2, f"{mask_time * 1e3:.2f}")],
+        title="Ablation — label representation (incremental ops)"))
+    # Sets must not be dramatically worse; typically they win outright.
+    assert set_time <= mask_time * 2
+
+
+def test_benchmark_bitmask_conversion(benchmark):
+    labels, _masks = _labels()
+    masks = benchmark(lambda: [atoms_to_bitmask(l) for l in labels])
+    assert len(masks) == len(labels)

@@ -1,0 +1,95 @@
+"""Ablation A6 — the §6 multi-range blow-up, measured.
+
+The naive two-field Delta-net's pair-atom count grows toward the product
+of the per-axis atom counts; the paper proposes the rules' "overlapping
+degree" as the lever for future work.  Shape targets:
+
+  * pair atoms >> per-axis atoms on overlapping workloads,
+  * the single-field verifier over the same dst-ranges stays linear,
+  * overlap degree correlates with the blow-up.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.deltanet import DeltaNet
+from repro.core.multirange import Rule2D, TwoFieldDeltaNet
+from repro.core.rules import Link, Rule
+
+from benchmarks.common import BENCH_SCALE, print_report
+
+_COUNTS = tuple(max(10, int(n * BENCH_SCALE)) for n in (20, 40, 80))
+_CACHE = {}
+
+
+def _rules(count, overlap="high"):
+    rng = random.Random(count * 7)
+    rules = []
+    for rid in range(count):
+        if overlap == "high":
+            lo0 = rng.randrange(0, 64)
+            hi0 = rng.randrange(lo0 + 32, 256) if lo0 + 32 < 256 else 256
+            lo1 = rng.randrange(0, 64)
+            hi1 = rng.randrange(lo1 + 32, 256) if lo1 + 32 < 256 else 256
+        else:  # disjoint-ish slices
+            slot = rid % 16
+            lo0, hi0 = slot * 16, slot * 16 + 8
+            lo1, hi1 = slot * 16, slot * 16 + 8
+        rules.append(Rule2D(rid, (lo0, hi0), (lo1, hi1), rid,
+                            Link(f"s{rid % 4}", f"s{(rid + 1) % 4}")))
+    return rules
+
+
+def _measure(count, overlap="high"):
+    key = (count, overlap)
+    if key not in _CACHE:
+        net2 = TwoFieldDeltaNet(widths=(8, 8))
+        net1 = DeltaNet(width=8)
+        for rule in _rules(count, overlap):
+            net2.insert_rule(rule)
+            lo, hi = rule.ranges[1]
+            net1.insert_rule(Rule.forward(rule.rid, lo, hi, rule.priority,
+                                          rule.source, rule.link.target))
+        _CACHE[key] = (net2, net1)
+    return _CACHE[key]
+
+
+def test_ablation_multirange_report():
+    rows = []
+    for count in _COUNTS:
+        net2, net1 = _measure(count)
+        atoms0, atoms1 = net2.num_axis_atoms
+        rows.append((count, atoms0, atoms1, net2.num_pair_atoms,
+                     net1.num_atoms, f"{net2.overlap_degree():.1f}"))
+    print_report(render_table(
+        ("Rules", "Axis-0 atoms", "Axis-1 atoms", "Pair atoms",
+         "1-field atoms", "Overlap degree"),
+        rows, title="Ablation — naive 2-field cross-product growth (§6)"))
+    assert rows
+
+
+@pytest.mark.parametrize("count", _COUNTS)
+def test_pair_atoms_exceed_axis_atoms(count):
+    net2, _net1 = _measure(count)
+    atoms0, atoms1 = net2.num_axis_atoms
+    assert net2.num_pair_atoms > max(atoms0, atoms1)
+
+
+def test_growth_is_superlinear_vs_single_field():
+    small, large = _COUNTS[0], _COUNTS[-1]
+    net2_small, net1_small = _measure(small)
+    net2_large, net1_large = _measure(large)
+    pair_growth = net2_large.num_pair_atoms / max(net2_small.num_pair_atoms, 1)
+    single_growth = net1_large.num_atoms / max(net1_small.num_atoms, 1)
+    assert pair_growth > single_growth
+
+
+def test_low_overlap_degree_means_small_blowup():
+    high, _ = _measure(_COUNTS[0], overlap="high")
+    low, _ = _measure(_COUNTS[0], overlap="low")
+    assert low.overlap_degree() < high.overlap_degree()
+    atoms0, atoms1 = low.num_axis_atoms
+    # With near-disjoint rules the pair count stays near the axis counts.
+    assert low.num_pair_atoms <= atoms0 + atoms1 + len(low.rules)

@@ -1,0 +1,103 @@
+"""Ablation A3 — plumbing-graph (NetPlumber-style) state growth (§5).
+
+"NetPlumber incrementally creates a graph that, in the worst case,
+consists of R^2 edges ... In contrast to NetPlumber, Delta-net maintains
+a graph whose size is proportional to the number of links in the
+network."
+
+Shape targets:
+  * pipes grow super-linearly in rules on a realistic data plane, while
+    Delta-net's labelled-link count stays bounded by the topology,
+  * reachability answers agree between the two systems.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.checkers.reachability import reachable_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rules import Rule
+from repro.netplumber.plumbing import NetPlumber
+
+from benchmarks.common import BENCH_SCALE, print_report
+
+_SIZES = tuple(max(20, int(n * BENCH_SCALE)) for n in (40, 80, 160))
+_CACHE = {}
+
+
+def _rules(count):
+    """Shortest-path-style rules on a 6-switch ring with heavy overlap."""
+    rng = random.Random(1234)
+    rules = []
+    for rid in range(count):
+        plen = rng.randint(2, 10)
+        span = 1 << (12 - plen)
+        lo = rng.randrange(1 << 12) & ~(span - 1)
+        switch = rid % 6
+        rules.append(Rule.forward(rid, lo, lo + span, rid,
+                                  f"s{switch}", f"s{(switch + 1) % 6}"))
+    return rules
+
+
+def _measure(count):
+    if count in _CACHE:
+        return _CACHE[count]
+    rules = _rules(count)
+    plumber = NetPlumber(width=12)
+    net = DeltaNet(width=12)
+    for rule in rules:
+        plumber.insert_rule(rule)
+        net.insert_rule(rule)
+    labelled_links = sum(1 for _ in net.links())
+    _CACHE[count] = (plumber, net, plumber.num_pipes, labelled_links)
+    return _CACHE[count]
+
+
+def test_ablation_netplumber_report():
+    rows = []
+    for count in _SIZES:
+        _plumber, net, pipes, links = _measure(count)
+        rows.append((count, pipes, links, net.num_atoms))
+    print_report(render_table(
+        ("Rules", "NetPlumber pipes", "Delta-net labelled links",
+         "Delta-net atoms"),
+        rows, title="Ablation — plumbing graph vs edge-labelled graph"))
+    assert rows
+
+
+def test_pipes_grow_superlinearly_links_stay_topology_bounded():
+    small, large = _SIZES[0], _SIZES[-1]
+    _p1, _n1, pipes_small, links_small = _measure(small)
+    _p2, _n2, pipes_large, links_large = _measure(large)
+    rule_growth = large / small
+    pipe_growth = pipes_large / max(pipes_small, 1)
+    assert pipe_growth > rule_growth * 1.5, (
+        f"pipes should grow super-linearly: {pipe_growth:.1f}x vs "
+        f"rule growth {rule_growth:.1f}x")
+    assert links_large <= 12  # 6-switch ring: at most 6 used directed links + drop
+
+
+@pytest.mark.parametrize("count", [_SIZES[0]])
+def test_reachability_agreement(count):
+    plumber, net, _pipes, _links = _measure(count)
+    for src in ("s0", "s2", "s4"):
+        for dst in ("s1", "s3"):
+            atoms = reachable_atoms(net, src, dst)
+            expected = IntervalSet(net.atoms.atom_interval(a) for a in atoms)
+            assert plumber.reachable(src, dst) == expected
+
+
+def test_benchmark_plumbing_insertions(benchmark):
+    rules = _rules(_SIZES[0])
+
+    def build():
+        plumber = NetPlumber(width=12)
+        for rule in rules:
+            plumber.insert_rule(rule)
+        return plumber
+
+    plumber = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert plumber.num_rules == len(rules)

@@ -1,0 +1,45 @@
+"""Experiment E3 — Figure 8: CDF of combined rule-update + loop-check time.
+
+Renders the per-operation latency CDFs of all eight datasets on one
+log-x ASCII plot, the terminal analogue of the paper's Figure 8.
+
+Shape targets:
+  * every CDF is monotone and reaches 1.0,
+  * the INET-style dataset is among the heaviest tails (the paper calls
+    INET "one of the more difficult ones for Delta-net").
+"""
+
+from repro.analysis.cdf import ascii_cdf, cdf_points
+from repro.analysis.stats import percentile
+
+from benchmarks.common import DATASET_NAMES, deltanet_replay, print_report
+
+
+def _series():
+    return {name: deltanet_replay(name)[1].times for name in DATASET_NAMES}
+
+
+def test_figure8_ascii_cdf():
+    series = _series()
+    print_report(ascii_cdf(series, unit="seconds/op"))
+    for name, samples in series.items():
+        points = cdf_points(samples)
+        fractions = [f for _value, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+def test_inet_among_heaviest_tails():
+    """Figure 8: INET's CDF sits to the right of most datasets."""
+    series = _series()
+    p90 = {name: percentile(samples, 90) for name, samples in series.items()}
+    harder_than_inet = [n for n, value in p90.items() if value > p90["INET"]]
+    assert len(harder_than_inet) <= 3, (
+        f"INET should be among the harder datasets, but {harder_than_inet} "
+        f"all exceed its p90")
+
+
+def test_benchmark_cdf_rendering(benchmark):
+    series = _series()
+    art = benchmark(lambda: ascii_cdf(series))
+    assert "CDF" in art

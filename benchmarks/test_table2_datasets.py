@@ -1,0 +1,54 @@
+"""Experiment E1 — Table 2: the eight evaluation datasets.
+
+Regenerates every dataset and reports its metrics (nodes, links,
+operations) next to the paper's, then benchmarks dataset generation
+itself.  Shape targets: all eight build; synthetic sets have ops == 2 x
+rules; 4Switch is insert-only; Airtel sets contain failure churn.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.datasets.builders import PAPER_TABLE2, build_dataset
+
+from benchmarks.common import BENCH_SCALE, DATASET_NAMES, dataset, print_report
+
+
+def test_table2_report():
+    rows = []
+    for name in DATASET_NAMES:
+        built = dataset(name)
+        paper_nodes, paper_links, paper_ops = PAPER_TABLE2[name]
+        rows.append((name, built.num_nodes, paper_nodes, built.num_links,
+                     paper_links, built.num_ops, f"{paper_ops:.3g}"))
+    print_report(render_table(
+        ("Data set", "Nodes", "(paper)", "Links", "(paper)",
+         "Operations", "(paper)"),
+        rows,
+        title=f"Table 2 — datasets (scale={BENCH_SCALE})"))
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_properties(name):
+    built = dataset(name)
+    assert built.num_ops > 0
+    inserts = built.num_inserts
+    if name in ("Berkeley", "INET", "RF-1755", "RF-3257", "RF-6461"):
+        # §4.2.1: inserts then removals => ops == 2 x rules.
+        assert built.num_ops == 2 * inserts
+    elif name == "4Switch":
+        # §4.2.2: "all of the operations in the 4Switch data set are rule
+        # insertions."
+        assert built.num_ops == inserts
+    else:
+        # Airtel: initial programming + balanced failure/recovery churn.
+        assert 0 < built.num_ops - inserts < inserts
+
+
+@pytest.mark.parametrize("name", ["Berkeley", "Airtel1", "4Switch"])
+def test_benchmark_dataset_generation(benchmark, name):
+    built = benchmark.pedantic(
+        lambda: build_dataset(name, scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    assert built.num_ops == dataset(name).num_ops

@@ -1,0 +1,75 @@
+"""Experiment E2 — Table 3: checking rule insertions and removals.
+
+For every dataset, replay all operations through Delta-net with
+per-update delta-graph loop checking, and report the paper's four rows:
+total atoms, median and average per-op time, and the fraction of ops
+under the 250 microsecond bound (absolute numbers differ — Python vs
+C++ — the shape targets are asserted below).
+
+Shape targets:
+  * atoms << rules on every dataset (Table 3 row 1),
+  * median <= average (heavy-tailed latency),
+  * the replay completes with a consistent data plane.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+
+from benchmarks.common import (
+    DATASET_NAMES, dataset, deltanet_replay, microseconds, print_report,
+)
+
+
+def test_table3_report():
+    rows = []
+    for name in DATASET_NAMES:
+        engine, result = deltanet_replay(name)
+        summary = result.summary()
+        rows.append((
+            name,
+            engine.num_atoms,
+            dataset(name).num_inserts,
+            f"{microseconds(summary['median']):.1f}",
+            f"{microseconds(summary['mean']):.1f}",
+            f"{summary['frac_below_threshold'] * 100:.1f}%",
+            result.loops_found,
+        ))
+    print_report(render_table(
+        ("Data set", "Atoms", "Rules", "Median us", "Average us",
+         "< 250us", "Loops"),
+        rows,
+        title="Table 3 — Delta-net rule-update checking "
+              "(paper: medians 1-5us, averages 3-41us on C++/Xeon)"))
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_atoms_much_smaller_than_rules(name):
+    """Table 3's headline structural result."""
+    engine, _result = deltanet_replay(name)
+    rules = dataset(name).num_inserts
+    if rules >= 50:
+        assert engine.num_atoms < rules, (
+            f"{name}: atoms ({engine.num_atoms}) not below rules ({rules})")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_median_at_most_average(name):
+    _engine, result = deltanet_replay(name)
+    summary = result.summary()
+    assert summary["median"] <= summary["mean"] * 1.001
+
+
+@pytest.mark.parametrize("name", ["Berkeley", "Airtel1", "4Switch"])
+def test_benchmark_deltanet_replay(benchmark, name):
+    """pytest-benchmark timing for the full checked replay."""
+    from repro.replay.engine import DeltaNetEngine, replay
+
+    ops = dataset(name).ops
+
+    def run():
+        return replay(ops, DeltaNetEngine())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.num_ops == len(ops)

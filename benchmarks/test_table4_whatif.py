@@ -1,0 +1,103 @@
+"""Experiment E4 — Table 4: "what if" link-failure queries.
+
+For a consistent data plane built from each dataset's insertions, answer
+for every link: which packets and parts of the network are affected if
+this link fails?  Delta-net reads its label map (plus a subgraph
+restriction); Veriflow-RI must recompute equivalence classes and build a
+forwarding graph per EC.
+
+Shape targets (Table 4):
+  * Delta-net's average query time is well below Veriflow-RI's on every
+    dataset (paper: 10x to several orders of magnitude),
+  * adding loop checking dominates Delta-net's query time (the paper's
+    "+Loops" column vs the plain query).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.checkers.whatif import link_failure_impact
+
+from benchmarks.common import (
+    BASELINE_DATASET_NAMES, dataset, insert_only_deltanet,
+    insert_only_veriflow, print_report,
+)
+
+_RESULTS = {}
+
+
+def _run_queries(name):
+    if name in _RESULTS:
+        return _RESULTS[name]
+    deltanet = insert_only_deltanet(name).deltanet
+    veriflow = insert_only_veriflow(name).veriflow  # the VeriflowRI instance
+    links = list(deltanet.label)
+
+    start = time.perf_counter()
+    for link in links:
+        link_failure_impact(deltanet, link, check_loops=False)
+    delta_plain = (time.perf_counter() - start) / len(links)
+
+    start = time.perf_counter()
+    for link in links:
+        link_failure_impact(deltanet, link, check_loops=True)
+    delta_loops = (time.perf_counter() - start) / len(links)
+
+    start = time.perf_counter()
+    for link in links:
+        veriflow.whatif_link_failure(link)
+    veriflow_avg = (time.perf_counter() - start) / len(links)
+
+    _RESULTS[name] = (len(links), veriflow_avg, delta_plain, delta_loops)
+    return _RESULTS[name]
+
+
+def test_table4_report():
+    rows = []
+    for name in BASELINE_DATASET_NAMES:
+        queries, veriflow_avg, delta_plain, delta_loops = _run_queries(name)
+        rows.append((
+            name,
+            dataset(name).num_inserts,
+            queries,
+            f"{veriflow_avg * 1e3:.3f}",
+            f"{delta_plain * 1e3:.3f}",
+            f"{delta_loops * 1e3:.3f}",
+            f"{veriflow_avg / max(delta_plain, 1e-12):.1f}x",
+        ))
+    print_report(render_table(
+        ("Data plane", "Rules", "Queries", "Veriflow-RI ms",
+         "Delta-net ms", "+Loops ms", "speedup"),
+        rows,
+        title="Table 4 — what-if link-failure queries (average per query)"))
+    assert rows
+
+
+@pytest.mark.parametrize("name", BASELINE_DATASET_NAMES)
+def test_deltanet_beats_veriflow(name):
+    _q, veriflow_avg, delta_plain, _delta_loops = _run_queries(name)
+    assert delta_plain < veriflow_avg, (
+        f"{name}: Delta-net ({delta_plain:.6f}s) should answer what-if "
+        f"queries faster than Veriflow-RI ({veriflow_avg:.6f}s)")
+
+
+@pytest.mark.parametrize("name", BASELINE_DATASET_NAMES)
+def test_loop_check_dominates_deltanet_query(name):
+    """Paper: "Delta-net's processing time is dominated by the property
+    check" — the +Loops column must exceed the plain query time."""
+    _q, _veriflow_avg, delta_plain, delta_loops = _run_queries(name)
+    assert delta_loops >= delta_plain
+
+
+@pytest.mark.parametrize("name", ["Airtel1"])
+def test_benchmark_whatif_sweep(benchmark, name):
+    deltanet = insert_only_deltanet(name).deltanet
+    links = list(deltanet.label)
+
+    def sweep():
+        return [link_failure_impact(deltanet, link) for link in links]
+
+    impacts = benchmark(sweep)
+    assert len(impacts) == len(links)

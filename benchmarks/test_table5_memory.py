@@ -1,0 +1,59 @@
+"""Experiment E5 — Table 5 / Appendix D: memory usage.
+
+Deep-measures the verifier state of Delta-net vs Veriflow-RI after
+building the same insert-only data plane.
+
+Shape target (Table 5): Veriflow-RI uses less memory than Delta-net on
+every dataset (the paper reports 5-7x less) — the price Delta-net pays
+for keeping network-wide flow state.
+"""
+
+import pytest
+
+from repro.analysis.memory import deep_size, format_bytes
+from repro.analysis.tables import render_table
+
+from benchmarks.common import (
+    BASELINE_DATASET_NAMES, dataset, insert_only_deltanet,
+    insert_only_veriflow, print_report,
+)
+
+
+def _sizes(name):
+    deltanet_bytes = deep_size(insert_only_deltanet(name).deltanet)
+    veriflow_bytes = deep_size(insert_only_veriflow(name).veriflow)
+    return deltanet_bytes, veriflow_bytes
+
+
+def test_table5_report():
+    rows = []
+    for name in BASELINE_DATASET_NAMES:
+        deltanet_bytes, veriflow_bytes = _sizes(name)
+        rows.append((
+            name,
+            dataset(name).num_inserts,
+            format_bytes(veriflow_bytes),
+            format_bytes(deltanet_bytes),
+            f"{deltanet_bytes / max(veriflow_bytes, 1):.1f}x",
+        ))
+    print_report(render_table(
+        ("Data set", "Rules", "Veriflow-RI", "Delta-net", "ratio"),
+        rows,
+        title="Table 5 — memory usage (paper reports Delta-net 5-7x larger)"))
+    assert rows
+
+
+@pytest.mark.parametrize("name", BASELINE_DATASET_NAMES)
+def test_veriflow_uses_less_memory(name):
+    deltanet_bytes, veriflow_bytes = _sizes(name)
+    assert veriflow_bytes < deltanet_bytes, (
+        f"{name}: Veriflow-RI ({veriflow_bytes}) should be smaller than "
+        f"Delta-net ({deltanet_bytes})")
+
+
+@pytest.mark.parametrize("name", ["Airtel1"])
+def test_benchmark_memory_measurement(benchmark, name):
+    deltanet = insert_only_deltanet(name).deltanet
+    size = benchmark.pedantic(lambda: deep_size(deltanet),
+                              rounds=1, iterations=1)
+    assert size > 0

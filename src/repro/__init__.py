@@ -1,0 +1,43 @@
+"""Delta-net: Real-time Network Verification Using Atoms (NSDI 2017).
+
+A complete, from-scratch Python reproduction of Horn, Kheradmand &
+Prasad's Delta-net data-plane checker and everything its evaluation
+depends on: the Veriflow-RI baseline, an atomic-predicates verifier,
+topology/BGP/routing substrates, an SDN-IP control-plane emulation,
+dataset generators for all eight Table 2 workloads, and the replay and
+analysis harness behind every table and figure.
+
+Quickstart::
+
+    from repro import DeltaNet, LoopChecker
+
+    net = DeltaNet()
+    r1 = net.make_rule(0, "10.0.0.0/8", priority=10, source="s1", target="s2")
+    delta = net.insert_rule(r1)
+    loops = LoopChecker(net).check_update(delta)
+"""
+
+from repro.core import (
+    AtomTable, DeltaGraph, DeltaNet, Interval, IntervalSet, Link, Rule,
+    prefix_to_interval,
+)
+from repro.checkers import (
+    LoopChecker, all_pairs_reachability, find_forwarding_loops,
+    link_failure_impact, reachable_atoms,
+)
+from repro.veriflow import VeriflowRI
+from repro.apv import APVerifier
+from repro.netplumber import NetPlumber
+from repro.libra import ShardedDeltaNet, even_shards
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomTable", "DeltaGraph", "DeltaNet", "Interval", "IntervalSet",
+    "Link", "Rule", "prefix_to_interval",
+    "LoopChecker", "all_pairs_reachability", "find_forwarding_loops",
+    "link_failure_impact", "reachable_atoms",
+    "VeriflowRI", "APVerifier", "NetPlumber",
+    "ShardedDeltaNet", "even_shards",
+    "__version__",
+]

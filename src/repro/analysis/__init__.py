@@ -1,0 +1,13 @@
+"""Measurement analysis: latency statistics, CDFs, memory, report tables."""
+
+from repro.analysis.stats import summarize, percentile, fraction_below
+from repro.analysis.cdf import cdf_points, ascii_cdf
+from repro.analysis.memory import deep_size
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "summarize", "percentile", "fraction_below",
+    "cdf_points", "ascii_cdf",
+    "deep_size",
+    "render_table",
+]

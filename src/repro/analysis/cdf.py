@@ -1,0 +1,66 @@
+"""Cumulative distribution functions for Figure 8.
+
+``cdf_points`` produces the exact empirical CDF; ``ascii_cdf`` renders
+multiple series on a log-x grid, the terminal stand-in for the paper's
+Figure 8 plot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, fraction <= value)`` points."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def cdf_at(samples: Sequence[float], value: float) -> float:
+    """Fraction of samples <= ``value``."""
+    if not samples:
+        raise ValueError("no samples")
+    return sum(1 for s in samples if s <= value) / len(samples)
+
+
+def ascii_cdf(series: Dict[str, Sequence[float]], width: int = 64,
+              height: int = 16, unit: str = "s") -> str:
+    """Render CDFs of several sample sets on a shared log-x axis."""
+    if not series:
+        raise ValueError("no series")
+    positives = [s for samples in series.values() for s in samples if s > 0]
+    if not positives:
+        raise ValueError("all samples are zero")
+    lo, hi = min(positives), max(positives)
+    if lo == hi:
+        hi = lo * 10
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend: List[str] = []
+    for series_index, (name, samples) in enumerate(sorted(series.items())):
+        marker = markers[series_index % len(markers)]
+        legend.append(f"  {marker} = {name}")
+        for column in range(width):
+            value = 10 ** (log_lo + (log_hi - log_lo) * column / (width - 1))
+            fraction = cdf_at(samples, value)
+            row = height - 1 - min(height - 1, int(fraction * (height - 1)))
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+    lines = [f"CDF (x: log10 {unit}, {lo:.2e} .. {hi:.2e})"]
+    for row_index, row in enumerate(grid):
+        fraction = 1 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.extend(legend)
+    return "\n".join(lines)

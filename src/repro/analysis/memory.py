@@ -1,0 +1,64 @@
+"""Recursive memory accounting for Table 5 (Delta-net vs Veriflow-RI).
+
+``deep_size`` walks an object graph once (cycle-safe, identity-deduped)
+summing ``sys.getsizeof`` over every reachable Python object, following
+containers, instance ``__dict__``s, and ``__slots__``.  Shared
+substructure — e.g. persistent treap nodes shared between atoms after a
+split — is counted once, which is precisely the sharing Delta-net's
+design relies on.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Set
+
+
+def _slot_values(obj: Any) -> Iterable[Any]:
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name in ("__dict__", "__weakref__"):
+                continue
+            try:
+                yield getattr(obj, name)
+            except AttributeError:
+                continue
+
+
+def deep_size(root: Any) -> int:
+    """Total bytes reachable from ``root`` (each object counted once)."""
+    seen: Set[int] = set()
+    total = 0
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        identity = id(obj)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif isinstance(obj, (str, bytes, bytearray, int, float, complex, bool)):
+            continue
+        else:
+            instance_dict = getattr(obj, "__dict__", None)
+            if instance_dict is not None:
+                stack.append(instance_dict)
+            stack.extend(_slot_values(obj))
+    return total
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    raise AssertionError("unreachable")

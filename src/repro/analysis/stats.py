@@ -1,0 +1,50 @@
+"""Latency statistics for Table 3's rows (median / average / % below)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def fraction_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    if not samples:
+        raise ValueError("no samples")
+    return sum(1 for s in samples if s < threshold) / len(samples)
+
+
+def summarize(samples: Sequence[float],
+              threshold: float = 250e-6) -> Dict[str, float]:
+    """The Table 3 row for one dataset (times in seconds).
+
+    ``threshold`` defaults to the paper's 250 microseconds.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    total = sum(samples)
+    return {
+        "count": len(samples),
+        "total": total,
+        "mean": total / len(samples),
+        "median": percentile(samples, 50),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+        "min": min(samples),
+        "frac_below_threshold": fraction_below(samples, threshold),
+        "threshold": threshold,
+    }

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned, boxed text table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Atomic-predicates verifier (Yang & Lam, ICNP'13) — comparison baseline.
+
+Delta-net's atoms are "inspired by Yang and Lam's atomic predicates
+verifier" (§1); the key difference is that Yang & Lam compute the *unique
+minimal* set of packet equivalence classes by quadratic partition
+refinement, whereas Delta-net maintains a (possibly non-minimal) atom set
+quasi-linearly.  This package implements the refinement over interval-set
+predicates so the benchmark suite can demonstrate the asymptotic gap
+(ablation A2 in DESIGN.md) and the minimality property itself.
+"""
+
+from repro.apv.atomic import atomic_predicates, predicate_to_atoms
+from repro.apv.verifier import APVerifier
+
+__all__ = ["atomic_predicates", "predicate_to_atoms", "APVerifier"]

@@ -1,0 +1,78 @@
+"""Atomic predicates via quadratic partition refinement.
+
+Given predicates P1..Pn (each an :class:`~repro.core.intervals.IntervalSet`
+over a ``width``-bit header field), the atomic predicates are the coarsest
+partition of the header space such that every Pi is a union of parts —
+i.e. the *minimal* number of packet equivalence classes (cf. paper §5:
+"Our algorithm, however, does not find the unique minimal number of
+packet equivalence classes, cf. [55]").
+
+The classic refinement: start from {universe}; for each predicate split
+every class into (class ∩ P) and (class − P).  Each step is linear in the
+current partition size, so the whole computation is O(n * |partition|) —
+quadratic in the number of predicates in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.intervals import IntervalSet
+
+
+def atomic_predicates(predicates: Sequence[IntervalSet], width: int) -> List[IntervalSet]:
+    """The minimal partition of the header space refining every predicate.
+
+    The result is ordered deterministically (by first covered point) and
+    always covers the whole universe; with no predicates it is just
+    ``[universe]``.
+    """
+    partition: List[IntervalSet] = [IntervalSet.universe(width)]
+    for predicate in predicates:
+        refined: List[IntervalSet] = []
+        for part in partition:
+            inside = part & predicate
+            outside = part - predicate
+            if inside:
+                refined.append(inside)
+            if outside:
+                refined.append(outside)
+        partition = refined
+    partition.sort(key=lambda p: p.spans[0])
+    return partition
+
+
+def predicate_to_atoms(predicate: IntervalSet,
+                       partition: Sequence[IntervalSet]) -> Set[int]:
+    """Indices of the atomic predicates whose union is ``predicate``.
+
+    Raises ValueError if ``predicate`` is not expressible — which cannot
+    happen when ``partition`` was computed from a predicate set containing
+    it.
+    """
+    indices: Set[int] = set()
+    remaining = predicate
+    for index, part in enumerate(partition):
+        overlap = part & predicate
+        if not overlap:
+            continue
+        if overlap != part:
+            raise ValueError("partition does not refine the predicate")
+        indices.add(index)
+        remaining = remaining - part
+    if remaining:
+        raise ValueError("predicate not covered by the partition")
+    return indices
+
+
+def is_partition(parts: Iterable[IntervalSet], width: int) -> bool:
+    """True when ``parts`` are disjoint, non-empty, and cover the universe."""
+    parts = list(parts)
+    if any(not p for p in parts):
+        return False
+    union = IntervalSet()
+    total = 0
+    for part in parts:
+        total += len(part)
+        union = union | part
+    return union == IntervalSet.universe(width) and total == len(union)

@@ -1,0 +1,95 @@
+"""A non-incremental data-plane verifier on atomic predicates.
+
+Models Yang & Lam's workflow for a *static* snapshot: compute the minimal
+atomic predicates from every rule predicate in the network, label each
+link with the set of atomic-predicate indices it forwards (the
+highest-priority rule per switch per predicate), then answer reachability
+questions by intersecting index sets along paths.
+
+Every rule change recomputes the partition — that recomputation cost,
+versus Delta-net's incremental split of at most two atoms, is the point
+of the A2 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.apv.atomic import atomic_predicates
+from repro.core.intervals import IntervalSet
+from repro.core.rules import DROP, Link, Rule
+
+
+class APVerifier:
+    """Static atomic-predicates verifier over a rule snapshot."""
+
+    def __init__(self, rules: Iterable[Rule], width: int = 32) -> None:
+        self.width = width
+        self.rules: List[Rule] = list(rules)
+        self.partition: List[IntervalSet] = []
+        self.label: Dict[Link, Set[int]] = {}
+        self._recompute()
+
+    @property
+    def num_atomic_predicates(self) -> int:
+        return len(self.partition)
+
+    def _recompute(self) -> None:
+        """Recompute the minimal partition and all edge labels (quadratic)."""
+        predicates = [IntervalSet([(r.lo, r.hi)]) for r in self.rules]
+        self.partition = atomic_predicates(predicates, self.width)
+        by_switch: Dict[object, List[Rule]] = {}
+        for rule in self.rules:
+            by_switch.setdefault(rule.source, []).append(rule)
+        self.label = {}
+        for index, part in enumerate(self.partition):
+            point = part.spans[0][0]
+            for switch, switch_rules in by_switch.items():
+                best: Optional[Rule] = None
+                for rule in switch_rules:
+                    if rule.matches(point) and (best is None or
+                                                rule.sort_key > best.sort_key):
+                        best = rule
+                if best is not None:
+                    self.label.setdefault(best.link, set()).add(index)
+
+    # -- update = full recomputation (the quadratic baseline behaviour) -----------
+
+    def insert_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self._recompute()
+
+    def remove_rule(self, rid: int) -> None:
+        self.rules = [r for r in self.rules if r.rid != rid]
+        self._recompute()
+
+    # -- queries -------------------------------------------------------------------
+
+    def predicate_of(self, indices: Iterable[int]) -> IntervalSet:
+        """Union the atomic predicates back into a header-space set."""
+        out = IntervalSet()
+        for index in indices:
+            out = out | self.partition[index]
+        return out
+
+    def reachable(self, src: object, dst: object) -> IntervalSet:
+        """Packets that can flow from ``src`` to ``dst`` (set algebra)."""
+        full = set(range(len(self.partition)))
+        reached: Dict[object, Set[int]] = {src: full}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            mask = reached[node]
+            for link, indices in self.label.items():
+                if link.source != node or link.target == DROP:
+                    continue
+                passed = mask & indices
+                fresh = passed - reached.get(link.target, set())
+                if fresh:
+                    reached.setdefault(link.target, set()).update(fresh)
+                    frontier.append(link.target)
+        return self.predicate_of(reached.get(dst, set()))
+
+    def __repr__(self) -> str:
+        return (f"APVerifier(rules={len(self.rules)}, "
+                f"atomic_predicates={self.num_atomic_predicates})")

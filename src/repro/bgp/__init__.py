@@ -1,0 +1,17 @@
+"""BGP substrate: synthetic Route-Views-style prefixes, updates, and RIBs.
+
+The paper draws its IP prefixes from "over half a million real-world BGP
+updates collected by the Route Views project" (§4.2).  Offline, we
+synthesize a prefix pool with the documented global-table shape —
+dominant /24s, substantial /16-/23 mass, and overlapping less-specifics —
+plus announce/withdraw update streams with flapping, and a per-speaker
+RIB with deterministic best-route selection.  What the verification
+algorithms care about — heavy interval overlap and shared bounds — is
+preserved (see DESIGN.md "Substitutions").
+"""
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import BgpUpdate, UpdateStream
+from repro.bgp.rib import Rib, Route
+
+__all__ = ["PrefixPool", "BgpUpdate", "UpdateStream", "Rib", "Route"]

@@ -1,0 +1,119 @@
+"""Synthetic Route-Views-like IPv4 prefix pools.
+
+The global BGP table's prefix-length histogram is strongly peaked at /24
+(more than half of all routes), with most remaining mass between /16 and
+/23, a thin tail of short prefixes, and pervasive overlap: /24s announced
+inside covering /16s or /20s, etc.  ``PrefixPool`` reproduces that shape
+from a seed:
+
+1. draw "allocation" supernets (/8-/15),
+2. draw provider aggregates (/16-/22) inside supernets,
+3. draw customer /23-/24 more-specifics inside aggregates.
+
+The resulting pool is heavily overlapping and deduplicated, which is the
+property Delta-net's atoms exploit (Table 3: atoms << rules).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.core.prefix import format_prefix, make_interval
+
+Prefix = Tuple[int, int]  # (network address, prefix length)
+
+#: Approximate global-table prefix-length mass (fraction per length).
+DEFAULT_LENGTH_MASS = {
+    8: 0.004, 10: 0.006, 12: 0.010, 13: 0.012, 14: 0.018, 15: 0.020,
+    16: 0.095, 17: 0.030, 18: 0.045, 19: 0.060, 20: 0.075, 21: 0.065,
+    22: 0.110, 23: 0.080, 24: 0.370,
+}
+
+
+class PrefixPool:
+    """A deterministic pool of overlapping IPv4 prefixes."""
+
+    def __init__(self, seed: int = 42, n_supernets: int = 48) -> None:
+        self._rng = random.Random(seed)
+        self._seen: Set[Prefix] = set()
+        self._supernets: List[Prefix] = []
+        self._aggregates: List[Prefix] = []
+        for _ in range(n_supernets):
+            plen = self._rng.choice((8, 10, 12, 13, 14, 15))
+            base = self._rng.getrandbits(32)
+            lo, _hi = make_interval(base, plen)
+            self._supernets.append((lo, plen))
+
+    def _sub_prefix(self, parent: Prefix, plen: int) -> Prefix:
+        parent_lo, parent_plen = parent
+        if plen < parent_plen:
+            raise ValueError("child prefix shorter than parent")
+        offset_bits = plen - parent_plen
+        offset = self._rng.getrandbits(offset_bits) if offset_bits else 0
+        lo = parent_lo | (offset << (32 - plen))
+        return (lo, plen)
+
+    def draw(self) -> Prefix:
+        """One prefix with the global-table length distribution."""
+        lengths = list(DEFAULT_LENGTH_MASS)
+        weights = [DEFAULT_LENGTH_MASS[p] for p in lengths]
+        plen = self._rng.choices(lengths, weights=weights)[0]
+        if plen <= 15:
+            base = self._rng.choice(self._supernets)
+            if base[1] <= plen:
+                return self._sub_prefix(base, plen)
+            lo, _hi = make_interval(self._rng.getrandbits(32), plen)
+            return (lo, plen)
+        if plen <= 22:
+            prefix = self._sub_prefix(self._rng.choice(self._supernets), plen)
+            # Remember aggregates so /23-/24s can nest inside them.
+            if len(self._aggregates) < 4096:
+                self._aggregates.append(prefix)
+            return prefix
+        if self._aggregates and self._rng.random() < 0.8:
+            return self._sub_prefix(self._rng.choice(self._aggregates), plen)
+        return self._sub_prefix(self._rng.choice(self._supernets), plen)
+
+    def sample(self, count: int, unique: bool = True) -> List[Prefix]:
+        """Draw ``count`` prefixes (unique by default)."""
+        out: List[Prefix] = []
+        guard = 0
+        while len(out) < count:
+            prefix = self.draw()
+            guard += 1
+            if guard > count * 50 + 1000:
+                raise RuntimeError("prefix pool exhausted; lower `count`")
+            if unique:
+                if prefix in self._seen:
+                    continue
+                self._seen.add(prefix)
+            out.append(prefix)
+        return out
+
+    @staticmethod
+    def to_interval(prefix: Prefix) -> Tuple[int, int]:
+        return make_interval(prefix[0], prefix[1])
+
+    @staticmethod
+    def to_text(prefix: Prefix) -> str:
+        return format_prefix(prefix[0], prefix[1])
+
+
+def overlap_fraction(prefixes: Sequence[Prefix]) -> float:
+    """Fraction of prefixes overlapping at least one other (diagnostic)."""
+    intervals = sorted(make_interval(lo, plen) for lo, plen in prefixes)
+    overlapping = 0
+    max_hi = -1
+    # A prefix overlaps a predecessor iff its lo is below the running max
+    # hi; prefix intervals are laminar so this one-pass check is exact for
+    # "overlaps anything before it", and we sweep both directions.
+    flags = [False] * len(intervals)
+    for index, (lo, hi) in enumerate(intervals):
+        if lo < max_hi:
+            flags[index] = True
+        max_hi = max(max_hi, hi)
+    for index in range(len(intervals) - 1):
+        if intervals[index][1] > intervals[index + 1][0]:
+            flags[index] = True
+    return sum(flags) / len(flags) if flags else 0.0

@@ -1,0 +1,83 @@
+"""A BGP speaker's RIB with deterministic best-route selection.
+
+Mirrors the internal BGP speaker of the SDN-IP setup (paper Figure 7):
+it ingests :class:`~repro.bgp.updates.BgpUpdate` messages from all peers,
+keeps per-prefix candidate routes, and exposes best-route *change events*
+— exactly the signal SDN-IP converts into rule installations/removals.
+
+Best-route selection: shortest AS path, then lowest peer repr (a stable
+stand-in for router-id tie-breaking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.prefixes import Prefix
+from repro.bgp.updates import BgpUpdate
+
+
+@dataclass(frozen=True)
+class Route:
+    """A candidate route: reach ``prefix`` via border router ``peer``."""
+
+    prefix: Prefix
+    peer: object
+    as_path_length: int
+
+    @property
+    def preference_key(self) -> Tuple[int, str]:
+        return (self.as_path_length, repr(self.peer))
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """A best-route transition for one prefix."""
+
+    prefix: Prefix
+    old: Optional[Route]
+    new: Optional[Route]
+
+
+class Rib:
+    """Routing information base with best-route change notifications."""
+
+    def __init__(self) -> None:
+        self._candidates: Dict[Prefix, Dict[object, Route]] = {}
+        self._best: Dict[Prefix, Route] = {}
+
+    @property
+    def num_prefixes(self) -> int:
+        return len(self._best)
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def best_routes(self) -> Dict[Prefix, Route]:
+        return dict(self._best)
+
+    def apply(self, update: BgpUpdate) -> Optional[RouteChange]:
+        """Process one update; return the best-route change, if any."""
+        prefix = update.prefix
+        candidates = self._candidates.setdefault(prefix, {})
+        if update.kind == "announce":
+            candidates[update.peer] = Route(prefix, update.peer,
+                                            update.as_path_length)
+        else:
+            candidates.pop(update.peer, None)
+        new_best = (min(candidates.values(), key=lambda r: r.preference_key)
+                    if candidates else None)
+        old_best = self._best.get(prefix)
+        if new_best == old_best:
+            return None
+        if new_best is None:
+            del self._best[prefix]
+            if not candidates:
+                del self._candidates[prefix]
+        else:
+            self._best[prefix] = new_best
+        return RouteChange(prefix, old_best, new_best)
+
+    def __repr__(self) -> str:
+        return f"Rib(prefixes={self.num_prefixes})"

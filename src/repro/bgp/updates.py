@@ -1,0 +1,65 @@
+"""BGP update streams: announcements, withdrawals, and flaps.
+
+Feeds the SDN-IP emulation (paper §4.2.2): each external border router
+advertises prefixes via eBGP; routes may later be withdrawn and
+re-announced (route flapping), which exercises rule removal paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.bgp.prefixes import Prefix, PrefixPool
+
+
+@dataclass(frozen=True)
+class BgpUpdate:
+    """One eBGP message from a peer."""
+
+    kind: str            # "announce" | "withdraw"
+    prefix: Prefix
+    peer: object         # the border router originating the update
+    as_path_length: int  # best-route tie-breaking metric
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("announce", "withdraw"):
+            raise ValueError(f"bad update kind {self.kind!r}")
+
+
+class UpdateStream:
+    """Deterministic generator of update sequences for a set of peers."""
+
+    def __init__(self, peers: Sequence[object], pool: PrefixPool,
+                 prefixes_per_peer: int = 100, seed: int = 1) -> None:
+        if not peers:
+            raise ValueError("need at least one peer")
+        self._rng = random.Random(seed)
+        self.peers = list(peers)
+        self.advertisements: List[Tuple[object, Prefix, int]] = []
+        for peer in self.peers:
+            for prefix in pool.sample(prefixes_per_peer):
+                self.advertisements.append(
+                    (peer, prefix, self._rng.randint(1, 6)))
+
+    def initial_announcements(self) -> Iterator[BgpUpdate]:
+        """Every peer announces its full set of prefixes once."""
+        for peer, prefix, path_len in self.advertisements:
+            yield BgpUpdate("announce", prefix, peer, path_len)
+
+    def flaps(self, count: int) -> Iterator[BgpUpdate]:
+        """``count`` withdraw/re-announce pairs of random advertisements."""
+        for _ in range(count):
+            peer, prefix, path_len = self._rng.choice(self.advertisements)
+            yield BgpUpdate("withdraw", prefix, peer, path_len)
+            yield BgpUpdate("announce", prefix, peer, path_len)
+
+    def churn(self, count: int, announce_bias: float = 0.5) -> Iterator[BgpUpdate]:
+        """A random mix of announces and withdraws (may be redundant)."""
+        for _ in range(count):
+            peer, prefix, path_len = self._rng.choice(self.advertisements)
+            if self._rng.random() < announce_bias:
+                yield BgpUpdate("announce", prefix, peer, path_len)
+            else:
+                yield BgpUpdate("withdraw", prefix, peer, path_len)

@@ -1,0 +1,23 @@
+"""Network-wide invariant checkers on Delta-net's edge-labelled graph.
+
+Each checker consumes the ``label[link] -> atom set`` view maintained by
+:class:`repro.core.deltanet.DeltaNet` — either incrementally (on the
+delta-graph of one rule update, §3.3 "delta-graphs") or globally (whole
+data-plane sweeps, Algorithm 3, what-if queries).
+"""
+
+from repro.checkers.loops import LoopChecker, find_forwarding_loops, Loop
+from repro.checkers.reachability import reachable_atoms, reachable_nodes, find_path
+from repro.checkers.allpairs import all_pairs_reachability, all_pairs_reference
+from repro.checkers.blackholes import find_blackholes
+from repro.checkers.waypoint import check_waypoint
+from repro.checkers.isolation import check_isolation
+from repro.checkers.whatif import link_failure_impact, LinkFailureImpact
+
+__all__ = [
+    "LoopChecker", "find_forwarding_loops", "Loop",
+    "reachable_atoms", "reachable_nodes", "find_path",
+    "all_pairs_reachability", "all_pairs_reference",
+    "find_blackholes", "check_waypoint", "check_isolation",
+    "link_failure_impact", "LinkFailureImpact",
+]

@@ -1,0 +1,158 @@
+"""Algorithm 3: all-pairs reachability of all atoms (paper §3.3).
+
+The Floyd–Warshall adaptation replaces min/+ with set-union/intersection
+over atom sets: after the triple loop, ``closure[i, j]`` holds every atom
+that can flow from node ``i`` to node ``j`` along some path.  Complexity
+is O(K * |V|^3) bit operations, which the paper positions for Datalog-style
+pre-deployment queries rather than per-update checking.
+
+``all_pairs_reference`` is an independent per-atom BFS closure used by the
+test suite to cross-check Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms, iter_bits
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import DROP, Link
+
+Closure = Dict[Tuple[object, object], int]
+
+
+def all_pairs_reachability(deltanet: DeltaNet,
+                           nodes: Optional[Iterable[object]] = None) -> Closure:
+    """Transitive closure of packet flows between all node pairs.
+
+    Returns ``(i, j) -> bitmask`` of atoms flowing from ``i`` to ``j``
+    over one or more hops.  Pairs with an empty atom set are omitted.
+    ``closure[i, i]`` being non-empty flags a forwarding loop through
+    ``i`` for those atoms.
+    """
+    node_list = list(nodes) if nodes is not None else sorted(
+        (n for n in deltanet.nodes if n != DROP), key=repr)
+    closure: Dict[Tuple[object, object], int] = {}
+    for link, atoms in deltanet.label.items():
+        if not atoms or link.target == DROP:
+            continue
+        key = (link.source, link.target)
+        closure[key] = closure.get(key, 0) | atoms_to_bitmask(atoms)
+
+    # label[i, j] |= label[i, k] & label[k, j]   (Algorithm 3, line 2)
+    for k in node_list:
+        for i in node_list:
+            ik = closure.get((i, k))
+            if not ik:
+                continue
+            for j in node_list:
+                kj = closure.get((k, j))
+                if not kj:
+                    continue
+                through = ik & kj
+                if through:
+                    key = (i, j)
+                    closure[key] = closure.get(key, 0) | through
+    return {key: mask for key, mask in closure.items() if mask}
+
+
+def all_pairs_reference(deltanet: DeltaNet) -> Closure:
+    """Per-atom BFS transitive closure (slow oracle for Algorithm 3)."""
+    per_atom_edges: Dict[int, List[Tuple[object, object]]] = {}
+    for link, atoms in deltanet.label.items():
+        if link.target == DROP:
+            continue
+        for atom in atoms:
+            per_atom_edges.setdefault(atom, []).append((link.source, link.target))
+    closure: Dict[Tuple[object, object], int] = {}
+    for atom, edges in per_atom_edges.items():
+        adjacency: Dict[object, List[object]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, []).append(v)
+        for start in adjacency:
+            seen: Set[object] = set()
+            stack = list(adjacency[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency.get(node, ()))
+            for node in seen:
+                key = (start, node)
+                closure[key] = closure.get(key, 0) | (1 << atom)
+    return closure
+
+
+def incremental_all_pairs(deltanet: DeltaNet, delta_graph,
+                          nodes: Optional[Iterable[object]] = None) -> Closure:
+    """Algorithm 3 restricted to one update's affected atoms (§3.3).
+
+    "This algorithm could be run either on the edge-labelled graph that
+    represents the entire network or only its incremental version in
+    form of a delta-graph."  After a rule update, only the atoms whose
+    ownership changed can have different reachability; this computes the
+    closure masked to exactly those atoms, at a cost proportional to the
+    delta instead of the whole atom universe.
+
+    Returns ``(i, j) -> bitmask over affected atoms``; merging it over a
+    cached full closure with :func:`merge_closures` (which replaces those
+    atoms' bits) yields the up-to-date full closure.
+
+    "Affected" here is :meth:`DeltaGraph.touched_atoms`: ownership
+    changes plus atoms created by splits plus garbage-collected ids —
+    all atoms whose cached per-atom closure bits could be stale.
+    """
+    affected = delta_graph.touched_atoms()
+    if not affected:
+        return {}
+    mask = atoms_to_bitmask(affected)
+    node_list = list(nodes) if nodes is not None else sorted(
+        (n for n in deltanet.nodes if n != DROP), key=repr)
+    closure: Dict[Tuple[object, object], int] = {}
+    for link, atoms in deltanet.label.items():
+        if not atoms or link.target == DROP:
+            continue
+        restricted = atoms_to_bitmask(atoms) & mask
+        if restricted:
+            key = (link.source, link.target)
+            closure[key] = closure.get(key, 0) | restricted
+    for k in node_list:
+        for i in node_list:
+            ik = closure.get((i, k))
+            if not ik:
+                continue
+            for j in node_list:
+                kj = closure.get((k, j))
+                if not kj:
+                    continue
+                through = ik & kj
+                if through:
+                    key = (i, j)
+                    closure[key] = closure.get(key, 0) | through
+    return {key: value for key, value in closure.items() if value}
+
+
+def merge_closures(full: Closure, incremental: Closure,
+                   affected_atoms: Set[int]) -> Closure:
+    """Overwrite the affected atoms' bits of ``full`` with ``incremental``."""
+    mask = atoms_to_bitmask(affected_atoms)
+    merged: Dict[Tuple[object, object], int] = {}
+    for key, value in full.items():
+        kept = value & ~mask
+        if kept:
+            merged[key] = kept
+    for key, value in incremental.items():
+        merged[key] = merged.get(key, 0) | value
+    return {key: value for key, value in merged.items() if value}
+
+
+def loops_from_closure(closure: Closure) -> Dict[object, Set[int]]:
+    """Nodes on forwarding loops: ``node -> atoms`` with ``closure[n, n]``."""
+    return {i: bitmask_to_atoms(mask)
+            for (i, j), mask in closure.items() if i == j and mask}
+
+
+def reachability_matrix(closure: Closure, src: object, dst: object) -> Set[int]:
+    """Convenience: atoms flowing from ``src`` to ``dst`` per the closure."""
+    return bitmask_to_atoms(closure.get((src, dst), 0))

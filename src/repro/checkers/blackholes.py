@@ -1,0 +1,39 @@
+"""Black-hole detection: traffic that arrives at a node and silently dies.
+
+An atom is *black-holed* at node ``n`` when some link delivers it to ``n``
+but no rule at ``n`` forwards (or explicitly drops) it.  Explicit drop
+rules are not black holes — they are intended policy and appear in the
+graph as edges to the :data:`~repro.core.rules.DROP` sink.
+
+Expected traffic sinks (e.g. egress border switches in the SDN-IP
+scenario, or hosts) can be excluded via ``expected_sinks``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import DROP
+
+
+def find_blackholes(deltanet: DeltaNet,
+                    expected_sinks: Iterable[object] = ()) -> Dict[object, Set[int]]:
+    """Map each black-holing node to the set of atoms it swallows."""
+    sinks = set(expected_sinks)
+    incoming: Dict[object, Set[int]] = {}
+    outgoing: Dict[object, Set[int]] = {}
+    for link, atoms in deltanet.label.items():
+        if not atoms:
+            continue
+        if link.target != DROP:
+            incoming.setdefault(link.target, set()).update(atoms)
+        outgoing.setdefault(link.source, set()).update(atoms)
+    holes: Dict[object, Set[int]] = {}
+    for node, arrived in incoming.items():
+        if node in sinks:
+            continue
+        lost = arrived - outgoing.get(node, set())
+        if lost:
+            holes[node] = lost
+    return holes

@@ -1,0 +1,141 @@
+"""Forwarding-loop detection (paper §4.1, §4.3.1).
+
+For a fixed atom the forwarding behaviour is a *functional* graph: each
+switch has at most one out-edge carrying the atom (the link of the
+highest-priority owning rule).  A loop is therefore found by pointer
+chasing with a visited set — the paper's "iterative depth-first graph
+traversal".
+
+Two entry points:
+
+* :meth:`LoopChecker.check_update` — incremental: after a rule update,
+  only atoms whose ownership changed can participate in a *new* loop, and
+  any new loop must traverse one of the newly added ``(link, atom)``
+  labels; we chase from exactly those.
+* :func:`find_forwarding_loops` — full sweep over every atom in every
+  label (used for whole-data-plane what-if analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.core.delta_graph import DeltaGraph
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import DROP, Link
+
+
+class Loop(NamedTuple):
+    """A forwarding loop: ``atom`` cycles through ``cycle`` (node list)."""
+
+    atom: int
+    cycle: Tuple[object, ...]
+
+    def canonical(self) -> "Loop":
+        """Rotate the cycle to start at its minimal node, for dedup."""
+        nodes = list(self.cycle)
+        pivot = min(range(len(nodes)), key=lambda i: repr(nodes[i]))
+        return Loop(self.atom, tuple(nodes[pivot:] + nodes[:pivot]))
+
+
+def _next_hop(deltanet: DeltaNet, out_links: Dict[object, List[Link]],
+              node: object, atom: int) -> Optional[object]:
+    """The unique next hop of an ``atom``-packet at ``node``, if any."""
+    for link in out_links.get(node, ()):
+        bucket = deltanet.label.get(link)
+        if bucket and atom in bucket:
+            return link.target
+    return None
+
+
+def _out_link_index(deltanet: DeltaNet) -> Dict[object, List[Link]]:
+    index: Dict[object, List[Link]] = {}
+    for link in deltanet.label:
+        index.setdefault(link.source, []).append(link)
+    return index
+
+
+def _chase(deltanet: DeltaNet, out_links: Dict[object, List[Link]],
+           start: object, atom: int) -> Optional[Loop]:
+    """Follow the functional graph of ``atom`` from ``start``."""
+    path: List[object] = []
+    seen_at: Dict[object, int] = {}
+    node: Optional[object] = start
+    while node is not None and node != DROP:
+        if node in seen_at:
+            return Loop(atom, tuple(path[seen_at[node]:])).canonical()
+        seen_at[node] = len(path)
+        path.append(node)
+        node = _next_hop(deltanet, out_links, node, atom)
+    return None
+
+
+class LoopChecker:
+    """Incremental loop checking bound to one :class:`DeltaNet` instance."""
+
+    def __init__(self, deltanet: DeltaNet) -> None:
+        self.deltanet = deltanet
+
+    def check_update(self, delta_graph: DeltaGraph) -> List[Loop]:
+        """Loops introduced by the update described by ``delta_graph``.
+
+        A new loop must contain at least one newly-added ``(link, atom)``
+        pair, so chasing from each added link's source suffices.
+        """
+        if not delta_graph.added:
+            return []
+        out_links = _out_link_index(self.deltanet)
+        loops: List[Loop] = []
+        seen: Set[Loop] = set()
+        for link, atoms in delta_graph.added.items():
+            for atom in atoms:
+                loop = _chase(self.deltanet, out_links, link.source, atom)
+                if loop is not None and loop not in seen:
+                    seen.add(loop)
+                    loops.append(loop)
+        return loops
+
+
+def find_forwarding_loops(deltanet: DeltaNet,
+                          atoms: Optional[Iterable[int]] = None,
+                          links: Optional[Iterable[Link]] = None) -> List[Loop]:
+    """Exhaustive loop sweep.
+
+    ``atoms``/``links`` restrict the search (e.g. to a what-if query's
+    affected atoms and subgraph); by default every labelled atom on every
+    link is covered.
+    """
+    out_links = _out_link_index(deltanet)
+    atom_filter = set(atoms) if atoms is not None else None
+    link_iter = list(links) if links is not None else list(deltanet.label)
+    loops: List[Loop] = []
+    seen: Set[Loop] = set()
+    # Group starting points by atom so each functional graph is walked once
+    # per distinct entry component.
+    starts: Dict[int, Set[object]] = {}
+    for link in link_iter:
+        bucket = deltanet.label.get(link)
+        if not bucket:
+            continue
+        for atom in bucket:
+            if atom_filter is not None and atom not in atom_filter:
+                continue
+            starts.setdefault(atom, set()).add(link.source)
+    for atom, sources in starts.items():
+        done: Set[object] = set()
+        for source in sources:
+            if source in done:
+                continue
+            loop = _chase(deltanet, out_links, source, atom)
+            # Every node on the chased path has been classified for this atom.
+            node: Optional[object] = source
+            steps = 0
+            limit = len(sources) + len(out_links) + 2
+            while node is not None and node != DROP and node not in done and steps < limit:
+                done.add(node)
+                node = _next_hop(deltanet, out_links, node, atom)
+                steps += 1
+            if loop is not None and loop not in seen:
+                seen.add(loop)
+                loops.append(loop)
+    return loops

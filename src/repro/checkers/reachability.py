@@ -1,0 +1,83 @@
+"""Reachability queries over the edge-labelled graph (design goal 1, §2.2).
+
+"Find *all* packets that can reach node B from node A" — answered in one
+graph propagation rather than one SAT call per witness.  Atom sets are
+propagated as int bitmasks; a node's reached-mask only ever grows, so the
+worklist algorithm terminates in O(E * K / wordsize) bit operations even
+in cyclic graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import DROP, Link
+
+
+def _masks_and_adjacency(deltanet: DeltaNet) -> Tuple[Dict[Link, int], Dict[object, List[Link]]]:
+    masks: Dict[Link, int] = {}
+    adjacency: Dict[object, List[Link]] = {}
+    for link, atoms in deltanet.label.items():
+        if not atoms:
+            continue
+        masks[link] = atoms_to_bitmask(atoms)
+        adjacency.setdefault(link.source, []).append(link)
+    return masks, adjacency
+
+
+def reachable_atoms(deltanet: DeltaNet, src: object, dst: object) -> Set[int]:
+    """Atoms (packet classes) that can flow from ``src`` to ``dst``.
+
+    A packet injected at ``src`` follows, at each hop, the unique link
+    whose label contains its atom; this propagates the full atom universe
+    from ``src`` and reports what arrives at ``dst``.
+    """
+    masks, adjacency = _masks_and_adjacency(deltanet)
+    full = (1 << deltanet.atoms.num_ids_allocated) - 1
+    reached: Dict[object, int] = {src: full}
+    queue = deque([src])
+    while queue:
+        node = queue.popleft()
+        mask = reached[node]
+        for link in adjacency.get(node, ()):
+            if link.target == DROP:
+                continue
+            passed = mask & masks[link]
+            if not passed:
+                continue
+            previous = reached.get(link.target, 0)
+            fresh = passed & ~previous
+            if fresh:
+                reached[link.target] = previous | fresh
+                queue.append(link.target)
+    arrived = reached.get(dst, 0)
+    # Restrict to live atoms (GC may have retired identifiers).
+    live = atoms_to_bitmask(a for a, _ in deltanet.atoms.intervals())
+    return bitmask_to_atoms(arrived & live)
+
+
+def reachable_nodes(deltanet: DeltaNet, src: object, atom: int) -> List[object]:
+    """Every node an ``atom``-packet injected at ``src`` traverses."""
+    out: List[object] = []
+    seen: Set[object] = set()
+    masks, adjacency = _masks_and_adjacency(deltanet)
+    bit = 1 << atom
+    node: Optional[object] = src
+    while node is not None and node != DROP and node not in seen:
+        seen.add(node)
+        out.append(node)
+        node = next((link.target for link in adjacency.get(node, ())
+                     if masks[link] & bit), None)
+    return out
+
+
+def find_path(deltanet: DeltaNet, src: object, dst: object,
+              atom: int) -> Optional[List[object]]:
+    """The (unique) forwarding path of ``atom`` from ``src`` to ``dst``."""
+    trail = reachable_nodes(deltanet, src, atom)
+    if dst in trail:
+        return trail[:trail.index(dst) + 1]
+    return None

@@ -1,0 +1,230 @@
+"""Command-line interface: generate datasets, replay them, run queries.
+
+Examples::
+
+    deltanet generate Berkeley --scale 2 -o berkeley.ops
+    deltanet replay berkeley.ops --engine deltanet
+    deltanet replay berkeley.ops --engine veriflow
+    deltanet whatif Berkeley --scale 1
+    deltanet datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.cdf import ascii_cdf
+from repro.analysis.memory import deep_size, format_bytes
+from repro.analysis.tables import render_table
+from repro.checkers.whatif import link_failure_impact
+from repro.datasets import (
+    DATASET_BUILDERS, PAPER_TABLE2, build_dataset, load_ops, save_ops,
+)
+from repro.replay import DeltaNetEngine, ReplayResult, VeriflowEngine, replay
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, (nodes, links, ops) in PAPER_TABLE2.items():
+        rows.append((name, nodes, links, f"{ops:.3g}"))
+    print(render_table(("Data set", "Paper nodes", "Paper max links",
+                        "Paper operations"), rows,
+                       title="Table 2 datasets (paper scale; use `generate`)"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = build_dataset(args.dataset, scale=args.scale)
+    count = save_ops(dataset.ops, args.output)
+    print(f"{dataset.name}: wrote {count} operations to {args.output}")
+    print(f"  nodes={dataset.num_nodes} links={dataset.num_links} "
+          f"inserts={dataset.num_inserts}")
+    return 0
+
+
+def _make_engine(name: str, check_loops: bool):
+    if name == "deltanet":
+        return DeltaNetEngine(check_loops=check_loops)
+    if name == "deltanet-gc":
+        return DeltaNetEngine(gc=True, check_loops=check_loops)
+    if name == "veriflow":
+        return VeriflowEngine(check_loops=check_loops)
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    ops = load_ops(args.opsfile)
+    engine = _make_engine(args.engine, not args.no_check)
+    result = replay(ops, engine, engine_name=args.engine)
+    summary = result.summary()
+    micro = 1e6
+    print(f"{args.engine}: {result.num_ops} ops, "
+          f"{result.loops_found} loops found")
+    print(f"  median={summary['median'] * micro:.1f}us "
+          f"mean={summary['mean'] * micro:.1f}us "
+          f"p99={summary['p99'] * micro:.1f}us "
+          f"max={summary['max'] * micro:.1f}us "
+          f"total={summary['total']:.3f}s")
+    if args.cdf:
+        print(ascii_cdf({args.engine: result.times}))
+    if isinstance(engine, DeltaNetEngine):
+        print(f"  atoms={engine.num_atoms} "
+              f"state={format_bytes(deep_size(engine.deltanet))}")
+    return 0
+
+
+def _build_data_plane(name: str, scale: float) -> DeltaNetEngine:
+    dataset = build_dataset(name, scale=scale)
+    engine = DeltaNetEngine(check_loops=False)
+    for op in dataset.ops:
+        if op.is_insert:
+            engine.process(op)
+    return engine
+
+
+def _cmd_allpairs(args: argparse.Namespace) -> int:
+    from repro.checkers.allpairs import (
+        all_pairs_reachability, loops_from_closure,
+    )
+
+    engine = _build_data_plane(args.dataset, args.scale)
+    deltanet = engine.deltanet
+    start = time.perf_counter()
+    closure = all_pairs_reachability(deltanet)
+    elapsed = time.perf_counter() - start
+    looping = loops_from_closure(closure)
+    print(f"{args.dataset}: Algorithm 3 over {len(deltanet.nodes)} nodes / "
+          f"{deltanet.num_atoms} atoms in {elapsed:.3f}s")
+    print(f"  reachable (src, dst) pairs: {len(closure)}")
+    print(f"  nodes on forwarding loops: {len(looping)}")
+    return 0
+
+
+def _cmd_blackholes(args: argparse.Namespace) -> int:
+    from repro.checkers.blackholes import find_blackholes
+
+    engine = _build_data_plane(args.dataset, args.scale)
+    holes = find_blackholes(engine.deltanet)
+    print(f"{args.dataset}: {len(holes)} node(s) black-hole traffic")
+    for node, atoms in sorted(holes.items(), key=lambda kv: repr(kv[0]))[:20]:
+        print(f"  {node}: {len(atoms)} packet classes")
+    if not holes:
+        print("  (none — every delivered packet is forwarded, dropped "
+              "explicitly, or terminates at a sink)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import runpy
+    import os
+    import sys as _sys
+
+    script = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "..", "benchmarks", "run_experiments.py")
+    script = os.path.normpath(script)
+    if not os.path.exists(script):
+        print("benchmarks/run_experiments.py not found; run from a source "
+              "checkout", file=sys.stderr)
+        return 1
+    argv_backup = _sys.argv
+    _sys.argv = [script, args.output]
+    try:
+        runpy.run_path(script, run_name="__main__")
+    except SystemExit as exit_info:
+        return int(exit_info.code or 0)
+    finally:
+        _sys.argv = argv_backup
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    dataset = build_dataset(args.dataset, scale=args.scale)
+    engine = DeltaNetEngine(check_loops=False)
+    for op in dataset.ops:
+        if op.is_insert:
+            engine.process(op)
+    deltanet = engine.deltanet
+    links = list(deltanet.label)
+    start = time.perf_counter()
+    total_flows = 0
+    for link in links:
+        impact = link_failure_impact(deltanet, link, check_loops=args.loops)
+        total_flows += impact.num_affected_flows
+    elapsed = time.perf_counter() - start
+    print(f"{dataset.name}: {len(links)} link-failure queries in "
+          f"{elapsed:.3f}s ({elapsed / max(1, len(links)) * 1e3:.2f} ms avg), "
+          f"{total_flows} affected flows total")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deltanet",
+        description="Delta-net (NSDI'17) reproduction: datasets, replay, queries")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 2 datasets")
+
+    generate = sub.add_parser("generate", help="generate a dataset ops file")
+    generate.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+
+    replay_cmd = sub.add_parser("replay", help="replay an ops file")
+    replay_cmd.add_argument("opsfile")
+    replay_cmd.add_argument("--engine", default="deltanet",
+                            choices=("deltanet", "deltanet-gc", "veriflow"))
+    replay_cmd.add_argument("--no-check", action="store_true",
+                            help="skip per-update loop checking")
+    replay_cmd.add_argument("--cdf", action="store_true",
+                            help="print an ASCII CDF of per-op times")
+
+    whatif = sub.add_parser("whatif", help="link-failure query sweep")
+    whatif.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    whatif.add_argument("--scale", type=float, default=1.0)
+    whatif.add_argument("--loops", action="store_true",
+                        help="also check loops in affected subgraphs")
+
+    allpairs = sub.add_parser(
+        "allpairs", help="Algorithm 3: all-pairs reachability of all atoms")
+    allpairs.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    allpairs.add_argument("--scale", type=float, default=1.0)
+
+    blackholes = sub.add_parser(
+        "blackholes", help="find nodes that silently swallow traffic")
+    blackholes.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    blackholes.add_argument("--scale", type=float, default=1.0)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full experiment report (markdown)")
+    report.add_argument("-o", "--output", default="experiment_report.md")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "generate": _cmd_generate,
+        "replay": _cmd_replay,
+        "whatif": _cmd_whatif,
+        "allpairs": _cmd_allpairs,
+        "blackholes": _cmd_blackholes,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

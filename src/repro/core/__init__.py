@@ -1,0 +1,35 @@
+"""Delta-net's core: atoms, the edge-labelled graph, and the verifier.
+
+The package implements the paper's primary contribution:
+
+* :mod:`repro.core.intervals` — half-closed intervals and interval sets,
+* :mod:`repro.core.prefix` — CIDR prefixes as half-closed intervals,
+* :mod:`repro.core.rules` — forwarding rules, links, and actions,
+* :mod:`repro.core.atoms` — the atom table (``M``, ``CREATE_ATOMS+``, §3.1),
+* :mod:`repro.core.atomset` — atom-set and bitmask label helpers,
+* :mod:`repro.core.deltanet` — Algorithms 1 and 2 (§3.2),
+* :mod:`repro.core.delta_graph` — delta-graphs, the incremental by-product
+  of rule updates used for checking (§3.3),
+* :mod:`repro.core.lattice` — the Boolean lattice induced by atoms (App. A).
+"""
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.prefix import prefix_to_interval, interval_to_prefixes, format_prefix
+from repro.core.rules import Rule, Link, Action, DROP
+from repro.core.atoms import AtomTable, ATOM_INF
+from repro.core.deltanet import DeltaNet
+from repro.core.delta_graph import DeltaGraph
+from repro.core.multifield import FieldSchema, MultiFieldDeltaNet
+from repro.core.rewrite import (
+    PrefixRewrite, RewriteTable, reachable_intervals_with_rewrites,
+)
+
+__all__ = [
+    "Interval", "IntervalSet",
+    "prefix_to_interval", "interval_to_prefixes", "format_prefix",
+    "Rule", "Link", "Action", "DROP",
+    "AtomTable", "ATOM_INF",
+    "DeltaNet", "DeltaGraph",
+    "FieldSchema", "MultiFieldDeltaNet",
+    "PrefixRewrite", "RewriteTable", "reachable_intervals_with_rewrites",
+]

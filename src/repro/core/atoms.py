@@ -1,0 +1,192 @@
+"""The atom table: Delta-net's dynamically refined abstract domain (§3.1).
+
+Atoms are the disjoint half-closed intervals induced by the lower/upper
+bounds of every rule's IP prefix.  They are maintained in an ordered map
+``M`` from boundary value to atom identifier: the pair ``n -> alpha`` means
+atom ``alpha`` is the interval ``[n : n')`` where ``n'`` is the next
+greater key in ``M``.
+
+Identifiers are consecutive integers starting at zero, which lets edge
+labels be plain sets (or bitmasks) of small ints.  ``M`` is seeded with
+``MIN -> alpha_0`` and ``MAX -> alpha_inf`` where :data:`ATOM_INF` is a
+sentinel that never participates in labels.
+
+``create_atoms`` implements ``CREATE_ATOMS+`` from Algorithm 1: it inserts
+the (at most two) missing boundaries of a new rule and returns the list of
+*delta pairs* ``(alpha, alpha')`` — each meaning the interval previously
+represented by ``alpha`` alone is now split between ``alpha`` and the new
+atom ``alpha'``.
+
+The optional garbage collector implements the §3.2.2 remark: when the last
+rule with a bound at value ``b`` is removed, the atom starting at ``b`` can
+be merged back into its predecessor and its identifier recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.structures.treap import TreapMap
+
+#: Sentinel identifier for the greatest atom (paper's alpha-infinity).
+ATOM_INF = -1
+
+
+class AtomTable:
+    """Maintains the ordered boundary map ``M`` and atom identities."""
+
+    def __init__(self, width: int = 32, seed: int = 0x5EED) -> None:
+        if width <= 0:
+            raise ValueError(f"field width must be positive, got {width}")
+        self.width = width
+        self.min = 0
+        self.max = 1 << width
+        self._map = TreapMap(seed=seed)
+        self._map.insert(self.min, 0)
+        self._map.insert(self.max, ATOM_INF)
+        self._start: List[int] = [self.min]  # atom id -> start boundary
+        self._free: List[int] = []           # recycled ids (GC mode)
+        self._bound_refs: Dict[int, int] = {}  # boundary -> #rules using it
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_atoms(self) -> int:
+        """Number of live atoms (size of ``M`` minus the MAX sentinel)."""
+        return len(self._map) - 1
+
+    @property
+    def num_ids_allocated(self) -> int:
+        """Total identifiers ever allocated (dense upper bound for arrays)."""
+        return len(self._start)
+
+    def atom_interval(self, atom: int) -> Tuple[int, int]:
+        """The half-closed interval currently denoted by ``atom``."""
+        start = self._start[atom]
+        if self._map.get(start) != atom:
+            raise KeyError(f"atom {atom} is dead")
+        return start, self._map.succ_key(start)
+
+    def atom_at(self, point: int) -> int:
+        """Identifier of the atom containing ``point``."""
+        if not self.min <= point < self.max:
+            raise ValueError(f"point {point} outside [{self.min}, {self.max})")
+        _key, atom = self._map.floor_item(point)
+        return atom
+
+    def atoms_in(self, lo: int, hi: int) -> Iterator[int]:
+        """Atoms collectively representing ``[lo : hi)``.
+
+        ``lo`` and ``hi`` must already be boundaries in ``M`` (i.e. after
+        ``create_atoms(lo, hi)``); this is exactly ``[[interval(r)]]``.
+        """
+        for _key, atom in self._map.iritems(lo, hi):
+            yield atom
+
+    def intervals(self) -> Iterator[Tuple[int, Tuple[int, int]]]:
+        """All live ``(atom, (lo, hi))`` pairs in ascending interval order."""
+        items = list(self._map.items())
+        for (lo, atom), (hi, _next_atom) in zip(items, items[1:]):
+            yield atom, (lo, hi)
+
+    def boundaries(self) -> List[int]:
+        return list(self._map.keys())
+
+    # -- CREATE_ATOMS+ (Algorithm 1, line 2) ----------------------------------
+
+    def peek_splits(self, lo: int, hi: int) -> List[Tuple[int, Tuple[int, int]]]:
+        """Preview which atoms ``create_atoms(lo, hi)`` would split.
+
+        Returns ``(atom, (atom_lo, atom_hi))`` for each existing atom a new
+        boundary would fall inside, *without* mutating the table.  Useful
+        for inspection; unlike :meth:`create_atoms` it is safe to call on
+        a table owned by a live :class:`~repro.core.deltanet.DeltaNet`.
+        """
+        if not self.min <= lo < hi <= self.max:
+            raise ValueError(
+                f"interval [{lo}:{hi}) outside [{self.min}, {self.max})")
+        splits: List[Tuple[int, Tuple[int, int]]] = []
+        for bound in (lo, hi):
+            if bound not in self._map:
+                _key, atom = self._map.floor_item(bound)
+                splits.append((atom, self.atom_interval(atom)))
+        return splits
+
+    def create_atoms(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Insert missing boundaries for ``[lo : hi)``; return delta pairs.
+
+        Each returned pair ``(alpha, alpha')`` records that existing atom
+        ``alpha`` was split and the upper part is the fresh atom ``alpha'``.
+        At most two pairs are returned (|delta| <= 2, paper §3.2.1).
+
+        .. warning:: When the table is owned by a live
+           :class:`~repro.core.deltanet.DeltaNet`, never call this
+           directly — rule insertion keeps the owner/label structures in
+           sync with splits.  Use :meth:`peek_splits` to inspect instead.
+        """
+        if not self.min <= lo < hi <= self.max:
+            raise ValueError(
+                f"interval [{lo}:{hi}) outside [{self.min}, {self.max})")
+        delta: List[Tuple[int, int]] = []
+        for bound in (lo, hi):
+            if bound in self._map:
+                continue
+            _key, old_atom = self._map.floor_item(bound)
+            new_atom = self._alloc(bound)
+            self._map.insert(bound, new_atom)
+            delta.append((old_atom, new_atom))
+        return delta
+
+    def _alloc(self, start: int) -> int:
+        if self._free:
+            atom = self._free.pop()
+            self._start[atom] = start
+            return atom
+        atom = len(self._start)
+        self._start.append(start)
+        return atom
+
+    # -- reference counting & garbage collection (§3.2.2 remark) --------------
+
+    def ref_bounds(self, lo: int, hi: int) -> None:
+        """Record that a rule with interval ``[lo : hi)`` now exists."""
+        for bound in (lo, hi):
+            self._bound_refs[bound] = self._bound_refs.get(bound, 0) + 1
+
+    def unref_bounds(self, lo: int, hi: int) -> List[int]:
+        """Drop a rule's boundary references; return now-unused boundaries.
+
+        A returned boundary is one no remaining rule starts or ends at
+        (``MIN``/``MAX`` are never returned).  The caller decides whether
+        to actually collect the corresponding atoms via :meth:`collect`.
+        """
+        dead: List[int] = []
+        for bound in (lo, hi):
+            count = self._bound_refs.get(bound, 0) - 1
+            if count > 0:
+                self._bound_refs[bound] = count
+            else:
+                self._bound_refs.pop(bound, None)
+                if bound not in (self.min, self.max):
+                    dead.append(bound)
+        return dead
+
+    def collect(self, bound: int) -> Tuple[int, int]:
+        """Remove boundary ``bound``, merging its atom into the predecessor.
+
+        Returns ``(dead_atom, surviving_atom)``.  The caller must erase
+        ``dead_atom`` from all labels/owner structures *before* calling
+        (see :meth:`repro.core.deltanet.DeltaNet._collect_atom`).
+        """
+        atom = self._map.get(bound)
+        if atom is None or bound in (self.min, self.max):
+            raise KeyError(f"boundary {bound} not collectable")
+        prev_key = self._map.floor_key(bound - 1)
+        survivor = self._map[prev_key]
+        self._map.remove(bound)
+        self._free.append(atom)
+        return atom, survivor
+
+    def __repr__(self) -> str:
+        return (f"AtomTable(width={self.width}, atoms={self.num_atoms}, "
+                f"allocated={self.num_ids_allocated})")

@@ -1,0 +1,78 @@
+"""Atom-set representations for edge labels.
+
+Incremental rule updates (Algorithms 1/2) add and discard single atoms,
+for which Python's built-in ``set`` is ideal (O(1) per update).  Bulk
+lattice operations — Algorithm 3's all-pairs closure, what-if queries,
+isolation checks — are dominated by unions/intersections over whole
+labels, for which arbitrary-precision integers used as bitmasks are far
+faster (word-parallel ``&``/``|`` in C).
+
+This module converts between the two and provides the handful of bitmask
+primitives the checkers need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+
+def atoms_to_bitmask(atoms: Iterable[int]) -> int:
+    """Pack atom identifiers into an int bitmask."""
+    mask = 0
+    for atom in atoms:
+        if atom < 0:
+            raise ValueError(f"cannot pack sentinel atom {atom}")
+        mask |= 1 << atom
+    return mask
+
+
+def bitmask_to_atoms(mask: int) -> Set[int]:
+    """Unpack an int bitmask into a set of atom identifiers."""
+    if mask < 0:
+        raise ValueError("negative bitmask")
+    out: Set[int] = set()
+    position = 0
+    while mask:
+        chunk = mask & 0xFFFFFFFFFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            out.add(position + low.bit_length() - 1)
+            chunk ^= low
+        mask >>= 64
+        position += 64
+    return out
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of ``mask`` in ascending order."""
+    position = 0
+    while mask:
+        chunk = mask & 0xFFFFFFFFFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            yield position + low.bit_length() - 1
+            chunk ^= low
+        mask >>= 64
+        position += 64
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (atoms) in the mask."""
+    return bin(mask).count("1")
+
+
+def label_map_to_bitmasks(label: Dict[object, Set[int]]) -> Dict[object, int]:
+    """Convert a ``link -> set(atom)`` label map to ``link -> bitmask``."""
+    return {link: atoms_to_bitmask(atoms) for link, atoms in label.items() if atoms}
+
+
+def atoms_to_interval_set(atoms: Iterable[int], atom_table) -> List[Tuple[int, int]]:
+    """Merge a set of atoms back into canonical disjoint intervals.
+
+    Useful for reporting: a set of atoms is a union of half-closed
+    intervals of the header space (e.g. "which packets does this link
+    carry?").
+    """
+    from repro.core.intervals import normalize
+
+    return normalize(atom_table.atom_interval(a) for a in atoms)

@@ -1,0 +1,277 @@
+"""The Delta-net verifier: Algorithms 1 and 2 of the paper (§3.2).
+
+Delta-net incrementally maintains a single edge-labelled graph that
+represents the flow of *all* packets in the entire network:
+
+* ``label[link]`` — the set of atoms (packet classes) that flow along
+  ``link``, i.e. the link of the highest-priority rule owning each atom,
+* ``owner[atom][source]`` — a priority-ordered BST of the rules installed
+  on ``source`` whose interval contains ``atom`` (persistent treaps, so an
+  atom split copies them in O(1)),
+* the atom table ``M`` (:class:`repro.core.atoms.AtomTable`).
+
+Each :meth:`DeltaNet.insert_rule` / :meth:`DeltaNet.remove_rule` call
+returns the :class:`repro.core.delta_graph.DeltaGraph` of label changes it
+caused, on which incremental property checks (loops, black holes, ...)
+run.  Per Theorem 1 the amortized cost of ``R`` updates is
+``O(R * K * log M)`` with ``K`` atoms and at most ``M`` overlapping rules
+per switch.
+
+The optional ``gc=True`` mode implements the paper's §3.2.2 remark:
+boundaries no longer used by any rule are removed and their atom ids are
+recycled (merged into the predecessor atom, which by construction has
+identical ownership).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.core.atoms import AtomTable
+from repro.core.delta_graph import DeltaGraph
+from repro.core.prefix import prefix_to_interval
+from repro.core.rules import Action, Link, Rule
+from repro.structures import ptreap
+
+OwnerMap = Dict[object, ptreap.Root]  # source node -> persistent treap root
+
+
+class DeltaNet:
+    """Real-time data-plane verifier over IP-prefix forwarding rules."""
+
+    def __init__(self, width: int = 32, gc: bool = False, seed: int = 0x5EED) -> None:
+        self.width = width
+        self.gc = gc
+        self.atoms = AtomTable(width=width, seed=seed)
+        self.label: Dict[Link, Set[int]] = {}
+        self.rules: Dict[int, Rule] = {}
+        self._owner: List[Optional[OwnerMap]] = [{}]  # slot per atom id; alpha_0 exists
+        self.nodes: Set[object] = set()
+
+    # -- public queries --------------------------------------------------------
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules)
+
+    @property
+    def num_atoms(self) -> int:
+        return self.atoms.num_atoms
+
+    def links(self) -> Iterator[Link]:
+        """Links that currently carry at least one atom."""
+        return (link for link, atoms in self.label.items() if atoms)
+
+    def label_of(self, link: Union[Link, Tuple[object, object]]) -> Set[int]:
+        """Atoms flowing along ``link`` (constant-time lookup, §3.3)."""
+        if not isinstance(link, Link):
+            link = Link(*link)
+        return self.label.get(link, set())
+
+    def owner_map(self, atom: int) -> OwnerMap:
+        """``source -> rule-BST root`` for ``atom`` (diagnostics/tests)."""
+        owners = self._owner[atom]
+        if owners is None:
+            raise KeyError(f"atom {atom} is dead")
+        return owners
+
+    def owner_rule(self, atom: int, source: object) -> Optional[Rule]:
+        """Highest-priority rule owning ``atom`` at ``source``, if any."""
+        owners = self._owner[atom]
+        if owners is None:
+            return None
+        root = owners.get(source)
+        if root is None:
+            return None
+        return ptreap.max_node(root).value
+
+    def atoms_overlapping(self, lo: int, hi: int) -> Iterator[int]:
+        """All atoms whose interval intersects ``[lo : hi)``."""
+        if not self.atoms.min <= lo < hi <= self.atoms.max:
+            raise ValueError(f"interval [{lo}:{hi}) out of range")
+        start = self.atoms._map.floor_key(lo)
+        for _key, atom in self.atoms._map.iritems(start, hi):
+            yield atom
+
+    def flows_on(self, link: Union[Link, Tuple[object, object]]) -> List[Tuple[int, int]]:
+        """The packet space carried by ``link`` as canonical intervals."""
+        from repro.core.atomset import atoms_to_interval_set
+
+        return atoms_to_interval_set(self.label_of(link), self.atoms)
+
+    # -- rule construction helpers ---------------------------------------------
+
+    def make_rule(self, rid: int, prefix: str, priority: int, source: object,
+                  target: object = None, action: Action = Action.FORWARD) -> Rule:
+        """Build a rule from CIDR text; drop rules omit ``target``."""
+        lo, hi = prefix_to_interval(prefix, self.width)
+        if action is Action.DROP:
+            return Rule.drop(rid, lo, hi, priority, source)
+        if target is None:
+            raise ValueError("forward rules need a target")
+        return Rule.forward(rid, lo, hi, priority, source, target)
+
+    # -- Algorithm 1: INSERT_RULE ------------------------------------------------
+
+    def insert_rule(self, rule: Rule) -> DeltaGraph:
+        """Insert ``rule``; return the delta-graph of label changes."""
+        if rule.rid in self.rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        if not self.atoms.min <= rule.lo < rule.hi <= self.atoms.max:
+            # Validate before touching any structure so a rejected insert
+            # leaves no trace.
+            raise ValueError(
+                f"rule {rule.rid} interval [{rule.lo}:{rule.hi}) outside "
+                f"the {self.width}-bit header space")
+        self.rules[rule.rid] = rule
+        self.nodes.add(rule.source)
+        self.nodes.add(rule.target)
+        delta_graph = DeltaGraph()
+
+        # CREATE_ATOMS+ (line 2): |delta| <= 2 new atoms.
+        delta = self.atoms.create_atoms(rule.lo, rule.hi)
+        delta_graph.splits.extend(delta)
+        if self.gc:
+            self.atoms.ref_bounds(rule.lo, rule.hi)
+
+        # Atom splits (lines 3-9): the new atom inherits the old atom's
+        # owners (O(1) shared persistent roots) and joins every label the
+        # old atom is flowing on.
+        for old_atom, new_atom in delta:
+            old_owners = self._owner[old_atom]
+            self._set_owner_slot(new_atom, dict(old_owners))
+            for _source, root in old_owners.items():
+                highest = ptreap.max_node(root).value
+                self._label_add(highest.link, new_atom)
+
+        # Ownership (lines 10-23): for every atom of the rule's interval,
+        # compare against the current highest-priority owner at source(r).
+        source = rule.source
+        key = rule.sort_key
+        for atom in self.atoms.atoms_in(rule.lo, rule.hi):
+            owners = self._owner[atom]
+            root = owners.get(source)
+            current = ptreap.max_node(root).value if root is not None else None
+            if current is None or current.sort_key < key:
+                if current is None or current.link != rule.link:
+                    self._label_add(rule.link, atom)
+                    delta_graph.record_add(rule.link, atom)
+                    if current is not None:
+                        self._label_discard(current.link, atom)
+                        delta_graph.record_remove(current.link, atom)
+            owners[source] = ptreap.insert(root, key, rule)
+        return delta_graph
+
+    # -- Algorithm 2: REMOVE_RULE -------------------------------------------------
+
+    def remove_rule(self, rule_or_rid: Union[Rule, int]) -> DeltaGraph:
+        """Remove a rule; return the delta-graph of label changes."""
+        rid = rule_or_rid.rid if isinstance(rule_or_rid, Rule) else rule_or_rid
+        rule = self.rules.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"unknown rule id {rid}")
+        delta_graph = DeltaGraph()
+        source = rule.source
+        key = rule.sort_key
+
+        for atom in self.atoms.atoms_in(rule.lo, rule.hi):
+            owners = self._owner[atom]
+            root = owners[source]
+            previous_owner = ptreap.max_node(root).value
+            root = ptreap.remove(root, key)
+            if root is None:
+                del owners[source]
+            else:
+                owners[source] = root
+            if previous_owner.rid == rule.rid:
+                # The removed rule owned this atom; ownership transfers to
+                # the next highest-priority rule, if any (lines 6-12).
+                successor = ptreap.max_node(root).value if root is not None else None
+                if successor is None or successor.link != rule.link:
+                    self._label_discard(rule.link, atom)
+                    delta_graph.record_remove(rule.link, atom)
+                    if successor is not None:
+                        self._label_add(successor.link, atom)
+                        delta_graph.record_add(successor.link, atom)
+
+        if self.gc:
+            for bound in self.atoms.unref_bounds(rule.lo, rule.hi):
+                delta_graph.collected.append(self._collect_atom(bound))
+        return delta_graph
+
+    # -- batch convenience -------------------------------------------------------
+
+    def apply(self, rules_to_insert: Iterable[Rule] = (),
+              rids_to_remove: Iterable[int] = ()) -> DeltaGraph:
+        """Apply a batch of updates, returning one aggregated delta-graph."""
+        aggregate = DeltaGraph()
+        for rid in rids_to_remove:
+            aggregate.merge(self.remove_rule(rid))
+        for rule in rules_to_insert:
+            aggregate.merge(self.insert_rule(rule))
+        return aggregate
+
+    # -- internals ----------------------------------------------------------------
+
+    def _set_owner_slot(self, atom: int, owners: OwnerMap) -> None:
+        while len(self._owner) <= atom:
+            self._owner.append(None)
+        self._owner[atom] = owners
+
+    def _label_add(self, link: Link, atom: int) -> None:
+        bucket = self.label.get(link)
+        if bucket is None:
+            bucket = self.label[link] = set()
+        bucket.add(atom)
+
+    def _label_discard(self, link: Link, atom: int) -> None:
+        bucket = self.label.get(link)
+        if bucket is not None:
+            bucket.discard(atom)
+            if not bucket:
+                del self.label[link]
+
+    def _collect_atom(self, bound: int) -> int:
+        """Garbage-collect the atom starting at ``bound`` (§3.2.2 remark).
+
+        No rule starts or ends at ``bound`` any more, so the atom starting
+        there has exactly the same owners as its predecessor; it can be
+        erased from every label it appears on and its id recycled.
+        Returns the collected atom id.
+        """
+        dead_atom = self.atoms._map.get(bound)
+        owners = self._owner[dead_atom]
+        for source, root in owners.items():
+            highest = ptreap.max_node(root).value
+            self._label_discard(highest.link, dead_atom)
+        self._owner[dead_atom] = None
+        self.atoms.collect(bound)
+        return dead_atom
+
+    # -- invariant checking (used by the test suite's oracles) --------------------
+
+    def check_invariants(self) -> None:
+        """Assert the §3.2 data-structure invariants; O(R*K), tests only."""
+        for atom, (lo, hi) in self.atoms.intervals():
+            owners = self._owner[atom]
+            assert owners is not None, f"live atom {atom} has no owner slot"
+            for source, root in owners.items():
+                assert root is not None
+                for _key, rule in ptreap.iter_items(root):
+                    assert rule.source == source
+                    assert rule.lo <= lo and hi <= rule.hi, (
+                        f"rule {rule} in owner[{atom}][{source}] does not "
+                        f"contain atom [{lo}:{hi})")
+        # Every labelled atom is owned by the highest-priority rule with
+        # that link, and vice versa.
+        expected: Dict[Link, Set[int]] = {}
+        for atom, _interval in self.atoms.intervals():
+            for source, root in self._owner[atom].items():
+                highest = ptreap.max_node(root).value
+                expected.setdefault(highest.link, set()).add(atom)
+        actual = {link: set(atoms) for link, atoms in self.label.items() if atoms}
+        assert actual == expected, "label map out of sync with owner structure"
+
+    def __repr__(self) -> str:
+        return (f"DeltaNet(rules={self.num_rules}, atoms={self.num_atoms}, "
+                f"links={sum(1 for _ in self.links())}, gc={self.gc})")

@@ -1,0 +1,195 @@
+"""Half-closed integer intervals ``[lo : hi)`` and disjoint interval sets.
+
+Delta-net represents every IP prefix as a half-closed interval over the
+packet-header field's value space (paper §2.1, §3): the IPv4 prefix
+``0.0.0.10/31`` is the interval ``[10 : 12)``.  Atoms are themselves
+half-closed intervals, and several baselines (the atomic-predicates
+verifier, Veriflow-RI's equivalence classes) manipulate *sets* of disjoint
+intervals, which :class:`IntervalSet` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class Interval(Tuple[int, int]):
+    """An immutable half-closed interval ``[lo : hi)`` with ``lo < hi``.
+
+    >>> Interval(10, 12)
+    [10:12)
+    >>> 11 in Interval(10, 12), 12 in Interval(10, 12)
+    (True, False)
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, lo: int, hi: int) -> "Interval":
+        if lo >= hi:
+            raise ValueError(f"empty interval [{lo}:{hi})")
+        return tuple.__new__(cls, (lo, hi))
+
+    @property
+    def lo(self) -> int:
+        return self[0]
+
+    @property
+    def hi(self) -> int:
+        return self[1]
+
+    def __contains__(self, point: object) -> bool:
+        return isinstance(point, int) and self[0] <= point < self[1]
+
+    def __len__(self) -> int:
+        return self[1] - self[0]
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self[0] < other[1] and other[0] < self[1]
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self[0] <= other[0] and other[1] <= self[1]
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection; raises ValueError when disjoint."""
+        return Interval(max(self[0], other[0]), min(self[1], other[1]))
+
+    def __repr__(self) -> str:
+        return f"[{self[0]}:{self[1]})"
+
+
+def normalize(pairs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort, merge and drop empty ``(lo, hi)`` pairs.
+
+    The result is the canonical minimal list of disjoint, non-adjacent
+    half-closed intervals covering the same points.
+    """
+    cleaned = sorted((lo, hi) for lo, hi in pairs if lo < hi)
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1]:
+            last_lo, last_hi = merged[-1]
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class IntervalSet:
+    """A set of integers stored as canonical disjoint half-closed intervals.
+
+    Supports the Boolean operations the atomic-predicates baseline needs
+    (union, intersection, difference, complement within a universe) plus
+    membership and size queries.  All operations are O(n + m) merges over
+    the sorted interval lists.
+
+    >>> a = IntervalSet([(0, 10)])
+    >>> b = IntervalSet([(5, 12)])
+    >>> (a & b).spans
+    [(5, 10)]
+    >>> (a - b).spans
+    [(0, 5)]
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self, pairs: Iterable[Tuple[int, int]] = ()) -> None:
+        self.spans: List[Tuple[int, int]] = normalize(pairs)
+
+    @classmethod
+    def _from_normalized(cls, spans: List[Tuple[int, int]]) -> "IntervalSet":
+        out = cls.__new__(cls)
+        out.spans = spans
+        return out
+
+    @classmethod
+    def universe(cls, width: int) -> "IntervalSet":
+        return cls([(0, 1 << width)])
+
+    def is_empty(self) -> bool:
+        return not self.spans
+
+    def __bool__(self) -> bool:
+        return bool(self.spans)
+
+    def __len__(self) -> int:
+        """Number of integer points covered."""
+        return sum(hi - lo for lo, hi in self.spans)
+
+    def __contains__(self, point: int) -> bool:
+        import bisect
+
+        idx = bisect.bisect_right(self.spans, (point, float("inf"))) - 1
+        if idx < 0:
+            return False
+        lo, hi = self.spans[idx]
+        return lo <= point < hi
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self.spans == other.spans
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.spans))
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.spans)
+
+    # -- Boolean algebra -----------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self.spans + other.spans)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Tuple[int, int]] = []
+        i = j = 0
+        a, b = self.spans, other.spans
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet._from_normalized(out)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Tuple[int, int]] = []
+        j = 0
+        b = other.spans
+        for lo, hi in self.spans:
+            cursor = lo
+            while j < len(b) and b[j][1] <= cursor:
+                j += 1
+            k = j
+            while k < len(b) and b[k][0] < hi:
+                cut_lo, cut_hi = b[k]
+                if cut_lo > cursor:
+                    out.append((cursor, min(cut_lo, hi)))
+                cursor = max(cursor, cut_hi)
+                if cursor >= hi:
+                    break
+                k += 1
+            if cursor < hi:
+                out.append((cursor, hi))
+        return IntervalSet._from_normalized(normalize(out))
+
+    def complement(self, width: int) -> "IntervalSet":
+        return IntervalSet.universe(width).difference(self)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def boundaries(self) -> List[int]:
+        """All interval endpoints, sorted and de-duplicated."""
+        points = sorted({p for lo, hi in self.spans for p in (lo, hi)})
+        return points
+
+    def sample_points(self) -> List[int]:
+        """One representative point per span (the span's low end)."""
+        return [lo for lo, _hi in self.spans]
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{lo}:{hi})" for lo, hi in self.spans)
+        return f"IntervalSet({body})"

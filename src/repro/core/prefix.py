@@ -1,0 +1,156 @@
+"""IP prefixes as half-closed intervals.
+
+The paper (§3) models an IP prefix match as the half-closed interval of
+addresses it covers: ``0.0.0.10/31 == [10 : 12)`` and ``0.0.0.0/28 ==
+[0 : 16)``.  This module converts between dotted CIDR notation and
+intervals for IPv4 (width 32), IPv6 (width 128), and arbitrary abstract
+field widths used in tests and examples.
+
+It also provides the inverse: covering an arbitrary interval with the
+minimal list of CIDR prefixes.  This demonstrates the paper's §5 remark
+that an atom such as ``[0 : 10)`` is generally *not* expressible as a
+single prefix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 128
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse (possibly ``::``-compressed) IPv6 into a 128-bit integer."""
+    if text.count("::") > 1:
+        raise ValueError(f"malformed IPv6 address: {text!r}")
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise ValueError(f"malformed IPv6 address: {text!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"malformed IPv6 address: {text!r}")
+    value = 0
+    for group in groups:
+        chunk = int(group or "0", 16)
+        if not 0 <= chunk <= 0xFFFF:
+            raise ValueError(f"group out of range in {text!r}")
+        value = (value << 16) | chunk
+    return value
+
+
+def format_ipv6(value: int) -> str:
+    if not 0 <= value < (1 << 128):
+        raise ValueError(f"IPv6 value out of range: {value}")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    return ":".join(f"{g:x}" for g in groups)
+
+
+def prefix_to_interval(cidr: str, width: int = IPV4_WIDTH) -> Tuple[int, int]:
+    """Convert ``a.b.c.d/len`` (or IPv6, or ``int/len``) to ``(lo, hi)``.
+
+    >>> prefix_to_interval("0.0.0.10/31")
+    (10, 12)
+    >>> prefix_to_interval("0.0.0.0/28")
+    (0, 16)
+    """
+    address, _, plen_text = cidr.partition("/")
+    plen = int(plen_text) if plen_text else width
+    if ":" in address:
+        width = IPV6_WIDTH
+        value = parse_ipv6(address)
+    elif "." in address:
+        width = IPV4_WIDTH
+        value = parse_ipv4(address)
+    else:
+        value = int(address)
+    if not 0 <= plen <= width:
+        raise ValueError(f"prefix length out of range: {cidr!r}")
+    span = 1 << (width - plen)
+    lo = value & ~(span - 1)
+    return lo, lo + span
+
+
+def make_interval(value: int, plen: int, width: int = IPV4_WIDTH) -> Tuple[int, int]:
+    """Interval of the prefix whose network address is ``value``/``plen``."""
+    if not 0 <= plen <= width:
+        raise ValueError(f"prefix length out of range: {plen}")
+    span = 1 << (width - plen)
+    lo = value & ~(span - 1)
+    return lo, lo + span
+
+
+def format_prefix(lo: int, plen: int, width: int = IPV4_WIDTH) -> str:
+    """Render an aligned interval start + prefix length as CIDR text."""
+    if width == IPV4_WIDTH:
+        return f"{format_ipv4(lo)}/{plen}"
+    if width == IPV6_WIDTH:
+        return f"{format_ipv6(lo)}/{plen}"
+    return f"{lo}/{plen}"
+
+
+def interval_plen(lo: int, hi: int, width: int = IPV4_WIDTH) -> int:
+    """Prefix length of ``[lo : hi)``; raises ValueError if not a prefix."""
+    span = hi - lo
+    if span <= 0 or span & (span - 1):
+        raise ValueError(f"[{lo}:{hi}) is not a power-of-two span")
+    plen = width - span.bit_length() + 1
+    if lo & (span - 1):
+        raise ValueError(f"[{lo}:{hi}) is not aligned to its span")
+    return plen
+
+
+def is_prefix_interval(lo: int, hi: int) -> bool:
+    """True when ``[lo : hi)`` is exactly one CIDR prefix."""
+    span = hi - lo
+    return span > 0 and not (span & (span - 1)) and not (lo & (span - 1))
+
+
+def interval_to_prefixes(lo: int, hi: int, width: int = IPV4_WIDTH) -> List[Tuple[int, int]]:
+    """Cover ``[lo : hi)`` with the minimal list of ``(value, plen)`` prefixes.
+
+    Greedy largest-aligned-block decomposition; e.g. the atom ``[0 : 10)``
+    needs two prefixes (``0/28`` would overshoot):
+
+    >>> interval_to_prefixes(0, 10, width=4)
+    [(0, 1), (8, 3)]
+    """
+    if not 0 <= lo < hi <= (1 << width):
+        raise ValueError(f"interval [{lo}:{hi}) out of [0, 2^{width})")
+    out: List[Tuple[int, int]] = []
+    cursor = lo
+    while cursor < hi:
+        # Largest power-of-two block that starts at cursor and fits.
+        align = cursor & -cursor if cursor else 1 << width
+        span = align
+        while span > hi - cursor:
+            span >>= 1
+        out.append((cursor, width - span.bit_length() + 1))
+        cursor += span
+    return out

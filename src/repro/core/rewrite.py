@@ -1,0 +1,183 @@
+"""Stateless packet modification along hops (paper §6, future work).
+
+"(Stateless) packet modification of IP prefixes can be easily supported
+without substantial changes to the data structures by augmenting the
+edge-labelled graph with the necessary information on how atoms are
+transformed along hops."
+
+This module implements that augmentation.  A :class:`RewriteTable` maps
+links to header transformations; the supported transformation (matching
+NAT-style prefix rewriting) replaces the matched destination prefix by a
+target prefix of the same length, i.e. translates the offset within the
+prefix.  Reachability (:func:`reachable_intervals_with_rewrites`) then
+propagates *interval sets* instead of atom sets, applying the
+translation at each rewriting hop — atoms are no longer stable across
+such hops, which is exactly why the paper leaves this to an extension of
+the edge labels rather than the atom table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rules import DROP, Link
+
+
+class PrefixRewrite:
+    """Translate ``[match_lo : match_hi)`` onto ``[out_lo : out_lo + span)``.
+
+    Models ``set-field``-style destination NAT: the spans must be equal
+    so the mapping is a bijection (offset-preserving translation).
+    """
+
+    __slots__ = ("match_lo", "match_hi", "out_lo")
+
+    def __init__(self, match_lo: int, match_hi: int, out_lo: int) -> None:
+        if match_lo >= match_hi:
+            raise ValueError("empty rewrite match")
+        self.match_lo = match_lo
+        self.match_hi = match_hi
+        self.out_lo = out_lo
+
+    @property
+    def shift(self) -> int:
+        return self.out_lo - self.match_lo
+
+    def apply(self, flows: IntervalSet) -> IntervalSet:
+        """Rewrite the matched part of ``flows``; pass the rest through."""
+        matched = flows & IntervalSet([(self.match_lo, self.match_hi)])
+        untouched = flows - matched
+        translated = IntervalSet(
+            (lo + self.shift, hi + self.shift) for lo, hi in matched.spans)
+        return untouched | translated
+
+    def invert(self) -> "PrefixRewrite":
+        span = self.match_hi - self.match_lo
+        return PrefixRewrite(self.out_lo, self.out_lo + span, self.match_lo)
+
+    def __repr__(self) -> str:
+        return (f"PrefixRewrite([{self.match_lo}:{self.match_hi}) -> "
+                f"[{self.out_lo}:{self.out_lo + self.match_hi - self.match_lo}))")
+
+
+class RewriteTable:
+    """Per-link header transformations augmenting a DeltaNet graph."""
+
+    def __init__(self) -> None:
+        self._rewrites: Dict[Link, List[PrefixRewrite]] = {}
+
+    def add(self, link, rewrite: PrefixRewrite) -> None:
+        if not isinstance(link, Link):
+            link = Link(*link)
+        self._rewrites.setdefault(link, []).append(rewrite)
+
+    def remove_link(self, link) -> None:
+        if not isinstance(link, Link):
+            link = Link(*link)
+        self._rewrites.pop(link, None)
+
+    def transform(self, link: Link, flows: IntervalSet) -> IntervalSet:
+        for rewrite in self._rewrites.get(link, ()):
+            flows = rewrite.apply(flows)
+        return flows
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._rewrites.values())
+
+
+class _Piece:
+    """A flow fragment: current interval ``[lo : hi)``, offset ``shift``
+    back to original coordinates (origin = ``[lo - shift : hi - shift)``).
+
+    Rewrites are piecewise translations, so a set of pieces tracks the
+    origin<->current correspondence *exactly* through any number of hops.
+    """
+
+    __slots__ = ("lo", "hi", "shift")
+
+    def __init__(self, lo: int, hi: int, shift: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.shift = shift
+
+    def origin(self) -> Tuple[int, int]:
+        return self.lo - self.shift, self.hi - self.shift
+
+
+def _intersect_pieces(pieces: List[_Piece], allowed: IntervalSet) -> List[_Piece]:
+    out: List[_Piece] = []
+    for piece in pieces:
+        clipped = IntervalSet([(piece.lo, piece.hi)]) & allowed
+        out.extend(_Piece(lo, hi, piece.shift) for lo, hi in clipped.spans)
+    return out
+
+
+def _rewrite_pieces(pieces: List[_Piece], rewrite: PrefixRewrite) -> List[_Piece]:
+    out: List[_Piece] = []
+    match = IntervalSet([(rewrite.match_lo, rewrite.match_hi)])
+    for piece in pieces:
+        whole = IntervalSet([(piece.lo, piece.hi)])
+        inside = whole & match
+        outside = whole - match
+        out.extend(_Piece(lo, hi, piece.shift) for lo, hi in outside.spans)
+        out.extend(_Piece(lo + rewrite.shift, hi + rewrite.shift,
+                          piece.shift + rewrite.shift)
+                   for lo, hi in inside.spans)
+    return out
+
+
+def reachable_intervals_with_rewrites(
+        deltanet: DeltaNet, rewrites: RewriteTable,
+        src: object, dst: object,
+        max_visits: int = 8) -> IntervalSet:
+    """Packets (as sent from ``src``) that can arrive at ``dst``.
+
+    Propagates flow *pieces* — current header interval plus the exact
+    translation back to the packet's original header — through the
+    edge-labelled graph, applying per-link rewrites.  The result is in
+    *original* coordinates: "which packets should ``src`` emit for them
+    to reach ``dst``?".
+
+    A rewrite can map flows back into space already explored, so each
+    node is expanded at most ``max_visits`` times; rewrite loops thus
+    terminate at the fixpoint reached so far.
+    """
+    label_sets: Dict[Link, IntervalSet] = {}
+    adjacency: Dict[object, List[Link]] = {}
+    for link, atoms in deltanet.label.items():
+        if not atoms:
+            continue
+        label_sets[link] = IntervalSet(
+            deltanet.atoms.atom_interval(a) for a in atoms)
+        adjacency.setdefault(link.source, []).append(link)
+
+    arrived = IntervalSet()
+    visits: Dict[object, int] = {}
+    start = [_Piece(deltanet.atoms.min, deltanet.atoms.max, 0)]
+    stack: List[Tuple[object, List[_Piece]]] = [(src, start)]
+    while stack:
+        node, pieces = stack.pop()
+        if node == dst and node != src:
+            arrived = arrived | IntervalSet(p.origin() for p in pieces)
+            continue
+        count = visits.get(node, 0)
+        if count >= max_visits:
+            continue
+        visits[node] = count + 1
+        for link in adjacency.get(node, ()):
+            if link.target == DROP:
+                continue
+            passed = _intersect_pieces(pieces, label_sets[link])
+            if not passed:
+                continue
+            for rewrite in rewrites._rewrites.get(link, ()):
+                passed = _rewrite_pieces(passed, rewrite)
+            stack.append((link.target, passed))
+    return arrived
+
+
+__all__ = [
+    "PrefixRewrite", "RewriteTable", "reachable_intervals_with_rewrites",
+]

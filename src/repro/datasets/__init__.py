@@ -1,0 +1,37 @@
+"""The eight evaluation datasets of Table 2, regenerated at laptop scale.
+
+Each builder returns a :class:`~repro.datasets.builders.Dataset` — the
+operation stream plus metadata — and is deterministic given its seed and
+scale.  The paper's datasets total ~1.2 billion operations on a Xeon
+running C++; ours default to a few thousand operations so a pure-Python
+replay finishes in seconds (scales are adjustable; shapes, not absolute
+op counts, are what the experiments reproduce — see DESIGN.md).
+
+The :mod:`~repro.datasets.builders` module is loaded lazily (PEP 562):
+it depends on the SDN and routing substrates, which themselves use the
+dataset *format* — keeping ``repro.datasets.format`` importable without
+pulling in the whole stack avoids that cycle.
+"""
+
+from repro.datasets.format import (
+    Op, load_ops, parse_line, read_ops, save_ops, write_ops,
+)
+
+_BUILDER_EXPORTS = (
+    "Dataset", "DATASET_BUILDERS", "PAPER_TABLE2", "build_dataset",
+    "build_berkeley", "build_inet", "build_rf", "build_airtel1",
+    "build_airtel2", "build_four_switch",
+)
+
+__all__ = [
+    "Op", "load_ops", "parse_line", "read_ops", "save_ops", "write_ops",
+    *_BUILDER_EXPORTS,
+]
+
+
+def __getattr__(name):
+    if name in _BUILDER_EXPORTS:
+        from repro.datasets import builders
+
+        return getattr(builders, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,193 @@
+"""Builders for the eight Table 2 datasets (scaled; see package docstring).
+
+Synthetic datasets (Berkeley, INET, RF 1755/3257/6461) follow §4.2.1:
+Route-Views-style prefixes routed along shortest paths, random rule
+priorities, all insertions then removals in random order.
+
+SDN datasets (Airtel 1/2, 4Switch) follow §4.2.2: the SDN-IP emulation
+over the Airtel topology with single/double link-failure sweeps, and the
+4-switch ring with large insert-only advertisement rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import UpdateStream
+from repro.datasets.format import Op
+from repro.routing.rulegen import generate_ops
+from repro.sdn.controller import Controller
+from repro.sdn.events import EventInjector
+from repro.sdn.sdnip import SdnIp
+from repro.topology import airtel, campus, four_switch
+from repro.topology.generators import rocketfuel
+from repro.topology.graph import Topology
+
+
+@dataclass
+class Dataset:
+    """An operation stream plus provenance metadata."""
+
+    name: str
+    topology: Topology
+    ops: List[Op]
+    description: str = ""
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for op in self.ops if op.is_insert)
+
+    @property
+    def num_nodes(self) -> int:
+        nodes = set()
+        for op in self.ops:
+            if op.is_insert:
+                nodes.add(op.rule.source)
+                nodes.add(op.rule.target)
+        return len(nodes)
+
+    @property
+    def num_links(self) -> int:
+        links = set()
+        for op in self.ops:
+            if op.is_insert:
+                links.add(op.rule.link)
+        return len(links)
+
+    def stats_row(self) -> Tuple[str, int, int, int]:
+        """(name, nodes, links, operations) — Table 2's columns."""
+        return (self.name, self.num_nodes, self.num_links, self.num_ops)
+
+
+#: Paper Table 2, for side-by-side reporting (nodes, links, operations).
+PAPER_TABLE2: Dict[str, Tuple[int, int, float]] = {
+    "Berkeley": (23, 252, 25.6e6),
+    "INET": (316, 40770, 249.5e6),
+    "RF-1755": (87, 2308, 67.5e6),
+    "RF-3257": (161, 9432, 149.0e6),
+    "RF-6461": (138, 8140, 150.0e6),
+    "Airtel1": (68, 260, 14.2e6),
+    "Airtel2": (68, 260, 505.2e6),
+    "4Switch": (12, 16, 1.12e6),
+}
+
+
+def _synthetic(name: str, topology: Topology, n_prefixes: int,
+               seed: int) -> Dataset:
+    pool = PrefixPool(seed=seed)
+    prefixes = pool.sample(n_prefixes)
+    ops = generate_ops(topology, prefixes, seed=seed, with_removals=True,
+                       priority_mode="random")
+    return Dataset(
+        name=name, topology=topology, ops=ops,
+        description=(f"{n_prefixes} Route-Views-style prefixes routed over "
+                     f"{topology.name}; inserts then random-order removals"))
+
+
+def build_berkeley(scale: float = 1.0, seed: int = 101) -> Dataset:
+    """Berkeley: campus topology (23 nodes)."""
+    return _synthetic("Berkeley", campus(seed=seed),
+                      max(4, int(120 * scale)), seed)
+
+
+def build_inet(scale: float = 1.0, seed: int = 102) -> Dataset:
+    """INET: the RF-1239 wide-area backbone (~316 routers)."""
+    return _synthetic("INET", rocketfuel(1239, seed=seed),
+                      max(2, int(40 * scale)), seed)
+
+
+def build_rf(asn: int, scale: float = 1.0, seed: int = 103) -> Dataset:
+    """RF 1755 / 3257 / 6461: Rocketfuel ISP backbones."""
+    return _synthetic(f"RF-{asn}", rocketfuel(asn, seed=seed),
+                      max(2, int(60 * scale)), seed + asn)
+
+
+def _airtel_setup(prefixes_per_peer: int, seed: int) -> Tuple[Controller, SdnIp, List[Op]]:
+    topology = airtel()
+    controller = Controller(topology)
+    ops: List[Op] = []
+    controller.subscribe(ops.append)
+    # One border router per switch, like the paper's per-switch Quagga peers.
+    peer_attachments = {f"bgp{i}": i for i in range(topology.num_nodes)}
+    for peer in peer_attachments:
+        controller.topology.add_node(peer)  # attachment handled by SdnIp rules
+    sdnip = SdnIp(controller, peer_attachments)
+    # Re-create flow tables for the added peer nodes (egress handoff rules
+    # live on internal switches only, but Topology gained peer nodes).
+    stream = UpdateStream(list(peer_attachments), PrefixPool(seed=seed),
+                          prefixes_per_peer=prefixes_per_peer, seed=seed)
+    sdnip.handle_updates(stream.initial_announcements())
+    return controller, sdnip, ops
+
+
+def build_airtel1(scale: float = 1.0, seed: int = 104) -> Dataset:
+    """Airtel 1: single-link failure sweep with recovery."""
+    prefixes_per_peer = max(1, int(6 * scale))
+    controller, sdnip, ops = _airtel_setup(prefixes_per_peer, seed)
+    injector = EventInjector(sdnip)
+    injector.single_failure_sweep()
+    return Dataset("Airtel1", controller.topology, ops,
+                   description=(f"SDN-IP over Airtel, {prefixes_per_peer} "
+                                f"prefixes/peer, all 1-link failures"))
+
+
+def build_airtel2(scale: float = 1.0, seed: int = 105,
+                  pair_limit: Optional[int] = None) -> Dataset:
+    """Airtel 2: all 2-link failure combinations with recovery."""
+    prefixes_per_peer = max(1, int(4 * scale))
+    controller, sdnip, ops = _airtel_setup(prefixes_per_peer, seed)
+    injector = EventInjector(sdnip)
+    if pair_limit is None:
+        pair_limit = max(10, int(40 * scale))
+    injector.pair_failure_sweep(limit=pair_limit)
+    return Dataset("Airtel2", controller.topology, ops,
+                   description=(f"SDN-IP over Airtel, {prefixes_per_peer} "
+                                f"prefixes/peer, {pair_limit} 2-link failures"))
+
+
+def build_four_switch(scale: float = 1.0, seed: int = 106,
+                      rounds: int = 3) -> Dataset:
+    """4Switch: insert-only advertisement rounds on a 4-switch ring."""
+    topology = four_switch()
+    controller = Controller(topology)
+    ops: List[Op] = []
+    controller.subscribe(ops.append)
+    peer_attachments = {f"bgp{i}": i for i in range(4)}
+    sdnip = SdnIp(controller, peer_attachments)
+    prefixes_per_peer = max(1, int(40 * scale))
+    for round_index in range(rounds):
+        stream = UpdateStream(list(peer_attachments), PrefixPool(seed=seed + round_index),
+                              prefixes_per_peer=prefixes_per_peer,
+                              seed=seed + round_index)
+        sdnip.handle_updates(stream.initial_announcements())
+    inserts = [op for op in ops if op.is_insert]
+    return Dataset("4Switch", topology, inserts,
+                   description=(f"{rounds} SDN-IP advertisement rounds x "
+                                f"{prefixes_per_peer} prefixes/peer; insert-only"))
+
+
+DATASET_BUILDERS: Dict[str, Callable[..., Dataset]] = {
+    "Berkeley": build_berkeley,
+    "INET": build_inet,
+    "RF-1755": lambda scale=1.0, seed=103: build_rf(1755, scale, seed),
+    "RF-3257": lambda scale=1.0, seed=103: build_rf(3257, scale, seed),
+    "RF-6461": lambda scale=1.0, seed=103: build_rf(6461, scale, seed),
+    "Airtel1": build_airtel1,
+    "Airtel2": build_airtel2,
+    "4Switch": build_four_switch,
+}
+
+
+def build_dataset(name: str, scale: float = 1.0, **kwargs) -> Dataset:
+    """Build any Table 2 dataset by name."""
+    builder = DATASET_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(f"unknown dataset {name!r}; "
+                         f"choose from {sorted(DATASET_BUILDERS)}")
+    return builder(scale=scale, **kwargs)

@@ -1,0 +1,102 @@
+"""The dataset operation format (paper §4.2).
+
+"To achieve reproducibility, we organize our data sets as text files in
+which each line denotes an operation: an insertion or removal of a rule.
+So all operations can be easily replayed."
+
+Line grammar (tab-separated):
+
+* insert:  ``+ <rid> <source> <target> <lo> <hi> <priority>``
+* remove:  ``- <rid>``
+
+Node names are arbitrary tokens without whitespace; ``lo``/``hi`` are the
+half-closed match interval; drop rules use the literal target
+``__drop__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.core.rules import Action, DROP, Rule
+
+
+@dataclass(frozen=True)
+class Op:
+    """One replayable operation."""
+
+    kind: str                 # "+" | "-"
+    rid: int
+    rule: Optional[Rule] = None  # present for inserts
+
+    @classmethod
+    def insert(cls, rule: Rule) -> "Op":
+        return cls("+", rule.rid, rule)
+
+    @classmethod
+    def remove(cls, rid: int) -> "Op":
+        return cls("-", rid)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == "+"
+
+    def to_line(self) -> str:
+        if self.is_insert:
+            r = self.rule
+            return f"+\t{r.rid}\t{r.source}\t{r.target}\t{r.lo}\t{r.hi}\t{r.priority}"
+        return f"-\t{self.rid}"
+
+
+def _parse_node(token: str) -> object:
+    """Nodes round-trip as ints when they look like ints."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_line(line: str) -> Op:
+    parts = line.rstrip("\n").split("\t")
+    if not parts or parts[0] not in ("+", "-"):
+        raise ValueError(f"malformed op line: {line!r}")
+    if parts[0] == "-":
+        if len(parts) != 2:
+            raise ValueError(f"malformed removal: {line!r}")
+        return Op.remove(int(parts[1]))
+    if len(parts) != 7:
+        raise ValueError(f"malformed insertion: {line!r}")
+    rid = int(parts[1])
+    source = _parse_node(parts[2])
+    target = _parse_node(parts[3])
+    lo, hi, priority = int(parts[4]), int(parts[5]), int(parts[6])
+    if target == DROP:
+        return Op.insert(Rule.drop(rid, lo, hi, priority, source))
+    return Op.insert(Rule.forward(rid, lo, hi, priority, source, target))
+
+
+def write_ops(ops: Iterable[Op], stream: IO[str]) -> int:
+    """Write operations to a text stream; returns the line count."""
+    count = 0
+    for op in ops:
+        stream.write(op.to_line())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_ops(stream: IO[str]) -> Iterator[Op]:
+    for line in stream:
+        if line.strip():
+            yield parse_line(line)
+
+
+def save_ops(ops: Iterable[Op], path: str) -> int:
+    with open(path, "w") as handle:
+        return write_ops(ops, handle)
+
+
+def load_ops(path: str) -> List[Op]:
+    with open(path) as handle:
+        return list(read_ops(handle))

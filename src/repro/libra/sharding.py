@@ -1,0 +1,145 @@
+"""Disjoint header-space shards, each owning an independent Delta-net.
+
+A shard owns a half-closed slice ``[lo : hi)`` of the destination
+space.  A rule whose prefix intersects several shards is *split*: each
+shard receives the clipped sub-rule (same switch/priority/action), so
+per-shard semantics are exact on the shard's slice.  Queries either
+target one shard (a point or subnet query) or fan out and merge.
+
+The map step of Libra's MapReduce is the per-shard rule routing; the
+reduce step is the merge in :meth:`ShardedDeltaNet.find_loops` /
+:meth:`flows_on`.  Shapes to note: total atoms across shards can exceed
+a monolithic Delta-net's count by at most 2x(shards-1) (clipping adds
+boundaries), while the largest single structure shrinks by ~1/shards —
+the property that made Libra scale out.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.checkers.loops import Loop, find_forwarding_loops
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import normalize
+from repro.core.rules import Action, Rule
+
+
+def even_shards(count: int, width: int = 32) -> List[Tuple[int, int]]:
+    """Split ``[0, 2^width)`` into ``count`` equal half-closed slices."""
+    if count < 1:
+        raise ValueError("need at least one shard")
+    space = 1 << width
+    if count > space:
+        raise ValueError("more shards than addresses")
+    bounds = [space * i // count for i in range(count + 1)]
+    return list(zip(bounds, bounds[1:]))
+
+
+class ShardedDeltaNet:
+    """Independent Delta-net instances over disjoint header-space slices."""
+
+    def __init__(self, shards: Iterable[Tuple[int, int]] = None,
+                 width: int = 32, gc: bool = False) -> None:
+        self.width = width
+        self.slices: List[Tuple[int, int]] = (
+            list(shards) if shards is not None else even_shards(4, width))
+        space = 1 << width
+        cursor = 0
+        for lo, hi in self.slices:
+            if lo != cursor or hi <= lo:
+                raise ValueError(
+                    f"shards must tile [0, 2^{width}) contiguously; "
+                    f"got slice [{lo}:{hi}) at cursor {cursor}")
+            cursor = hi
+        if cursor != space:
+            raise ValueError("shards do not cover the full space")
+        self.nets: List[DeltaNet] = [DeltaNet(width=width, gc=gc)
+                                     for _ in self.slices]
+        self._starts = [lo for lo, _hi in self.slices]
+        #: rid -> list of (shard index, clipped rid)
+        self._placement: Dict[int, List[Tuple[int, int]]] = {}
+        self._next_clipped = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.slices)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._placement)
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(net.num_atoms for net in self.nets)
+
+    def shard_of_point(self, point: int) -> int:
+        index = bisect.bisect_right(self._starts, point) - 1
+        if index < 0 or not (self.slices[index][0] <= point < self.slices[index][1]):
+            raise ValueError(f"point {point} outside the header space")
+        return index
+
+    def shards_of_interval(self, lo: int, hi: int) -> List[int]:
+        first = self.shard_of_point(lo)
+        last = self.shard_of_point(hi - 1)
+        return list(range(first, last + 1))
+
+    # -- rule lifecycle (the "map" step) -------------------------------------------
+
+    def insert_rule(self, rule: Rule) -> List[int]:
+        """Clip the rule into its shards; returns the shard indices."""
+        if rule.rid in self._placement:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        placement: List[Tuple[int, int]] = []
+        for index in self.shards_of_interval(rule.lo, rule.hi):
+            slice_lo, slice_hi = self.slices[index]
+            clip_lo, clip_hi = max(rule.lo, slice_lo), min(rule.hi, slice_hi)
+            clipped_rid = self._next_clipped
+            self._next_clipped += 1
+            if rule.action is Action.DROP:
+                clipped = Rule.drop(clipped_rid, clip_lo, clip_hi,
+                                    rule.priority, rule.source)
+            else:
+                clipped = Rule.forward(clipped_rid, clip_lo, clip_hi,
+                                       rule.priority, rule.source, rule.target)
+            self.nets[index].insert_rule(clipped)
+            placement.append((index, clipped_rid))
+        self._placement[rule.rid] = placement
+        return [index for index, _rid in placement]
+
+    def remove_rule(self, rid: int) -> List[int]:
+        placement = self._placement.pop(rid, None)
+        if placement is None:
+            raise KeyError(f"unknown rule id {rid}")
+        for index, clipped_rid in placement:
+            self.nets[index].remove_rule(clipped_rid)
+        return [index for index, _rid in placement]
+
+    # -- queries (the "reduce" step) --------------------------------------------------
+
+    def flows_on(self, link) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for net in self.nets:
+            spans.extend(net.flows_on(link))
+        return normalize(spans)
+
+    def find_loops(self) -> List[Loop]:
+        loops: List[Loop] = []
+        for net in self.nets:
+            loops.extend(find_forwarding_loops(net))
+        return loops
+
+    def owner_link_at(self, source: object, point: int):
+        """The link a ``point``-packet takes at ``source``, if any."""
+        net = self.nets[self.shard_of_point(point)]
+        atom = net.atoms.atom_at(point)
+        rule = net.owner_rule(atom, source)
+        return rule.link if rule else None
+
+    def shard_sizes(self) -> List[Tuple[int, int]]:
+        """(rules, atoms) per shard — the load-balance view."""
+        return [(net.num_rules, net.num_atoms) for net in self.nets]
+
+    def __repr__(self) -> str:
+        return (f"ShardedDeltaNet(shards={self.num_shards}, "
+                f"rules={self.num_rules}, total_atoms={self.total_atoms})")

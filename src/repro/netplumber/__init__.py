@@ -1,0 +1,20 @@
+"""A NetPlumber-style baseline: the rule-dependency plumbing graph (§5).
+
+NetPlumber (Kazemian et al., NSDI'13) "incrementally creates a graph
+that, in the worst case, consists of R^2 edges where R is the number of
+rules in the network.  In contrast to NetPlumber, Delta-net maintains a
+graph whose size is proportional to the number of links in the network."
+
+This package implements a single-field NetPlumber analogue over
+interval sets: nodes are rules; a *pipe* connects rule ``a`` to rule
+``b`` when ``a`` forwards onto the switch ``b`` lives on and their
+match intervals overlap; intra-table higher-priority rules *shadow*
+lower ones.  The plumbing graph is maintained incrementally on rule
+insertion/removal, and reachability flows along pipes as interval sets.
+Its R^2 growth vs Delta-net's links-x-atoms labels is measured by
+``benchmarks/test_ablation_netplumber.py``.
+"""
+
+from repro.netplumber.plumbing import NetPlumber, Pipe
+
+__all__ = ["NetPlumber", "Pipe"]

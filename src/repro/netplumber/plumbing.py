@@ -1,0 +1,176 @@
+"""The plumbing graph: rules as nodes, overlap pipes as edges.
+
+Faithful to NetPlumber's architecture at single-field granularity:
+
+* **Pipes.**  For rules ``a`` and ``b``, a pipe ``a -> b`` exists when
+  ``a`` forwards traffic to the switch where ``b`` is installed and
+  their match intervals overlap.  The pipe carries the intersection.
+* **Shadowing (intra-table dependency).**  Within one switch, a rule's
+  *effective* match is its interval minus the union of strictly
+  higher-priority overlapping rules' intervals.
+* **Incremental maintenance.**  Inserting a rule adds pipes to/from it
+  and updates the effective matches of lower-priority table-mates;
+  removal reverses both.  Per update this touches O(R) rules; the graph
+  itself can hold O(R^2) pipes — the §5 comparison point.
+* **Reachability.**  A flow query pushes an interval set from a source
+  switch through effective matches and pipes (depth-first, with flow
+  subsumption to terminate on cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.intervals import IntervalSet
+from repro.core.rules import DROP, Rule
+
+
+class Pipe:
+    """A directed overlap edge between two rules."""
+
+    __slots__ = ("from_rid", "to_rid", "carries")
+
+    def __init__(self, from_rid: int, to_rid: int, carries: IntervalSet) -> None:
+        self.from_rid = from_rid
+        self.to_rid = to_rid
+        self.carries = carries
+
+    def __repr__(self) -> str:
+        return f"Pipe({self.from_rid} -> {self.to_rid}, {self.carries})"
+
+
+class NetPlumber:
+    """Incrementally maintained plumbing graph over one match field."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self.rules: Dict[int, Rule] = {}
+        self.by_switch: Dict[object, List[int]] = {}
+        self.pipes_out: Dict[int, Dict[int, Pipe]] = {}
+        self.pipes_in: Dict[int, Dict[int, Pipe]] = {}
+        self.effective: Dict[int, IntervalSet] = {}
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules)
+
+    @property
+    def num_pipes(self) -> int:
+        return sum(len(out) for out in self.pipes_out.values())
+
+    # -- incremental maintenance ------------------------------------------------
+
+    def insert_rule(self, rule: Rule) -> None:
+        if rule.rid in self.rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        self.rules[rule.rid] = rule
+        self.by_switch.setdefault(rule.source, []).append(rule.rid)
+        self.pipes_out[rule.rid] = {}
+        self.pipes_in[rule.rid] = {}
+        # Pipes into this rule: any rule forwarding onto this switch.
+        for other in self.rules.values():
+            if other.rid == rule.rid:
+                continue
+            if other.target == rule.source and other.overlaps(rule):
+                self._add_pipe(other, rule)
+            if rule.target == other.source and rule.overlaps(other):
+                self._add_pipe(rule, other)
+        self._refresh_table(rule.source)
+
+    def remove_rule(self, rid: int) -> None:
+        rule = self.rules.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"unknown rule id {rid}")
+        self.by_switch[rule.source].remove(rid)
+        for downstream in list(self.pipes_out.pop(rid, ())):
+            del self.pipes_in[downstream][rid]
+        for upstream in list(self.pipes_in.pop(rid, ())):
+            del self.pipes_out[upstream][rid]
+        self.effective.pop(rid, None)
+        self._refresh_table(rule.source)
+
+    def _add_pipe(self, upstream: Rule, downstream: Rule) -> None:
+        carries = IntervalSet([(max(upstream.lo, downstream.lo),
+                                min(upstream.hi, downstream.hi))])
+        pipe = Pipe(upstream.rid, downstream.rid, carries)
+        self.pipes_out[upstream.rid][downstream.rid] = pipe
+        self.pipes_in[downstream.rid][upstream.rid] = pipe
+
+    def _refresh_table(self, switch: object) -> None:
+        """Recompute effective (unshadowed) matches within one table."""
+        rids = self.by_switch.get(switch, ())
+        ordered = sorted((self.rules[rid] for rid in rids),
+                         key=lambda r: r.sort_key, reverse=True)
+        taken = IntervalSet()
+        for rule in ordered:
+            mine = IntervalSet([(rule.lo, rule.hi)])
+            self.effective[rule.rid] = mine - taken
+            taken = taken | mine
+
+    # -- queries -------------------------------------------------------------------
+
+    def effective_match(self, rid: int) -> IntervalSet:
+        return self.effective.get(rid, IntervalSet())
+
+    def reachable(self, src: object, dst: object) -> IntervalSet:
+        """Packets that can flow from switch ``src`` to switch ``dst``."""
+        arrived = IntervalSet()
+        # seen[rid] accumulates flow already pushed through a rule so
+        # cyclic plumbing terminates (flow subsumption).
+        seen: Dict[int, IntervalSet] = {}
+        stack: List[Tuple[int, IntervalSet]] = []
+        for rid in self.by_switch.get(src, ()):
+            flow = self.effective_match(rid)
+            if flow:
+                stack.append((rid, flow))
+        while stack:
+            rid, flow = stack.pop()
+            already = seen.get(rid, IntervalSet())
+            fresh = flow - already
+            if not fresh:
+                continue
+            seen[rid] = already | fresh
+            rule = self.rules[rid]
+            if rule.target == DROP:
+                continue
+            if rule.target == dst:
+                arrived = arrived | fresh
+                # Flow continues through dst's own tables as well.
+            for pipe in self.pipes_out[rid].values():
+                downstream = self.rules[pipe.to_rid]
+                pushed = (fresh & pipe.carries &
+                          self.effective_match(pipe.to_rid))
+                if pushed:
+                    stack.append((pipe.to_rid, pushed))
+        return arrived
+
+    def find_loops(self) -> List[List[int]]:
+        """Cycles in the plumbing graph that carry a non-empty flow."""
+        loops: List[List[int]] = []
+        state: Dict[int, int] = {}  # 0 unseen / 1 on stack / 2 done
+        path: List[int] = []
+
+        def visit(rid: int) -> None:
+            state[rid] = 1
+            path.append(rid)
+            for pipe in self.pipes_out[rid].values():
+                succ = pipe.to_rid
+                carried = pipe.carries & self.effective_match(succ) & \
+                    self.effective_match(rid)
+                if not carried:
+                    continue
+                if state.get(succ, 0) == 1:
+                    cycle = path[path.index(succ):]
+                    loops.append(list(cycle))
+                elif state.get(succ, 0) == 0:
+                    visit(succ)
+            path.pop()
+            state[rid] = 2
+
+        for rid in list(self.rules):
+            if state.get(rid, 0) == 0:
+                visit(rid)
+        return loops
+
+    def __repr__(self) -> str:
+        return f"NetPlumber(rules={self.num_rules}, pipes={self.num_pipes})"

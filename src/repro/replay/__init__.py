@@ -1,0 +1,7 @@
+"""Replay harness: drive a verifier with a dataset and time every op."""
+
+from repro.replay.engine import (
+    DeltaNetEngine, VeriflowEngine, ReplayResult, replay,
+)
+
+__all__ = ["DeltaNetEngine", "VeriflowEngine", "ReplayResult", "replay"]

@@ -1,0 +1,104 @@
+"""The measurement loop behind §4.3.1: replay ops, check, time each one.
+
+"To evaluate Delta-net's performance with respect to rule insertions and
+removals, we build the delta-graph for each operation, and find in it all
+forwarding loops."  The :class:`DeltaNetEngine` does exactly that; the
+:class:`VeriflowEngine` runs Veriflow-RI's per-update EC/forwarding-graph
+computation.  Both expose a uniform ``process(op) -> loops_found`` step so
+:func:`replay` can time them identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence
+
+from repro.checkers.loops import LoopChecker
+from repro.core.deltanet import DeltaNet
+from repro.datasets.format import Op
+from repro.veriflow.verifier import VeriflowRI
+
+
+class Engine(Protocol):
+    """A data-plane checker that can process one operation."""
+
+    def process(self, op: Op) -> int:
+        """Apply the op, run the per-update check; return #loops found."""
+
+
+class DeltaNetEngine:
+    """Delta-net + incremental delta-graph loop checking."""
+
+    def __init__(self, width: int = 32, gc: bool = False,
+                 check_loops: bool = True) -> None:
+        self.deltanet = DeltaNet(width=width, gc=gc)
+        self.checker = LoopChecker(self.deltanet)
+        self.check_loops = check_loops
+
+    def process(self, op: Op) -> int:
+        if op.is_insert:
+            delta_graph = self.deltanet.insert_rule(op.rule)
+        else:
+            delta_graph = self.deltanet.remove_rule(op.rid)
+        if not self.check_loops:
+            return 0
+        return len(self.checker.check_update(delta_graph))
+
+    @property
+    def num_atoms(self) -> int:
+        return self.deltanet.num_atoms
+
+
+class VeriflowEngine:
+    """Veriflow-RI's per-update EC computation and per-EC graph checks."""
+
+    def __init__(self, width: int = 32, check_loops: bool = True) -> None:
+        self.veriflow = VeriflowRI(width=width)
+        self.check_loops = check_loops
+        self.max_affected_ecs = 0
+
+    def process(self, op: Op) -> int:
+        if op.is_insert:
+            result = self.veriflow.insert_rule(op.rule, check_loops=self.check_loops)
+        else:
+            result = self.veriflow.remove_rule(op.rid, check_loops=self.check_loops)
+        self.max_affected_ecs = max(self.max_affected_ecs, result.num_ecs)
+        return len(result.loops)
+
+
+@dataclass
+class ReplayResult:
+    """Per-operation timings plus check outcomes."""
+
+    engine_name: str
+    times: List[float] = field(default_factory=list)  # seconds per op
+    loops_found: int = 0
+    num_ops: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.times)
+
+    def summary(self) -> dict:
+        from repro.analysis.stats import summarize
+
+        return summarize(self.times)
+
+
+def replay(ops: Iterable[Op], engine: Engine,
+           engine_name: Optional[str] = None,
+           progress_every: int = 0,
+           progress: Callable[[int], None] = None) -> ReplayResult:
+    """Replay ``ops`` through ``engine``, timing each operation."""
+    result = ReplayResult(engine_name=engine_name or type(engine).__name__)
+    clock = time.perf_counter
+    for index, op in enumerate(ops):
+        start = clock()
+        loops = engine.process(op)
+        result.times.append(clock() - start)
+        result.loops_found += loops
+        result.num_ops += 1
+        if progress_every and progress and (index + 1) % progress_every == 0:
+            progress(index + 1)
+    return result

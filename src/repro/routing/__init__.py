@@ -1,0 +1,12 @@
+"""Routing substrate: shortest-path forwarding-rule generation (§4.2.1).
+
+The paper's synthetic datasets follow Libra's mechanism: gather IP
+prefixes (from BGP), assign each to a destination router, and install a
+rule at every router along the shortest-path tree toward that
+destination.  Rules are then inserted with random priorities and removed
+in random order.
+"""
+
+from repro.routing.rulegen import ShortestPathRuleGenerator, generate_ops
+
+__all__ = ["ShortestPathRuleGenerator", "generate_ops"]

@@ -1,0 +1,83 @@
+"""Libra-style shortest-path rule generation (paper §4.2.1).
+
+"[W]e gather IP prefixes from ... real-world BGP updates ... and compute
+the shortest paths in a network topology."  For each prefix we pick a
+destination router, build the BFS shortest-path tree toward it, and emit
+one forwarding rule per *other* router: match the prefix, forward to the
+tree parent.  Rules get random priorities; the full dataset is all
+insertions followed by removals in random order (so the operation count
+is twice the rule count, as in Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bgp.prefixes import Prefix, PrefixPool
+from repro.core.rules import Rule
+from repro.topology.graph import Topology
+
+
+class ShortestPathRuleGenerator:
+    """Generates forwarding rules for prefixes over a topology."""
+
+    def __init__(self, topology: Topology, seed: int = 3) -> None:
+        if not topology.is_connected():
+            raise ValueError(f"{topology.name} is not connected")
+        self.topology = topology
+        self._rng = random.Random(seed)
+        self._nodes = sorted(topology.nodes, key=repr)
+        self._trees: Dict[object, Dict[object, object]] = {}
+        self._next_rid = 0
+
+    def _tree(self, destination: object) -> Dict[object, object]:
+        tree = self._trees.get(destination)
+        if tree is None:
+            tree = self.topology.shortest_path_tree(destination)
+            self._trees[destination] = tree
+        return tree
+
+    def rules_for_prefix(self, prefix: Prefix,
+                         destination: Optional[object] = None,
+                         priority: Optional[int] = None) -> List[Rule]:
+        """One rule per router along the shortest-path tree to the dest."""
+        if destination is None:
+            destination = self._rng.choice(self._nodes)
+        lo, hi = PrefixPool.to_interval(prefix)
+        rules: List[Rule] = []
+        for node, parent in self._tree(destination).items():
+            rule_priority = (priority if priority is not None
+                             else self._rng.randint(0, 1 << 16))
+            rules.append(Rule.forward(self._next_rid, lo, hi, rule_priority,
+                                      node, parent))
+            self._next_rid += 1
+        return rules
+
+
+def generate_ops(topology: Topology, prefixes: Sequence[Prefix],
+                 seed: int = 3, with_removals: bool = True,
+                 priority_mode: str = "random") -> List["Op"]:
+    """The full §4.2.1 dataset recipe as a flat operation list.
+
+    ``priority_mode`` is ``"random"`` (paper default for synthetic sets)
+    or ``"plen"`` (longest-prefix-match priorities, as SDN-IP assigns).
+    """
+    # Imported here to avoid a package-level cycle: repro.datasets builds
+    # on this module.
+    from repro.datasets.format import Op
+
+    if priority_mode not in ("random", "plen"):
+        raise ValueError(f"unknown priority mode {priority_mode!r}")
+    generator = ShortestPathRuleGenerator(topology, seed=seed)
+    rng = random.Random(seed ^ 0xD5)
+    all_rules: List[Rule] = []
+    for prefix in prefixes:
+        priority = prefix[1] if priority_mode == "plen" else None
+        all_rules.extend(generator.rules_for_prefix(prefix, priority=priority))
+    ops = [Op.insert(rule) for rule in all_rules]
+    if with_removals:
+        removal_order = list(all_rules)
+        rng.shuffle(removal_order)
+        ops.extend(Op.remove(rule.rid) for rule in removal_order)
+    return ops

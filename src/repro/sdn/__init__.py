@@ -1,0 +1,24 @@
+"""An ONOS/SDN-IP-style control-plane emulation (paper §4.2.2, Figure 7).
+
+The paper's Airtel and 4Switch datasets come from running the real ONOS
+SDN-IP application over Mininet/Open vSwitch/Quagga.  None of that stack
+is available offline, so this package emulates the relevant behaviour in
+process (see DESIGN.md "Substitutions"):
+
+* :mod:`repro.sdn.switch` — OpenFlow-style prioritized flow tables,
+* :mod:`repro.sdn.controller` — rule installation/removal with listener
+  hooks (Delta-net subscribes here, like the ``+r1, -r2, ...`` feed in
+  Figure 7),
+* :mod:`repro.sdn.sdnip` — converts BGP best routes into
+  longest-prefix-match rules (priority = prefix length) along shortest
+  paths to the egress border router, and re-routes on topology changes,
+* :mod:`repro.sdn.events` — the "Event Injector": systematic single- and
+  double-link failure sweeps with recovery.
+"""
+
+from repro.sdn.switch import FlowTable
+from repro.sdn.controller import Controller
+from repro.sdn.sdnip import SdnIp
+from repro.sdn.events import EventInjector
+
+__all__ = ["FlowTable", "Controller", "SdnIp", "EventInjector"]

@@ -1,0 +1,87 @@
+"""The SDN controller: rule lifecycle plus verification hooks.
+
+Applications (SDN-IP) ask the controller to install and remove rules on
+switches; every accepted change is forwarded to registered listeners as a
+replayable :class:`~repro.datasets.format.Op` — this is the ``+r1, -r2``
+stream that Delta-net checks in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.rules import Action, Rule
+from repro.datasets.format import Op
+from repro.sdn.switch import FlowTable
+from repro.topology.graph import Topology
+
+Listener = Callable[[Op], None]
+
+
+class Controller:
+    """Owns the switches of one SDN domain."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.switches: Dict[object, FlowTable] = {
+            node: FlowTable(node) for node in topology.nodes}
+        self._listeners: List[Listener] = []
+        self._next_rid = 0
+        self._installed: Dict[int, Rule] = {}
+
+    # -- listeners ------------------------------------------------------------
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a data-plane-change listener (e.g. a verifier feed)."""
+        self._listeners.append(listener)
+
+    def _emit(self, op: Op) -> None:
+        for listener in self._listeners:
+            listener(op)
+
+    # -- rule lifecycle ----------------------------------------------------------
+
+    def allocate_rid(self) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        return rid
+
+    def install_forward(self, source: object, target: object,
+                        lo: int, hi: int, priority: int) -> Rule:
+        """Install a forwarding rule; returns the created rule."""
+        rule = Rule.forward(self.allocate_rid(), lo, hi, priority, source, target)
+        self.switches[source].install(rule)
+        self._installed[rule.rid] = rule
+        self._emit(Op.insert(rule))
+        return rule
+
+    def install_drop(self, source: object, lo: int, hi: int, priority: int) -> Rule:
+        rule = Rule.drop(self.allocate_rid(), lo, hi, priority, source)
+        self.switches[source].install(rule)
+        self._installed[rule.rid] = rule
+        self._emit(Op.insert(rule))
+        return rule
+
+    def uninstall(self, rid: int) -> Rule:
+        rule = self._installed.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"rule {rid} is not installed")
+        self.switches[rule.source].uninstall(rid)
+        self._emit(Op.remove(rid))
+        return rule
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_installed(self) -> int:
+        return len(self._installed)
+
+    def installed_rules(self) -> Iterator[Rule]:
+        return iter(self._installed.values())
+
+    def rule(self, rid: int) -> Optional[Rule]:
+        return self._installed.get(rid)
+
+    def __repr__(self) -> str:
+        return (f"Controller(topology={self.topology.name!r}, "
+                f"switches={len(self.switches)}, rules={self.num_installed})")

@@ -1,0 +1,63 @@
+"""The Event Injector: systematic link-failure campaigns (Figure 7).
+
+* Airtel 1: "failing a single inter-switch link at a time, recovering
+  each link before failing the next one."
+* Airtel 2: "all 2-pair link failures (separately failing the first link
+  and then the second one), including their recovery."
+
+Each failure/recovery triggers SDN-IP re-routing, whose rule churn the
+controller's listeners record.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Tuple
+
+from repro.sdn.sdnip import SdnIp
+from repro.topology.graph import Edge
+
+
+class EventInjector:
+    """Drives failure campaigns against one SDN-IP instance."""
+
+    def __init__(self, sdnip: SdnIp) -> None:
+        self.sdnip = sdnip
+        self.events: List[Tuple[str, Edge]] = []
+
+    def _inter_switch_links(self) -> List[Edge]:
+        """Undirected internal links (border-router attachments excluded)."""
+        return self.sdnip.controller.topology.undirected_links()
+
+    def fail(self, u: object, v: object) -> None:
+        self.events.append(("fail", (u, v)))
+        self.sdnip.handle_link_failure(u, v)
+
+    def recover(self, u: object, v: object) -> None:
+        self.events.append(("recover", (u, v)))
+        self.sdnip.handle_link_recovery(u, v)
+
+    def single_failure_sweep(self) -> int:
+        """Airtel 1: fail and recover every link, one at a time."""
+        links = self._inter_switch_links()
+        for u, v in links:
+            self.fail(u, v)
+            self.recover(u, v)
+        return len(links)
+
+    def pair_failure_sweep(self, limit: int = None) -> int:
+        """Airtel 2: every 2-link failure combination, with recovery.
+
+        ``limit`` caps the number of pairs (the full sweep is quadratic
+        in the link count); pairs are taken in deterministic order.
+        """
+        links = self._inter_switch_links()
+        pairs = list(combinations(links, 2))
+        if limit is not None:
+            pairs = pairs[:limit]
+        for (u1, v1), (u2, v2) in pairs:
+            self.fail(u1, v1)
+            self.fail(u2, v2)
+            self.recover(u1, v1)
+            self.recover(u2, v2)
+        return len(pairs)

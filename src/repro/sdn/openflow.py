@@ -1,0 +1,194 @@
+"""A minimal OpenFlow-style southbound message layer (paper Figure 7).
+
+The paper's setup drives sixteen OpenFlow-compliant Open vSwitches from
+ONOS.  This module models the relevant slice of that protocol so the
+emulation exercises a realistic controller<->switch message path instead
+of direct method calls:
+
+* :class:`FlowMod` — ADD / DELETE flow-table modifications,
+* :class:`FlowRemoved` — switch-originated notification (e.g. idle
+  timeout or controller-requested delete confirmation),
+* :class:`PacketIn` — table-miss punt to the controller,
+* :class:`SwitchAgent` — applies FlowMods to a
+  :class:`~repro.sdn.switch.FlowTable` and emits replies,
+* :class:`Channel` — an in-process, ordered, lossless message queue
+  (per switch), with an optional deterministic reordering fault model
+  for testing update-consistency hazards.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.rules import Action, Rule
+from repro.sdn.switch import FlowTable
+
+
+class FlowModCommand(enum.Enum):
+    ADD = "add"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Controller -> switch: modify the flow table."""
+
+    command: FlowModCommand
+    rid: int
+    # Match/action fields are only meaningful for ADD.
+    lo: int = 0
+    hi: int = 0
+    priority: int = 0
+    out_node: object = None      # next hop, or None for drop
+    xid: int = 0                 # transaction id for pairing replies
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """Switch -> controller: a flow entry went away."""
+
+    rid: int
+    switch: object
+    xid: int = 0
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Switch -> controller: table miss for a destination address."""
+
+    switch: object
+    point: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Controller -> switch: flush; switch replies when all prior
+    messages have been applied (models OFPT_BARRIER_REQUEST)."""
+
+    xid: int
+
+
+@dataclass(frozen=True)
+class BarrierReply:
+    xid: int
+    switch: object
+
+
+class Channel:
+    """Ordered in-process message queue with optional fault injection.
+
+    ``reorder_window > 0`` lets adjacent messages swap with probability
+    ``reorder_probability`` (seeded) — enough to reproduce the classic
+    add-before-delete inconsistency hazards barriers exist to prevent.
+    Barriers are never reordered across.
+    """
+
+    def __init__(self, seed: int = 0, reorder_window: int = 0,
+                 reorder_probability: float = 0.0) -> None:
+        self._queue: Deque[object] = deque()
+        self._rng = random.Random(seed)
+        self.reorder_window = reorder_window
+        self.reorder_probability = reorder_probability
+
+    def send(self, message: object) -> None:
+        self._queue.append(message)
+        if (self.reorder_window > 0 and len(self._queue) >= 2
+                and not isinstance(message, Barrier)
+                and not isinstance(self._queue[-2], Barrier)
+                and self._rng.random() < self.reorder_probability):
+            self._queue[-1], self._queue[-2] = self._queue[-2], self._queue[-1]
+
+    def drain(self) -> List[object]:
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SwitchAgent:
+    """The switch-side protocol engine."""
+
+    def __init__(self, switch: object,
+                 notify: Callable[[object], None]) -> None:
+        self.switch = switch
+        self.table = FlowTable(switch)
+        self._notify = notify  # switch -> controller messages
+
+    def handle(self, message: object) -> None:
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, Barrier):
+            self._notify(BarrierReply(xid=message.xid, switch=self.switch))
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_flow_mod(self, mod: FlowMod) -> None:
+        if mod.command is FlowModCommand.ADD:
+            if mod.out_node is None:
+                rule = Rule.drop(mod.rid, mod.lo, mod.hi, mod.priority,
+                                 self.switch)
+            else:
+                rule = Rule.forward(mod.rid, mod.lo, mod.hi, mod.priority,
+                                    self.switch, mod.out_node)
+            self.table.install(rule)
+        elif mod.command is FlowModCommand.DELETE:
+            self.table.uninstall(mod.rid)
+            self._notify(FlowRemoved(rid=mod.rid, switch=self.switch,
+                                     xid=mod.xid))
+
+    def lookup(self, point: int) -> Optional[Rule]:
+        """Forwarding decision; a miss punts to the controller."""
+        rule = self.table.match(point)
+        if rule is None:
+            self._notify(PacketIn(switch=self.switch, point=point))
+        return rule
+
+
+class OpenFlowFabric:
+    """All switches plus their control channels; the glue of Figure 7."""
+
+    def __init__(self, switches: Iterable[object], seed: int = 0,
+                 reorder_window: int = 0,
+                 reorder_probability: float = 0.0) -> None:
+        self.to_controller: List[object] = []
+        self.agents: Dict[object, SwitchAgent] = {}
+        self.channels: Dict[object, Channel] = {}
+        for index, switch in enumerate(switches):
+            self.agents[switch] = SwitchAgent(switch,
+                                              self.to_controller.append)
+            self.channels[switch] = Channel(
+                seed=seed + index, reorder_window=reorder_window,
+                reorder_probability=reorder_probability)
+        self._next_xid = 0
+
+    def allocate_xid(self) -> int:
+        self._next_xid += 1
+        return self._next_xid
+
+    def send(self, switch: object, message: object) -> None:
+        self.channels[switch].send(message)
+
+    def flush(self, switch: object = None) -> List[object]:
+        """Deliver queued messages to agents; return controller inbox."""
+        targets = [switch] if switch is not None else list(self.channels)
+        for target in targets:
+            for message in self.channels[target].drain():
+                self.agents[target].handle(message)
+        # Copy-and-clear (never rebind): agents hold a reference to this
+        # list's append method.
+        inbox = list(self.to_controller)
+        self.to_controller.clear()
+        return inbox
+
+    def install_via_barrier(self, switch: object, mods: Iterable[FlowMod]) -> List[object]:
+        """Send mods followed by a barrier, then flush — the safe pattern."""
+        for mod in mods:
+            self.send(switch, mod)
+        self.send(switch, Barrier(xid=self.allocate_xid()))
+        return self.flush(switch)

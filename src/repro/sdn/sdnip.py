@@ -1,0 +1,119 @@
+"""The SDN-IP application: BGP routes in, forwarding rules out (§4.2.2).
+
+SDN-IP "listens to iBGP messages and requests ONOS to dynamically
+install IP forwarding rules such that packets destined to an external AS
+arrive at the correct border router.  In doing so, SDN-IP sets the
+priority of rules according to the longest prefix match where rules with
+longer prefix lengths receive higher priority."
+
+This emulation keeps, per announced prefix, one rule on every internal
+switch forwarding toward the egress switch (the switch the best route's
+border router attaches to), plus the egress rule handing the packet to
+the external router.  Topology changes (link failures/recoveries) or
+best-route changes re-diff the desired against the installed rules,
+producing exactly the insert/remove churn the Airtel datasets capture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.prefixes import Prefix, PrefixPool
+from repro.bgp.rib import Rib, Route, RouteChange
+from repro.bgp.updates import BgpUpdate
+from repro.core.rules import Rule
+from repro.sdn.controller import Controller
+from repro.topology.graph import Edge, Topology
+
+
+class SdnIp:
+    """Emulated SDN-IP: one instance per ONOS domain."""
+
+    def __init__(self, controller: Controller,
+                 peer_attachments: Dict[object, object]) -> None:
+        """``peer_attachments`` maps border router -> internal switch."""
+        if not peer_attachments:
+            raise ValueError("SDN-IP needs at least one BGP peer")
+        for peer, switch in peer_attachments.items():
+            if switch not in controller.topology.nodes:
+                raise ValueError(f"peer {peer!r} attaches to unknown switch {switch!r}")
+        self.controller = controller
+        self.peer_attachments = dict(peer_attachments)
+        self.rib = Rib()
+        self.failed_links: Set[frozenset] = set()
+        # prefix -> switch -> (rid, next hop); the installed intent state.
+        self._installed: Dict[Prefix, Dict[object, Tuple[int, object]]] = {}
+
+    # -- BGP ingestion -------------------------------------------------------------
+
+    def handle_update(self, update: BgpUpdate) -> None:
+        """Apply one eBGP update; reprogram the data plane if best changed."""
+        change = self.rib.apply(update)
+        if change is not None:
+            self._reprogram_prefix(change.prefix)
+
+    def handle_updates(self, updates: Iterable[BgpUpdate]) -> None:
+        for update in updates:
+            self.handle_update(update)
+
+    # -- topology events --------------------------------------------------------------
+
+    def handle_link_failure(self, u: object, v: object) -> None:
+        self.failed_links.add(frozenset((u, v)))
+        self._reprogram_all()
+
+    def handle_link_recovery(self, u: object, v: object) -> None:
+        self.failed_links.discard(frozenset((u, v)))
+        self._reprogram_all()
+
+    # -- programming -------------------------------------------------------------------
+
+    def _desired_rules(self, prefix: Prefix) -> Dict[object, object]:
+        """``switch -> next hop`` for the prefix's current best route."""
+        best = self.rib.best(prefix)
+        if best is None:
+            return {}
+        egress_switch = self.peer_attachments[best.peer]
+        avoid = [tuple(link) for link in self.failed_links]
+        tree = self.controller.topology.shortest_path_tree(
+            egress_switch, avoid_links=avoid)
+        desired = dict(tree)
+        desired[egress_switch] = best.peer  # hand off to the border router
+        return desired
+
+    def _reprogram_prefix(self, prefix: Prefix) -> None:
+        desired = self._desired_rules(prefix)
+        installed = self._installed.setdefault(prefix, {})
+        lo, hi = PrefixPool.to_interval(prefix)
+        priority = prefix[1]  # longest-prefix-match priority
+        for switch in list(installed):
+            rid, next_hop = installed[switch]
+            if desired.get(switch) != next_hop:
+                self.controller.uninstall(rid)
+                del installed[switch]
+        for switch, next_hop in desired.items():
+            if switch not in installed:
+                rule = self.controller.install_forward(
+                    switch, next_hop, lo, hi, priority)
+                installed[switch] = (rule.rid, next_hop)
+        if not installed:
+            del self._installed[prefix]
+
+    def _reprogram_all(self) -> None:
+        for prefix in list(self._installed):
+            self._reprogram_prefix(prefix)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def num_programmed_prefixes(self) -> int:
+        return len(self._installed)
+
+    def installed_next_hop(self, prefix: Prefix, switch: object) -> Optional[object]:
+        entry = self._installed.get(prefix, {}).get(switch)
+        return entry[1] if entry else None
+
+    def __repr__(self) -> str:
+        return (f"SdnIp(peers={len(self.peer_attachments)}, "
+                f"prefixes={self.num_programmed_prefixes}, "
+                f"failed_links={len(self.failed_links)})")

@@ -1,0 +1,62 @@
+"""OpenFlow-style switch flow tables.
+
+A flow table holds prioritized IP-prefix rules; matching follows the
+highest-priority rule covering the packet (OpenFlow leaves equal-highest-
+priority matches undefined, which is why the paper assumes overlapping
+rules have distinct priorities — see §3.2 footnote 2; we tie-break by
+rule id for determinism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.rules import Rule
+
+
+class FlowTable:
+    """The forwarding state of one switch."""
+
+    def __init__(self, switch: object) -> None:
+        self.switch = switch
+        self._rules: Dict[int, Rule] = {}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._rules
+
+    def install(self, rule: Rule) -> None:
+        if rule.source != self.switch:
+            raise ValueError(
+                f"rule {rule.rid} targets switch {rule.source}, not {self.switch}")
+        if rule.rid in self._rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        self._rules[rule.rid] = rule
+
+    def uninstall(self, rid: int) -> Rule:
+        rule = self._rules.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"rule {rid} not installed on {self.switch}")
+        return rule
+
+    def match(self, point: int) -> Optional[Rule]:
+        """Highest-priority rule matching the destination address."""
+        best: Optional[Rule] = None
+        for rule in self._rules.values():
+            if rule.matches(point) and (best is None or
+                                        rule.sort_key > best.sort_key):
+                best = rule
+        return best
+
+    def rules_sorted(self) -> List[Rule]:
+        """Rules by descending priority (table-dump order)."""
+        return sorted(self._rules.values(), key=lambda r: r.sort_key,
+                      reverse=True)
+
+    def __repr__(self) -> str:
+        return f"FlowTable({self.switch!r}, rules={len(self)})"

@@ -1,0 +1,19 @@
+"""Core data structures built from scratch for the Delta-net reproduction.
+
+The paper's complexity analysis (Theorem 1) assumes two balanced
+binary-search-tree structures:
+
+* an ordered map ``M`` from interval boundaries to atom identifiers with
+  logarithmic insert/lookup/successor queries (:class:`~repro.structures.treap.TreapMap`),
+* per ``(atom, source)`` priority-ordered rule containers that support
+  arbitrary removal and O(1) logical copy on atom splits
+  (:mod:`repro.structures.ptreap`, a persistent treap).
+
+Neither ``sortedcontainers`` nor any other third-party structure is used;
+everything here depends only on the standard library.
+"""
+
+from repro.structures.treap import TreapMap
+from repro.structures.ptreap import PTreap
+
+__all__ = ["TreapMap", "PTreap"]

@@ -1,0 +1,181 @@
+"""An augmented interval tree (treap + subtree max-hi) built from scratch.
+
+Chen's Veriflow optimization (§5: "Similar to [10], we represent IP
+prefixes in a balanced binary search tree") replaces the trie with a
+balanced BST over intervals.  This structure supports the two queries
+Veriflow's algorithm needs:
+
+* ``stab(point)`` — all intervals containing a point,
+* ``overlapping(lo, hi)`` — all intervals intersecting a range,
+
+in O(log n + answer) expected time, via the classic max-hi augmentation:
+every node caches the maximum upper bound in its subtree, letting whole
+subtrees be pruned when their max-hi cannot reach the query.
+
+Keys are ``(lo, serial)`` so duplicate intervals coexist.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "value", "serial", "prio", "left", "right",
+                 "max_hi")
+
+    def __init__(self, lo: int, hi: int, value: Any, serial: int,
+                 prio: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.value = value
+        self.serial = serial
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.max_hi = hi
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.lo, self.serial)
+
+
+def _max_hi(node: Optional[_Node]) -> int:
+    return node.max_hi if node is not None else -1
+
+
+def _pull(node: _Node) -> _Node:
+    node.max_hi = max(node.hi, _max_hi(node.left), _max_hi(node.right))
+    return node
+
+
+class IntervalTree:
+    """A multiset of half-closed intervals with stabbing/overlap queries."""
+
+    def __init__(self, seed: int = 0xA11) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        self._serial = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, lo: int, hi: int, value: Any = None) -> int:
+        """Insert ``[lo : hi)``; returns a serial usable for removal."""
+        if lo >= hi:
+            raise ValueError(f"empty interval [{lo}:{hi})")
+        serial = self._serial
+        self._serial += 1
+        node = _Node(lo, hi, value, serial, self._rng.getrandbits(64))
+        self._root = self._insert(self._root, node)
+        self._len += 1
+        return serial
+
+    def _insert(self, root: Optional[_Node], node: _Node) -> _Node:
+        if root is None:
+            return node
+        if node.prio > root.prio:
+            left, right = self._split(root, node.key)
+            node.left, node.right = left, right
+            return _pull(node)
+        if node.key < root.key:
+            root.left = self._insert(root.left, node)
+        else:
+            root.right = self._insert(root.right, node)
+        return _pull(root)
+
+    def _split(self, node: Optional[_Node],
+               key: Tuple[int, int]) -> Tuple[Optional[_Node], Optional[_Node]]:
+        if node is None:
+            return None, None
+        if node.key < key:
+            left, right = self._split(node.right, key)
+            node.right = left
+            _pull(node)
+            return node, right
+        left, right = self._split(node.left, key)
+        node.left = right
+        _pull(node)
+        return left, node
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio > b.prio:
+            a.right = self._merge(a.right, b)
+            return _pull(a)
+        b.left = self._merge(a, b.left)
+        return _pull(b)
+
+    def remove(self, lo: int, serial: int) -> Any:
+        """Remove the interval inserted with this ``(lo, serial)``."""
+        removed: List[Any] = []
+        self._root = self._remove(self._root, (lo, serial), removed)
+        if not removed:
+            raise KeyError((lo, serial))
+        self._len -= 1
+        return removed[0]
+
+    def _remove(self, node: Optional[_Node], key: Tuple[int, int],
+                removed: List[Any]) -> Optional[_Node]:
+        if node is None:
+            return None
+        if key == node.key:
+            removed.append(node.value)
+            return self._merge(node.left, node.right)
+        if key < node.key:
+            node.left = self._remove(node.left, key, removed)
+        else:
+            node.right = self._remove(node.right, key, removed)
+        return _pull(node)
+
+    # -- queries -------------------------------------------------------------------
+
+    def stab(self, point: int) -> Iterator[Any]:
+        """Values of all intervals containing ``point``."""
+        yield from self.overlapping(point, point + 1)
+
+    def overlapping(self, lo: int, hi: int) -> Iterator[Any]:
+        """Values of all intervals intersecting ``[lo : hi)``."""
+        if lo >= hi:
+            raise ValueError(f"empty query [{lo}:{hi})")
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None or node.max_hi <= lo:
+                continue  # nothing in this subtree reaches the query
+            # Left subtree can always contain qualifying intervals
+            # (its los are smaller; max-hi pruning applies on push).
+            stack.append(node.left)
+            if node.lo < hi:
+                if node.hi > lo:
+                    yield node.value
+                stack.append(node.right)
+            # If node.lo >= hi, all right keys start even later: prune.
+
+    def items(self) -> Iterator[Tuple[int, int, Any]]:
+        """All ``(lo, hi, value)`` triples in key order."""
+        stack: List[_Node] = []
+        node = self._root
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        while stack:
+            node = stack.pop()
+            yield node.lo, node.hi, node.value
+            node = node.right
+            while node is not None:
+                stack.append(node)
+                node = node.left
+
+    def __repr__(self) -> str:
+        return f"IntervalTree(len={self._len})"

@@ -1,0 +1,226 @@
+"""A persistent (path-copying) treap keyed by rule priority.
+
+Delta-net's ``owner`` structure (paper §3.2) maps every ``(atom, source)``
+pair to a balanced BST of rules ordered by priority.  When an atom splits
+(Algorithm 1, lines 3-9), the new atom's BSTs start as *copies* of the old
+atom's BSTs: ``owner[alpha'] <- owner[alpha]``.
+
+A naive deep copy would make splits cost O(rules-per-switch); instead we
+make the treaps *persistent*: every update path-copies O(log n) nodes and
+returns a new root, so sharing a root between two atoms is free and safe.
+This matches the amortized O(RK log M) bound of Theorem 1.
+
+Keys are ``(priority, rule_id)`` tuples so that rules with equal priority
+(which, per the paper's assumption, never overlap but may coexist in a
+table) still have a total order.  Heap priorities are a deterministic hash
+of the key (splitmix64), keeping replays reproducible.
+
+The module exposes both a functional API operating on roots (used on the
+hot path by :mod:`repro.core.deltanet`) and a small value-semantics wrapper
+:class:`PTreap` for convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mixer (splitmix64 finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _heap_prio(key: Any) -> int:
+    if isinstance(key, tuple):
+        acc = 0x243F6A8885A308D3
+        for part in key:
+            acc = _splitmix64(acc ^ _splitmix64(hash(part) & _MASK64))
+        return acc
+    return _splitmix64(hash(key) & _MASK64)
+
+
+class PNode:
+    """Immutable treap node; never mutate fields after construction."""
+
+    __slots__ = ("key", "value", "prio", "left", "right")
+
+    def __init__(self, key: Any, value: Any, prio: int,
+                 left: Optional["PNode"], right: Optional["PNode"]) -> None:
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left = left
+        self.right = right
+
+
+Root = Optional[PNode]
+
+
+def insert(root: Root, key: Any, value: Any) -> Root:
+    """Return a new root with ``key -> value`` inserted (or replaced)."""
+    return _insert(root, key, value, _heap_prio(key))
+
+
+def _insert(node: Root, key: Any, value: Any, prio: int) -> PNode:
+    if node is None:
+        return PNode(key, value, prio, None, None)
+    if key == node.key:
+        return PNode(key, value, node.prio, node.left, node.right)
+    if key < node.key:
+        child = _insert(node.left, key, value, prio)
+        new = PNode(node.key, node.value, node.prio, child, node.right)
+        if child.prio > new.prio:
+            # rotate right
+            return PNode(child.key, child.value, child.prio, child.left,
+                         PNode(new.key, new.value, new.prio, child.right, new.right))
+        return new
+    child = _insert(node.right, key, value, prio)
+    new = PNode(node.key, node.value, node.prio, node.left, child)
+    if child.prio > new.prio:
+        # rotate left
+        return PNode(child.key, child.value, child.prio,
+                     PNode(new.key, new.value, new.prio, new.left, child.left),
+                     child.right)
+    return new
+
+
+def remove(root: Root, key: Any) -> Root:
+    """Return a new root without ``key``; raise KeyError if absent."""
+    new_root, found = _remove(root, key)
+    if not found:
+        raise KeyError(key)
+    return new_root
+
+
+def _remove(node: Root, key: Any) -> Tuple[Root, bool]:
+    if node is None:
+        return None, False
+    if key < node.key:
+        child, found = _remove(node.left, key)
+        if not found:
+            return node, False
+        return PNode(node.key, node.value, node.prio, child, node.right), True
+    if node.key < key:
+        child, found = _remove(node.right, key)
+        if not found:
+            return node, False
+        return PNode(node.key, node.value, node.prio, node.left, child), True
+    return _merge(node.left, node.right), True
+
+
+def _merge(a: Root, b: Root) -> Root:
+    """Persistently merge treaps with all keys of ``a`` below keys of ``b``."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio > b.prio:
+        return PNode(a.key, a.value, a.prio, a.left, _merge(a.right, b))
+    return PNode(b.key, b.value, b.prio, _merge(a, b.left), b.right)
+
+
+def find(root: Root, key: Any) -> Root:
+    node = root
+    while node is not None:
+        if key < node.key:
+            node = node.left
+        elif node.key < key:
+            node = node.right
+        else:
+            return node
+    return None
+
+
+def max_node(root: Root) -> PNode:
+    """Node with the greatest key (the highest-priority rule)."""
+    if root is None:
+        raise KeyError("empty treap")
+    node = root
+    while node.right is not None:
+        node = node.right
+    return node
+
+
+def min_node(root: Root) -> PNode:
+    if root is None:
+        raise KeyError("empty treap")
+    node = root
+    while node.left is not None:
+        node = node.left
+    return node
+
+
+def size(root: Root) -> int:
+    """Number of nodes (O(n); for tests and diagnostics only)."""
+    if root is None:
+        return 0
+    return 1 + size(root.left) + size(root.right)
+
+
+def iter_items(root: Root) -> Iterator[Tuple[Any, Any]]:
+    """In-order (ascending key) iteration."""
+    stack = []
+    node = root
+    while node is not None:
+        stack.append(node)
+        node = node.left
+    while stack:
+        node = stack.pop()
+        yield node.key, node.value
+        node = node.right
+        while node is not None:
+            stack.append(node)
+            node = node.left
+
+
+class PTreap:
+    """Value-semantics wrapper; every mutator returns a *new* PTreap.
+
+    >>> t = PTreap().insert((1, 0), "low").insert((9, 1), "high")
+    >>> t.max().value
+    'high'
+    >>> t.remove((9, 1)).max().value
+    'low'
+    >>> t.max().value  # the original is untouched
+    'high'
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Root = None) -> None:
+        self.root = root
+
+    def insert(self, key: Any, value: Any) -> "PTreap":
+        return PTreap(insert(self.root, key, value))
+
+    def remove(self, key: Any) -> "PTreap":
+        return PTreap(remove(self.root, key))
+
+    def find(self, key: Any) -> Root:
+        return find(self.root, key)
+
+    def max(self) -> PNode:
+        return max_node(self.root)
+
+    def min(self) -> PNode:
+        return min_node(self.root)
+
+    def is_empty(self) -> bool:
+        return self.root is None
+
+    def __len__(self) -> int:
+        return size(self.root)
+
+    def __bool__(self) -> bool:
+        return self.root is not None
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return iter_items(self.root)
+
+    def __contains__(self, key: Any) -> bool:
+        return find(self.root, key) is not None

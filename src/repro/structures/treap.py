@@ -1,0 +1,261 @@
+"""A mutable ordered map backed by a randomized treap.
+
+This is the balanced binary search tree that implements the ordered map
+``M`` of Delta-net's atom representation (paper §3.1, Figure 6).  It maps
+interval boundaries (non-negative integers) to atom identifiers and
+supports the operations the algorithms need:
+
+* ``insert`` / ``get`` / ``remove`` in expected O(log n),
+* ``floor_key`` (largest key <= k) and ``succ_key`` (smallest key > k),
+  used to resolve which atom a boundary splits,
+* ``irange(lo, hi)``, an in-order iteration over keys in ``[lo, hi)``,
+  used to enumerate the atoms covering a rule's interval.
+
+The treap uses heap priorities drawn from a per-instance seeded PRNG so
+that the tree shape — and therefore every replay — is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "prio", "left", "right")
+
+    def __init__(self, key: Any, value: Any, prio: int) -> None:
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+class TreapMap:
+    """An ordered mapping with logarithmic ordered queries.
+
+    >>> m = TreapMap()
+    >>> m[10] = "a"; m[4] = "b"; m[7] = "c"
+    >>> list(m.keys())
+    [4, 7, 10]
+    >>> m.floor_key(9)
+    7
+    >>> m.succ_key(7)
+    10
+    """
+
+    __slots__ = ("_root", "_len", "_rng")
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._len = 0
+        self._rng = random.Random(seed)
+
+    # -- sizing / membership -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is None else node.value
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    # -- mutation ------------------------------------------------------------
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.insert(key, value)
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert ``key -> value``; return True if the key was new."""
+        node = self._find(key)
+        if node is not None:
+            node.value = value
+            return False
+        new = _Node(key, value, self._rng.getrandbits(64))
+        left, right = self._split(self._root, key)
+        self._root = self._merge(self._merge(left, new), right)
+        self._len += 1
+        return True
+
+    def remove(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raise KeyError if absent."""
+        removed: List[Any] = []
+        self._root = self._remove(self._root, key, removed)
+        if not removed:
+            raise KeyError(key)
+        self._len -= 1
+        return removed[0]
+
+    def _remove(self, node: Optional[_Node], key: Any, removed: List[Any]) -> Optional[_Node]:
+        if node is None:
+            return None
+        if key < node.key:
+            node.left = self._remove(node.left, key, removed)
+        elif node.key < key:
+            node.right = self._remove(node.right, key, removed)
+        else:
+            removed.append(node.value)
+            return self._merge(node.left, node.right)
+        return node
+
+    @staticmethod
+    def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        """Merge treaps where every key of ``a`` precedes every key of ``b``."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio > b.prio:
+            a.right = TreapMap._merge(a.right, b)
+            return a
+        b.left = TreapMap._merge(a, b.left)
+        return b
+
+    @staticmethod
+    def _split(node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], Optional[_Node]]:
+        """Split into (keys < key, keys >= key)."""
+        if node is None:
+            return None, None
+        if node.key < key:
+            left, right = TreapMap._split(node.right, key)
+            node.right = left
+            return node, right
+        left, right = TreapMap._split(node.left, key)
+        node.left = right
+        return left, node
+
+    # -- ordered queries -----------------------------------------------------
+
+    def min_key(self) -> Any:
+        node = self._root
+        if node is None:
+            raise KeyError("empty TreapMap")
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Any:
+        node = self._root
+        if node is None:
+            raise KeyError("empty TreapMap")
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def floor_key(self, key: Any) -> Any:
+        """Largest stored key <= ``key``; raise KeyError if none exists."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key < key:
+                best = node
+                node = node.right
+            elif key < node.key:
+                node = node.left
+            else:
+                return node.key
+        if best is None:
+            raise KeyError(key)
+        return best.key
+
+    def succ_key(self, key: Any) -> Any:
+        """Smallest stored key strictly greater than ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if key < node.key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        if best is None:
+            raise KeyError(key)
+        return best.key
+
+    def floor_item(self, key: Any) -> Tuple[Any, Any]:
+        """(key, value) of the largest stored key <= ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key < key:
+                best = node
+                node = node.right
+            elif key < node.key:
+                node = node.left
+            else:
+                return node.key, node.value
+        if best is None:
+            raise KeyError(key)
+        return best.key, best.value
+
+    # -- iteration -----------------------------------------------------------
+
+    def irange(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        """Yield keys ``k`` with ``lo <= k < hi`` in ascending order.
+
+        ``None`` bounds are unbounded on that side.
+        """
+        for key, _value in self.iritems(lo, hi):
+            yield key
+
+    def iritems(self, lo: Any = None, hi: Any = None) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi`` in order."""
+        stack: List[_Node] = []
+        node = self._root
+        while node is not None:
+            if lo is not None and node.key < lo:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            if hi is not None and not (node.key < hi):
+                return
+            yield node.key, node.value
+            node = node.right
+            while node is not None:
+                if lo is not None and node.key < lo:
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+
+    def keys(self) -> Iterator[Any]:
+        return self.irange()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self.iritems()
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.iritems():
+            yield value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.irange()
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.iritems())[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"TreapMap({{{preview}{suffix}}})"

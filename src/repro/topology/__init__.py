@@ -1,0 +1,19 @@
+"""Network topologies: the graph substrate under every dataset (§4.2).
+
+The paper's evaluation uses the UC Berkeley campus network, four
+Rocketfuel ISP topologies, the Airtel (AS 9498) topology from the
+Internet Topology Zoo, and a 4-switch ring.  None of those files ship
+offline, so :mod:`repro.topology.generators` synthesizes seeded graphs
+with matching scale and style (see DESIGN.md, "Substitutions").
+"""
+
+from repro.topology.graph import Topology
+from repro.topology.generators import (
+    ring, line, star, grid, fat_tree, campus, isp_like, airtel, four_switch,
+)
+
+__all__ = [
+    "Topology",
+    "ring", "line", "star", "grid", "fat_tree", "campus", "isp_like",
+    "airtel", "four_switch",
+]

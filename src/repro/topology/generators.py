@@ -1,0 +1,186 @@
+"""Seeded topology generators matching the paper's evaluation networks.
+
+Real topology files (Rocketfuel, UC Berkeley, Internet Topology Zoo) are
+not available offline; these generators produce graphs of the same scale
+and flavour (see DESIGN.md "Substitutions").  Every generator is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Topology
+
+
+def line(n: int) -> Topology:
+    """A chain of ``n`` switches."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    topo = Topology(f"line-{n}")
+    topo.add_node(0)
+    for i in range(n - 1):
+        topo.add_link(i, i + 1)
+    return topo
+
+
+def ring(n: int) -> Topology:
+    """A ring of ``n`` switches (the paper's 4Switch uses ``ring(4)``)."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    topo = Topology(f"ring-{n}")
+    for i in range(n):
+        topo.add_link(i, (i + 1) % n)
+    return topo
+
+
+def star(n_leaves: int) -> Topology:
+    """One hub connected to ``n_leaves`` leaves (hub is node 0)."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    topo = Topology(f"star-{n_leaves}")
+    for leaf in range(1, n_leaves + 1):
+        topo.add_link(0, leaf)
+    return topo
+
+
+def grid(width: int, height: int) -> Topology:
+    """A ``width x height`` mesh; node ids are ``(x, y)`` tuples."""
+    if width < 1 or height < 1:
+        raise ValueError("grid dimensions must be positive")
+    topo = Topology(f"grid-{width}x{height}")
+    topo.add_node((0, 0))
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                topo.add_link((x, y), (x + 1, y))
+            if y + 1 < height:
+                topo.add_link((x, y), (x, y + 1))
+    return topo
+
+
+def fat_tree(k: int) -> Topology:
+    """A canonical k-ary fat-tree (k even): cores, aggs, and edges.
+
+    Node ids are strings: ``c<i>``, ``a<pod>_<i>``, ``e<pod>_<i>``.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity must be even and >= 2")
+    topo = Topology(f"fattree-{k}")
+    half = k // 2
+    cores = [f"c{i}" for i in range(half * half)]
+    for pod in range(k):
+        aggs = [f"a{pod}_{i}" for i in range(half)]
+        edges = [f"e{pod}_{i}" for i in range(half)]
+        for agg in aggs:
+            for edge in edges:
+                topo.add_link(agg, edge)
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[i * half + j])
+    return topo
+
+
+def campus(seed: int = 7) -> Topology:
+    """A Berkeley-like campus network: core mesh, distribution, access.
+
+    23 nodes, matching Table 2's Berkeley row: a fully meshed 3-node
+    core, 6 distribution routers dual-homed into the core, and 14 access
+    switches dual-homed into the distribution layer.
+    """
+    rng = random.Random(seed)
+    topo = Topology("campus")
+    core = [f"core{i}" for i in range(3)]
+    distribution = [f"dist{i}" for i in range(6)]
+    access = [f"acc{i}" for i in range(14)]
+    for i, u in enumerate(core):
+        for v in core[i + 1:]:
+            topo.add_link(u, v)
+    for i, dist in enumerate(distribution):
+        primary = core[i % len(core)]
+        backup = core[(i + 1) % len(core)]
+        topo.add_link(dist, primary)
+        topo.add_link(dist, backup)
+    for i, acc in enumerate(access):
+        primary = distribution[i % len(distribution)]
+        backup = distribution[rng.randrange(len(distribution))]
+        topo.add_link(acc, primary)
+        if backup != primary:
+            topo.add_link(acc, backup)
+    return topo
+
+
+def isp_like(n_nodes: int, extra_links: int, seed: int = 11,
+             name: str = "isp") -> Topology:
+    """A Rocketfuel-style ISP backbone via preferential attachment.
+
+    Starts from a small ring (ensuring connectivity), attaches each new
+    node to an existing node chosen proportionally to degree (the
+    heavy-tailed degree mix measured by Rocketfuel), then adds
+    ``extra_links`` shortcut links between degree-biased endpoints.
+    """
+    if n_nodes < 4:
+        raise ValueError("need at least 4 nodes")
+    rng = random.Random(seed)
+    topo = Topology(name)
+    for i in range(3):
+        topo.add_link(i, (i + 1) % 3)
+    # Degree-weighted urn: node ids appear once per incident link.
+    urn: List[int] = [0, 0, 1, 1, 2, 2]
+    for node in range(3, n_nodes):
+        anchor = rng.choice(urn)
+        topo.add_link(node, anchor)
+        urn.extend((node, anchor))
+    added = 0
+    attempts = 0
+    while added < extra_links and attempts < extra_links * 20:
+        attempts += 1
+        u, v = rng.choice(urn), rng.choice(urn)
+        if u != v and not topo.has_link(u, v):
+            topo.add_link(u, v)
+            urn.extend((u, v))
+            added += 1
+    return topo
+
+
+_ROCKETFUEL_SHAPES: Dict[int, Tuple[int, int]] = {
+    # AS -> (nodes, extra shortcut links); node counts from Table 2.
+    1755: (87, 160),
+    3257: (161, 420),
+    6461: (138, 360),
+    1239: (316, 900),  # the INET backbone (~300 routers, §4.2.1)
+}
+
+
+def rocketfuel(asn: int, seed: int = 23) -> Topology:
+    """A synthetic stand-in for a Rocketfuel-measured AS topology."""
+    if asn not in _ROCKETFUEL_SHAPES:
+        raise ValueError(f"unknown Rocketfuel AS {asn}; "
+                         f"choose from {sorted(_ROCKETFUEL_SHAPES)}")
+    nodes, extra = _ROCKETFUEL_SHAPES[asn]
+    return isp_like(nodes, extra, seed=seed + asn, name=f"rf-{asn}")
+
+
+def airtel() -> Topology:
+    """A 16-switch Airtel-like (AS 9498) WAN: a ring with cross-links.
+
+    The Internet Topology Zoo's Airtel graph is a sparse national WAN;
+    this stand-in has 16 switches in a ring plus 10 chords, matching the
+    emulated network of §4.2.2 (sixteen Open vSwitches).
+    """
+    topo = Topology("airtel")
+    n = 16
+    for i in range(n):
+        topo.add_link(i, (i + 1) % n)
+    for u, v in [(0, 5), (0, 8), (2, 10), (3, 12), (4, 9),
+                 (6, 13), (7, 14), (1, 11), (5, 12), (9, 15)]:
+        topo.add_link(u, v)
+    return topo
+
+
+def four_switch() -> Topology:
+    """The paper's 4-switch ring workaround topology (§4.2.2)."""
+    topo = ring(4)
+    topo.name = "4switch"
+    return topo

@@ -1,0 +1,166 @@
+"""A minimal directed-graph model for network topologies.
+
+Nodes are switch/router identifiers (ints or strings).  Links are stored
+as directed edges; :meth:`Topology.add_link` adds both directions by
+default, since all of the paper's networks are bidirectional.
+
+Shortest paths use breadth-first search (uniform link weights, as in the
+paper's shortest-path rule generation, §4.2.1) and support excluding
+failed links — the primitive behind the SDN-IP reroute emulation and the
+what-if experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+Edge = Tuple[object, object]
+
+
+class Topology:
+    """A directed graph with BFS shortest-path machinery."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.nodes: Set[object] = set()
+        self._adjacency: Dict[object, Set[object]] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, node: object) -> None:
+        self.nodes.add(node)
+        self._adjacency.setdefault(node, set())
+
+    def add_link(self, u: object, v: object, bidirectional: bool = True) -> None:
+        if u == v:
+            raise ValueError(f"self-loop {u}->{v} not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adjacency[u].add(v)
+        if bidirectional:
+            self._adjacency[v].add(u)
+
+    def remove_link(self, u: object, v: object, bidirectional: bool = True) -> None:
+        self._adjacency[u].discard(v)
+        if bidirectional:
+            self._adjacency[v].discard(u)
+
+    def has_link(self, u: object, v: object) -> bool:
+        return v in self._adjacency.get(u, ())
+
+    # -- accessors ------------------------------------------------------------------
+
+    def neighbors(self, node: object) -> Set[object]:
+        return self._adjacency.get(node, set())
+
+    def degree(self, node: object) -> int:
+        return len(self._adjacency.get(node, ()))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_links(self) -> int:
+        """Number of *directed* links."""
+        return sum(len(out) for out in self._adjacency.values())
+
+    def links(self) -> Iterator[Edge]:
+        """All directed links."""
+        for u, out in self._adjacency.items():
+            for v in out:
+                yield (u, v)
+
+    def undirected_links(self) -> List[Edge]:
+        """Each bidirectional link once, as a sorted-by-repr pair."""
+        seen: Set[FrozenSet[object]] = set()
+        out: List[Edge] = []
+        for u, v in self.links():
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append((u, v))
+        return out
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        start = next(iter(self.nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == len(self.nodes)
+
+    # -- shortest paths ----------------------------------------------------------------
+
+    def shortest_path_tree(self, destination: object,
+                           avoid_links: Iterable[Edge] = ()) -> Dict[object, object]:
+        """BFS next-hop map toward ``destination``.
+
+        Returns ``node -> next hop on a shortest path to destination``
+        for every node that can reach it (the destination itself is
+        omitted).  ``avoid_links`` are directed edges treated as failed
+        in *both* directions.
+        """
+        blocked: Set[FrozenSet[object]] = {frozenset(e) for e in avoid_links}
+        next_hop: Dict[object, object] = {}
+        visited = {destination}
+        queue = deque([destination])
+        # BFS from the destination over reverse edges; since links are
+        # symmetric, forward adjacency doubles as reverse adjacency.
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(self._adjacency.get(node, ()), key=repr):
+                if neighbor in visited or frozenset((neighbor, node)) in blocked:
+                    continue
+                visited.add(neighbor)
+                next_hop[neighbor] = node
+                queue.append(neighbor)
+        return next_hop
+
+    def shortest_path(self, src: object, dst: object,
+                      avoid_links: Iterable[Edge] = ()) -> Optional[List[object]]:
+        """One shortest path from ``src`` to ``dst``, or None."""
+        if src == dst:
+            return [src]
+        tree = self.shortest_path_tree(dst, avoid_links=avoid_links)
+        if src not in tree:
+            return None
+        path = [src]
+        while path[-1] != dst:
+            path.append(tree[path[-1]])
+        return path
+
+    def diameter(self) -> int:
+        """Longest shortest path over all reachable pairs (small graphs)."""
+        best = 0
+        for src in self.nodes:
+            depth = {src: 0}
+            queue = deque([src])
+            while queue:
+                node = queue.popleft()
+                for neighbor in self._adjacency.get(node, ()):
+                    if neighbor not in depth:
+                        depth[neighbor] = depth[node] + 1
+                        queue.append(neighbor)
+            if depth:
+                best = max(best, max(depth.values()))
+        return best
+
+    def copy(self) -> "Topology":
+        out = Topology(self.name)
+        for u, v in self.links():
+            out.add_link(u, v, bidirectional=False)
+        for node in self.nodes:
+            out.add_node(node)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Topology({self.name!r}, nodes={self.num_nodes}, "
+                f"directed_links={self.num_links})")

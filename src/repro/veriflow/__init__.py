@@ -1,0 +1,24 @@
+"""Veriflow-RI: a re-implementation of Veriflow's core idea (paper §4.3.1).
+
+The paper compares Delta-net against its own re-implementation of
+Veriflow (Khurshid et al., NSDI'13), called *Veriflow-RI*, because neither
+Veriflow's code nor its datasets are public.  Per §4.3.1, Veriflow-RI:
+
+* matches a single packet-header field, so the trie is *binary*
+  (one-dimensional), not ternary;
+* on each rule update, finds all rules in the network overlapping the
+  updated rule (via the trie), partitions the affected packet space into
+  equivalence classes (ECs), and constructs one forwarding graph per EC by
+  querying every switch's highest-priority match;
+* checks invariants (forwarding loops) by traversing each EC's graph.
+
+Its space complexity is linear in the number of rules; its time
+complexity is quadratic — which is exactly the behaviour the benchmarks
+reproduce.
+"""
+
+from repro.veriflow.trie import PrefixTrie
+from repro.veriflow.ecs import equivalence_classes
+from repro.veriflow.verifier import VeriflowRI
+
+__all__ = ["PrefixTrie", "equivalence_classes", "VeriflowRI"]

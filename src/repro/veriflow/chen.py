@@ -1,0 +1,96 @@
+"""Chen's Veriflow optimization: interval BST instead of a trie (§5).
+
+"Chen [10] shows how to optimize Veriflow, while retaining its core
+algorithm.  Similar to [10], we represent IP prefixes in a balanced
+binary search tree."
+
+:class:`VeriflowChen` keeps Veriflow's per-update algorithm exactly
+(overlap query -> ECs -> per-EC forwarding graph -> loop check) but
+replaces the binary trie with the augmented interval tree of
+:mod:`repro.structures.interval_tree`.  Unlike the trie it handles
+arbitrary (non-prefix) intervals natively and avoids per-bit node
+chains; the ablation benchmark compares the two on time and memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.rules import Link, Rule
+from repro.structures.interval_tree import IntervalTree
+from repro.veriflow.ecs import equivalence_classes
+from repro.veriflow.verifier import ECGraph, UpdateResult
+
+
+class VeriflowChen:
+    """Veriflow's algorithm over an interval-tree rule index."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self.index = IntervalTree()
+        self.rules: Dict[int, Rule] = {}
+        self._serials: Dict[int, int] = {}  # rid -> interval-tree serial
+        self.rules_by_link: Dict[Link, Set[int]] = {}
+        self.switches: Set[object] = set()
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules)
+
+    def insert_rule(self, rule: Rule, check_loops: bool = True) -> UpdateResult:
+        if rule.rid in self.rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        self.rules[rule.rid] = rule
+        self._serials[rule.rid] = self.index.insert(rule.lo, rule.hi, rule)
+        self.rules_by_link.setdefault(rule.link, set()).add(rule.rid)
+        self.switches.add(rule.source)
+        return self._check_range(rule, inserted=True, check_loops=check_loops)
+
+    def remove_rule(self, rule_or_rid: Union[Rule, int],
+                    check_loops: bool = True) -> UpdateResult:
+        rid = rule_or_rid.rid if isinstance(rule_or_rid, Rule) else rule_or_rid
+        rule = self.rules.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"unknown rule id {rid}")
+        self.index.remove(rule.lo, self._serials.pop(rid))
+        bucket = self.rules_by_link.get(rule.link)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self.rules_by_link[rule.link]
+        return self._check_range(rule, inserted=False, check_loops=check_loops)
+
+    def _check_range(self, rule: Rule, inserted: bool,
+                     check_loops: bool) -> UpdateResult:
+        result = UpdateResult(rule=rule, inserted=inserted)
+        overlapping = list(self.index.overlapping(rule.lo, rule.hi))
+        for ec in equivalence_classes(overlapping, rule.lo, rule.hi):
+            graph = self._forwarding_graph(ec)
+            result.ec_graphs.append(graph)
+            if check_loops:
+                loop = graph.find_loop()
+                if loop is not None:
+                    result.loops.append((graph.interval, loop))
+        return result
+
+    def _forwarding_graph(self, interval: Tuple[int, int]) -> ECGraph:
+        point = interval[0]
+        best: Dict[object, Rule] = {}
+        for rule in self.index.stab(point):
+            incumbent = best.get(rule.source)
+            if incumbent is None or rule.sort_key > incumbent.sort_key:
+                best[rule.source] = rule
+        return ECGraph(interval=interval,
+                       edges={s: r.target for s, r in best.items()})
+
+    def match_at(self, switch: object, point: int) -> Optional[Rule]:
+        best: Optional[Rule] = None
+        for rule in self.index.stab(point):
+            if rule.source == switch and (best is None or
+                                          rule.sort_key > best.sort_key):
+                best = rule
+        return best
+
+    def __repr__(self) -> str:
+        return (f"VeriflowChen(rules={self.num_rules}, "
+                f"switches={len(self.switches)})")

@@ -1,0 +1,32 @@
+"""Packet equivalence classes over an affected header-space range.
+
+Veriflow's affected ECs (paper §2.1) are the segments into which the
+boundaries of all overlapping rules cut the updated rule's range — the
+"interval segments (gray vertical dashed lines)" of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.core.rules import Rule
+
+
+def equivalence_classes(rules: Iterable[Rule], lo: int, hi: int) -> List[Tuple[int, int]]:
+    """Partition ``[lo : hi)`` by the boundaries of ``rules``.
+
+    Returns the list of half-closed EC intervals in ascending order.
+    Every point of one EC matches exactly the same subset of ``rules``,
+    so one representative point per EC suffices to build its forwarding
+    graph.
+    """
+    if lo >= hi:
+        raise ValueError(f"empty range [{lo}:{hi})")
+    points = {lo, hi}
+    for rule in rules:
+        if rule.lo > lo and rule.lo < hi:
+            points.add(rule.lo)
+        if rule.hi > lo and rule.hi < hi:
+            points.add(rule.hi)
+    ordered = sorted(points)
+    return list(zip(ordered, ordered[1:]))

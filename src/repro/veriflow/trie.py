@@ -1,0 +1,152 @@
+"""A one-dimensional binary prefix trie (Veriflow-RI's core index).
+
+Rules are stored at the trie node of their prefix.  Two query families
+serve Veriflow's algorithm:
+
+* ``covering_rules(point)`` / ``match(point)`` — rules whose prefix
+  contains an address (all on the root-to-leaf path), used to build
+  forwarding graphs by querying each switch's table;
+* ``overlapping_rules(lo, plen)`` — rules whose prefix overlaps a given
+  prefix: ancestors on the path plus the entire subtree below it, used to
+  compute the equivalence classes affected by an update.
+
+Non-prefix intervals (which Delta-net handles natively) are inserted as
+their minimal CIDR cover, mirroring Veriflow's reliance on tries (§5:
+"Veriflow relies on the fact that overlapping IP prefixes can be
+efficiently found using a trie").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.prefix import interval_to_prefixes
+from repro.core.rules import Rule
+
+
+class _TrieNode:
+    __slots__ = ("zero", "one", "rules")
+
+    def __init__(self) -> None:
+        self.zero: Optional[_TrieNode] = None
+        self.one: Optional[_TrieNode] = None
+        self.rules: List[Rule] = []
+
+
+class PrefixTrie:
+    """Binary trie over ``width``-bit prefixes holding rules."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self.root = _TrieNode()
+        self.num_rules = 0
+        self.num_nodes = 1
+
+    # -- path helpers ----------------------------------------------------------
+
+    def _walk(self, value: int, plen: int, create: bool) -> Optional[_TrieNode]:
+        node = self.root
+        for depth in range(plen):
+            bit = (value >> (self.width - 1 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                self.num_nodes += 1
+                if bit:
+                    node.one = child
+                else:
+                    node.zero = child
+            node = child
+        return node
+
+    def _prefixes_of(self, rule: Rule) -> List[Tuple[int, int]]:
+        return interval_to_prefixes(rule.lo, rule.hi, self.width)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, rule: Rule) -> None:
+        for value, plen in self._prefixes_of(rule):
+            node = self._walk(value, plen, create=True)
+            node.rules.append(rule)
+        self.num_rules += 1
+
+    def remove(self, rule: Rule) -> None:
+        for value, plen in self._prefixes_of(rule):
+            node = self._walk(value, plen, create=False)
+            if node is None or rule not in node.rules:
+                raise KeyError(f"rule {rule.rid} not in trie")
+            node.rules.remove(rule)
+        self.num_rules -= 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def covering_rules(self, point: int) -> Iterator[Rule]:
+        """Rules whose prefix contains ``point`` (root-to-leaf path)."""
+        node: Optional[_TrieNode] = self.root
+        depth = 0
+        while node is not None:
+            yield from node.rules
+            if depth == self.width:
+                return
+            bit = (point >> (self.width - 1 - depth)) & 1
+            node = node.one if bit else node.zero
+            depth += 1
+
+    def match(self, point: int) -> Optional[Rule]:
+        """Highest-priority rule matching ``point`` (ties by rule id)."""
+        best: Optional[Rule] = None
+        for rule in self.covering_rules(point):
+            if best is None or rule.sort_key > best.sort_key:
+                best = rule
+        return best
+
+    def overlapping_rules(self, value: int, plen: int) -> List[Rule]:
+        """Rules overlapping the prefix ``value/plen``: ancestors + subtree."""
+        out: List[Rule] = []
+        node: Optional[_TrieNode] = self.root
+        for depth in range(plen):
+            if node is None:
+                return out
+            out.extend(node.rules)
+            bit = (value >> (self.width - 1 - depth)) & 1
+            node = node.one if bit else node.zero
+        if node is None:
+            return out
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            out.extend(current.rules)
+            if current.zero is not None:
+                stack.append(current.zero)
+            if current.one is not None:
+                stack.append(current.one)
+        return out
+
+    def overlapping_interval(self, lo: int, hi: int) -> List[Rule]:
+        """Rules overlapping the interval ``[lo : hi)`` (de-duplicated)."""
+        seen = {}
+        for value, plen in interval_to_prefixes(lo, hi, self.width):
+            for rule in self.overlapping_rules(value, plen):
+                seen[rule.rid] = rule
+        return list(seen.values())
+
+    def all_rules(self) -> List[Rule]:
+        out = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for rule in node.rules:
+                out[rule.rid] = rule
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return list(out.values())
+
+    def __len__(self) -> int:
+        return self.num_rules
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie(width={self.width}, rules={self.num_rules}, nodes={self.num_nodes})"

@@ -1,0 +1,187 @@
+"""Veriflow-RI: per-update EC computation and forwarding-graph checking.
+
+This follows the description in paper §4.3.1 (and the worked example of
+§2.1): on every rule insertion or removal, Veriflow-RI
+
+1. finds all rules anywhere in the network whose prefixes overlap the
+   updated rule (global trie query),
+2. cuts the updated rule's range into equivalence classes at those rules'
+   boundaries,
+3. for each EC, builds a forwarding graph by asking *every* switch for
+   its highest-priority rule matching an EC representative point,
+4. checks each forwarding graph for loops.
+
+Space is linear in the rule count; per-update time is O(ECs x switches x
+trie depth) — quadratic in the worst case, which the Appendix-C benchmark
+measures directly (max affected ECs per update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.rules import DROP, Link, Rule
+from repro.veriflow.ecs import equivalence_classes
+from repro.veriflow.trie import PrefixTrie
+
+
+@dataclass
+class ECGraph:
+    """One equivalence class and its forwarding graph."""
+
+    interval: Tuple[int, int]
+    edges: Dict[object, object]  # source switch -> next hop
+
+    def find_loop(self) -> Optional[List[object]]:
+        """Cycle in the (functional) forwarding graph, if any."""
+        unvisited = set(self.edges)
+        while unvisited:
+            path_index: Dict[object, int] = {}
+            path: List[object] = []
+            node: Optional[object] = unvisited.pop()
+            while node is not None and node != DROP:
+                if node in path_index:
+                    return path[path_index[node]:]
+                path_index[node] = len(path)
+                path.append(node)
+                next_node = self.edges.get(node)
+                if next_node in path_index or next_node in unvisited or next_node is None:
+                    unvisited.discard(node)
+                node = next_node
+            unvisited -= set(path)
+        return None
+
+
+@dataclass
+class UpdateResult:
+    """What Veriflow-RI computed while checking one rule update."""
+
+    rule: Rule
+    inserted: bool
+    ec_graphs: List[ECGraph] = field(default_factory=list)
+    loops: List[Tuple[Tuple[int, int], List[object]]] = field(default_factory=list)
+
+    @property
+    def num_ecs(self) -> int:
+        return len(self.ec_graphs)
+
+
+class VeriflowRI:
+    """The Veriflow-RI data-plane checker."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        # One trie for the whole network (§5: Veriflow "relies on the fact
+        # that overlapping IP prefixes can be efficiently found using a
+        # trie"); rules of all switches share prefix chains, which is what
+        # keeps Veriflow's footprint linear in the rule count (Table 5).
+        self.trie = PrefixTrie(width)
+        self.rules: Dict[int, Rule] = {}
+        self.rules_by_link: Dict[Link, Set[int]] = {}
+        self.switches: Set[object] = set()
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules)
+
+    # -- rule updates (the checked operations) -----------------------------------
+
+    def insert_rule(self, rule: Rule, check_loops: bool = True) -> UpdateResult:
+        if rule.rid in self.rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        self.rules[rule.rid] = rule
+        self.rules_by_link.setdefault(rule.link, set()).add(rule.rid)
+        self.switches.add(rule.source)
+        self.trie.insert(rule)
+        return self._check_range(rule, inserted=True, check_loops=check_loops)
+
+    def remove_rule(self, rule_or_rid: Union[Rule, int],
+                    check_loops: bool = True) -> UpdateResult:
+        rid = rule_or_rid.rid if isinstance(rule_or_rid, Rule) else rule_or_rid
+        rule = self.rules.pop(rid, None)
+        if rule is None:
+            raise KeyError(f"unknown rule id {rid}")
+        bucket = self.rules_by_link.get(rule.link)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self.rules_by_link[rule.link]
+        self.trie.remove(rule)
+        return self._check_range(rule, inserted=False, check_loops=check_loops)
+
+    # -- the core Veriflow computation ---------------------------------------------
+
+    def _check_range(self, rule: Rule, inserted: bool,
+                     check_loops: bool) -> UpdateResult:
+        result = UpdateResult(rule=rule, inserted=inserted)
+        overlapping = self.trie.overlapping_interval(rule.lo, rule.hi)
+        for ec_lo, ec_hi in equivalence_classes(overlapping, rule.lo, rule.hi):
+            graph = self._forwarding_graph((ec_lo, ec_hi))
+            result.ec_graphs.append(graph)
+            if check_loops:
+                loop = graph.find_loop()
+                if loop is not None:
+                    result.loops.append((graph.interval, loop))
+        return result
+
+    def _forwarding_graph(self, interval: Tuple[int, int]) -> ECGraph:
+        """Build the EC's forwarding graph from one trie traversal.
+
+        One root-to-leaf walk collects every rule in the network matching
+        the EC's representative point; grouping by switch and keeping the
+        highest priority per switch yields each switch's next hop.
+        """
+        point = interval[0]
+        best: Dict[object, Rule] = {}
+        for rule in self.trie.covering_rules(point):
+            incumbent = best.get(rule.source)
+            if incumbent is None or rule.sort_key > incumbent.sort_key:
+                best[rule.source] = rule
+        edges = {switch: rule.target for switch, rule in best.items()}
+        return ECGraph(interval=interval, edges=edges)
+
+    def match_at(self, switch: object, point: int) -> Optional[Rule]:
+        """Highest-priority rule matching ``point`` on ``switch``."""
+        best: Optional[Rule] = None
+        for rule in self.trie.covering_rules(point):
+            if rule.source == switch and (best is None or
+                                          rule.sort_key > best.sort_key):
+                best = rule
+        return best
+
+    # -- the what-if query (Table 4's expensive path) --------------------------------
+
+    def whatif_link_failure(self, link: Union[Link, Tuple[object, object]],
+                            check_loops: bool = False) -> List[ECGraph]:
+        """Forwarding graphs for every EC affected by failing ``link``.
+
+        Veriflow has no network-wide flow index, so it must (paper
+        §4.3.2) recompute the ECs of every rule installed on the failed
+        link and construct each EC's forwarding graph from scratch —
+        "at least a hundredfold more forwarding graphs compared to
+        checking a rule insertion".
+        """
+        if not isinstance(link, Link):
+            link = Link(*link)
+        graphs: List[ECGraph] = []
+        seen_ecs: Set[Tuple[int, int]] = set()
+        for rid in sorted(self.rules_by_link.get(link, ())):
+            rule = self.rules[rid]
+            overlapping = self.trie.overlapping_interval(rule.lo, rule.hi)
+            for ec in equivalence_classes(overlapping, rule.lo, rule.hi):
+                if ec in seen_ecs:
+                    continue
+                seen_ecs.add(ec)
+                graph = self._forwarding_graph(ec)
+                # Only ECs whose traffic actually uses the failed link are
+                # affected by its failure.
+                if graph.edges.get(link.source) == link.target:
+                    graphs.append(graph)
+                    if check_loops:
+                        graph.find_loop()
+        return graphs
+
+    def __repr__(self) -> str:
+        return (f"VeriflowRI(rules={self.num_rules}, "
+                f"switches={len(self.switches)})")

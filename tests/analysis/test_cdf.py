@@ -1,0 +1,49 @@
+"""Tests for CDF computation and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.cdf import ascii_cdf, cdf_at, cdf_points
+
+
+class TestCdfPoints:
+    def test_simple(self):
+        assert cdf_points([1, 2, 3, 4]) == \
+            [(1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = cdf_points([1, 1, 2])
+        assert points == [(1, 2 / 3), (2, 1.0)]
+
+    def test_monotone_and_ends_at_one(self):
+        points = cdf_points([5, 3, 9, 3, 7])
+        fractions = [f for _v, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestCdfAt:
+    def test_values(self):
+        samples = [1, 2, 3, 4]
+        assert cdf_at(samples, 0) == 0
+        assert cdf_at(samples, 2) == 0.5
+        assert cdf_at(samples, 10) == 1.0
+
+
+class TestAsciiCdf:
+    def test_renders_all_series(self):
+        art = ascii_cdf({"fast": [1e-6, 2e-6], "slow": [1e-3, 2e-3]})
+        assert "A = fast" in art and "B = slow" in art
+        assert "CDF" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf({"zeros": [0.0]})
+
+    def test_single_value_series(self):
+        assert "A = only" in ascii_cdf({"only": [1e-5]})

@@ -1,0 +1,50 @@
+"""Tests for deep memory accounting."""
+
+from repro.analysis.memory import deep_size, format_bytes
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+from repro.structures import ptreap
+
+
+class TestDeepSize:
+    def test_counts_nested_containers(self):
+        flat = deep_size([1])
+        nested = deep_size([[1], [2], [3]])
+        assert nested > flat
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_size(a) > 0
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        assert deep_size([shared, shared]) < 2 * deep_size([shared])
+
+    def test_slots_objects(self):
+        rule = Rule.forward(0, 0, 16, 1, "s1", "s2")
+        assert deep_size(rule) > deep_size(0)
+
+    def test_persistent_sharing_visible(self):
+        """Two owner maps sharing a treap cost barely more than one."""
+        root = None
+        for priority in range(200):
+            root = ptreap.insert(root, (priority, 0), priority)
+        one = deep_size({"a": {"s": root}})
+        two = deep_size({"a": {"s": root}, "b": {"s": root}})
+        assert two < one * 1.2
+
+    def test_deltanet_grows_with_rules(self):
+        net = DeltaNet(width=8)
+        empty = deep_size(net)
+        for rid in range(50):
+            net.insert_rule(Rule.forward(rid, rid, rid + 10, rid, "s1", "s2"))
+        assert deep_size(net) > empty
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(5 * 1024 * 1024) == "5.0 MiB"
+        assert "GiB" in format_bytes(3 * 1024 ** 3)

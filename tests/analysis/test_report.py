@@ -1,0 +1,51 @@
+"""Tests for the markdown experiment-report writer."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+
+
+class TestExperimentReport:
+    def test_title_and_sections(self):
+        report = ExperimentReport("My Report")
+        report.section("Results", "Some body text.")
+        text = report.render()
+        assert text.startswith("# My Report\n")
+        assert "## Results" in text
+        assert "Some body text." in text
+
+    def test_table_rendering(self):
+        report = ExperimentReport("R")
+        report.table(("a", "b"), [(1, 2), (3, 4)], caption="numbers")
+        text = report.render()
+        assert "| a | b |" in text
+        assert "|---|---|" in text
+        assert "| 3 | 4 |" in text
+        assert "*numbers*" in text
+
+    def test_table_width_validation(self):
+        report = ExperimentReport("R")
+        with pytest.raises(ValueError):
+            report.table(("a", "b"), [(1,)])
+
+    def test_shape_checks(self):
+        report = ExperimentReport("R")
+        report.shape_check("thing holds", True)
+        report.shape_check("thing fails", False)
+        report.end_checks()
+        text = report.render()
+        assert "- **[PASS]** thing holds" in text
+        assert "- **[FAIL]** thing fails" in text
+
+    def test_code_block(self):
+        report = ExperimentReport("R")
+        report.code_block("x = 1\n", language="python")
+        assert "```python\nx = 1\n```" in report.render()
+
+    def test_save(self, tmp_path):
+        report = ExperimentReport("R")
+        report.paragraph("hello")
+        path = str(tmp_path / "out.md")
+        assert report.save(path) == path
+        with open(path) as handle:
+            assert "hello" in handle.read()

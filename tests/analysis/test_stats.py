@@ -1,0 +1,59 @@
+"""Tests for latency statistics."""
+
+import pytest
+
+from repro.analysis.stats import fraction_below, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+
+    def test_strict(self):
+        assert fraction_below([3, 3, 3], 3) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1)
+
+
+class TestSummarize:
+    def test_keys_and_consistency(self):
+        samples = [1e-6, 2e-6, 3e-6, 1e-3]
+        summary = summarize(samples)
+        assert summary["count"] == 4
+        assert summary["min"] == 1e-6 and summary["max"] == 1e-3
+        assert summary["mean"] == pytest.approx(sum(samples) / 4)
+        assert summary["median"] == pytest.approx(2.5e-6)
+        assert summary["frac_below_threshold"] == 0.75  # default 250us
+
+    def test_custom_threshold(self):
+        summary = summarize([1.0, 2.0], threshold=1.5)
+        assert summary["frac_below_threshold"] == 0.5
+        assert summary["threshold"] == 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

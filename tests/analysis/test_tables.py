@@ -1,0 +1,25 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("name", "n"), [("alpha", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "alpha" in lines[2]
+
+    def test_title(self):
+        text = render_table(("a",), [(1,)], title="Table 3")
+        assert text.splitlines()[0] == "Table 3"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text and "b" in text

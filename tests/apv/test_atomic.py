@@ -1,0 +1,97 @@
+"""Tests for atomic-predicate computation (Yang & Lam refinement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apv.atomic import atomic_predicates, is_partition, predicate_to_atoms
+from repro.core.atoms import AtomTable
+from repro.core.intervals import IntervalSet
+
+spans = st.lists(
+    st.tuples(st.integers(0, 32), st.integers(0, 32)).map(
+        lambda p: (min(p), max(p))),
+    min_size=1, max_size=3)
+predicates_strategy = st.lists(spans.map(IntervalSet), min_size=0, max_size=8)
+
+
+class TestAtomicPredicates:
+    def test_no_predicates_single_class(self):
+        partition = atomic_predicates([], width=5)
+        assert partition == [IntervalSet.universe(5)]
+
+    def test_paper_table1_rules(self):
+        """rH=[10:12), rL=[0:16) over a 4-bit space.
+
+        Unlike Delta-net's three atoms (Figure 5), the *minimal* partition
+        merges [0:10) and [12:16) — they behave identically under both
+        predicates.  This is exactly the §5 minimality difference.
+        """
+        partition = atomic_predicates(
+            [IntervalSet([(10, 12)]), IntervalSet([(0, 16)])], width=4)
+        assert [p.spans for p in partition] == \
+            [[(0, 10), (12, 16)], [(10, 12)]]
+
+    def test_is_minimal_vs_deltanet_atoms(self):
+        """APV can merge non-contiguous classes Delta-net keeps separate:
+        predicates [0:4) and [8:12) make Delta-net atoms
+        {[0:4),[4:8),[8:12),[12:16)} but only 3 atomic predicates
+        ([4:8) and [12:16) behave identically for every predicate)."""
+        preds = [IntervalSet([(0, 4)]), IntervalSet([(8, 12)])]
+        partition = atomic_predicates(preds, width=4)
+        assert len(partition) == 3
+        table = AtomTable(width=4)
+        table.create_atoms(0, 4)
+        table.create_atoms(8, 12)
+        assert table.num_atoms == 4  # Delta-net's non-minimal refinement
+
+    @settings(max_examples=150, deadline=None)
+    @given(predicates_strategy)
+    def test_result_is_partition(self, predicates):
+        predicates = [p for p in predicates if p]
+        partition = atomic_predicates(predicates, width=6)
+        assert is_partition(partition, width=6)
+
+    @settings(max_examples=150, deadline=None)
+    @given(predicates_strategy)
+    def test_every_predicate_is_union_of_atoms(self, predicates):
+        predicates = [p for p in predicates if p]
+        partition = atomic_predicates(predicates, width=6)
+        for predicate in predicates:
+            indices = predicate_to_atoms(predicate, partition)
+            rebuilt = IntervalSet()
+            for index in indices:
+                rebuilt = rebuilt | partition[index]
+            assert rebuilt == predicate
+
+    @settings(max_examples=50, deadline=None)
+    @given(predicates_strategy)
+    def test_minimality_no_two_classes_mergeable(self, predicates):
+        """Minimality: distinct classes differ on at least one predicate."""
+        predicates = [p for p in predicates if p]
+        partition = atomic_predicates(predicates, width=6)
+        signatures = []
+        for part in partition:
+            point = part.spans[0][0]
+            signatures.append(tuple(point in pred for pred in predicates))
+        assert len(set(signatures)) == len(signatures)
+
+    def test_predicate_to_atoms_rejects_unrefined(self):
+        partition = [IntervalSet([(0, 32)]), IntervalSet([(32, 64)])]
+        with pytest.raises(ValueError):
+            predicate_to_atoms(IntervalSet([(10, 20)]), partition)
+
+
+class TestIsPartition:
+    def test_good_partition(self):
+        assert is_partition([IntervalSet([(0, 8)]), IntervalSet([(8, 16)])], 4)
+
+    def test_gap_rejected(self):
+        assert not is_partition([IntervalSet([(0, 8)])], 4)
+
+    def test_overlap_rejected(self):
+        assert not is_partition(
+            [IntervalSet([(0, 10)]), IntervalSet([(8, 16)])], 4)
+
+    def test_empty_class_rejected(self):
+        assert not is_partition([IntervalSet(), IntervalSet([(0, 16)])], 4)

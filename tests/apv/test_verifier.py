@@ -1,0 +1,79 @@
+"""Tests for the static atomic-predicates verifier."""
+
+import random
+
+import pytest
+
+from repro.apv.verifier import APVerifier
+from repro.checkers.reachability import reachable_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rules import Rule
+
+from tests.conftest import random_rules
+
+
+def chain_rules():
+    return [
+        Rule.forward(0, 0, 8, 1, "s1", "s2"),
+        Rule.forward(1, 0, 4, 1, "s2", "s3"),
+        Rule.forward(2, 8, 16, 1, "s1", "s4"),
+    ]
+
+
+class TestAPVerifier:
+    def test_labels_respect_priority(self):
+        rules = [Rule.forward(0, 0, 16, 1, "s1", "s2"),
+                 Rule.forward(1, 4, 8, 9, "s1", "s3")]
+        apv = APVerifier(rules, width=4)
+        low_pred = apv.predicate_of(apv.label[rules[0].link])
+        high_pred = apv.predicate_of(apv.label[rules[1].link])
+        assert high_pred == IntervalSet([(4, 8)])
+        assert low_pred == IntervalSet([(0, 4), (8, 16)])
+
+    def test_reachable_matches_deltanet(self):
+        rules = chain_rules()
+        apv = APVerifier(rules, width=4)
+        net = DeltaNet(width=4)
+        for rule in rules:
+            net.insert_rule(rule)
+        for src, dst in (("s1", "s3"), ("s1", "s4"), ("s2", "s4")):
+            apv_answer = apv.reachable(src, dst)
+            atoms = reachable_atoms(net, src, dst)
+            deltanet_answer = IntervalSet(
+                net.atoms.atom_interval(a) for a in atoms)
+            assert apv_answer == deltanet_answer, (src, dst)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_reachability_matches_deltanet(self, seed):
+        rng = random.Random(seed)
+        rules = random_rules(rng, 20, width=6, switches=4, drop_fraction=0.0)
+        apv = APVerifier(rules, width=6)
+        net = DeltaNet(width=6)
+        for rule in rules:
+            net.insert_rule(rule)
+        for src in ("s0", "s1", "s2", "s3"):
+            for dst in ("s0", "s1", "s2", "s3"):
+                if src == dst:
+                    continue
+                atoms = reachable_atoms(net, src, dst)
+                expected = IntervalSet(net.atoms.atom_interval(a) for a in atoms)
+                assert apv.reachable(src, dst) == expected
+
+    def test_insert_and_remove_recompute(self):
+        apv = APVerifier(chain_rules(), width=4)
+        before = apv.num_atomic_predicates
+        apv.insert_rule(Rule.forward(9, 2, 6, 9, "s1", "s9"))
+        assert apv.num_atomic_predicates >= before
+        apv.remove_rule(9)
+        assert apv.num_atomic_predicates == before
+        assert all(r.rid != 9 for r in apv.rules)
+
+    def test_minimality_never_exceeds_deltanet_atoms(self):
+        rng = random.Random(1)
+        rules = random_rules(rng, 25, width=6, switches=3, drop_fraction=0.0)
+        apv = APVerifier(rules, width=6)
+        net = DeltaNet(width=6)
+        for rule in rules:
+            net.insert_rule(rule)
+        assert apv.num_atomic_predicates <= net.num_atoms

@@ -1,0 +1,65 @@
+"""Tests for the synthetic Route-Views-style prefix pool."""
+
+import pytest
+
+from repro.bgp.prefixes import DEFAULT_LENGTH_MASS, PrefixPool, overlap_fraction
+from repro.core.prefix import make_interval
+
+
+class TestPrefixPool:
+    def test_deterministic(self):
+        assert PrefixPool(seed=7).sample(100) == PrefixPool(seed=7).sample(100)
+        assert PrefixPool(seed=7).sample(50) != PrefixPool(seed=8).sample(50)
+
+    def test_prefixes_are_valid(self):
+        for lo, plen in PrefixPool(seed=1).sample(500):
+            assert 0 <= plen <= 32
+            span = 1 << (32 - plen)
+            assert lo & (span - 1) == 0, "network address must be aligned"
+            assert 0 <= lo < (1 << 32)
+
+    def test_unique_sampling(self):
+        pool = PrefixPool(seed=2)
+        drawn = pool.sample(300)
+        assert len(set(drawn)) == 300
+        more = pool.sample(100)
+        assert not set(drawn) & set(more)
+
+    def test_non_unique_sampling_allowed(self):
+        pool = PrefixPool(seed=3)
+        assert len(pool.sample(50, unique=False)) == 50
+
+    def test_length_distribution_shape(self):
+        """Mode at /24; /16-/24 dominate — the global-table shape."""
+        drawn = PrefixPool(seed=4).sample(3000)
+        histogram = {}
+        for _lo, plen in drawn:
+            histogram[plen] = histogram.get(plen, 0) + 1
+        assert max(histogram, key=histogram.get) == 24
+        mid_mass = sum(count for plen, count in histogram.items()
+                       if 16 <= plen <= 24)
+        assert mid_mass / len(drawn) > 0.75
+
+    def test_heavy_overlap(self):
+        """Delta-net's premise: prefixes overlap a lot (atoms << rules)."""
+        drawn = PrefixPool(seed=5).sample(2000)
+        assert overlap_fraction(drawn) > 0.5
+
+    def test_to_interval_and_text(self):
+        lo, plen = (10 << 24, 8)
+        assert PrefixPool.to_interval((lo, plen)) == make_interval(lo, plen)
+        assert PrefixPool.to_text((lo, plen)) == "10.0.0.0/8"
+
+    def test_length_mass_sums_to_about_one(self):
+        assert abs(sum(DEFAULT_LENGTH_MASS.values()) - 1.0) < 0.05
+
+
+class TestOverlapFraction:
+    def test_disjoint(self):
+        assert overlap_fraction([(0, 8), (1 << 24, 8)]) == 0.0
+
+    def test_nested(self):
+        assert overlap_fraction([(0, 8), (0, 16)]) == 1.0
+
+    def test_empty(self):
+        assert overlap_fraction([]) == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the BGP RIB and best-route selection."""
+
+from repro.bgp.rib import Rib, Route
+from repro.bgp.updates import BgpUpdate
+
+P1 = (0, 8)
+P2 = (1 << 24, 8)
+
+
+class TestRib:
+    def test_first_announce_becomes_best(self):
+        rib = Rib()
+        change = rib.apply(BgpUpdate("announce", P1, "r1", 3))
+        assert change is not None
+        assert change.old is None
+        assert change.new.peer == "r1"
+        assert rib.best(P1).peer == "r1"
+
+    def test_shorter_as_path_wins(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r1", 3))
+        change = rib.apply(BgpUpdate("announce", P1, "r2", 1))
+        assert change.new.peer == "r2"
+
+    def test_longer_as_path_ignored(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r1", 1))
+        assert rib.apply(BgpUpdate("announce", P1, "r2", 5)) is None
+        assert rib.best(P1).peer == "r1"
+
+    def test_tie_broken_by_peer_repr(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r2", 2))
+        change = rib.apply(BgpUpdate("announce", P1, "r1", 2))
+        assert change.new.peer == "r1"  # 'r1' < 'r2'
+
+    def test_withdraw_falls_back(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r1", 1))
+        rib.apply(BgpUpdate("announce", P1, "r2", 2))
+        change = rib.apply(BgpUpdate("withdraw", P1, "r1", 1))
+        assert change.new.peer == "r2"
+
+    def test_withdraw_last_route_clears(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r1", 1))
+        change = rib.apply(BgpUpdate("withdraw", P1, "r1", 1))
+        assert change.new is None
+        assert rib.best(P1) is None
+        assert rib.num_prefixes == 0
+
+    def test_redundant_withdraw_no_change(self):
+        rib = Rib()
+        assert rib.apply(BgpUpdate("withdraw", P1, "r1", 1)) is None
+
+    def test_prefixes_independent(self):
+        rib = Rib()
+        rib.apply(BgpUpdate("announce", P1, "r1", 1))
+        rib.apply(BgpUpdate("announce", P2, "r2", 1))
+        assert rib.num_prefixes == 2
+        assert rib.best_routes()[P1].peer == "r1"
+        assert rib.best_routes()[P2].peer == "r2"
+
+    def test_route_preference_key(self):
+        assert Route(P1, "r1", 1).preference_key < Route(P1, "r1", 2).preference_key

@@ -1,0 +1,55 @@
+"""Tests for BGP update streams."""
+
+import pytest
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import BgpUpdate, UpdateStream
+
+
+class TestBgpUpdate:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            BgpUpdate("flap", (0, 8), "peer", 1)
+
+    def test_fields(self):
+        update = BgpUpdate("announce", (0, 8), "r1", 3)
+        assert update.kind == "announce"
+        assert update.as_path_length == 3
+
+
+class TestUpdateStream:
+    def setup_method(self):
+        self.stream = UpdateStream(["r1", "r2"], PrefixPool(seed=1),
+                                   prefixes_per_peer=10, seed=1)
+
+    def test_requires_peers(self):
+        with pytest.raises(ValueError):
+            UpdateStream([], PrefixPool(seed=1))
+
+    def test_initial_announcements_cover_all_peers(self):
+        updates = list(self.stream.initial_announcements())
+        assert len(updates) == 20
+        assert all(u.kind == "announce" for u in updates)
+        assert {u.peer for u in updates} == {"r1", "r2"}
+
+    def test_flaps_are_withdraw_then_reannounce(self):
+        flaps = list(self.stream.flaps(5))
+        assert len(flaps) == 10
+        for withdraw, announce in zip(flaps[0::2], flaps[1::2]):
+            assert withdraw.kind == "withdraw"
+            assert announce.kind == "announce"
+            assert withdraw.prefix == announce.prefix
+            assert withdraw.peer == announce.peer
+
+    def test_churn_mix(self):
+        churn = list(self.stream.churn(200, announce_bias=0.7))
+        announces = sum(1 for u in churn if u.kind == "announce")
+        assert len(churn) == 200
+        assert 100 < announces < 180  # roughly 70%
+
+    def test_deterministic(self):
+        other = UpdateStream(["r1", "r2"], PrefixPool(seed=1),
+                             prefixes_per_peer=10, seed=1)
+        assert list(other.flaps(3)) == list(
+            UpdateStream(["r1", "r2"], PrefixPool(seed=1),
+                         prefixes_per_peer=10, seed=1).flaps(3))

@@ -1,0 +1,76 @@
+"""Tests for Algorithm 3 (atom-labelled Floyd–Warshall closure)."""
+
+import random
+
+import pytest
+
+from repro.checkers.allpairs import (
+    all_pairs_reachability, all_pairs_reference, loops_from_closure,
+    reachability_matrix,
+)
+from repro.checkers.reachability import reachable_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+from tests.conftest import random_rules
+
+
+def chain_net() -> DeltaNet:
+    net = DeltaNet(width=4)
+    net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+    net.insert_rule(Rule.forward(1, 0, 4, 1, "s2", "s3"))
+    net.insert_rule(Rule.forward(2, 8, 16, 1, "s1", "s4"))
+    return net
+
+
+class TestSmallCases:
+    def test_chain_closure(self):
+        net = chain_net()
+        closure = all_pairs_reachability(net)
+        assert reachability_matrix(closure, "s1", "s2") == \
+            set(net.atoms.atoms_in(0, 8))
+        assert reachability_matrix(closure, "s1", "s3") == \
+            set(net.atoms.atoms_in(0, 4))
+        assert reachability_matrix(closure, "s2", "s4") == set()
+
+    def test_empty_network(self):
+        assert all_pairs_reachability(DeltaNet(width=4)) == {}
+
+    def test_loop_shows_on_diagonal(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "b", "a"))
+        closure = all_pairs_reachability(net)
+        looping = loops_from_closure(closure)
+        assert set(looping) == {"a", "b"}
+
+    def test_drop_edges_excluded(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.drop(0, 0, 16, 1, "a"))
+        assert all_pairs_reachability(net) == {}
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_per_atom_bfs(self, seed):
+        rng = random.Random(seed)
+        net = DeltaNet(width=6)
+        for rule in random_rules(rng, 30, width=6, switches=5,
+                                 drop_fraction=0.1):
+            net.insert_rule(rule)
+        assert all_pairs_reachability(net) == all_pairs_reference(net)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistent_with_single_pair_reachability(self, seed):
+        """closure[src,dst] must contain the worklist algorithm's answer
+        restricted to multi-hop flows (the closure starts from edges)."""
+        rng = random.Random(50 + seed)
+        net = DeltaNet(width=6)
+        for rule in random_rules(rng, 25, width=6, switches=4,
+                                 drop_fraction=0.0):
+            net.insert_rule(rule)
+        closure = all_pairs_reachability(net)
+        for src in ("s0", "s1"):
+            for dst in ("s2", "s3"):
+                assert reachability_matrix(closure, src, dst) == \
+                    reachable_atoms(net, src, dst)

@@ -1,0 +1,45 @@
+"""Tests for black-hole detection."""
+
+from repro.checkers.blackholes import find_blackholes
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+
+class TestBlackholes:
+    def test_traffic_dies_at_ruleless_node(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        holes = find_blackholes(net)
+        assert set(holes) == {"s2"}
+        assert holes["s2"] == set(net.atoms.atoms_in(0, 16))
+
+    def test_forwarded_traffic_is_not_blackholed(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "s2", "s3"))
+        holes = find_blackholes(net)
+        assert "s2" not in holes
+        assert set(holes) == {"s3"}
+
+    def test_partial_coverage_blackholes_the_rest(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 0, 8, 1, "s2", "s3"))
+        holes = find_blackholes(net, expected_sinks=["s3"])
+        assert set(holes) == {"s2"}
+        spans = sorted(net.atoms.atom_interval(a) for a in holes["s2"])
+        assert spans[0][0] == 8 and spans[-1][1] == 16
+
+    def test_explicit_drop_is_not_a_blackhole(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.drop(1, 0, 16, 1, "s2"))
+        assert find_blackholes(net) == {}
+
+    def test_expected_sinks_excluded(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "egress"))
+        assert find_blackholes(net, expected_sinks=["egress"]) == {}
+
+    def test_empty_network(self):
+        assert find_blackholes(DeltaNet(width=4)) == {}

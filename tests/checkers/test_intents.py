@@ -1,0 +1,96 @@
+"""Tests for RIB/data-plane intent consistency checking."""
+
+import pytest
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import BgpUpdate, UpdateStream
+from repro.checkers.intents import (
+    check_intents, summarize_violations,
+)
+from repro.core.deltanet import DeltaNet
+from repro.sdn.controller import Controller
+from repro.sdn.sdnip import SdnIp
+from repro.topology.generators import ring
+
+PREFIX = (10 << 24, 8)
+
+
+def build(n=4):
+    controller = Controller(ring(n))
+    net = DeltaNet()
+
+    def mirror(op):
+        if op.is_insert:
+            net.insert_rule(op.rule)
+        else:
+            net.remove_rule(op.rid)
+
+    controller.subscribe(mirror)
+    peers = {f"bgp{i}": i for i in range(n)}
+    sdnip = SdnIp(controller, peers)
+    return controller, sdnip, net, peers
+
+
+class TestCheckIntents:
+    def test_fresh_programming_is_consistent(self):
+        _c, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        assert check_intents(net, sdnip.rib, peers) == []
+
+    def test_full_advertisement_round_is_consistent(self):
+        _c, sdnip, net, peers = build()
+        stream = UpdateStream(list(peers), PrefixPool(seed=3),
+                              prefixes_per_peer=5, seed=3)
+        sdnip.handle_updates(stream.initial_announcements())
+        assert check_intents(net, sdnip.rib, peers) == []
+
+    def test_reroute_stays_consistent(self):
+        _c, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        sdnip.handle_link_failure(0, 1)
+        assert check_intents(net, sdnip.rib, peers) == []
+        sdnip.handle_link_recovery(0, 1)
+        assert check_intents(net, sdnip.rib, peers) == []
+
+    def test_detects_stale_next_hop_blackhole(self):
+        """Manually remove one programmed rule: traffic now dies there."""
+        controller, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        victim_rid, _hop = sdnip._installed[PREFIX][2]
+        controller.uninstall(victim_rid)
+        violations = check_intents(net, sdnip.rib, peers)
+        assert violations
+        assert summarize_violations(violations) == {"blackhole": 1}
+        assert violations[0].ingress == 2
+
+    def test_detects_loop(self):
+        """Point two switches at each other for the prefix."""
+        controller, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        lo, hi = PrefixPool.to_interval(PREFIX)
+        # Overriding rules with a higher priority than plen=8.
+        controller.install_forward(1, 2, lo, hi, 99)
+        controller.install_forward(2, 1, lo, hi, 99)
+        violations = check_intents(net, sdnip.rib, peers)
+        assert "loop" in summarize_violations(violations)
+
+    def test_detects_wrong_egress(self):
+        """Divert traffic to a different border router."""
+        controller, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        lo, hi = PrefixPool.to_interval(PREFIX)
+        controller.install_forward(2, "bgp2", lo, hi, 99)
+        violations = check_intents(net, sdnip.rib, peers)
+        outcomes = summarize_violations(violations)
+        assert outcomes.get("wrong-egress", 0) >= 1
+
+    def test_best_route_change_checked_against_new_egress(self):
+        _c, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 5))
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp2", 1))
+        assert check_intents(net, sdnip.rib, peers) == []
+
+    def test_custom_ingress_subset(self):
+        _c, sdnip, net, peers = build()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        assert check_intents(net, sdnip.rib, peers, ingresses=[2]) == []

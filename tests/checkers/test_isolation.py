@@ -1,0 +1,36 @@
+"""Tests for the slice-isolation checker."""
+
+from repro.checkers.isolation import check_isolation
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Link, Rule
+
+
+class TestIsolation:
+    def test_isolated_slices(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))   # tenant A
+        net.insert_rule(Rule.forward(1, 8, 16, 1, "s1", "s3"))  # tenant B
+        assert check_isolation(net, [(0, 8)], [(8, 16)]) == {}
+
+    def test_shared_link_detected(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 8, 16, 1, "s1", "s2"))
+        offenders = check_isolation(net, [(0, 8)], [(8, 16)])
+        assert set(offenders) == {Link("s1", "s2")}
+        spans = sorted(net.atoms.atom_interval(a) for a in offenders[Link("s1", "s2")])
+        assert spans[0][0] == 0 and spans[-1][1] == 16
+
+    def test_downstream_mixing_detected(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "a1", "mix"))
+        net.insert_rule(Rule.forward(1, 8, 16, 1, "b1", "mix"))
+        net.insert_rule(Rule.forward(2, 0, 16, 1, "mix", "out"))
+        offenders = check_isolation(net, [(0, 8)], [(8, 16)])
+        assert Link("mix", "out") in offenders
+        assert Link("a1", "mix") not in offenders
+
+    def test_empty_slices(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert check_isolation(net, [], [(0, 16)]) == {}

@@ -1,0 +1,123 @@
+"""Tests for incremental and exhaustive forwarding-loop detection."""
+
+import random
+
+import pytest
+
+from repro.checkers.loops import Loop, LoopChecker, find_forwarding_loops
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+from tests.conftest import BruteForceDataPlane, random_rules
+
+
+def make_ring_loop(width=4, lo=0, hi=16):
+    """s1 -> s2 -> s3 -> s1 for the whole space."""
+    net = DeltaNet(width=width)
+    checker = LoopChecker(net)
+    net.insert_rule(Rule.forward(0, lo, hi, 1, "s1", "s2"))
+    net.insert_rule(Rule.forward(1, lo, hi, 1, "s2", "s3"))
+    return net, checker
+
+
+class TestIncremental:
+    def test_no_loop_on_chain(self):
+        net, checker = make_ring_loop()
+        delta = net.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s4"))
+        assert checker.check_update(delta) == []
+
+    def test_loop_detected_on_closing_edge(self):
+        net, checker = make_ring_loop()
+        delta = net.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s1"))
+        loops = checker.check_update(delta)
+        assert loops
+        assert set(loops[0].cycle) == {"s1", "s2", "s3"}
+
+    def test_loop_only_for_overlapping_atoms(self):
+        net, checker = make_ring_loop(lo=0, hi=8)
+        delta = net.insert_rule(Rule.forward(2, 4, 12, 1, "s3", "s1"))
+        loops = checker.check_update(delta)
+        assert len(loops) >= 1
+        for loop in loops:
+            atom_lo, atom_hi = net.atoms.atom_interval(loop.atom)
+            assert 4 <= atom_lo and atom_hi <= 8  # only the shared space loops
+
+    def test_removal_never_reports_loops(self):
+        net, checker = make_ring_loop()
+        net.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s1"))
+        delta = net.remove_rule(2)
+        assert checker.check_update(delta) == []
+
+    def test_self_resolving_update_no_loops(self):
+        net, checker = make_ring_loop()
+        # A higher-priority deviation at s2 breaks the would-be ring.
+        net.insert_rule(Rule.forward(2, 0, 16, 9, "s2", "s5"))
+        delta = net.insert_rule(Rule.forward(3, 0, 16, 1, "s3", "s1"))
+        loops = checker.check_update(delta)
+        assert loops == []
+
+    def test_drop_breaks_loop(self):
+        net, checker = make_ring_loop()
+        net.insert_rule(Rule.drop(2, 0, 16, 9, "s3"))
+        delta = net.insert_rule(Rule.forward(3, 0, 16, 1, "s3", "s1"))
+        assert checker.check_update(delta) == []
+
+
+class TestExhaustive:
+    def test_finds_existing_loop(self):
+        net, _checker = make_ring_loop()
+        net.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s1"))
+        loops = find_forwarding_loops(net)
+        assert loops
+        assert all(set(l.cycle) == {"s1", "s2", "s3"} for l in loops)
+
+    def test_empty_when_no_loops(self):
+        net, _checker = make_ring_loop()
+        assert find_forwarding_loops(net) == []
+
+    def test_atom_filter(self):
+        net, _checker = make_ring_loop()
+        net.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s1"))
+        looping_atom = find_forwarding_loops(net)[0].atom
+        other_atoms = [a for a, _ in net.atoms.intervals() if a != looping_atom]
+        assert find_forwarding_loops(net, atoms=[looping_atom])
+        # Filtering to other atoms of the same full-space rules still finds
+        # their loops; filtering to nothing finds nothing.
+        assert find_forwarding_loops(net, atoms=[]) == []
+
+    def test_canonical_rotation_dedups(self):
+        loop_a = Loop(1, ("s2", "s3", "s1")).canonical()
+        loop_b = Loop(1, ("s1", "s2", "s3")).canonical()
+        assert loop_a == loop_b
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exhaustive_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        net, oracle = DeltaNet(width=6), BruteForceDataPlane(width=6)
+        for rule in random_rules(rng, 30, width=6, switches=4,
+                                 drop_fraction=0.05):
+            net.insert_rule(rule)
+            oracle.insert(rule)
+        found = find_forwarding_loops(net)
+        oracle_loops = oracle.loop_points()
+        if oracle_loops:
+            assert found, "oracle sees a loop Delta-net missed"
+        else:
+            assert not found, f"false loops: {found}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_incremental_agrees_with_exhaustive_presence(self, seed):
+        """If an update creates the first loop, check_update must see it."""
+        rng = random.Random(100 + seed)
+        net = DeltaNet(width=6)
+        checker = LoopChecker(net)
+        had_loop = False
+        for rule in random_rules(rng, 40, width=6, switches=4):
+            delta = net.insert_rule(rule)
+            incremental = checker.check_update(delta)
+            now_has_loop = bool(find_forwarding_loops(net))
+            if not had_loop and now_has_loop:
+                assert incremental, "new loop missed by incremental check"
+            had_loop = now_has_loop

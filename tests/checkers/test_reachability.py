@@ -1,0 +1,99 @@
+"""Tests for atom-level reachability queries."""
+
+import random
+
+import pytest
+
+from repro.checkers.reachability import find_path, reachable_atoms, reachable_nodes
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+from tests.conftest import BruteForceDataPlane, random_rules
+
+
+def chain_net() -> DeltaNet:
+    """s1 -[0:8)-> s2 -[0:4)-> s3; plus s1 -[8:16)-> s4."""
+    net = DeltaNet(width=4)
+    net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+    net.insert_rule(Rule.forward(1, 0, 4, 1, "s2", "s3"))
+    net.insert_rule(Rule.forward(2, 8, 16, 1, "s1", "s4"))
+    return net
+
+
+def atoms_to_points(net, atoms):
+    points = set()
+    for atom in atoms:
+        lo, hi = net.atoms.atom_interval(atom)
+        points.update(range(lo, hi))
+    return points
+
+
+class TestReachableAtoms:
+    def test_direct_hop(self):
+        net = chain_net()
+        atoms = reachable_atoms(net, "s1", "s2")
+        assert atoms_to_points(net, atoms) == set(range(0, 8))
+
+    def test_two_hops_intersect_labels(self):
+        net = chain_net()
+        atoms = reachable_atoms(net, "s1", "s3")
+        assert atoms_to_points(net, atoms) == set(range(0, 4))
+
+    def test_unreachable(self):
+        net = chain_net()
+        assert reachable_atoms(net, "s4", "s1") == set()
+        assert reachable_atoms(net, "s2", "s4") == set()
+
+    def test_cycle_terminates(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "b", "a"))
+        atoms = reachable_atoms(net, "a", "b")
+        assert atoms_to_points(net, atoms) == set(range(16))
+
+    def test_drop_blocks_flow(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.drop(0, 0, 16, 9, "s1"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "s1", "s2"))
+        assert reachable_atoms(net, "s1", "s2") == set()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_pointwise_oracle(self, seed):
+        rng = random.Random(seed)
+        net, oracle = DeltaNet(width=6), BruteForceDataPlane(width=6)
+        for rule in random_rules(rng, 25, width=6, switches=4):
+            net.insert_rule(rule)
+            oracle.insert(rule)
+        for src, dst in (("s0", "s1"), ("s1", "s3"), ("s2", "s0")):
+            got = atoms_to_points(net, reachable_atoms(net, src, dst))
+            expected = set()
+            for lo, hi in oracle.segments():
+                # Chase the point from src; stop on revisit.
+                node, seen = src, set()
+                while node is not None and node not in seen:
+                    seen.add(node)
+                    if node == dst and node != src:
+                        expected.update(range(lo, hi))
+                        break
+                    node = oracle.next_hop(node, lo)
+            assert got == expected, (src, dst)
+
+
+class TestPaths:
+    def test_reachable_nodes_order(self):
+        net = chain_net()
+        atom = net.atoms.atom_at(1)
+        assert reachable_nodes(net, "s1", atom) == ["s1", "s2", "s3"]
+
+    def test_find_path(self):
+        net = chain_net()
+        atom = net.atoms.atom_at(1)
+        assert find_path(net, "s1", "s3", atom) == ["s1", "s2", "s3"]
+        assert find_path(net, "s1", "s4", atom) is None
+
+    def test_reachable_nodes_terminates_on_loop(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "b", "a"))
+        atom = net.atoms.atom_at(0)
+        assert reachable_nodes(net, "a", atom) == ["a", "b"]

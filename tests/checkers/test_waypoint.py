@@ -1,0 +1,49 @@
+"""Tests for the waypoint (service-chaining) checker."""
+
+import pytest
+
+from repro.checkers.waypoint import check_waypoint
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+
+def net_with_bypass() -> DeltaNet:
+    """src -> fw -> dst for [0:8); src -> dst directly for [8:16)."""
+    net = DeltaNet(width=4)
+    net.insert_rule(Rule.forward(0, 0, 8, 2, "src", "fw"))
+    net.insert_rule(Rule.forward(1, 0, 16, 1, "fw", "dst"))
+    net.insert_rule(Rule.forward(2, 8, 16, 2, "src", "dst"))
+    return net
+
+
+class TestWaypoint:
+    def test_violations_are_the_bypassing_atoms(self):
+        net = net_with_bypass()
+        violations = check_waypoint(net, "src", "dst", "fw")
+        spans = sorted(net.atoms.atom_interval(a) for a in violations)
+        assert spans and spans[0][0] == 8 and spans[-1][1] == 16
+
+    def test_no_violation_when_all_through_waypoint(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "src", "fw"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "fw", "dst"))
+        assert check_waypoint(net, "src", "dst", "fw") == set()
+
+    def test_unreachable_dst_is_fine(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "src", "fw"))
+        assert check_waypoint(net, "src", "dst", "fw") == set()
+
+    def test_waypoint_equal_endpoint_rejected(self):
+        net = net_with_bypass()
+        with pytest.raises(ValueError):
+            check_waypoint(net, "src", "dst", "src")
+        with pytest.raises(ValueError):
+            check_waypoint(net, "src", "dst", "dst")
+
+    def test_multi_hop_bypass_detected(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "src", "mid"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "mid", "dst"))
+        violations = check_waypoint(net, "src", "dst", "fw")
+        assert violations == set(net.atoms.atoms_in(0, 16))

@@ -1,0 +1,191 @@
+"""Tests for the atom table (§3.1, Figures 5 and 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import ATOM_INF, AtomTable
+from repro.core.prefix import prefix_to_interval
+
+
+def interval_strategy(width):
+    space = 1 << width
+    return st.tuples(st.integers(0, space - 1), st.integers(0, space)).map(
+        lambda p: (min(p), max(p) if max(p) > min(p) else min(p) + 1))
+
+
+class TestInitialState:
+    def test_one_initial_atom(self):
+        table = AtomTable(width=4)
+        assert table.num_atoms == 1
+        assert table.atom_interval(0) == (0, 16)
+        assert table.boundaries() == [0, 16]
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            AtomTable(width=0)
+
+
+class TestPaperExample:
+    """Table 1 / Figures 5-6: rules rH=[10:12), rL=[0:16), then rM=[8:12)."""
+
+    def setup_method(self):
+        self.table = AtomTable(width=4)
+
+    def test_rh_then_rl_yields_figure5_atoms(self):
+        """With a 4-bit space, Figure 5's three atoms appear exactly."""
+        self.table.create_atoms(10, 12)   # rH
+        self.table.create_atoms(0, 16)    # rL ([0:16) is the whole space)
+        atoms = dict(self.table.intervals())
+        assert atoms == {0: (0, 10), 1: (10, 12), 2: (12, 16)}
+        assert self.table.num_atoms == 3
+
+    def test_rh_rl_atom_ids_with_32bit_space(self):
+        table = AtomTable(width=32)
+        delta_h = table.create_atoms(10, 12)
+        delta_l = table.create_atoms(0, 16)
+        # rH splits [0, MAX) twice: at 10 and at 12.
+        assert delta_h == [(0, 1), (1, 2)]
+        # rL adds only the boundary 16 (0 already present).
+        assert delta_l == [(2, 3)]
+        assert set(table.atoms_in(10, 12)) == {1}
+        # After the split at 16, [12:16) keeps id 2 and [16:MAX) is new id 3.
+        assert set(table.atoms_in(0, 16)) == {0, 1, 2}
+        assert table.atom_interval(3) == (16, 1 << 32)
+
+    def test_rm_split_matches_figure6(self):
+        """CREATE_ATOMS+(rM) returns exactly {alpha0 -> alpha4}."""
+        table = AtomTable(width=32)
+        table.create_atoms(10, 12)
+        table.create_atoms(0, 16)
+        delta_m = table.create_atoms(8, 12)
+        assert delta_m == [(0, 4)]
+        assert table.atom_interval(0) == (0, 8)
+        assert table.atom_interval(4) == (8, 10)
+
+
+class TestCreateAtoms:
+    def test_at_most_two_deltas(self):
+        table = AtomTable(width=8)
+        rng = random.Random(1)
+        for _ in range(200):
+            lo = rng.randrange(256)
+            hi = rng.randrange(lo + 1, 257)
+            assert len(table.create_atoms(lo, hi)) <= 2
+
+    def test_idempotent(self):
+        table = AtomTable(width=8)
+        assert len(table.create_atoms(10, 20)) == 2
+        assert table.create_atoms(10, 20) == []
+
+    def test_shared_lower_bound_paper_remark(self):
+        """1.2.0.0/16 and 1.2.0.0/24 share a lower bound => 3 atoms, not 4."""
+        table = AtomTable(width=32)
+        table.create_atoms(*prefix_to_interval("1.2.0.0/16"))
+        table.create_atoms(*prefix_to_interval("1.2.0.0/24"))
+        assert table.num_atoms == 4  # [0:lo), /24, rest-of-/16, [hi16:MAX)
+
+    def test_out_of_range_rejected(self):
+        table = AtomTable(width=4)
+        with pytest.raises(ValueError):
+            table.create_atoms(0, 17)
+        with pytest.raises(ValueError):
+            table.create_atoms(5, 5)
+
+    def test_full_universe_interval_no_new_atoms(self):
+        table = AtomTable(width=4)
+        assert table.create_atoms(0, 16) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(interval_strategy(6), min_size=1, max_size=30))
+    def test_final_boundaries_order_invariant(self, intervals):
+        """§3.1: the generated atom *set* is insertion-order invariant."""
+        forward, backward = AtomTable(width=6), AtomTable(width=6)
+        for lo, hi in intervals:
+            forward.create_atoms(lo, hi)
+        for lo, hi in reversed(intervals):
+            backward.create_atoms(lo, hi)
+        assert forward.boundaries() == backward.boundaries()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(interval_strategy(6), min_size=1, max_size=30))
+    def test_atoms_partition_universe(self, intervals):
+        table = AtomTable(width=6)
+        for lo, hi in intervals:
+            table.create_atoms(lo, hi)
+        covered = []
+        for _atom, (lo, hi) in table.intervals():
+            covered.append((lo, hi))
+        covered.sort()
+        assert covered[0][0] == 0
+        assert covered[-1][1] == 64
+        for (l1, h1), (l2, h2) in zip(covered, covered[1:]):
+            assert h1 == l2  # contiguous, disjoint
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(interval_strategy(6), min_size=1, max_size=20))
+    def test_atoms_in_covers_exactly(self, intervals):
+        table = AtomTable(width=6)
+        for lo, hi in intervals:
+            table.create_atoms(lo, hi)
+        for lo, hi in intervals:
+            atoms = list(table.atoms_in(lo, hi))
+            assert ATOM_INF not in atoms
+            spans = sorted(table.atom_interval(a) for a in atoms)
+            assert spans[0][0] == lo and spans[-1][1] == hi
+            for (l1, h1), (l2, h2) in zip(spans, spans[1:]):
+                assert h1 == l2
+
+
+class TestAtomQueries:
+    def test_atom_at(self):
+        table = AtomTable(width=4)
+        table.create_atoms(4, 8)
+        assert table.atom_at(0) == 0
+        assert table.atom_at(5) == table.atom_at(7)
+        assert table.atom_at(5) != table.atom_at(8)
+        with pytest.raises(ValueError):
+            table.atom_at(16)
+
+    def test_num_atoms_is_map_size_minus_one(self):
+        """§3.1: number of atoms == |M| - 1."""
+        table = AtomTable(width=8)
+        table.create_atoms(10, 20)
+        table.create_atoms(15, 30)
+        assert table.num_atoms == len(table.boundaries()) - 1
+
+
+class TestGarbageCollection:
+    def test_refcounting(self):
+        table = AtomTable(width=8)
+        table.create_atoms(10, 20)
+        table.ref_bounds(10, 20)
+        table.ref_bounds(10, 30)
+        assert table.unref_bounds(10, 20) == [20]
+        assert table.unref_bounds(10, 30) == [10, 30]
+
+    def test_collect_merges_into_predecessor(self):
+        table = AtomTable(width=8)
+        table.create_atoms(10, 20)
+        dead, survivor = table.collect(10)
+        assert survivor == 0
+        assert table.atom_interval(0) == (0, 20)
+        with pytest.raises(KeyError):
+            table.atom_interval(dead)
+
+    def test_collect_rejects_min_max(self):
+        table = AtomTable(width=8)
+        with pytest.raises(KeyError):
+            table.collect(0)
+        with pytest.raises(KeyError):
+            table.collect(256)
+
+    def test_recycled_id_reused(self):
+        table = AtomTable(width=8)
+        (_, new_atom), = table.create_atoms(10, 256)
+        dead, _ = table.collect(10)
+        assert dead == new_atom
+        (_, reused), = table.create_atoms(99, 256)
+        assert reused == dead

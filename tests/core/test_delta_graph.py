@@ -1,0 +1,67 @@
+"""Tests for delta-graph recording and aggregation."""
+
+from repro.core.delta_graph import DeltaGraph
+from repro.core.rules import Link
+
+AB = Link("a", "b")
+AC = Link("a", "c")
+
+
+class TestRecording:
+    def test_empty(self):
+        dg = DeltaGraph()
+        assert dg.is_empty()
+        assert not dg
+        assert dg.affected_atoms() == set()
+        assert dg.affected_links() == set()
+
+    def test_add_and_remove_tracked_separately(self):
+        dg = DeltaGraph()
+        dg.record_add(AB, 1)
+        dg.record_remove(AC, 1)
+        assert dg.added == {AB: {1}}
+        assert dg.removed == {AC: {1}}
+        assert dg.affected_atoms() == {1}
+        assert dg.affected_links() == {AB, AC}
+        assert dg.affected_sources() == {"a"}
+
+    def test_add_then_remove_same_pair_cancels(self):
+        dg = DeltaGraph()
+        dg.record_add(AB, 1)
+        dg.record_remove(AB, 1)
+        assert dg.is_empty()
+
+    def test_remove_then_add_same_pair_cancels(self):
+        dg = DeltaGraph()
+        dg.record_remove(AB, 1)
+        dg.record_add(AB, 1)
+        assert dg.is_empty()
+
+    def test_changes_view(self):
+        dg = DeltaGraph()
+        dg.record_add(AB, 1)
+        dg.record_remove(AC, 2)
+        assert set(dg.changes()) == {(AB, 1, +1), (AC, 2, -1)}
+
+
+class TestMerge:
+    def test_merge_cancels_across_updates(self):
+        first, second = DeltaGraph(), DeltaGraph()
+        first.record_add(AB, 1)
+        second.record_remove(AB, 1)
+        second.record_add(AC, 2)
+        first.merge(second)
+        assert first.added == {AC: {2}}
+        assert not first.removed
+
+    def test_merge_accumulates(self):
+        first, second = DeltaGraph(), DeltaGraph()
+        first.record_add(AB, 1)
+        second.record_add(AB, 2)
+        first.merge(second)
+        assert first.added == {AB: {1, 2}}
+
+    def test_repr(self):
+        dg = DeltaGraph()
+        dg.record_add(AB, 1)
+        assert "+1" in repr(dg)

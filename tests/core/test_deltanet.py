@@ -1,0 +1,264 @@
+"""Tests for Algorithms 1 and 2 — including randomized oracle checks.
+
+The key property: after any sequence of insertions and removals, the
+edge-labelled graph's ``label[link]`` (lowered to header intervals) must
+equal what a naive full recomputation over all rules produces.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Action, DROP, Link, Rule
+
+from tests.conftest import BruteForceDataPlane, deltanet_label_intervals, random_rules
+
+
+class TestBasicInsert:
+    def test_single_rule(self):
+        net = DeltaNet(width=4)
+        delta = net.insert_rule(Rule.forward(0, 4, 8, 1, "s1", "s2"))
+        assert net.label_of(("s1", "s2")) == set(net.atoms.atoms_in(4, 8))
+        assert delta.added
+        assert not delta.removed
+        net.check_invariants()
+
+    def test_duplicate_rid_rejected(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 4, 8, 1, "s1", "s2"))
+        with pytest.raises(ValueError):
+            net.insert_rule(Rule.forward(0, 0, 4, 2, "s1", "s2"))
+
+    def test_higher_priority_steals_atoms(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 4, 8, 2, "s1", "s3"))
+        assert net.flows_on(("s1", "s2")) == [(0, 4), (8, 16)]
+        assert net.flows_on(("s1", "s3")) == [(4, 8)]
+        net.check_invariants()
+
+    def test_lower_priority_hides_behind(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 9, "s1", "s2"))
+        delta = net.insert_rule(Rule.forward(1, 4, 8, 1, "s1", "s3"))
+        assert net.flows_on(("s1", "s2")) == [(0, 16)]
+        assert net.label_of(("s1", "s3")) == set()
+        assert not delta  # nothing visible changed
+        net.check_invariants()
+
+    def test_same_link_reinforcement_no_delta(self):
+        """A higher-priority rule with the *same* link changes nothing."""
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        delta = net.insert_rule(Rule.forward(1, 4, 8, 2, "s1", "s2"))
+        assert not delta
+        assert net.flows_on(("s1", "s2")) == [(0, 16)]
+        net.check_invariants()
+
+    def test_drop_rule_flows_to_sink(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.drop(1, 4, 8, 2, "s1"))
+        assert net.flows_on(("s1", DROP)) == [(4, 8)]
+        net.check_invariants()
+
+    def test_rules_on_different_switches_are_independent(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 5, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 0, 16, 1, "s2", "s3"))
+        assert net.flows_on(("s1", "s2")) == [(0, 16)]
+        assert net.flows_on(("s2", "s3")) == [(0, 16)]
+
+
+class TestPaperWalkthrough:
+    """The full §3.2.1 example: rL, rH, then rM in Table 1's switch."""
+
+    def test_insertion_order_rl_rh_rm(self):
+        net = DeltaNet()  # 32-bit, as in the paper
+        r_l = net.make_rule(0, "0.0.0.0/28", 10, "s", "next_l")
+        r_h = net.make_rule(1, "0.0.0.10/31", 30, "s", "next_h")
+        r_m = net.make_rule(2, "0.0.0.8/30", 20, "s", "next_m")
+        net.insert_rule(r_l)
+        net.insert_rule(r_h)
+        net.insert_rule(r_m)
+        assert net.flows_on(("s", "next_h")) == [(10, 12)]
+        assert net.flows_on(("s", "next_m")) == [(8, 10)]
+        assert net.flows_on(("s", "next_l")) == [(0, 8), (12, 16)]
+        net.check_invariants()
+
+    def test_any_insertion_order_same_labels(self):
+        results = []
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]):
+            net = DeltaNet()
+            rules = {
+                0: net.make_rule(0, "0.0.0.0/28", 10, "s", "next_l"),
+                1: net.make_rule(1, "0.0.0.10/31", 30, "s", "next_h"),
+                2: net.make_rule(2, "0.0.0.8/30", 20, "s", "next_m"),
+            }
+            for rid in order:
+                net.insert_rule(rules[rid])
+            results.append(deltanet_label_intervals(net))
+        assert all(r == results[0] for r in results)
+
+
+class TestRemove:
+    def test_remove_unknown_raises(self):
+        net = DeltaNet(width=4)
+        with pytest.raises(KeyError):
+            net.remove_rule(7)
+
+    def test_remove_restores_previous_owner(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 4, 8, 2, "s1", "s3"))
+        delta = net.remove_rule(1)
+        assert net.flows_on(("s1", "s2")) == [(0, 16)]
+        assert net.label_of(("s1", "s3")) == set()
+        assert delta.added and delta.removed
+        net.check_invariants()
+
+    def test_remove_last_rule_clears_labels(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        net.remove_rule(0)
+        assert net.label_of(("s1", "s2")) == set()
+        assert net.num_rules == 0
+        net.check_invariants()
+
+    def test_insert_remove_roundtrip_is_identity(self):
+        net = DeltaNet(width=8)
+        base = Rule.forward(0, 0, 256, 1, "s1", "s2")
+        net.insert_rule(base)
+        before = deltanet_label_intervals(net)
+        probe = Rule.forward(1, 16, 32, 9, "s1", "s3")
+        net.insert_rule(probe)
+        net.remove_rule(1)
+        assert deltanet_label_intervals(net) == before
+        net.check_invariants()
+
+    def test_delta_graphs_of_insert_and_remove_cancel(self):
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 256, 1, "s1", "s2"))
+        insert_delta = net.insert_rule(Rule.forward(1, 16, 32, 9, "s1", "s3"))
+        remove_delta = net.remove_rule(1)
+        insert_delta.merge(remove_delta)
+        assert not insert_delta
+
+
+class TestBatchApply:
+    def test_aggregated_delta(self):
+        net = DeltaNet(width=8)
+        rule_a = Rule.forward(0, 0, 128, 1, "s1", "s2")
+        rule_b = Rule.forward(1, 0, 128, 2, "s1", "s3")
+        net.insert_rule(rule_a)
+        delta = net.apply(rules_to_insert=[rule_b], rids_to_remove=[0])
+        assert net.flows_on(("s1", "s3")) == [(0, 128)]
+        assert Link("s1", "s2") in delta.removed
+
+
+class TestOracle:
+    """Randomized cross-checks against the brute-force data plane."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_insertions_match_oracle(self, seed):
+        rng = random.Random(seed)
+        net, oracle = DeltaNet(width=8), BruteForceDataPlane(width=8)
+        for rule in random_rules(rng, 40, width=8):
+            net.insert_rule(rule)
+            oracle.insert(rule)
+        assert deltanet_label_intervals(net) == oracle.expected_labels()
+        net.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("gc", [False, True])
+    def test_random_churn_matches_oracle(self, seed, gc):
+        rng = random.Random(1000 + seed)
+        net, oracle = DeltaNet(width=8, gc=gc), BruteForceDataPlane(width=8)
+        live = []
+        rules = random_rules(rng, 80, width=8, switches=5)
+        for rule in rules:
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                net.remove_rule(victim.rid)
+                oracle.remove(victim.rid)
+            net.insert_rule(rule)
+            oracle.insert(rule)
+            live.append(rule)
+        assert deltanet_label_intervals(net) == oracle.expected_labels()
+        net.check_invariants()
+
+    @pytest.mark.parametrize("gc", [False, True])
+    def test_remove_everything_returns_to_empty(self, gc):
+        rng = random.Random(77)
+        net = DeltaNet(width=8, gc=gc)
+        rules = random_rules(rng, 50, width=8)
+        for rule in rules:
+            net.insert_rule(rule)
+        rng.shuffle(rules)
+        for rule in rules:
+            net.remove_rule(rule.rid)
+        assert net.num_rules == 0
+        assert all(not atoms for atoms in net.label.values())
+        if gc:
+            # Every rule-induced boundary was collected.
+            assert net.num_atoms == 1
+
+    def test_gc_keeps_oracle_equivalence_through_interleaving(self):
+        rng = random.Random(31337)
+        net, oracle = DeltaNet(width=6, gc=True), BruteForceDataPlane(width=6)
+        live = []
+        next_rid = 0
+        for _ in range(150):
+            if live and rng.random() < 0.5:
+                victim = live.pop(rng.randrange(len(live)))
+                net.remove_rule(victim.rid)
+                oracle.remove(victim.rid)
+            else:
+                rule = random_rules(rng, 1, width=6, rid_start=next_rid)[0]
+                next_rid += 1
+                net.insert_rule(rule)
+                oracle.insert(rule)
+                live.append(rule)
+            assert deltanet_label_intervals(net) == oracle.expected_labels()
+
+
+class TestQueries:
+    def test_atoms_overlapping(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 4, 8, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 8, 12, 1, "s2", "s3"))
+        overlapping = set(net.atoms_overlapping(6, 10))
+        spans = [net.atoms.atom_interval(a) for a in overlapping]
+        assert sorted(spans) == [(4, 8), (8, 12)]
+
+    def test_owner_rule(self):
+        net = DeltaNet(width=4)
+        low = Rule.forward(0, 0, 16, 1, "s1", "s2")
+        high = Rule.forward(1, 0, 16, 2, "s1", "s3")
+        net.insert_rule(low)
+        net.insert_rule(high)
+        atom = net.atoms.atom_at(5)
+        assert net.owner_rule(atom, "s1") == high
+        assert net.owner_rule(atom, "nowhere") is None
+
+    def test_label_of_accepts_tuples(self):
+        net = DeltaNet(width=4)
+        net.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert net.label_of(("s1", "s2")) == net.label_of(Link("s1", "s2"))
+
+    def test_make_rule_drop(self):
+        net = DeltaNet(width=32)
+        rule = net.make_rule(0, "10.0.0.0/8", 1, "s1", action=Action.DROP)
+        assert rule.action is Action.DROP
+
+    def test_make_rule_forward_requires_target(self):
+        net = DeltaNet(width=32)
+        with pytest.raises(ValueError):
+            net.make_rule(0, "10.0.0.0/8", 1, "s1")
+
+    def test_repr(self):
+        net = DeltaNet(width=4)
+        assert "rules=0" in repr(net)

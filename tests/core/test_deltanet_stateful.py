@@ -1,0 +1,88 @@
+"""Hypothesis stateful (model-based) testing of DeltaNet.
+
+The state machine performs arbitrary interleavings of rule insertions
+and removals (with and without GC) and checks after every step that the
+incrementally maintained edge labels equal a from-scratch recomputation
+— the strongest invariant the paper's Algorithms 1/2 must preserve.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle, RuleBasedStateMachine, consumes, initialize, invariant, rule,
+)
+
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+
+from tests.conftest import BruteForceDataPlane, deltanet_label_intervals
+
+WIDTH = 5
+SPACE = 1 << WIDTH
+SWITCHES = ("s0", "s1", "s2")
+
+
+class DeltaNetMachine(RuleBasedStateMachine):
+    live_rules = Bundle("live_rules")
+
+    @initialize(gc=st.booleans())
+    def setup(self, gc):
+        self.net = DeltaNet(width=WIDTH, gc=gc)
+        self.oracle = BruteForceDataPlane(width=WIDTH)
+        self.next_rid = 0
+        self.next_priority = 0
+
+    @rule(target=live_rules,
+          lo=st.integers(0, SPACE - 1),
+          span=st.integers(1, SPACE),
+          source=st.sampled_from(SWITCHES),
+          target_switch=st.sampled_from(SWITCHES),
+          drop=st.booleans())
+    def insert(self, lo, span, source, target_switch, drop):
+        hi = min(lo + span, SPACE)
+        rid = self.next_rid
+        self.next_rid += 1
+        priority = self.next_priority  # unique priorities, as §3.2 assumes
+        self.next_priority += 1
+        if drop:
+            new_rule = Rule.drop(rid, lo, hi, priority, source)
+        else:
+            if target_switch == source:
+                target_switch = SWITCHES[(SWITCHES.index(source) + 1) % 3]
+            new_rule = Rule.forward(rid, lo, hi, priority, source,
+                                    target_switch)
+        self.net.insert_rule(new_rule)
+        self.oracle.insert(new_rule)
+        return rid
+
+    @rule(rid=consumes(live_rules))
+    def remove(self, rid):
+        self.net.remove_rule(rid)
+        self.oracle.remove(rid)
+
+    @invariant()
+    def labels_match_recomputation(self):
+        if not hasattr(self, "net"):
+            return
+        assert deltanet_label_intervals(self.net) == \
+            self.oracle.expected_labels()
+
+    @invariant()
+    def structure_invariants_hold(self):
+        if not hasattr(self, "net"):
+            return
+        self.net.check_invariants()
+
+    @invariant()
+    def atom_count_bounded_by_boundaries(self):
+        if not hasattr(self, "net"):
+            return
+        # #atoms == |M| - 1 (§3.1), and at most 2 per live rule + 1.
+        assert self.net.num_atoms == len(self.net.atoms.boundaries()) - 1
+        if self.net.gc:
+            assert self.net.num_atoms <= 2 * self.net.num_rules + 1
+
+
+TestDeltaNetStateful = DeltaNetMachine.TestCase
+TestDeltaNetStateful.settings = settings(
+    max_examples=40, stateful_step_count=25, deadline=None)

@@ -1,0 +1,122 @@
+"""Tests for half-closed intervals and interval sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalSet, normalize
+
+spans = st.lists(
+    st.tuples(st.integers(0, 64), st.integers(0, 64)).map(
+        lambda p: (min(p), max(p))),
+    max_size=8)
+
+
+def points_of(interval_set: IntervalSet) -> set:
+    return {p for lo, hi in interval_set.spans for p in range(lo, hi)}
+
+
+class TestInterval:
+    def test_construction(self):
+        iv = Interval(10, 12)
+        assert iv.lo == 10 and iv.hi == 12
+        assert len(iv) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(7, 3)
+
+    def test_membership(self):
+        iv = Interval(10, 12)
+        assert 10 in iv and 11 in iv
+        assert 12 not in iv and 9 not in iv
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 12))
+        assert not Interval(0, 10).overlaps(Interval(10, 12))
+
+    def test_contains_interval(self):
+        assert Interval(0, 16).contains_interval(Interval(10, 12))
+        assert not Interval(10, 12).contains_interval(Interval(0, 16))
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 12)) == Interval(5, 10)
+        with pytest.raises(ValueError):
+            Interval(0, 5).intersect(Interval(5, 10))
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(Interval(10, 12)) == "[10:12)"
+
+
+class TestNormalize:
+    def test_merges_overlaps_and_adjacency(self):
+        assert normalize([(0, 5), (5, 10), (20, 30), (25, 28)]) == \
+            [(0, 10), (20, 30)]
+
+    def test_drops_empty(self):
+        assert normalize([(5, 5), (7, 3)]) == []
+
+    def test_sorts(self):
+        assert normalize([(10, 12), (0, 2)]) == [(0, 2), (10, 12)]
+
+
+class TestIntervalSet:
+    def test_paper_example_operations(self):
+        """[[interval(rL)]] - [[interval(rH)]] from §3.1."""
+        r_l = IntervalSet([(0, 16)])
+        r_h = IntervalSet([(10, 12)])
+        assert (r_l - r_h).spans == [(0, 10), (12, 16)]
+
+    def test_membership(self):
+        s = IntervalSet([(0, 5), (10, 15)])
+        assert 0 in s and 4 in s and 10 in s
+        assert 5 not in s and 9 not in s and 15 not in s
+
+    def test_len_counts_points(self):
+        assert len(IntervalSet([(0, 5), (10, 15)])) == 10
+
+    def test_universe_and_complement(self):
+        u = IntervalSet.universe(4)
+        assert u.spans == [(0, 16)]
+        s = IntervalSet([(3, 7)])
+        assert s.complement(4).spans == [(0, 3), (7, 16)]
+
+    def test_equality_and_hash(self):
+        assert IntervalSet([(0, 5), (5, 8)]) == IntervalSet([(0, 8)])
+        assert hash(IntervalSet([(0, 8)])) == hash(IntervalSet([(0, 5), (5, 8)]))
+
+    def test_empty(self):
+        assert IntervalSet().is_empty()
+        assert not IntervalSet()
+        assert IntervalSet([(1, 2)])
+
+    @settings(max_examples=200, deadline=None)
+    @given(spans, spans)
+    def test_boolean_ops_against_point_sets(self, a_spans, b_spans):
+        a, b = IntervalSet(a_spans), IntervalSet(b_spans)
+        assert points_of(a | b) == points_of(a) | points_of(b)
+        assert points_of(a & b) == points_of(a) & points_of(b)
+        assert points_of(a - b) == points_of(a) - points_of(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(spans)
+    def test_canonical_form(self, raw):
+        s = IntervalSet(raw)
+        # Spans are sorted, disjoint, non-adjacent, non-empty.
+        for lo, hi in s.spans:
+            assert lo < hi
+        for (l1, h1), (l2, h2) in zip(s.spans, s.spans[1:]):
+            assert h1 < l2
+
+    @settings(max_examples=100, deadline=None)
+    @given(spans)
+    def test_complement_involution(self, raw):
+        s = IntervalSet(raw) & IntervalSet.universe(6)
+        assert s.complement(6).complement(6) == s
+
+    def test_boundaries_and_samples(self):
+        s = IntervalSet([(2, 4), (8, 16)])
+        assert s.boundaries() == [2, 4, 8, 16]
+        assert s.sample_points() == [2, 8]

@@ -1,0 +1,79 @@
+"""Tests for the Boolean lattice of atoms (Appendix A, Figure 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import AtomTable
+from repro.core.lattice import AtomLattice, interval_atoms
+
+
+def figure9_table() -> AtomTable:
+    """Atoms of Figure 5 in a 4-bit space: [0:10), [10:12), [12:16)."""
+    table = AtomTable(width=4)
+    table.create_atoms(10, 12)
+    table.create_atoms(0, 16)
+    return table
+
+
+class TestFigure9:
+    def test_lattice_has_eight_elements(self):
+        """Three atoms induce the 2^3-element Boolean lattice of Fig. 9."""
+        lattice = AtomLattice.from_table(figure9_table())
+        assert len(lattice.all_elements()) == 8
+        assert lattice.height() == 3
+
+    def test_top_is_universe_bottom_is_empty(self):
+        table = figure9_table()
+        lattice = AtomLattice.from_table(table)
+        assert lattice.top == frozenset({0, 1, 2})
+        assert lattice.bottom == frozenset()
+
+    def test_hasse_diagram_edge_count(self):
+        """Figure 9's Hasse diagram has 3 * 2^2 = 12 covering pairs."""
+        lattice = AtomLattice.from_table(figure9_table())
+        assert len(lattice.hasse_edges()) == 12
+
+    def test_mid_layer_elements_match_figure(self):
+        """{[0:12)} == atoms {0,1}; {[0:10),[12:16)} == atoms {0,2}; etc."""
+        table = figure9_table()
+        assert interval_atoms(table, 0, 12) == {0, 1}
+        assert interval_atoms(table, 0, 10) == {0}
+        assert interval_atoms(table, 10, 16) == {1, 2}
+
+
+class TestLatticeOperations:
+    def setup_method(self):
+        self.lattice = AtomLattice(range(4))
+
+    def test_join_meet(self):
+        a, b = frozenset({0, 1}), frozenset({1, 2})
+        assert self.lattice.join(a, b) == {0, 1, 2}
+        assert self.lattice.meet(a, b) == {1}
+
+    def test_complement(self):
+        assert self.lattice.complement(frozenset({0})) == {1, 2, 3}
+
+    def test_leq(self):
+        assert self.lattice.leq(frozenset({0}), frozenset({0, 1}))
+        assert not self.lattice.leq(frozenset({2}), frozenset({0, 1}))
+
+    def test_atoms_of(self):
+        assert self.lattice.atoms_of(frozenset({2, 0})) == \
+            [frozenset({0}), frozenset({2})]
+
+    def test_is_atom(self):
+        assert self.lattice.is_atom(frozenset({1}))
+        assert not self.lattice.is_atom(frozenset({1, 2}))
+        assert not self.lattice.is_atom(frozenset())
+
+    def test_covers(self):
+        assert self.lattice.covers(frozenset({0}), frozenset({0, 1}))
+        assert not self.lattice.covers(frozenset({0}), frozenset({0, 1, 2}))
+        assert not self.lattice.covers(frozenset({0, 1}), frozenset({0}))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sets(st.integers(0, 5)), min_size=1, max_size=5))
+    def test_boolean_axioms_hold(self, raw_elements):
+        lattice = AtomLattice(range(6))
+        lattice.verify_boolean_axioms(frozenset(e) for e in raw_elements)

@@ -1,0 +1,163 @@
+"""Tests for the naive two-field multi-range verifier (§6)."""
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.multirange import Rule2D, TwoFieldDeltaNet
+from repro.core.rules import Action, Link
+
+WIDTHS = (4, 4)
+SPACE = (1 << WIDTHS[0], 1 << WIDTHS[1])
+
+
+class Oracle2D:
+    """Brute-force 2-D data plane over all (point0, point1) pairs."""
+
+    def __init__(self):
+        self.rules: Dict[int, Rule2D] = {}
+
+    def insert(self, rule):
+        self.rules[rule.rid] = rule
+
+    def remove(self, rid):
+        del self.rules[rid]
+
+    def owner_at(self, source, p0, p1) -> Optional[Rule2D]:
+        best = None
+        for rule in self.rules.values():
+            if rule.source == source and rule.matches(p0, p1):
+                if best is None or rule.sort_key > best.sort_key:
+                    best = rule
+        return best
+
+    def expected_links(self) -> Dict[Tuple[object, int, int], Link]:
+        out = {}
+        sources = {r.source for r in self.rules.values()}
+        for source in sources:
+            for p0 in range(SPACE[0]):
+                for p1 in range(SPACE[1]):
+                    owner = self.owner_at(source, p0, p1)
+                    if owner is not None:
+                        out[(source, p0, p1)] = owner.link
+        return out
+
+
+def net_links(net: TwoFieldDeltaNet) -> Dict[Tuple[object, int, int], Link]:
+    out = {}
+    sources = {r.source for r in net.rules.values()}
+    for source in sources:
+        for p0 in range(SPACE[0]):
+            for p1 in range(SPACE[1]):
+                owner = net.owner_rule_at(source, p0, p1)
+                if owner is not None:
+                    out[(source, p0, p1)] = owner.link
+    return out
+
+
+def random_rules_2d(rng, count, switches=3):
+    priorities = rng.sample(range(count * 10), count)
+    rules = []
+    for rid in range(count):
+        ranges = []
+        for width in WIDTHS:
+            lo = rng.randrange(1 << width)
+            hi = rng.randrange(lo + 1, (1 << width) + 1)
+            ranges.append((lo, hi))
+        src = f"s{rng.randrange(switches)}"
+        dst = f"s{rng.randrange(switches)}"
+        while dst == src:
+            dst = f"s{rng.randrange(switches)}"
+        rules.append(Rule2D(rid, ranges[0], ranges[1], priorities[rid],
+                            Link(src, dst)))
+    return rules
+
+
+class TestBasics:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Rule2D(0, (4, 4), (0, 8), 1, Link("a", "b"))
+
+    def test_single_rule_box(self):
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        net.insert_rule(Rule2D(0, (0, 8), (4, 12), 1, Link("a", "b")))
+        boxes = net.flows_on(("a", "b"))
+        assert boxes == [((0, 8), (4, 12))]
+
+    def test_priority_override_in_both_dimensions(self):
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        net.insert_rule(Rule2D(0, (0, 16), (0, 16), 1, Link("a", "b")))
+        net.insert_rule(Rule2D(1, (4, 8), (4, 8), 9, Link("a", "c")))
+        assert net.owner_rule_at("a", 5, 5).rid == 1
+        assert net.owner_rule_at("a", 5, 9).rid == 0
+        assert net.owner_rule_at("a", 9, 5).rid == 0
+
+    def test_duplicate_and_unknown(self):
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        net.insert_rule(Rule2D(0, (0, 4), (0, 4), 1, Link("a", "b")))
+        with pytest.raises(ValueError):
+            net.insert_rule(Rule2D(0, (0, 4), (0, 4), 2, Link("a", "b")))
+        with pytest.raises(KeyError):
+            net.remove_rule(5)
+
+    def test_pair_atom_counts_multiply(self):
+        """The §6 point: pair atoms ~ product of per-axis atoms."""
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        for rid in range(4):
+            net.insert_rule(Rule2D(rid, (rid, rid + 4), (rid * 2, rid * 2 + 3),
+                                   rid, Link("a", "b")))
+        atoms0, atoms1 = net.num_axis_atoms
+        assert net.num_pair_atoms > max(atoms0, atoms1)
+
+    def test_overlap_degree(self):
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        assert net.overlap_degree() == 0.0
+        net.insert_rule(Rule2D(0, (0, 16), (0, 16), 1, Link("a", "b")))
+        net.insert_rule(Rule2D(1, (0, 16), (0, 16), 2, Link("a", "c")))
+        assert net.overlap_degree() == pytest.approx(2.0)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_insertions_match_oracle(self, seed):
+        rng = random.Random(seed * 3 + 1)
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        oracle = Oracle2D()
+        for rule in random_rules_2d(rng, 15):
+            net.insert_rule(rule)
+            oracle.insert(rule)
+        assert net_links(net) == oracle.expected_links()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_churn_matches_oracle(self, seed):
+        rng = random.Random(seed * 13 + 2)
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        oracle = Oracle2D()
+        live = []
+        for rule in random_rules_2d(rng, 25):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                net.remove_rule(victim.rid)
+                oracle.remove(victim.rid)
+            net.insert_rule(rule)
+            oracle.insert(rule)
+            live.append(rule)
+        assert net_links(net) == oracle.expected_links()
+
+    def test_label_consistency_with_owner_view(self):
+        rng = random.Random(7)
+        net = TwoFieldDeltaNet(widths=WIDTHS)
+        for rule in random_rules_2d(rng, 12):
+            net.insert_rule(rule)
+        # Every labelled pair's owner must have that link.
+        for link, pairs in net.label.items():
+            for pair in pairs:
+                owners = net._owner[pair]
+                best = max((max(bucket, key=lambda r: r.sort_key)
+                            for bucket in owners.values()
+                            if bucket), key=lambda r: r.sort_key,
+                           default=None)
+                matching = [max(bucket, key=lambda r: r.sort_key)
+                            for bucket in owners.values() if bucket]
+                assert any(r.link == link for r in matching)

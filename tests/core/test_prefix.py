@@ -1,0 +1,148 @@
+"""Tests for CIDR <-> interval conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prefix import (
+    format_ipv4, format_ipv6, format_prefix, interval_plen,
+    interval_to_prefixes, is_prefix_interval, make_interval, parse_ipv4,
+    parse_ipv6, prefix_to_interval,
+)
+
+
+class TestIPv4:
+    def test_parse(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("0.0.0.10") == 10
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+        assert parse_ipv4("10.0.0.1") == (10 << 24) + 1
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.0", "-1.0.0.0", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+    def test_format_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "192.168.0.255", "255.255.255.255"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+
+
+class TestIPv6:
+    def test_parse_full(self):
+        assert parse_ipv6("0:0:0:0:0:0:0:1") == 1
+
+    def test_parse_compressed(self):
+        assert parse_ipv6("::1") == 1
+        assert parse_ipv6("2001:db8::") == 0x20010DB8 << 96
+        assert parse_ipv6("fe80::1:2") == (0xFE80 << 112) + (1 << 16) + 2
+
+    def test_roundtrip(self):
+        value = (0x20010DB8 << 96) | 0x42
+        assert parse_ipv6(format_ipv6(value)) == value
+
+    def test_rejects_malformed(self):
+        for bad in ("::1::2", "1:2:3", "zzzz::"):
+            with pytest.raises(ValueError):
+                parse_ipv6(bad)
+
+
+class TestPrefixToInterval:
+    def test_paper_examples(self):
+        """§3: 0.0.0.10/31 == [10:12) and 0.0.0.0/28 == [0:16)."""
+        assert prefix_to_interval("0.0.0.10/31") == (10, 12)
+        assert prefix_to_interval("0.0.0.0/28") == (0, 16)
+
+    def test_rm_example(self):
+        """§3.2.1: 0.0.0.8/30 == [8:12)."""
+        assert prefix_to_interval("0.0.0.8/30") == (8, 12)
+
+    def test_host_route_default_plen(self):
+        assert prefix_to_interval("0.0.0.7") == (7, 8)
+
+    def test_unaligned_address_is_masked(self):
+        assert prefix_to_interval("0.0.0.13/30") == (12, 16)
+
+    def test_abstract_width(self):
+        assert prefix_to_interval("4/2", width=4) == (4, 8)
+
+    def test_ipv6(self):
+        lo, hi = prefix_to_interval("2001:db8::/32")
+        assert lo == 0x20010DB8 << 96
+        assert hi - lo == 1 << 96
+
+    def test_bad_plen(self):
+        with pytest.raises(ValueError):
+            prefix_to_interval("0.0.0.0/33")
+
+
+class TestIntervalProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, 32))
+    def test_make_interval_is_prefix(self, value, plen):
+        lo, hi = make_interval(value, plen)
+        assert is_prefix_interval(lo, hi)
+        assert interval_plen(lo, hi) == plen
+        assert lo <= value % (1 << 32) or True  # lo is the masked base
+        assert hi - lo == 1 << (32 - plen)
+
+    def test_is_prefix_interval_negative_cases(self):
+        assert not is_prefix_interval(0, 10)   # span not a power of two
+        assert not is_prefix_interval(2, 6)    # misaligned
+        assert not is_prefix_interval(5, 5)    # empty
+        assert is_prefix_interval(8, 12)
+
+    def test_interval_plen_rejects_non_prefix(self):
+        with pytest.raises(ValueError):
+            interval_plen(0, 10)
+        with pytest.raises(ValueError):
+            interval_plen(2, 6)
+
+    def test_format_prefix(self):
+        assert format_prefix(10, 31) == "0.0.0.10/31"
+        assert format_prefix(0, 28) == "0.0.0.0/28"
+        assert format_prefix(4, 2, width=4) == "4/2"
+
+
+class TestIntervalToPrefixes:
+    def test_atom_needs_multiple_prefixes(self):
+        """§5: atom [0:10) is not one prefix — needs at least two."""
+        cover = interval_to_prefixes(0, 10, width=4)
+        assert len(cover) >= 2
+        assert cover == [(0, 1), (8, 3)]
+
+    def test_single_prefix_stays_single(self):
+        assert interval_to_prefixes(8, 12, width=4) == [(8, 2)]
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cover_is_exact_partition(self, a, b):
+        lo, hi = min(a, b), max(a, b) + 1
+        cover = interval_to_prefixes(lo, hi, width=8)
+        cursor = lo
+        for value, plen in cover:
+            span_lo, span_hi = make_interval(value, plen, width=8)
+            assert span_lo == cursor
+            cursor = span_hi
+        assert cursor == hi
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cover_is_minimal_greedy(self, a, b):
+        """The greedy aligned cover is the minimal CIDR cover: no two
+        adjacent blocks of the result can be merged into one prefix."""
+        lo, hi = min(a, b), max(a, b) + 1
+        cover = interval_to_prefixes(lo, hi, width=8)
+        for (v1, p1), (v2, p2) in zip(cover, cover[1:]):
+            if p1 == p2:
+                merged_lo, merged_hi = v1, make_interval(v2, p2, 8)[1]
+                assert not is_prefix_interval(merged_lo, merged_hi) or \
+                    merged_hi - merged_lo != 2 * (1 << (8 - p1))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            interval_to_prefixes(0, 17, width=4)

@@ -1,0 +1,113 @@
+"""Tests for stateless packet rewriting (§6 future-work extension)."""
+
+import pytest
+
+from repro.checkers.reachability import reachable_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rewrite import (
+    PrefixRewrite, RewriteTable, reachable_intervals_with_rewrites,
+)
+from repro.core.rules import Rule
+
+
+class TestPrefixRewrite:
+    def test_translation(self):
+        rewrite = PrefixRewrite(0, 8, 16)
+        assert rewrite.apply(IntervalSet([(2, 6)])) == IntervalSet([(18, 22)])
+
+    def test_unmatched_passes_through(self):
+        rewrite = PrefixRewrite(0, 8, 16)
+        flows = IntervalSet([(4, 12)])
+        assert rewrite.apply(flows) == IntervalSet([(8, 12), (20, 24)])
+
+    def test_invert_roundtrip(self):
+        rewrite = PrefixRewrite(0, 8, 16)
+        flows = IntervalSet([(1, 7)])
+        assert rewrite.invert().apply(rewrite.apply(flows)) == flows
+
+    def test_empty_match_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixRewrite(8, 8, 0)
+
+
+class TestRewriteTable:
+    def test_add_and_transform(self):
+        table = RewriteTable()
+        table.add(("a", "b"), PrefixRewrite(0, 8, 8))
+        from repro.core.rules import Link
+
+        out = table.transform(Link("a", "b"), IntervalSet([(0, 4)]))
+        assert out == IntervalSet([(8, 12)])
+        assert len(table) == 1
+
+    def test_chained_rewrites_compose_in_order(self):
+        table = RewriteTable()
+        table.add(("a", "b"), PrefixRewrite(0, 8, 8))
+        table.add(("a", "b"), PrefixRewrite(8, 16, 16))
+        from repro.core.rules import Link
+
+        out = table.transform(Link("a", "b"), IntervalSet([(0, 4)]))
+        assert out == IntervalSet([(16, 20)])
+
+    def test_remove_link(self):
+        table = RewriteTable()
+        table.add(("a", "b"), PrefixRewrite(0, 8, 8))
+        table.remove_link(("a", "b"))
+        assert len(table) == 0
+
+
+class TestRewriteReachability:
+    def make_nat_chain(self):
+        """s1 forwards [0:8) to s2; the s1->s2 link NATs into [16:24);
+        s2 forwards [16:24) to s3."""
+        net = DeltaNet(width=5)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 16, 24, 1, "s2", "s3"))
+        rewrites = RewriteTable()
+        rewrites.add(("s1", "s2"), PrefixRewrite(0, 8, 16))
+        return net, rewrites
+
+    def test_without_rewrites_matches_atom_reachability(self):
+        net = DeltaNet(width=5)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 0, 4, 1, "s2", "s3"))
+        answer = reachable_intervals_with_rewrites(
+            net, RewriteTable(), "s1", "s3")
+        atoms = reachable_atoms(net, "s1", "s3")
+        assert answer == IntervalSet(net.atoms.atom_interval(a) for a in atoms)
+
+    def test_nat_enables_downstream_match(self):
+        """Without the rewrite no packet reaches s3; with it, [0:8) does."""
+        net, rewrites = self.make_nat_chain()
+        without = reachable_intervals_with_rewrites(
+            net, RewriteTable(), "s1", "s3")
+        assert without.is_empty()
+        with_nat = reachable_intervals_with_rewrites(net, rewrites, "s1", "s3")
+        assert with_nat == IntervalSet([(0, 8)])
+
+    def test_answer_is_in_original_coordinates(self):
+        net, rewrites = self.make_nat_chain()
+        answer = reachable_intervals_with_rewrites(net, rewrites, "s1", "s3")
+        # The packets *sent* are 0..7, even though they *arrive* as 16..23.
+        assert 0 in answer and 16 not in answer
+
+    def test_partial_rewrite_match(self):
+        net = DeltaNet(width=5)
+        net.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        net.insert_rule(Rule.forward(1, 16, 20, 1, "s2", "s3"))
+        rewrites = RewriteTable()
+        rewrites.add(("s1", "s2"), PrefixRewrite(0, 4, 16))  # only [0:4) NATed
+        answer = reachable_intervals_with_rewrites(net, rewrites, "s1", "s3")
+        assert answer == IntervalSet([(0, 4)])
+
+    def test_rewrite_loop_terminates(self):
+        net = DeltaNet(width=5)
+        net.insert_rule(Rule.forward(0, 0, 32, 1, "a", "b"))
+        net.insert_rule(Rule.forward(1, 0, 32, 1, "b", "a"))
+        rewrites = RewriteTable()
+        rewrites.add(("a", "b"), PrefixRewrite(0, 16, 16))
+        rewrites.add(("b", "a"), PrefixRewrite(16, 32, 0))
+        answer = reachable_intervals_with_rewrites(net, rewrites, "a", "b",
+                                                   max_visits=4)
+        assert answer  # everything still reaches b; and we terminated

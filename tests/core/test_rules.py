@@ -1,0 +1,81 @@
+"""Tests for rules, links, and actions."""
+
+import pytest
+
+from repro.core.rules import Action, DROP, Link, Rule
+
+
+class TestLink:
+    def test_fields(self):
+        link = Link("s1", "s2")
+        assert link.source == "s1" and link.target == "s2"
+
+    def test_equality_and_hash(self):
+        assert Link("a", "b") == Link("a", "b")
+        assert Link("a", "b") != Link("b", "a")
+        assert len({Link("a", "b"), Link("a", "b")}) == 1
+
+    def test_repr(self):
+        assert repr(Link("s1", "s2")) == "s1->s2"
+
+
+class TestRule:
+    def test_forward_constructor(self):
+        rule = Rule.forward(1, 10, 12, 5, "s1", "s2")
+        assert rule.action is Action.FORWARD
+        assert rule.source == "s1" and rule.target == "s2"
+        assert rule.interval == (10, 12)
+        assert rule.link == Link("s1", "s2")
+
+    def test_drop_constructor(self):
+        rule = Rule.drop(2, 0, 16, 9, "s1")
+        assert rule.action is Action.DROP
+        assert rule.target == DROP
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Rule.forward(1, 12, 12, 5, "s1", "s2")
+        with pytest.raises(ValueError):
+            Rule.forward(1, 13, 12, 5, "s1", "s2")
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            Rule.forward(1, 0, 4, -1, "s1", "s2")
+
+    def test_tuple_link_coerced(self):
+        rule = Rule(1, 0, 4, 0, ("s1", "s2"))
+        assert isinstance(rule.link, Link)
+
+    def test_matches(self):
+        rule = Rule.forward(1, 10, 12, 5, "s1", "s2")
+        assert rule.matches(10) and rule.matches(11)
+        assert not rule.matches(12) and not rule.matches(9)
+
+    def test_overlaps(self):
+        a = Rule.forward(1, 0, 16, 1, "s1", "s2")
+        b = Rule.forward(2, 10, 12, 2, "s1", "s3")
+        c = Rule.forward(3, 16, 32, 3, "s1", "s3")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_sort_key_orders_by_priority_then_rid(self):
+        low = Rule.forward(9, 0, 4, 1, "s", "t")
+        high = Rule.forward(1, 0, 4, 2, "s", "t")
+        assert high.sort_key > low.sort_key
+        tie_a = Rule.forward(1, 0, 4, 5, "s", "t")
+        tie_b = Rule.forward(2, 0, 4, 5, "s", "t")
+        assert tie_b.sort_key > tie_a.sort_key
+
+    def test_identity_is_rid(self):
+        a = Rule.forward(1, 0, 4, 1, "s", "t")
+        b = Rule.forward(1, 8, 12, 9, "x", "y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_prefix_text(self):
+        assert Rule.forward(1, 10, 12, 0, "s", "t").prefix_text() == "0.0.0.10/31"
+        assert Rule.forward(1, 0, 10, 0, "s", "t").prefix_text() is None
+
+    def test_repr_mentions_kind(self):
+        assert "fwd" in repr(Rule.forward(1, 0, 4, 0, "s", "t"))
+        assert "drop" in repr(Rule.drop(2, 0, 4, 0, "s"))

@@ -1,0 +1,80 @@
+"""Tests for the replayable dataset text format."""
+
+import io
+
+import pytest
+
+from repro.core.rules import Action, DROP, Rule
+from repro.datasets.format import (
+    Op, load_ops, parse_line, read_ops, save_ops, write_ops,
+)
+
+
+class TestOp:
+    def test_insert_carries_rule(self):
+        rule = Rule.forward(3, 0, 16, 5, "s1", "s2")
+        op = Op.insert(rule)
+        assert op.is_insert and op.rid == 3 and op.rule == rule
+
+    def test_remove_has_no_rule(self):
+        op = Op.remove(7)
+        assert not op.is_insert and op.rule is None
+
+
+class TestLineFormat:
+    def test_insert_roundtrip(self):
+        rule = Rule.forward(3, 10, 12, 5, "s1", "s2")
+        op = parse_line(Op.insert(rule).to_line())
+        assert op.is_insert
+        assert op.rule.interval == (10, 12)
+        assert op.rule.priority == 5
+        assert op.rule.source == "s1" and op.rule.target == "s2"
+
+    def test_remove_roundtrip(self):
+        assert parse_line(Op.remove(42).to_line()).rid == 42
+
+    def test_int_nodes_roundtrip_as_ints(self):
+        rule = Rule.forward(0, 0, 4, 1, 7, 9)
+        op = parse_line(Op.insert(rule).to_line())
+        assert op.rule.source == 7 and isinstance(op.rule.source, int)
+
+    def test_drop_rule_roundtrip(self):
+        rule = Rule.drop(1, 0, 4, 1, "s1")
+        op = parse_line(Op.insert(rule).to_line())
+        assert op.rule.action is Action.DROP
+        assert op.rule.target == DROP
+
+    @pytest.mark.parametrize("bad", [
+        "", "x\t1", "+\t1\ts\tt\t0", "-\t1\textra", "+\t1\ts\tt\t0\t4",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_line(bad)
+
+
+class TestStreams:
+    def make_ops(self):
+        return [
+            Op.insert(Rule.forward(0, 0, 16, 1, "a", "b")),
+            Op.insert(Rule.drop(1, 4, 8, 9, "a")),
+            Op.remove(0),
+        ]
+
+    def test_write_read_stream(self):
+        ops = self.make_ops()
+        buffer = io.StringIO()
+        assert write_ops(ops, buffer) == 3
+        buffer.seek(0)
+        back = list(read_ops(buffer))
+        assert [op.to_line() for op in back] == [op.to_line() for op in ops]
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO("\n" + Op.remove(5).to_line() + "\n\n")
+        assert [op.rid for op in read_ops(buffer)] == [5]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ops.txt")
+        ops = self.make_ops()
+        assert save_ops(ops, path) == 3
+        back = load_ops(path)
+        assert [op.to_line() for op in back] == [op.to_line() for op in ops]

@@ -1,0 +1,152 @@
+"""Failure injection and robustness: malformed inputs, misuse, recovery.
+
+A verifier wired into a controller must survive garbage (truncated ops
+files, out-of-order removals) without corrupting its state: after a
+rejected operation, the data plane view must be exactly what it was.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+from repro.datasets.format import Op, parse_line, read_ops
+from repro.replay.engine import DeltaNetEngine, replay
+from repro.veriflow.verifier import VeriflowRI
+
+from tests.conftest import deltanet_label_intervals, random_rules
+
+
+class TestMalformedOpsFiles:
+    def test_truncated_insert_line(self):
+        with pytest.raises(ValueError):
+            parse_line("+\t1\ts1\ts2\t0")
+
+    def test_garbage_kind(self):
+        with pytest.raises(ValueError):
+            parse_line("*\t1")
+
+    def test_non_integer_fields(self):
+        with pytest.raises(ValueError):
+            parse_line("+\tx\ts1\ts2\t0\t4\t1")
+
+    def test_invalid_interval_rejected_at_rule_construction(self):
+        with pytest.raises(ValueError):
+            parse_line("+\t1\ts1\ts2\t9\t4\t1")  # lo > hi
+
+    def test_stream_with_bad_line_raises_cleanly(self):
+        stream = io.StringIO("+\t0\ta\tb\t0\t4\t1\nBROKEN\n")
+        with pytest.raises(ValueError):
+            list(read_ops(stream))
+
+
+class TestStateAfterRejectedOperations:
+    def snapshot(self, net):
+        return (deltanet_label_intervals(net), net.num_atoms, net.num_rules)
+
+    def test_duplicate_insert_leaves_state_unchanged(self):
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 128, 1, "a", "b"))
+        before = self.snapshot(net)
+        with pytest.raises(ValueError):
+            net.insert_rule(Rule.forward(0, 0, 64, 2, "a", "c"))
+        assert self.snapshot(net) == before
+        net.check_invariants()
+
+    def test_unknown_removal_leaves_state_unchanged(self):
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 128, 1, "a", "b"))
+        before = self.snapshot(net)
+        with pytest.raises(KeyError):
+            net.remove_rule(99)
+        assert self.snapshot(net) == before
+        net.check_invariants()
+
+    def test_out_of_range_rule_rejected_before_any_mutation(self):
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 128, 1, "a", "b"))
+        before = self.snapshot(net)
+        bad = Rule.forward(1, 0, 1 << 20, 1, "a", "b")  # beyond 8-bit space
+        with pytest.raises(ValueError):
+            net.insert_rule(bad)
+        assert self.snapshot(net) == before
+        # The rejected rid stays usable for a corrected retry.
+        net.insert_rule(Rule.forward(1, 0, 256, 1, "a", "b"))
+        net.check_invariants()
+
+    def test_veriflow_duplicate_and_unknown(self):
+        veriflow = VeriflowRI(width=8)
+        veriflow.insert_rule(Rule.forward(0, 0, 128, 1, "a", "b"))
+        with pytest.raises(ValueError):
+            veriflow.insert_rule(Rule.forward(0, 0, 64, 1, "a", "b"))
+        with pytest.raises(KeyError):
+            veriflow.remove_rule(7)
+        assert veriflow.num_rules == 1
+
+
+class TestRecoveryMidReplay:
+    def test_replay_continues_after_engine_survives_bad_op(self):
+        """A controller feed with one bogus removal: skip and continue."""
+        rng = random.Random(5)
+        rules = random_rules(rng, 20, width=8)
+        ops = [Op.insert(r) for r in rules[:10]]
+        ops.append(Op.remove(9999))            # bogus
+        ops.extend(Op.insert(r) for r in rules[10:])
+        engine = DeltaNetEngine(width=8)
+        processed = failed = 0
+        for op in ops:
+            try:
+                engine.process(op)
+                processed += 1
+            except KeyError:
+                failed += 1
+        assert failed == 1 and processed == 20
+        engine.deltanet.check_invariants()
+
+    def test_interleaved_duplicate_priorities_on_disjoint_rules(self):
+        """Equal priorities are fine when rules don't overlap (§3.2 only
+        requires distinct priorities for *overlapping* rules)."""
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 64, 5, "a", "b"))
+        net.insert_rule(Rule.forward(1, 64, 128, 5, "a", "c"))
+        assert net.flows_on(("a", "b")) == [(0, 64)]
+        assert net.flows_on(("a", "c")) == [(64, 128)]
+        net.check_invariants()
+
+    def test_equal_priority_overlap_is_deterministic(self):
+        """Outside the paper's assumption the tie-break (rule id) still
+        yields deterministic, internally consistent state."""
+        net = DeltaNet(width=8)
+        net.insert_rule(Rule.forward(0, 0, 64, 5, "a", "b"))
+        net.insert_rule(Rule.forward(1, 0, 64, 5, "a", "c"))
+        assert net.flows_on(("a", "c")) == [(0, 64)]  # higher rid wins ties
+        assert net.flows_on(("a", "b")) == []
+        net.check_invariants()
+
+
+class TestWidthVariants:
+    def test_ipv6_width_end_to_end(self):
+        net = DeltaNet(width=128)
+        r1 = net.make_rule(0, "2001:db8::/32", 10, "s1", "s2")
+        r2 = net.make_rule(1, "2001:db8:1::/48", 20, "s1", "s3")
+        net.insert_rule(r1)
+        net.insert_rule(r2)
+        assert net.num_atoms >= 3
+        lo, hi = r2.lo, r2.hi
+        assert net.flows_on(("s1", "s3")) == [(lo, hi)]
+        net.check_invariants()
+
+    def test_tiny_width(self):
+        net = DeltaNet(width=1)
+        net.insert_rule(Rule.forward(0, 0, 1, 1, "a", "b"))
+        net.insert_rule(Rule.forward(1, 1, 2, 1, "a", "c"))
+        assert net.flows_on(("a", "b")) == [(0, 1)]
+        assert net.flows_on(("a", "c")) == [(1, 2)]
+
+    def test_full_space_rule_any_width(self):
+        for width in (1, 8, 32, 128):
+            net = DeltaNet(width=width)
+            net.insert_rule(Rule.forward(0, 0, 1 << width, 1, "a", "b"))
+            assert net.flows_on(("a", "b")) == [(0, 1 << width)]

@@ -1,0 +1,142 @@
+"""Tests for the NetPlumber-style plumbing-graph baseline."""
+
+import random
+
+import pytest
+
+from repro.checkers.loops import find_forwarding_loops
+from repro.checkers.reachability import reachable_atoms
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet
+from repro.core.rules import Rule
+from repro.netplumber.plumbing import NetPlumber
+
+from tests.conftest import random_rules
+
+
+class TestPipes:
+    def test_pipe_on_overlap_and_adjacency(self):
+        np_graph = NetPlumber(width=5)
+        a = Rule.forward(0, 0, 16, 1, "s1", "s2")
+        b = Rule.forward(1, 8, 24, 1, "s2", "s3")
+        np_graph.insert_rule(a)
+        np_graph.insert_rule(b)
+        assert np_graph.num_pipes == 1
+        pipe = np_graph.pipes_out[0][1]
+        assert pipe.carries == IntervalSet([(8, 16)])
+
+    def test_no_pipe_without_adjacency(self):
+        np_graph = NetPlumber(width=5)
+        np_graph.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        np_graph.insert_rule(Rule.forward(1, 0, 16, 1, "s9", "s3"))
+        assert np_graph.num_pipes == 0
+
+    def test_no_pipe_without_overlap(self):
+        np_graph = NetPlumber(width=5)
+        np_graph.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        np_graph.insert_rule(Rule.forward(1, 8, 16, 1, "s2", "s3"))
+        assert np_graph.num_pipes == 0
+
+    def test_insertion_order_irrelevant(self):
+        rules = [Rule.forward(0, 0, 16, 1, "s1", "s2"),
+                 Rule.forward(1, 8, 24, 1, "s2", "s3")]
+        forward, backward = NetPlumber(width=5), NetPlumber(width=5)
+        for rule in rules:
+            forward.insert_rule(rule)
+        for rule in reversed(rules):
+            backward.insert_rule(rule)
+        assert forward.num_pipes == backward.num_pipes == 1
+
+    def test_remove_rule_removes_pipes(self):
+        np_graph = NetPlumber(width=5)
+        np_graph.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        np_graph.insert_rule(Rule.forward(1, 8, 24, 1, "s2", "s3"))
+        np_graph.remove_rule(0)
+        assert np_graph.num_pipes == 0
+        assert np_graph.num_rules == 1
+
+    def test_duplicate_and_unknown(self):
+        np_graph = NetPlumber(width=5)
+        np_graph.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        with pytest.raises(ValueError):
+            np_graph.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+        with pytest.raises(KeyError):
+            np_graph.remove_rule(5)
+
+    def test_quadratic_pipe_growth(self):
+        """The §5 point: R rules can produce O(R^2) pipes."""
+        np_graph = NetPlumber(width=8)
+        count = 12
+        for rid in range(count):
+            np_graph.insert_rule(
+                Rule.forward(rid, 0, 256, rid, f"s{rid % 2}", f"s{(rid + 1) % 2}"))
+        assert np_graph.num_pipes == (count // 2) ** 2 * 2
+
+
+class TestShadowing:
+    def test_higher_priority_shadows(self):
+        np_graph = NetPlumber(width=5)
+        low = Rule.forward(0, 0, 16, 1, "s1", "s2")
+        high = Rule.forward(1, 4, 8, 9, "s1", "s3")
+        np_graph.insert_rule(low)
+        np_graph.insert_rule(high)
+        assert np_graph.effective_match(0) == IntervalSet([(0, 4), (8, 16)])
+        assert np_graph.effective_match(1) == IntervalSet([(4, 8)])
+
+    def test_shadow_updates_on_removal(self):
+        np_graph = NetPlumber(width=5)
+        np_graph.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        np_graph.insert_rule(Rule.forward(1, 4, 8, 9, "s1", "s3"))
+        np_graph.remove_rule(1)
+        assert np_graph.effective_match(0) == IntervalSet([(0, 16)])
+
+
+class TestAgreementWithDeltaNet:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reachability_agrees(self, seed):
+        rng = random.Random(seed * 31)
+        rules = random_rules(rng, 25, width=6, switches=4, drop_fraction=0.1)
+        np_graph = NetPlumber(width=6)
+        net = DeltaNet(width=6)
+        for rule in rules:
+            np_graph.insert_rule(rule)
+            net.insert_rule(rule)
+        for src in ("s0", "s1", "s2", "s3"):
+            for dst in ("s0", "s1", "s2", "s3"):
+                if src == dst:
+                    continue
+                atoms = reachable_atoms(net, src, dst)
+                expected = IntervalSet(
+                    net.atoms.atom_interval(a) for a in atoms)
+                assert np_graph.reachable(src, dst) == expected, (src, dst)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_loop_presence_agrees(self, seed):
+        rng = random.Random(seed * 77 + 5)
+        rules = random_rules(rng, 25, width=6, switches=4, drop_fraction=0.0)
+        np_graph = NetPlumber(width=6)
+        net = DeltaNet(width=6)
+        for rule in rules:
+            np_graph.insert_rule(rule)
+            net.insert_rule(rule)
+        assert bool(np_graph.find_loops()) == \
+            bool(find_forwarding_loops(net))
+
+    def test_churn_agreement(self):
+        rng = random.Random(999)
+        np_graph = NetPlumber(width=6)
+        net = DeltaNet(width=6)
+        live = []
+        for rule in random_rules(rng, 40, width=6, switches=3,
+                                 drop_fraction=0.0):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                np_graph.remove_rule(victim.rid)
+                net.remove_rule(victim.rid)
+            np_graph.insert_rule(rule)
+            net.insert_rule(rule)
+            live.append(rule)
+        for src, dst in (("s0", "s1"), ("s1", "s2"), ("s2", "s0")):
+            atoms = reachable_atoms(net, src, dst)
+            expected = IntervalSet(net.atoms.atom_interval(a) for a in atoms)
+            assert np_graph.reachable(src, dst) == expected

@@ -1,0 +1,78 @@
+"""Tests for the replay/measurement harness."""
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.replay.engine import DeltaNetEngine, VeriflowEngine, replay
+
+
+def ring_ops(close=True):
+    ops = [
+        Op.insert(Rule.forward(0, 0, 16, 1, "s1", "s2")),
+        Op.insert(Rule.forward(1, 0, 16, 1, "s2", "s3")),
+    ]
+    if close:
+        ops.append(Op.insert(Rule.forward(2, 0, 16, 1, "s3", "s1")))
+    return ops
+
+
+class TestDeltaNetEngine:
+    def test_processes_and_counts_loops(self):
+        engine = DeltaNetEngine(width=4)
+        result = replay(ring_ops(), engine)
+        assert result.num_ops == 3
+        assert result.loops_found >= 1
+        assert len(result.times) == 3
+        assert result.total_time > 0
+
+    def test_removal_ops(self):
+        engine = DeltaNetEngine(width=4)
+        replay(ring_ops(), engine)
+        result = replay([Op.remove(2)], engine)
+        assert result.loops_found == 0
+        assert engine.deltanet.num_rules == 2
+
+    def test_no_check_mode(self):
+        engine = DeltaNetEngine(width=4, check_loops=False)
+        result = replay(ring_ops(), engine)
+        assert result.loops_found == 0
+
+    def test_atom_count_exposed(self):
+        engine = DeltaNetEngine(width=4)
+        replay(ring_ops(close=False), engine)
+        assert engine.num_atoms == engine.deltanet.num_atoms
+
+
+class TestVeriflowEngine:
+    def test_loop_agreement_with_deltanet(self):
+        veriflow = VeriflowEngine(width=4)
+        deltanet = DeltaNetEngine(width=4)
+        v_result = replay(ring_ops(), veriflow)
+        d_result = replay(ring_ops(), deltanet)
+        assert (v_result.loops_found > 0) == (d_result.loops_found > 0)
+
+    def test_max_affected_ecs_tracked(self):
+        engine = VeriflowEngine(width=4)
+        replay(ring_ops(), engine)
+        assert engine.max_affected_ecs >= 1
+
+
+class TestReplayResult:
+    def test_summary_keys(self):
+        engine = DeltaNetEngine(width=4)
+        result = replay(ring_ops(), engine)
+        summary = result.summary()
+        for key in ("median", "mean", "p99", "max", "frac_below_threshold"):
+            assert key in summary
+
+    def test_progress_callback(self):
+        engine = DeltaNetEngine(width=4)
+        seen = []
+        replay(ring_ops(), engine, progress_every=1, progress=seen.append)
+        assert seen == [1, 2, 3]
+
+    def test_engine_name(self):
+        engine = DeltaNetEngine(width=4)
+        assert replay([], engine).engine_name == "DeltaNetEngine"
+        assert replay([], engine, engine_name="x").engine_name == "x"

@@ -1,0 +1,102 @@
+"""Tests for shortest-path rule generation (the §4.2.1 recipe)."""
+
+import pytest
+
+from repro.bgp.prefixes import PrefixPool
+from repro.routing.rulegen import ShortestPathRuleGenerator, generate_ops
+from repro.topology.generators import ring
+from repro.topology.graph import Topology
+
+
+class TestRuleGenerator:
+    def test_one_rule_per_non_destination_router(self):
+        topo = ring(5)
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        rules = generator.rules_for_prefix((0, 8), destination=0)
+        assert len(rules) == 4
+        assert {r.source for r in rules} == {1, 2, 3, 4}
+
+    def test_rules_follow_shortest_path_tree(self):
+        topo = ring(5)
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        tree = topo.shortest_path_tree(0)
+        for rule in generator.rules_for_prefix((0, 8), destination=0):
+            assert rule.target == tree[rule.source]
+
+    def test_rules_compose_into_paths_to_destination(self):
+        topo = ring(6)
+        generator = ShortestPathRuleGenerator(topo, seed=2)
+        rules = {r.source: r for r in
+                 generator.rules_for_prefix((0, 16), destination=3)}
+        for start in topo.nodes:
+            node, hops = start, 0
+            while node != 3:
+                node = rules[node].target
+                hops += 1
+                assert hops <= topo.num_nodes, "path must terminate"
+
+    def test_fixed_priority(self):
+        topo = ring(4)
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        rules = generator.rules_for_prefix((0, 24), priority=24)
+        assert all(r.priority == 24 for r in rules)
+
+    def test_unique_rids(self):
+        topo = ring(4)
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        batch1 = generator.rules_for_prefix((0, 8))
+        batch2 = generator.rules_for_prefix((1 << 24, 8))
+        rids = [r.rid for r in batch1 + batch2]
+        assert len(rids) == len(set(rids))
+
+    def test_disconnected_topology_rejected(self):
+        topo = ring(4)
+        topo.add_node("island")
+        with pytest.raises(ValueError):
+            ShortestPathRuleGenerator(topo)
+
+
+class TestGenerateOps:
+    def test_insert_then_remove_everything(self):
+        """Table 2: operations == 2 x rules for synthetic datasets."""
+        topo = ring(4)
+        prefixes = PrefixPool(seed=1).sample(5)
+        ops = generate_ops(topo, prefixes, seed=1)
+        inserts = [op for op in ops if op.is_insert]
+        removals = [op for op in ops if not op.is_insert]
+        assert len(ops) == 2 * len(inserts)
+        assert {op.rid for op in removals} == {op.rid for op in inserts}
+        # All inserts come before any removal.
+        first_removal = next(i for i, op in enumerate(ops) if not op.is_insert)
+        assert all(not op.is_insert for op in ops[first_removal:])
+
+    def test_removals_are_shuffled(self):
+        topo = ring(6)
+        prefixes = PrefixPool(seed=2).sample(10)
+        ops = generate_ops(topo, prefixes, seed=2)
+        removal_rids = [op.rid for op in ops if not op.is_insert]
+        assert removal_rids != sorted(removal_rids)
+
+    def test_plen_priority_mode(self):
+        topo = ring(4)
+        prefixes = [(0, 8), (1 << 24, 16)]
+        ops = generate_ops(topo, prefixes, seed=1, priority_mode="plen")
+        priorities = {op.rule.priority for op in ops if op.is_insert}
+        assert priorities == {8, 16}
+
+    def test_without_removals(self):
+        topo = ring(4)
+        ops = generate_ops(topo, PrefixPool(seed=3).sample(3), seed=3,
+                           with_removals=False)
+        assert all(op.is_insert for op in ops)
+
+    def test_bad_priority_mode(self):
+        with pytest.raises(ValueError):
+            generate_ops(ring(4), [], priority_mode="magic")
+
+    def test_deterministic(self):
+        topo = ring(5)
+        prefixes = PrefixPool(seed=4).sample(4)
+        a = generate_ops(topo, prefixes, seed=9)
+        b = generate_ops(ring(5), prefixes, seed=9)
+        assert [op.to_line() for op in a] == [op.to_line() for op in b]

@@ -1,0 +1,56 @@
+"""Tests for the SDN controller's rule lifecycle and listener feed."""
+
+import pytest
+
+from repro.sdn.controller import Controller
+from repro.topology.generators import ring
+
+
+class TestController:
+    def setup_method(self):
+        self.controller = Controller(ring(4))
+        self.ops = []
+        self.controller.subscribe(self.ops.append)
+
+    def test_install_emits_insert_op(self):
+        rule = self.controller.install_forward(0, 1, 0, 16, 5)
+        assert self.controller.num_installed == 1
+        assert len(self.ops) == 1
+        assert self.ops[0].is_insert and self.ops[0].rule == rule
+        assert rule.rid in self.controller.switches[0]
+
+    def test_uninstall_emits_remove_op(self):
+        rule = self.controller.install_forward(0, 1, 0, 16, 5)
+        self.controller.uninstall(rule.rid)
+        assert self.controller.num_installed == 0
+        assert not self.ops[1].is_insert
+        assert self.ops[1].rid == rule.rid
+
+    def test_uninstall_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.controller.uninstall(99)
+
+    def test_install_drop(self):
+        rule = self.controller.install_drop(2, 0, 16, 5)
+        from repro.core.rules import Action
+        assert rule.action is Action.DROP
+
+    def test_rids_are_unique_and_increasing(self):
+        rids = [self.controller.install_forward(0, 1, 0, 16, i).rid
+                for i in range(5)]
+        assert rids == sorted(set(rids))
+
+    def test_install_on_unknown_switch(self):
+        with pytest.raises(KeyError):
+            self.controller.install_forward("nope", 1, 0, 16, 5)
+
+    def test_multiple_listeners(self):
+        second = []
+        self.controller.subscribe(second.append)
+        self.controller.install_forward(0, 1, 0, 16, 5)
+        assert len(self.ops) == len(second) == 1
+
+    def test_rule_lookup(self):
+        rule = self.controller.install_forward(0, 1, 0, 16, 5)
+        assert self.controller.rule(rule.rid) == rule
+        assert self.controller.rule(12345) is None

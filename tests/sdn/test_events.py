@@ -1,0 +1,79 @@
+"""Tests for the link-failure event injector (Airtel campaigns)."""
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import UpdateStream
+from repro.sdn.controller import Controller
+from repro.sdn.events import EventInjector
+from repro.sdn.sdnip import SdnIp
+from repro.topology.generators import ring
+
+
+def make_setup(n=4, prefixes_per_peer=3):
+    controller = Controller(ring(n))
+    ops = []
+    controller.subscribe(ops.append)
+    peers = {f"bgp{i}": i for i in range(n)}
+    sdnip = SdnIp(controller, peers)
+    stream = UpdateStream(list(peers), PrefixPool(seed=1),
+                          prefixes_per_peer=prefixes_per_peer, seed=1)
+    sdnip.handle_updates(stream.initial_announcements())
+    return controller, sdnip, ops
+
+
+class TestEventInjector:
+    def test_single_failure_sweep_covers_every_link(self):
+        controller, sdnip, ops = make_setup()
+        injector = EventInjector(sdnip)
+        count = injector.single_failure_sweep()
+        assert count == 4  # ring(4) has 4 undirected links
+        fails = [e for e in injector.events if e[0] == "fail"]
+        recoveries = [e for e in injector.events if e[0] == "recover"]
+        assert len(fails) == len(recoveries) == 4
+        # Strict alternation: each link recovered before the next fails.
+        kinds = [kind for kind, _edge in injector.events]
+        assert kinds == ["fail", "recover"] * 4
+
+    def test_sweep_generates_rule_churn(self):
+        controller, sdnip, ops = make_setup()
+        baseline = len(ops)
+        EventInjector(sdnip).single_failure_sweep()
+        churn = ops[baseline:]
+        assert churn, "failures must cause reroutes"
+        inserts = sum(1 for op in churn if op.is_insert)
+        removals = len(churn) - inserts
+        # Full recovery: every reroute rule is eventually removed again.
+        assert inserts == removals
+
+    def test_network_state_restored_after_sweep(self):
+        controller, sdnip, _ops = make_setup()
+        before = {rid: rule for rule in controller.installed_rules()
+                  for rid in [rule.rid]}
+        next_hops_before = {
+            (prefix, switch): sdnip.installed_next_hop(prefix, switch)
+            for prefix in list(sdnip._installed)
+            for switch in range(4)}
+        EventInjector(sdnip).single_failure_sweep()
+        next_hops_after = {
+            (prefix, switch): sdnip.installed_next_hop(prefix, switch)
+            for prefix in list(sdnip._installed)
+            for switch in range(4)}
+        assert next_hops_before == next_hops_after
+        assert controller.num_installed == len(before)
+
+    def test_pair_sweep_counts(self):
+        controller, sdnip, _ops = make_setup()
+        injector = EventInjector(sdnip)
+        pairs = injector.pair_failure_sweep()
+        assert pairs == 6  # C(4, 2)
+        assert len(injector.events) == 4 * pairs
+
+    def test_pair_sweep_limit(self):
+        controller, sdnip, _ops = make_setup()
+        injector = EventInjector(sdnip)
+        assert injector.pair_failure_sweep(limit=2) == 2
+
+    def test_no_failures_during_recovery_state(self):
+        """After the sweep, the failed-link set must be empty."""
+        controller, sdnip, _ops = make_setup()
+        EventInjector(sdnip).pair_failure_sweep(limit=3)
+        assert sdnip.failed_links == set()

@@ -1,0 +1,110 @@
+"""Tests for the OpenFlow-style southbound message layer."""
+
+import pytest
+
+from repro.sdn.openflow import (
+    Barrier, BarrierReply, Channel, FlowMod, FlowModCommand, FlowRemoved,
+    OpenFlowFabric, PacketIn, SwitchAgent,
+)
+
+
+def add_mod(rid, lo, hi, priority, out_node, xid=0):
+    return FlowMod(FlowModCommand.ADD, rid, lo, hi, priority, out_node, xid)
+
+
+class TestSwitchAgent:
+    def setup_method(self):
+        self.inbox = []
+        self.agent = SwitchAgent("s1", self.inbox.append)
+
+    def test_add_installs_rule(self):
+        self.agent.handle(add_mod(0, 0, 16, 5, "s2"))
+        assert len(self.agent.table) == 1
+        assert self.agent.table.match(3).target == "s2"
+
+    def test_add_drop_rule(self):
+        self.agent.handle(add_mod(0, 0, 16, 5, None))
+        from repro.core.rules import Action
+
+        assert self.agent.table.match(3).action is Action.DROP
+
+    def test_delete_emits_flow_removed(self):
+        self.agent.handle(add_mod(0, 0, 16, 5, "s2"))
+        self.agent.handle(FlowMod(FlowModCommand.DELETE, 0, xid=7))
+        assert self.inbox == [FlowRemoved(rid=0, switch="s1", xid=7)]
+        assert len(self.agent.table) == 0
+
+    def test_barrier_reply(self):
+        self.agent.handle(Barrier(xid=3))
+        assert self.inbox == [BarrierReply(xid=3, switch="s1")]
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(TypeError):
+            self.agent.handle("junk")
+
+    def test_table_miss_punts_packet_in(self):
+        assert self.agent.lookup(5) is None
+        assert self.inbox == [PacketIn(switch="s1", point=5)]
+
+    def test_hit_does_not_punt(self):
+        self.agent.handle(add_mod(0, 0, 16, 5, "s2"))
+        assert self.agent.lookup(5).target == "s2"
+        assert self.inbox == []
+
+
+class TestChannel:
+    def test_fifo_by_default(self):
+        channel = Channel()
+        channel.send("a")
+        channel.send("b")
+        assert channel.drain() == ["a", "b"]
+        assert len(channel) == 0
+
+    def test_reordering_fault_model(self):
+        swapped = False
+        for seed in range(30):
+            channel = Channel(seed=seed, reorder_window=1,
+                              reorder_probability=1.0)
+            channel.send("a")
+            channel.send("b")
+            if channel.drain() == ["b", "a"]:
+                swapped = True
+                break
+        assert swapped
+
+    def test_barriers_never_reordered(self):
+        channel = Channel(seed=1, reorder_window=1, reorder_probability=1.0)
+        channel.send("a")
+        channel.send(Barrier(xid=1))
+        channel.send("b")
+        drained = channel.drain()
+        assert drained.index("a") < drained.index(Barrier(xid=1))
+
+
+class TestFabric:
+    def test_install_via_barrier(self):
+        fabric = OpenFlowFabric(["s1", "s2"])
+        replies = fabric.install_via_barrier(
+            "s1", [add_mod(0, 0, 16, 5, "s2")])
+        assert any(isinstance(r, BarrierReply) for r in replies)
+        assert fabric.agents["s1"].table.match(3).target == "s2"
+
+    def test_flush_all_switches(self):
+        fabric = OpenFlowFabric(["s1", "s2"])
+        fabric.send("s1", add_mod(0, 0, 16, 5, "s2"))
+        fabric.send("s2", add_mod(1, 0, 16, 5, "s1"))
+        fabric.flush()
+        assert len(fabric.agents["s1"].table) == 1
+        assert len(fabric.agents["s2"].table) == 1
+
+    def test_delete_roundtrip(self):
+        fabric = OpenFlowFabric(["s1"])
+        fabric.install_via_barrier("s1", [add_mod(0, 0, 16, 5, "s2")])
+        inbox = fabric.install_via_barrier(
+            "s1", [FlowMod(FlowModCommand.DELETE, 0)])
+        assert any(isinstance(m, FlowRemoved) and m.rid == 0 for m in inbox)
+
+    def test_xids_unique(self):
+        fabric = OpenFlowFabric(["s1"])
+        xids = {fabric.allocate_xid() for _ in range(10)}
+        assert len(xids) == 10

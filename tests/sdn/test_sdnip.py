@@ -1,0 +1,107 @@
+"""Tests for the SDN-IP application emulation."""
+
+import pytest
+
+from repro.bgp.updates import BgpUpdate
+from repro.sdn.controller import Controller
+from repro.sdn.sdnip import SdnIp
+from repro.topology.generators import ring
+
+PREFIX = (10 << 24, 8)  # 10.0.0.0/8
+
+
+def make_sdnip(n=4):
+    controller = Controller(ring(n))
+    ops = []
+    controller.subscribe(ops.append)
+    peers = {f"bgp{i}": i for i in range(n)}
+    return controller, SdnIp(controller, peers), ops
+
+
+class TestProgramming:
+    def test_announce_installs_rules_on_every_switch(self):
+        controller, sdnip, ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        # One rule per non-egress switch + the egress handoff rule.
+        assert controller.num_installed == 4
+        assert all(op.is_insert for op in ops)
+        egress_rules = [op.rule for op in ops if op.rule.source == 0]
+        assert egress_rules[0].target == "bgp0"
+
+    def test_priority_is_prefix_length(self):
+        controller, sdnip, ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        assert all(op.rule.priority == 8 for op in ops)
+
+    def test_rules_form_paths_to_egress(self):
+        controller, sdnip, _ops = make_sdnip(6)
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp3", 1))
+        point = PREFIX[0]
+        for start in range(6):
+            node, hops = start, 0
+            while node != "bgp3":
+                rule = controller.switches[node].match(point)
+                assert rule is not None, f"black hole at {node}"
+                node = rule.target
+                hops += 1
+                assert hops < 10
+        assert sdnip.num_programmed_prefixes == 1
+
+    def test_withdraw_removes_all_rules(self):
+        controller, sdnip, ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        sdnip.handle_update(BgpUpdate("withdraw", PREFIX, "bgp0", 1))
+        assert controller.num_installed == 0
+        assert sdnip.num_programmed_prefixes == 0
+
+    def test_better_route_moves_egress(self):
+        controller, sdnip, _ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 5))
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp2", 1))
+        point = PREFIX[0]
+        node = 1
+        seen = set()
+        while isinstance(node, int):
+            assert node not in seen
+            seen.add(node)
+            node = controller.switches[node].match(point).target
+        assert node == "bgp2"
+
+    def test_redundant_announce_no_churn(self):
+        controller, sdnip, ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        installed = len(ops)
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        assert len(ops) == installed
+
+
+class TestFailures:
+    def test_link_failure_reroutes(self):
+        controller, sdnip, ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        before = len(ops)
+        sdnip.handle_link_failure(0, 1)
+        assert len(ops) > before  # some switches rerouted
+        # Switch 1 must now reach egress 0 the long way around (via 2).
+        assert sdnip.installed_next_hop(PREFIX, 1) == 2
+        # And the data path still works end to end.
+        point = PREFIX[0]
+        node, hops = 1, 0
+        while node != "bgp0":
+            node = controller.switches[node].match(point).target
+            hops += 1
+            assert hops < 10
+
+    def test_recovery_restores_short_path(self):
+        controller, sdnip, _ops = make_sdnip()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        sdnip.handle_link_failure(0, 1)
+        sdnip.handle_link_recovery(0, 1)
+        assert sdnip.installed_next_hop(PREFIX, 1) == 0
+
+    def test_validation(self):
+        controller = Controller(ring(4))
+        with pytest.raises(ValueError):
+            SdnIp(controller, {})
+        with pytest.raises(ValueError):
+            SdnIp(controller, {"bgp0": "no-such-switch"})

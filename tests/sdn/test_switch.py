@@ -1,0 +1,62 @@
+"""Tests for OpenFlow-style flow tables."""
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.sdn.switch import FlowTable
+
+
+class TestFlowTable:
+    def test_install_and_len(self):
+        table = FlowTable("s1")
+        table.install(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert len(table) == 1
+        assert 0 in table
+
+    def test_wrong_switch_rejected(self):
+        table = FlowTable("s1")
+        with pytest.raises(ValueError):
+            table.install(Rule.forward(0, 0, 16, 1, "s2", "s3"))
+
+    def test_duplicate_rid_rejected(self):
+        table = FlowTable("s1")
+        table.install(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        with pytest.raises(ValueError):
+            table.install(Rule.forward(0, 0, 8, 2, "s1", "s2"))
+
+    def test_uninstall(self):
+        table = FlowTable("s1")
+        rule = Rule.forward(0, 0, 16, 1, "s1", "s2")
+        table.install(rule)
+        assert table.uninstall(0) == rule
+        assert len(table) == 0
+        with pytest.raises(KeyError):
+            table.uninstall(0)
+
+    def test_match_highest_priority(self):
+        table = FlowTable("s1")
+        table.install(Rule.forward(0, 0, 16, 1, "s1", "low"))
+        table.install(Rule.forward(1, 4, 8, 9, "s1", "high"))
+        assert table.match(5).target == "high"
+        assert table.match(2).target == "low"
+        assert table.match(3000) is None
+
+    def test_match_empty(self):
+        assert FlowTable("s1").match(5) is None
+
+    def test_match_tie_broken_by_rid(self):
+        table = FlowTable("s1")
+        table.install(Rule.forward(0, 0, 16, 5, "s1", "a"))
+        table.install(Rule.forward(1, 0, 16, 5, "s1", "b"))
+        assert table.match(5).target == "b"
+
+    def test_rules_sorted_descending_priority(self):
+        table = FlowTable("s1")
+        for rid, priority in enumerate((3, 9, 1)):
+            table.install(Rule.forward(rid, 0, 16, priority, "s1", "t"))
+        assert [r.priority for r in table.rules_sorted()] == [9, 3, 1]
+
+    def test_iteration(self):
+        table = FlowTable("s1")
+        table.install(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert [r.rid for r in table] == [0]

@@ -1,0 +1,108 @@
+"""Tests for the OpenFlow-transport controller, incl. SDN-IP end to end."""
+
+import pytest
+
+from repro.bgp.prefixes import PrefixPool
+from repro.bgp.updates import BgpUpdate, UpdateStream
+from repro.checkers.intents import check_intents
+from repro.core.deltanet import DeltaNet
+from repro.sdn.events import EventInjector
+from repro.sdn.sdnip import SdnIp
+from repro.sdn.transport import OpenFlowController
+from repro.topology.generators import ring
+
+PREFIX = (10 << 24, 8)
+
+
+class TestOpenFlowController:
+    def setup_method(self):
+        self.controller = OpenFlowController(ring(4))
+        self.ops = []
+        self.controller.subscribe(self.ops.append)
+
+    def test_install_commits_and_notifies(self):
+        rule = self.controller.install_forward(0, 1, 0, 16, 5)
+        assert self.controller.num_installed == 1
+        assert self.ops and self.ops[0].is_insert
+        assert self.controller.switches[0].match(3).rid == rule.rid
+
+    def test_uninstall_commits_on_flow_removed(self):
+        rule = self.controller.install_forward(0, 1, 0, 16, 5)
+        self.controller.uninstall(rule.rid)
+        assert self.controller.num_installed == 0
+        assert not self.ops[-1].is_insert and self.ops[-1].rid == rule.rid
+        assert self.controller.switches[0].match(3) is None
+
+    def test_uninstall_unknown(self):
+        with pytest.raises(KeyError):
+            self.controller.uninstall(42)
+
+    def test_deferred_flush(self):
+        controller = OpenFlowController(ring(4), auto_flush=False)
+        ops = []
+        controller.subscribe(ops.append)
+        controller.install_forward(0, 1, 0, 16, 5)
+        assert controller.num_installed == 0 and not ops  # still in flight
+        controller.flush()
+        assert controller.num_installed == 1 and len(ops) == 1
+
+    def test_install_drop(self):
+        from repro.core.rules import Action
+
+        rule = self.controller.install_drop(2, 0, 16, 5)
+        assert rule.action is Action.DROP
+        assert self.controller.rule(rule.rid) == rule
+
+
+class TestSdnIpOverOpenFlow:
+    def make(self, n=4):
+        controller = OpenFlowController(ring(n))
+        net = DeltaNet(gc=True)
+
+        def mirror(op):
+            if op.is_insert:
+                net.insert_rule(op.rule)
+            else:
+                net.remove_rule(op.rid)
+
+        controller.subscribe(mirror)
+        peers = {f"bgp{i}": i for i in range(n)}
+        sdnip = SdnIp(controller, peers)
+        return controller, sdnip, net, peers
+
+    def test_announcement_programs_via_messages(self):
+        controller, sdnip, net, peers = self.make()
+        sdnip.handle_update(BgpUpdate("announce", PREFIX, "bgp0", 1))
+        assert controller.num_installed == 4
+        assert check_intents(net, sdnip.rib, peers) == []
+
+    def test_failure_sweep_over_message_plane(self):
+        controller, sdnip, net, peers = self.make()
+        stream = UpdateStream(list(peers), PrefixPool(seed=9),
+                              prefixes_per_peer=3, seed=9)
+        sdnip.handle_updates(stream.initial_announcements())
+        EventInjector(sdnip).single_failure_sweep()
+        assert check_intents(net, sdnip.rib, peers) == []
+        assert net.num_rules == controller.num_installed
+
+    def test_direct_and_messaged_controllers_converge(self):
+        """Same BGP input => identical final flow tables either way."""
+        from repro.sdn.controller import Controller
+
+        direct = Controller(ring(4))
+        messaged = OpenFlowController(ring(4))
+        peers = {f"bgp{i}": i for i in range(4)}
+        for controller in (direct, messaged):
+            sdnip = SdnIp(controller, peers)
+            stream = UpdateStream(list(peers), PrefixPool(seed=5),
+                                  prefixes_per_peer=4, seed=5)
+            sdnip.handle_updates(stream.initial_announcements())
+
+        def table_view(controller):
+            out = {}
+            for switch, table in controller.switches.items():
+                out[switch] = sorted((r.lo, r.hi, r.priority, repr(r.target))
+                                     for r in table)
+            return out
+
+        assert table_view(direct) == table_view(messaged)

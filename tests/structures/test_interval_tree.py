@@ -1,0 +1,115 @@
+"""Tests for the augmented interval tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.interval_tree import IntervalTree
+
+interval_specs = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 40)), min_size=0,
+    max_size=40)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = IntervalTree()
+        assert len(tree) == 0
+        assert not tree
+        assert list(tree.stab(5)) == []
+        assert list(tree.items()) == []
+
+    def test_insert_and_stab(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "a")
+        assert list(tree.stab(10)) == ["a"]
+        assert list(tree.stab(19)) == ["a"]
+        assert list(tree.stab(20)) == []
+        assert list(tree.stab(9)) == []
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalTree().insert(5, 5)
+        with pytest.raises(ValueError):
+            list(IntervalTree().overlapping(5, 5))
+
+    def test_duplicates_coexist(self):
+        tree = IntervalTree()
+        s1 = tree.insert(0, 10, "x")
+        s2 = tree.insert(0, 10, "y")
+        assert sorted(tree.stab(5)) == ["x", "y"]
+        tree.remove(0, s1)
+        assert list(tree.stab(5)) == ["y"]
+        tree.remove(0, s2)
+        assert len(tree) == 0
+
+    def test_remove_unknown_raises(self):
+        tree = IntervalTree()
+        with pytest.raises(KeyError):
+            tree.remove(0, 99)
+
+    def test_items_sorted_by_lo(self):
+        tree = IntervalTree()
+        for lo in (30, 10, 20):
+            tree.insert(lo, lo + 5, lo)
+        assert [lo for lo, _hi, _v in tree.items()] == [10, 20, 30]
+
+
+class TestQueriesAgainstBruteForce:
+    @settings(max_examples=150, deadline=None)
+    @given(interval_specs, st.integers(0, 140))
+    def test_stab_matches_scan(self, specs, point):
+        tree = IntervalTree()
+        model = []
+        for index, (lo, span) in enumerate(specs):
+            tree.insert(lo, lo + span, index)
+            model.append((lo, lo + span, index))
+        expected = {v for lo, hi, v in model if lo <= point < hi}
+        assert set(tree.stab(point)) == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(interval_specs, st.integers(0, 140), st.integers(1, 40))
+    def test_overlapping_matches_scan(self, specs, qlo, qspan):
+        tree = IntervalTree()
+        model = []
+        for index, (lo, span) in enumerate(specs):
+            tree.insert(lo, lo + span, index)
+            model.append((lo, lo + span, index))
+        qhi = qlo + qspan
+        expected = {v for lo, hi, v in model if lo < qhi and qlo < hi}
+        assert set(tree.overlapping(qlo, qhi)) == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(interval_specs)
+    def test_removal_keeps_queries_exact(self, specs):
+        tree = IntervalTree()
+        model = {}
+        for index, (lo, span) in enumerate(specs):
+            serial = tree.insert(lo, lo + span, index)
+            model[index] = (lo, lo + span, serial)
+        rng = random.Random(42)
+        victims = rng.sample(list(model), len(model) // 2)
+        for victim in victims:
+            lo, _hi, serial = model.pop(victim)
+            tree.remove(lo, serial)
+        for point in (0, 25, 50, 99, 139):
+            expected = {v for v, (lo, hi, _s) in model.items()
+                        if lo <= point < hi}
+            assert set(tree.stab(point)) == expected
+        assert len(tree) == len(model)
+
+    def test_max_hi_invariant(self):
+        tree = IntervalTree()
+        for lo, span in [(5, 30), (10, 2), (50, 10), (0, 100)]:
+            tree.insert(lo, lo + span)
+
+        def check(node):
+            if node is None:
+                return -1
+            expected = max(node.hi, check(node.left), check(node.right))
+            assert node.max_hi == expected
+            return expected
+
+        check(tree._root)

@@ -1,0 +1,144 @@
+"""Unit and property tests for the persistent priority treap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import ptreap
+from repro.structures.ptreap import PTreap
+
+
+class TestFunctionalAPI:
+    def test_empty_root(self):
+        assert ptreap.find(None, (1, 0)) is None
+        with pytest.raises(KeyError):
+            ptreap.max_node(None)
+        with pytest.raises(KeyError):
+            ptreap.min_node(None)
+        assert ptreap.size(None) == 0
+        assert list(ptreap.iter_items(None)) == []
+
+    def test_insert_find(self):
+        root = ptreap.insert(None, (5, 0), "five")
+        root = ptreap.insert(root, (3, 1), "three")
+        assert ptreap.find(root, (5, 0)).value == "five"
+        assert ptreap.find(root, (3, 1)).value == "three"
+        assert ptreap.find(root, (4, 0)) is None
+
+    def test_insert_replaces_value(self):
+        root = ptreap.insert(None, (1, 1), "a")
+        root2 = ptreap.insert(root, (1, 1), "b")
+        assert ptreap.find(root2, (1, 1)).value == "b"
+        assert ptreap.find(root, (1, 1)).value == "a"  # persistence
+        assert ptreap.size(root2) == 1
+
+    def test_max_min(self):
+        root = None
+        for priority in (4, 9, 1, 7):
+            root = ptreap.insert(root, (priority, 0), priority)
+        assert ptreap.max_node(root).value == 9
+        assert ptreap.min_node(root).value == 1
+
+    def test_remove(self):
+        root = None
+        for priority in range(10):
+            root = ptreap.insert(root, (priority, 0), priority)
+        root2 = ptreap.remove(root, (9, 0))
+        assert ptreap.max_node(root2).value == 8
+        assert ptreap.max_node(root).value == 9  # old version intact
+        with pytest.raises(KeyError):
+            ptreap.remove(root2, (9, 0))
+
+    def test_remove_to_empty(self):
+        root = ptreap.insert(None, (1, 0), "only")
+        assert ptreap.remove(root, (1, 0)) is None
+
+    def test_inorder_sorted(self):
+        root = None
+        for priority in (5, 2, 8, 1, 9, 3):
+            root = ptreap.insert(root, (priority, 0), priority)
+        keys = [key for key, _value in ptreap.iter_items(root)]
+        assert keys == sorted(keys)
+
+
+class TestWrapper:
+    def test_value_semantics(self):
+        t0 = PTreap()
+        t1 = t0.insert((1, 0), "low").insert((9, 1), "high")
+        assert t0.is_empty()
+        assert not t1.is_empty()
+        assert t1.max().value == "high"
+        assert len(t1) == 2
+        assert (1, 0) in t1
+        assert (2, 0) not in t1
+        t2 = t1.remove((9, 1))
+        assert t2.max().value == "low"
+        assert t1.max().value == "high"
+
+    def test_iteration(self):
+        t = PTreap().insert((2, 0), "b").insert((1, 0), "a")
+        assert list(t) == [((1, 0), "a"), ((2, 0), "b")]
+
+    def test_bool(self):
+        assert not PTreap()
+        assert PTreap().insert((0, 0), None)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=0, max_value=31)),
+                max_size=60))
+def test_model_based_with_persistence(script):
+    """Latest version matches a dict model; old snapshots never change."""
+    root = None
+    model = {}
+    snapshots = []
+    for is_insert, priority in script:
+        key = (priority, 0)
+        if is_insert:
+            root = ptreap.insert(root, key, priority)
+            model[key] = priority
+        elif key in model:
+            root = ptreap.remove(root, key)
+            del model[key]
+        snapshots.append((root, dict(model)))
+    for snapshot_root, snapshot_model in snapshots:
+        items = dict(ptreap.iter_items(snapshot_root))
+        assert items == snapshot_model
+        if snapshot_model:
+            assert ptreap.max_node(snapshot_root).key == max(snapshot_model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.tuples(st.integers(0, 1000), st.integers(0, 5)),
+               min_size=1, max_size=100))
+def test_heap_property_and_bst_property(keys):
+    root = None
+    for key in keys:
+        root = ptreap.insert(root, key, None)
+
+    def check(node, lo, hi):
+        if node is None:
+            return
+        assert (lo is None or lo < node.key) and (hi is None or node.key < hi)
+        for child in (node.left, node.right):
+            if child is not None:
+                assert child.prio <= node.prio
+        check(node.left, lo, node.key)
+        check(node.right, node.key, hi)
+
+    check(root, None, None)
+    assert ptreap.size(root) == len(keys)
+
+
+def test_structural_sharing_after_copy():
+    """An atom-split-style dict copy shares roots; divergence is safe."""
+    root = None
+    for priority in range(50):
+        root = ptreap.insert(root, (priority, 0), priority)
+    old_owner = {"s1": root}
+    new_owner = dict(old_owner)          # Algorithm 1, line 4
+    assert new_owner["s1"] is old_owner["s1"]
+    new_owner["s1"] = ptreap.insert(new_owner["s1"], (99, 0), 99)
+    assert ptreap.max_node(new_owner["s1"]).value == 99
+    assert ptreap.max_node(old_owner["s1"]).value == 49

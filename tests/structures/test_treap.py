@@ -1,0 +1,169 @@
+"""Unit and property tests for the TreapMap ordered map."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.treap import TreapMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = TreapMap()
+        assert len(m) == 0
+        assert not m
+        assert 5 not in m
+        assert m.get(5) is None
+        assert m.get(5, "x") == "x"
+        assert list(m.keys()) == []
+
+    def test_insert_and_get(self):
+        m = TreapMap()
+        assert m.insert(3, "a") is True
+        assert m.insert(3, "b") is False  # replacement, not new
+        assert m[3] == "b"
+        assert len(m) == 1
+
+    def test_setitem_getitem(self):
+        m = TreapMap()
+        m[10] = "x"
+        assert m[10] == "x"
+        with pytest.raises(KeyError):
+            m[11]
+
+    def test_contains(self):
+        m = TreapMap()
+        m[1] = None
+        assert 1 in m
+        assert 2 not in m
+
+    def test_remove(self):
+        m = TreapMap()
+        m[1] = "a"
+        m[2] = "b"
+        assert m.remove(1) == "a"
+        assert len(m) == 1
+        assert 1 not in m
+        with pytest.raises(KeyError):
+            m.remove(1)
+
+    def test_sorted_iteration(self):
+        m = TreapMap()
+        for key in (5, 1, 9, 3, 7):
+            m[key] = key * 10
+        assert list(m.keys()) == [1, 3, 5, 7, 9]
+        assert list(m.values()) == [10, 30, 50, 70, 90]
+        assert list(m.items()) == [(k, k * 10) for k in (1, 3, 5, 7, 9)]
+
+    def test_min_max(self):
+        m = TreapMap()
+        with pytest.raises(KeyError):
+            m.min_key()
+        with pytest.raises(KeyError):
+            m.max_key()
+        for key in (5, 1, 9):
+            m[key] = None
+        assert m.min_key() == 1
+        assert m.max_key() == 9
+
+
+class TestOrderedQueries:
+    def setup_method(self):
+        self.m = TreapMap()
+        for key in (10, 20, 30, 40):
+            self.m[key] = f"v{key}"
+
+    def test_floor_key_exact(self):
+        assert self.m.floor_key(20) == 20
+
+    def test_floor_key_between(self):
+        assert self.m.floor_key(25) == 20
+
+    def test_floor_key_above_all(self):
+        assert self.m.floor_key(99) == 40
+
+    def test_floor_key_below_all_raises(self):
+        with pytest.raises(KeyError):
+            self.m.floor_key(9)
+
+    def test_floor_item(self):
+        assert self.m.floor_item(35) == (30, "v30")
+        assert self.m.floor_item(30) == (30, "v30")
+
+    def test_succ_key(self):
+        assert self.m.succ_key(10) == 20
+        assert self.m.succ_key(15) == 20
+        assert self.m.succ_key(0) == 10
+
+    def test_succ_key_at_max_raises(self):
+        with pytest.raises(KeyError):
+            self.m.succ_key(40)
+
+    def test_irange_half_open(self):
+        assert list(self.m.irange(10, 30)) == [10, 20]
+        assert list(self.m.irange(11, 31)) == [20, 30]
+        assert list(self.m.irange()) == [10, 20, 30, 40]
+        assert list(self.m.irange(41, None)) == []
+        assert list(self.m.irange(None, 10)) == []
+
+    def test_iritems_range(self):
+        assert list(self.m.iritems(20, 40)) == [(20, "v20"), (30, "v30")]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("ird"),
+                          st.integers(min_value=0, max_value=63))))
+def test_model_based_against_dict(script):
+    """TreapMap behaves exactly like a dict + sorted(list) model."""
+    treap = TreapMap(seed=1)
+    model = {}
+    for action, key in script:
+        if action == "i":
+            treap.insert(key, key * 2)
+            model[key] = key * 2
+        elif action == "r":
+            if key in model:
+                assert treap.remove(key) == model.pop(key)
+            else:
+                with pytest.raises(KeyError):
+                    treap.remove(key)
+        else:  # 'd': deep comparison
+            assert list(treap.items()) == sorted(model.items())
+    assert len(treap) == len(model)
+    assert list(treap.keys()) == sorted(model)
+    for key in model:
+        assert treap[key] == model[key]
+        sorted_keys = sorted(model)
+        larger = [k for k in sorted_keys if k > key]
+        if larger:
+            assert treap.succ_key(key) == larger[0]
+        else:
+            with pytest.raises(KeyError):
+                treap.succ_key(key)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=1000), min_size=1),
+       st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=1000))
+def test_irange_matches_filter(keys, raw_lo, raw_hi):
+    lo, hi = min(raw_lo, raw_hi), max(raw_lo, raw_hi)
+    treap = TreapMap()
+    for key in keys:
+        treap[key] = None
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert list(treap.irange(lo, hi)) == expected
+
+
+def test_large_scale_determinism():
+    """Same operations, same seed => identical structures; stays sorted."""
+    operations = random.Random(9).sample(range(100000), 5000)
+    a, b = TreapMap(seed=5), TreapMap(seed=5)
+    for key in operations:
+        a[key] = key
+        b[key] = key
+    assert list(a.items()) == list(b.items())
+    keys = list(a.keys())
+    assert keys == sorted(operations)

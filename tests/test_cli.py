@@ -1,0 +1,65 @@
+"""Tests for the `deltanet` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "Berkeley", "-o", "x.ops", "--scale", "0.5"])
+        assert args.dataset == "Berkeley" and args.scale == 0.5
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "Nope", "-o", "x"])
+
+
+class TestCommands:
+    def test_datasets_lists_table2(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Berkeley", "INET", "Airtel1", "4Switch"):
+            assert name in out
+
+    def test_generate_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        assert main(["generate", "4Switch", "-o", path, "--scale", "0.2"]) == 0
+        assert main(["replay", path, "--engine", "deltanet"]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out and "atoms=" in out
+
+    def test_replay_veriflow_engine(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--engine", "veriflow"]) == 0
+        assert "veriflow" in capsys.readouterr().out
+
+    def test_replay_with_cdf(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--cdf"]) == 0
+        assert "CDF" in capsys.readouterr().out
+
+    def test_whatif(self, capsys):
+        assert main(["whatif", "4Switch", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "link-failure queries" in out
+
+    def test_allpairs(self, capsys):
+        assert main(["allpairs", "4Switch", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 3" in out and "reachable" in out
+
+    def test_blackholes(self, capsys):
+        assert main(["blackholes", "4Switch", "--scale", "0.1"]) == 0
+        assert "black-hole" in capsys.readouterr().out
+
+    def test_report_parser(self):
+        args = build_parser().parse_args(["report", "-o", "x.md"])
+        assert args.output == "x.md"

@@ -1,0 +1,116 @@
+"""Tests for topology generators (scale/shape per Table 2)."""
+
+import pytest
+
+import networkx  # cross-check library, tests only
+
+from repro.topology.generators import (
+    airtel, campus, fat_tree, four_switch, grid, isp_like, line, ring,
+    rocketfuel, star,
+)
+
+
+def to_networkx(topo):
+    graph = networkx.DiGraph()
+    graph.add_nodes_from(topo.nodes)
+    graph.add_edges_from(topo.links())
+    return graph
+
+
+class TestBasicShapes:
+    def test_line(self):
+        topo = line(5)
+        assert topo.num_nodes == 5
+        assert topo.num_links == 8
+        assert topo.diameter() == 4
+
+    def test_ring(self):
+        topo = ring(6)
+        assert topo.num_nodes == 6
+        assert topo.num_links == 12
+        assert all(topo.degree(n) == 2 for n in topo.nodes)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_star(self):
+        topo = star(7)
+        assert topo.num_nodes == 8
+        assert topo.degree(0) == 7
+
+    def test_grid(self):
+        topo = grid(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.is_connected()
+
+    def test_fat_tree_counts(self):
+        k = 4
+        topo = fat_tree(k)
+        # k^2/4 cores + k pods x (k/2 aggs + k/2 edges)
+        assert topo.num_nodes == (k * k) // 4 + k * k
+        assert topo.is_connected()
+
+    def test_fat_tree_odd_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_four_switch(self):
+        topo = four_switch()
+        assert topo.num_nodes == 4
+        assert topo.name == "4switch"
+
+
+class TestEvaluationTopologies:
+    def test_campus_is_23_nodes(self):
+        topo = campus()
+        assert topo.num_nodes == 23  # Table 2: Berkeley
+        assert topo.is_connected()
+
+    def test_airtel_is_16_switches(self):
+        topo = airtel()
+        assert topo.num_nodes == 16  # §4.2.2: sixteen Open vSwitches
+        assert topo.is_connected()
+        assert topo.diameter() <= 5
+
+    @pytest.mark.parametrize("asn,expected_nodes",
+                             [(1755, 87), (3257, 161), (6461, 138),
+                              (1239, 316)])
+    def test_rocketfuel_node_counts_match_table2(self, asn, expected_nodes):
+        topo = rocketfuel(asn)
+        assert topo.num_nodes == expected_nodes
+        assert topo.is_connected()
+
+    def test_rocketfuel_unknown_asn(self):
+        with pytest.raises(ValueError):
+            rocketfuel(9999)
+
+    def test_isp_like_determinism(self):
+        a = isp_like(50, 60, seed=5)
+        b = isp_like(50, 60, seed=5)
+        assert sorted(a.links()) == sorted(b.links())
+        c = isp_like(50, 60, seed=6)
+        assert sorted(a.links()) != sorted(c.links())
+
+    def test_isp_like_heavy_tail(self):
+        """Preferential attachment: max degree well above the median."""
+        topo = isp_like(120, 150, seed=3)
+        degrees = sorted(topo.degree(n) for n in topo.nodes)
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_connectivity_cross_checked_with_networkx(self):
+        topo = rocketfuel(1755)
+        graph = to_networkx(topo)
+        assert networkx.is_strongly_connected(graph)
+        assert graph.number_of_nodes() == topo.num_nodes
+        assert graph.number_of_edges() == topo.num_links
+
+    def test_shortest_paths_match_networkx(self):
+        topo = airtel()
+        graph = to_networkx(topo)
+        for destination in (0, 7, 13):
+            tree = topo.shortest_path_tree(destination)
+            lengths = networkx.single_source_shortest_path_length(
+                graph.reverse(), destination)
+            for node, parent in tree.items():
+                assert lengths[node] == lengths[parent] + 1

@@ -1,0 +1,105 @@
+"""Tests for the topology graph model."""
+
+import pytest
+
+from repro.topology.graph import Topology
+
+
+def square() -> Topology:
+    topo = Topology("square")
+    for u, v in ((0, 1), (1, 2), (2, 3), (3, 0)):
+        topo.add_link(u, v)
+    return topo
+
+
+class TestConstruction:
+    def test_add_link_bidirectional(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        assert topo.has_link("a", "b") and topo.has_link("b", "a")
+        assert topo.num_links == 2
+
+    def test_add_link_directed(self):
+        topo = Topology()
+        topo.add_link("a", "b", bidirectional=False)
+        assert topo.has_link("a", "b") and not topo.has_link("b", "a")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology().add_link("a", "a")
+
+    def test_remove_link(self):
+        topo = square()
+        topo.remove_link(0, 1)
+        assert not topo.has_link(0, 1) and not topo.has_link(1, 0)
+
+    def test_isolated_node(self):
+        topo = Topology()
+        topo.add_node("lonely")
+        assert topo.num_nodes == 1
+        assert topo.degree("lonely") == 0
+
+    def test_undirected_links_each_once(self):
+        topo = square()
+        undirected = topo.undirected_links()
+        assert len(undirected) == 4
+        assert len({frozenset(e) for e in undirected}) == 4
+
+    def test_copy_independent(self):
+        topo = square()
+        clone = topo.copy()
+        clone.remove_link(0, 1)
+        assert topo.has_link(0, 1)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert square().is_connected()
+
+    def test_disconnected(self):
+        topo = square()
+        topo.add_node("island")
+        assert not topo.is_connected()
+
+    def test_empty_is_connected(self):
+        assert Topology().is_connected()
+
+    def test_diameter(self):
+        assert square().diameter() == 2
+
+
+class TestShortestPaths:
+    def test_tree_reaches_everything(self):
+        topo = square()
+        tree = topo.shortest_path_tree(0)
+        assert set(tree) == {1, 2, 3}
+        assert tree[1] == 0 and tree[3] == 0
+        assert tree[2] in (1, 3)
+
+    def test_path(self):
+        topo = square()
+        path = topo.shortest_path(2, 0)
+        assert path[0] == 2 and path[-1] == 0
+        assert len(path) == 3
+
+    def test_path_identity(self):
+        assert square().shortest_path(1, 1) == [1]
+
+    def test_path_avoiding_links(self):
+        topo = square()
+        path = topo.shortest_path(1, 0, avoid_links=[(0, 1)])
+        assert path == [1, 2, 3, 0]
+
+    def test_avoid_blocks_both_directions(self):
+        topo = square()
+        tree = topo.shortest_path_tree(0, avoid_links=[(1, 0)])
+        assert tree[1] == 2  # 1 cannot use the failed 1-0 link
+
+    def test_no_path_when_cut(self):
+        topo = square()
+        assert topo.shortest_path(2, 0,
+                                  avoid_links=[(0, 1), (3, 0)]) is None
+
+    def test_tree_is_deterministic(self):
+        topo = square()
+        assert topo.shortest_path_tree(0) == topo.shortest_path_tree(0)

@@ -1,0 +1,93 @@
+"""Tests for the Chen-optimized Veriflow variant.
+
+The key property: VeriflowChen is behaviourally identical to the trie-
+based VeriflowRI on every update — same EC partitions, same forwarding
+graphs, same loop verdicts — since only the index structure changed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.veriflow.chen import VeriflowChen
+from repro.veriflow.verifier import VeriflowRI
+
+from tests.conftest import BruteForceDataPlane, random_rules
+
+
+class TestBasics:
+    def test_insert_reports_ecs(self):
+        chen = VeriflowChen(width=4)
+        assert chen.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b")).num_ecs == 1
+        result = chen.insert_rule(Rule.forward(1, 4, 8, 2, "a", "c"))
+        assert result.num_ecs == 1
+
+    def test_non_prefix_intervals_supported_natively(self):
+        """The interval tree (unlike the trie) needs no CIDR cover."""
+        chen = VeriflowChen(width=4)
+        result = chen.insert_rule(Rule.forward(0, 3, 11, 1, "a", "b"))
+        assert result.num_ecs == 1
+        assert chen.match_at("a", 3).rid == 0
+        assert chen.match_at("a", 10).rid == 0
+        assert chen.match_at("a", 11) is None
+
+    def test_duplicate_and_unknown(self):
+        chen = VeriflowChen(width=4)
+        chen.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b"))
+        with pytest.raises(ValueError):
+            chen.insert_rule(Rule.forward(0, 0, 8, 1, "a", "b"))
+        with pytest.raises(KeyError):
+            chen.remove_rule(9)
+
+    def test_loop_detection(self):
+        chen = VeriflowChen(width=4)
+        chen.insert_rule(Rule.forward(0, 0, 16, 1, "a", "b"))
+        chen.insert_rule(Rule.forward(1, 0, 16, 1, "b", "c"))
+        result = chen.insert_rule(Rule.forward(2, 0, 16, 1, "c", "a"))
+        assert result.loops
+
+
+class TestEquivalenceWithTrieVeriflow:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_update_results_identical(self, seed):
+        rng = random.Random(seed * 131)
+        trie_vf = VeriflowRI(width=8)
+        chen_vf = VeriflowChen(width=8)
+        live = []
+        for rule in random_rules(rng, 40, width=8, switches=4,
+                                 drop_fraction=0.1):
+            if live and rng.random() < 0.35:
+                victim = live.pop(rng.randrange(len(live)))
+                trie_result = trie_vf.remove_rule(victim.rid)
+                chen_result = chen_vf.remove_rule(victim.rid)
+                self._assert_same(trie_result, chen_result)
+            trie_result = trie_vf.insert_rule(rule)
+            chen_result = chen_vf.insert_rule(rule)
+            self._assert_same(trie_result, chen_result)
+            live.append(rule)
+
+    @staticmethod
+    def _assert_same(trie_result, chen_result):
+        assert [g.interval for g in trie_result.ec_graphs] == \
+            [g.interval for g in chen_result.ec_graphs]
+        for trie_graph, chen_graph in zip(trie_result.ec_graphs,
+                                          chen_result.ec_graphs):
+            assert trie_graph.edges == chen_graph.edges
+        assert [interval for interval, _loop in trie_result.loops] == \
+            [interval for interval, _loop in chen_result.loops]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_match_at_agrees_with_oracle(self, seed):
+        rng = random.Random(900 + seed)
+        chen = VeriflowChen(width=6)
+        oracle = BruteForceDataPlane(width=6)
+        for rule in random_rules(rng, 30, width=6, switches=4):
+            chen.insert_rule(rule, check_loops=False)
+            oracle.insert(rule)
+        for lo, _hi in oracle.segments():
+            for switch in oracle.sources():
+                expected = oracle.owner_at(switch, lo)
+                got = chen.match_at(switch, lo)
+                assert (got.rid if got else None) == \
+                    (expected.rid if expected else None)

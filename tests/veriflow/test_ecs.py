@@ -1,0 +1,46 @@
+"""Tests for equivalence-class computation."""
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.veriflow.ecs import equivalence_classes
+
+
+def rule(rid, lo, hi):
+    return Rule.forward(rid, lo, hi, rid, "s", "t")
+
+
+class TestEquivalenceClasses:
+    def test_no_overlapping_rules_single_ec(self):
+        assert equivalence_classes([], 0, 16) == [(0, 16)]
+
+    def test_figure1_segmentation(self):
+        """Overlapping rule bounds cut the range into segments."""
+        rules = [rule(0, 2, 10), rule(1, 4, 12), rule(2, 6, 14)]
+        ecs = equivalence_classes(rules, 4, 12)
+        assert ecs == [(4, 6), (6, 10), (10, 12)]
+
+    def test_bounds_outside_range_ignored(self):
+        rules = [rule(0, 0, 100)]
+        assert equivalence_classes(rules, 10, 20) == [(10, 20)]
+
+    def test_bound_equal_to_range_edges_not_duplicated(self):
+        rules = [rule(0, 10, 20)]
+        assert equivalence_classes(rules, 10, 20) == [(10, 20)]
+
+    def test_ecs_partition_the_range(self):
+        rules = [rule(i, i * 3, i * 3 + 7) for i in range(5)]
+        ecs = equivalence_classes(rules, 0, 32)
+        assert ecs[0][0] == 0 and ecs[-1][1] == 32
+        for (l1, h1), (l2, h2) in zip(ecs, ecs[1:]):
+            assert h1 == l2
+        for lo, hi in ecs:
+            assert lo < hi
+            # Every point in an EC matches the same rule subset.
+            first = {r.rid for r in rules if r.matches(lo)}
+            assert all({r.rid for r in rules if r.matches(p)} == first
+                       for p in range(lo, hi))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            equivalence_classes([], 5, 5)

@@ -1,0 +1,122 @@
+"""Tests for the binary prefix trie."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import Rule
+from repro.veriflow.trie import PrefixTrie
+
+
+def prefix_rule(rid, value, plen, width=8, priority=None, source="s1"):
+    span = 1 << (width - plen)
+    lo = value & ~(span - 1)
+    return Rule.forward(rid, lo, lo + span,
+                        priority if priority is not None else rid,
+                        source, "s2")
+
+
+class TestInsertRemove:
+    def test_insert_and_count(self):
+        trie = PrefixTrie(width=8)
+        trie.insert(prefix_rule(0, 0b10100000, 3))
+        assert len(trie) == 1
+        assert trie.num_nodes == 4  # root + 3 bit nodes
+
+    def test_remove(self):
+        trie = PrefixTrie(width=8)
+        rule = prefix_rule(0, 0, 2)
+        trie.insert(rule)
+        trie.remove(rule)
+        assert len(trie) == 0
+        with pytest.raises(KeyError):
+            trie.remove(rule)
+
+    def test_non_prefix_interval_stored_as_cover(self):
+        trie = PrefixTrie(width=8)
+        rule = Rule.forward(0, 0, 10, 1, "s1", "s2")  # [0:10) = 2 prefixes
+        trie.insert(rule)
+        assert set(r.rid for r in trie.covering_rules(5)) == {0}
+        assert set(r.rid for r in trie.covering_rules(9)) == {0}
+        assert list(trie.covering_rules(10)) == []
+        trie.remove(rule)
+        assert list(trie.covering_rules(5)) == []
+
+
+class TestQueries:
+    def test_covering_rules_is_root_path(self):
+        trie = PrefixTrie(width=8)
+        wide = prefix_rule(0, 0, 0)       # everything
+        mid = prefix_rule(1, 0, 4)        # [0:16)
+        narrow = prefix_rule(2, 8, 6)     # [8:12)
+        for rule in (wide, mid, narrow):
+            trie.insert(rule)
+        assert {r.rid for r in trie.covering_rules(9)} == {0, 1, 2}
+        assert {r.rid for r in trie.covering_rules(20)} == {0}
+
+    def test_match_highest_priority(self):
+        trie = PrefixTrie(width=8)
+        trie.insert(prefix_rule(0, 0, 0, priority=1))
+        trie.insert(prefix_rule(1, 0, 4, priority=9))
+        assert trie.match(5).rid == 1
+        assert trie.match(200).rid == 0
+        assert PrefixTrie(width=8).match(5) is None
+
+    def test_overlapping_rules_ancestors_and_subtree(self):
+        trie = PrefixTrie(width=8)
+        ancestor = prefix_rule(0, 0, 2)      # [0:64)
+        inside = prefix_rule(1, 16, 6)       # [16:20)
+        sibling = prefix_rule(2, 128, 2)     # [128:192)
+        for rule in (ancestor, inside, sibling):
+            trie.insert(rule)
+        overlapping = {r.rid for r in trie.overlapping_rules(0, 4)}  # [0:16)
+        assert 0 in overlapping
+        assert 2 not in overlapping
+
+    def test_all_rules(self):
+        trie = PrefixTrie(width=8)
+        rules = [prefix_rule(i, i * 16, 4) for i in range(5)]
+        for rule in rules:
+            trie.insert(rule)
+        assert {r.rid for r in trie.all_rules()} == set(range(5))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 8)),
+                min_size=1, max_size=25),
+       st.integers(0, 255))
+def test_covering_matches_linear_scan(prefix_specs, point):
+    trie = PrefixTrie(width=8)
+    rules = []
+    for rid, (value, plen) in enumerate(prefix_specs):
+        rule = prefix_rule(rid, value, plen)
+        rules.append(rule)
+        trie.insert(rule)
+    expected = {r.rid for r in rules if r.matches(point)}
+    assert {r.rid for r in trie.covering_rules(point)} == expected
+    best = trie.match(point)
+    if expected:
+        assert best.rid == max(expected, key=lambda rid: rules[rid].sort_key)
+    else:
+        assert best is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 8)),
+                min_size=1, max_size=20),
+       st.tuples(st.integers(0, 255), st.integers(0, 8)))
+def test_overlapping_interval_matches_linear_scan(prefix_specs, query):
+    trie = PrefixTrie(width=8)
+    rules = []
+    for rid, (value, plen) in enumerate(prefix_specs):
+        rule = prefix_rule(rid, value, plen)
+        rules.append(rule)
+        trie.insert(rule)
+    q_value, q_plen = query
+    span = 1 << (8 - q_plen)
+    q_lo = q_value & ~(span - 1)
+    q_hi = q_lo + span
+    expected = {r.rid for r in rules if r.lo < q_hi and q_lo < r.hi}
+    assert {r.rid for r in trie.overlapping_interval(q_lo, q_hi)} == expected

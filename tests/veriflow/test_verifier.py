@@ -1,0 +1,105 @@
+"""Tests for the Veriflow-RI verifier — incl. loop-agreement with Delta-net."""
+
+import random
+
+import pytest
+
+from repro.checkers.loops import LoopChecker, find_forwarding_loops
+from repro.core.deltanet import DeltaNet
+from repro.core.rules import Rule
+from repro.veriflow.verifier import ECGraph, VeriflowRI
+
+from tests.conftest import BruteForceDataPlane, random_rules
+
+
+class TestECGraph:
+    def test_no_loop_chain(self):
+        graph = ECGraph((0, 4), {"a": "b", "b": "c"})
+        assert graph.find_loop() is None
+
+    def test_two_node_loop(self):
+        graph = ECGraph((0, 4), {"a": "b", "b": "a"})
+        loop = graph.find_loop()
+        assert loop is not None
+        assert set(loop) == {"a", "b"}
+
+    def test_tail_into_loop(self):
+        graph = ECGraph((0, 4), {"x": "a", "a": "b", "b": "a"})
+        assert set(graph.find_loop()) == {"a", "b"}
+
+    def test_drop_terminates(self):
+        from repro.core.rules import DROP
+        graph = ECGraph((0, 4), {"a": "b", "b": DROP})
+        assert graph.find_loop() is None
+
+
+class TestUpdates:
+    def test_insert_reports_ecs(self):
+        veriflow = VeriflowRI(width=4)
+        result = veriflow.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert result.num_ecs == 1
+        result = veriflow.insert_rule(Rule.forward(1, 4, 8, 2, "s1", "s3"))
+        assert result.num_ecs == 1  # [4:8) uncut
+        result = veriflow.insert_rule(Rule.forward(2, 0, 16, 3, "s2", "s1"))
+        assert result.num_ecs == 3  # cut at 4 and 8
+
+    def test_duplicate_rid_rejected(self):
+        veriflow = VeriflowRI(width=4)
+        veriflow.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        with pytest.raises(ValueError):
+            veriflow.insert_rule(Rule.forward(0, 0, 8, 1, "s1", "s2"))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            VeriflowRI(width=4).remove_rule(3)
+
+    def test_loop_detection_on_ring(self):
+        veriflow = VeriflowRI(width=4)
+        veriflow.insert_rule(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        veriflow.insert_rule(Rule.forward(1, 0, 16, 1, "s2", "s3"))
+        result = veriflow.insert_rule(Rule.forward(2, 0, 16, 1, "s3", "s1"))
+        assert result.loops
+        interval, cycle = result.loops[0]
+        assert set(cycle) == {"s1", "s2", "s3"}
+
+    def test_remove_breaks_loop_quietly(self):
+        veriflow = VeriflowRI(width=4)
+        for rid, (src, dst) in enumerate((("s1", "s2"), ("s2", "s3"),
+                                          ("s3", "s1"))):
+            veriflow.insert_rule(Rule.forward(rid, 0, 16, 1, src, dst))
+        result = veriflow.remove_rule(2)
+        assert result.loops == []
+
+
+class TestAgreementWithDeltaNet:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_loop_presence_agrees(self, seed):
+        """Per-update loop verdicts agree between the two checkers."""
+        rng = random.Random(seed)
+        net = DeltaNet(width=6)
+        checker = LoopChecker(net)
+        veriflow = VeriflowRI(width=6)
+        for rule in random_rules(rng, 35, width=6, switches=4,
+                                 drop_fraction=0.1):
+            delta = net.insert_rule(rule)
+            deltanet_loops = checker.check_update(delta)
+            veriflow_loops = veriflow.insert_rule(rule).loops
+            # Exhaustive ground truth after this update:
+            truth = bool(find_forwarding_loops(net))
+            if deltanet_loops:
+                assert truth
+            if veriflow_loops:
+                assert truth
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oracle_loop_presence_matches_veriflow_full_sweep(self, seed):
+        rng = random.Random(500 + seed)
+        veriflow = VeriflowRI(width=6)
+        oracle = BruteForceDataPlane(width=6)
+        any_loop_reported = False
+        for rule in random_rules(rng, 30, width=6, switches=4,
+                                 drop_fraction=0.0):
+            result = veriflow.insert_rule(rule)
+            oracle.insert(rule)
+            any_loop_reported |= bool(result.loops)
+        assert any_loop_reported == bool(oracle.loop_points())
