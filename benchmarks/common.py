@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.builders import (
     DATASET_BUILDERS, PAPER_TABLE2, Dataset, build_dataset,
 )
-from repro.replay.engine import DeltaNetEngine, ReplayResult, VeriflowEngine, replay
+from repro.replay.engine import (
+    DeltaNetEngine, ReplayResult, SessionEngine, VeriflowEngine,
+    make_engine, replay,
+)
 
 #: Workload multiplier, settable from the environment.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -41,18 +44,31 @@ def dataset(name: str) -> Dataset:
 
 
 @lru_cache(maxsize=None)
-def deltanet_replay(name: str, check_loops: bool = True) -> Tuple[DeltaNetEngine, ReplayResult]:
-    """Replay a dataset through Delta-net once, caching the result."""
-    engine = DeltaNetEngine(check_loops=check_loops)
-    result = replay(dataset(name).ops, engine, engine_name="Delta-net")
+def session_replay(name: str, backend: str = "deltanet",
+                   check_loops: bool = True,
+                   max_ops: Optional[int] = None) -> Tuple[SessionEngine, ReplayResult]:
+    """Replay a dataset through any registry backend, via the unified
+    :class:`repro.api.VerificationSession` (caching the result).
+
+    ``max_ops`` truncates the workload — the quadratic baselines (apv,
+    netplumber) are benchmarked on prefixes of the big datasets.
+    """
+    engine = make_engine(backend, check_loops=check_loops)
+    ops = dataset(name).ops
+    if max_ops is not None:
+        ops = ops[:max_ops]
+    result = replay(ops, engine, engine_name=backend)
     return engine, result
 
 
-@lru_cache(maxsize=None)
-def veriflow_replay(name: str, check_loops: bool = True) -> Tuple[VeriflowEngine, ReplayResult]:
-    engine = VeriflowEngine(check_loops=check_loops)
-    result = replay(dataset(name).ops, engine, engine_name="Veriflow-RI")
-    return engine, result
+def deltanet_replay(name: str, check_loops: bool = True) -> Tuple[SessionEngine, ReplayResult]:
+    """Replay a dataset through Delta-net once (via :func:`session_replay`,
+    so the cache is shared with the cross-backend benchmarks)."""
+    return session_replay(name, "deltanet", check_loops)
+
+
+def veriflow_replay(name: str, check_loops: bool = True) -> Tuple[SessionEngine, ReplayResult]:
+    return session_replay(name, "veriflow", check_loops)
 
 
 @lru_cache(maxsize=None)

@@ -6,6 +6,13 @@ approximately 40 microseconds on average, a more than 10x improvement
 over the state-of-the-art" and "only approximately 4x faster ... on the
 Airtel data set" (the gap widens with dataset size).
 
+Both engines are the *same* code path now — a
+:class:`repro.api.VerificationSession` with a ``LoopProperty``
+subscription, selected by registry name — so the comparison measures the
+verifiers, not the harness.  A cross-backend smoke additionally replays
+one workload through all five registered backends and checks they agree
+on the loop verdict.
+
 Shape targets:
   * Delta-net's mean per-update time beats Veriflow-RI's on every
     compared dataset,
@@ -15,18 +22,19 @@ Shape targets:
 import pytest
 
 from repro.analysis.tables import render_table
+from repro.api import available_backends
 
 from benchmarks.common import (
-    BASELINE_DATASET_NAMES, dataset, deltanet_replay, microseconds,
-    print_report, veriflow_replay,
+    BASELINE_DATASET_NAMES, dataset, microseconds, print_report,
+    session_replay,
 )
 
 
 def test_headline_comparison_report():
     rows = []
     for name in BASELINE_DATASET_NAMES:
-        _d_engine, d_result = deltanet_replay(name)
-        _v_engine, v_result = veriflow_replay(name)
+        _d_engine, d_result = session_replay(name, "deltanet")
+        _v_engine, v_result = session_replay(name, "veriflow")
         d_mean = d_result.summary()["mean"]
         v_mean = v_result.summary()["mean"]
         rows.append((
@@ -46,8 +54,8 @@ def test_headline_comparison_report():
 
 @pytest.mark.parametrize("name", BASELINE_DATASET_NAMES)
 def test_deltanet_faster_per_update(name):
-    _d_engine, d_result = deltanet_replay(name)
-    _v_engine, v_result = veriflow_replay(name)
+    _d_engine, d_result = session_replay(name, "deltanet")
+    _v_engine, v_result = session_replay(name, "veriflow")
     d_mean = d_result.summary()["mean"]
     v_mean = v_result.summary()["mean"]
     assert d_mean < v_mean, (
@@ -57,22 +65,42 @@ def test_deltanet_faster_per_update(name):
 
 def test_loop_verdicts_agree():
     for name in BASELINE_DATASET_NAMES:
-        _d, d_result = deltanet_replay(name)
-        _v, v_result = veriflow_replay(name)
+        _d, d_result = session_replay(name, "deltanet")
+        _v, v_result = session_replay(name, "veriflow")
         assert (d_result.loops_found > 0) == (v_result.loops_found > 0), name
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_all_backends_replay_uniformly(backend):
+    """Any registered backend replays the same workload through the one
+    session code path (the quadratic baselines on a truncated prefix)."""
+    max_ops = 60 if backend in ("apv", "netplumber") else None
+    engine, result = session_replay("4Switch", backend, max_ops=max_ops)
+    expected = len(dataset("4Switch").ops) if max_ops is None else max_ops
+    assert result.num_ops == expected
+    assert engine.session.num_rules > 0
+
+
+def test_cross_backend_loop_verdicts_agree():
+    """All five backends agree whether the 4Switch campaign ever loops
+    (the incremental engines on the full run; prefixes for the rest)."""
+    verdicts = {}
+    for backend in available_backends():
+        max_ops = 60 if backend in ("apv", "netplumber") else None
+        _engine, result = session_replay("4Switch", backend, max_ops=max_ops)
+        verdicts[backend] = result.loops_found > 0
+    assert verdicts["deltanet"] == verdicts["veriflow"] == verdicts["sharded"]
 
 
 @pytest.mark.parametrize("engine_name", ["deltanet", "veriflow"])
 def test_benchmark_per_update_check(benchmark, engine_name):
     """pytest-benchmark micro-comparison on the same small workload."""
-    from repro.replay.engine import DeltaNetEngine, VeriflowEngine, replay
+    from repro.replay.engine import make_engine, replay
 
     ops = dataset("4Switch").ops
 
     def run():
-        engine = (DeltaNetEngine() if engine_name == "deltanet"
-                  else VeriflowEngine())
-        return replay(ops, engine)
+        return replay(ops, make_engine(engine_name))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.num_ops == len(ops)

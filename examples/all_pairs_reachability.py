@@ -3,23 +3,25 @@
 
 Design goal 3: when real-time constraints are relaxed (pre-deployment
 testing), Delta-net's lattice-theoretic representation supports broader
-queries.  This example builds a fat-tree data plane and runs:
+queries.  This example builds a fat-tree data plane through a
+:class:`repro.VerificationSession` and runs:
 
   * Algorithm 3 — the atom-labelled Floyd–Warshall transitive closure
-    answering *all-pairs* reachability for *all* packets at once,
-  * a waypoint policy check (must all cross-pod traffic pass the core?),
-  * a tenant-isolation check over two prefix slices.
+    answering *all-pairs* reachability for *all* packets at once (a
+    Delta-net-specific analysis, reached through ``session.native``),
+  * a waypoint policy check (must all cross-pod traffic pass the core?)
+    via the backend-agnostic :class:`repro.WaypointProperty`,
+  * a tenant-isolation check over two prefix slices via
+    :class:`repro.IsolationProperty`.
 
 Run:  python examples/all_pairs_reachability.py
 """
 
+from repro import IsolationProperty, VerificationSession, WaypointProperty
 from repro.bgp.prefixes import PrefixPool
 from repro.checkers.allpairs import (
     all_pairs_reachability, loops_from_closure, reachability_matrix,
 )
-from repro.checkers.isolation import check_isolation
-from repro.checkers.waypoint import check_waypoint
-from repro.core.deltanet import DeltaNet
 from repro.routing.rulegen import ShortestPathRuleGenerator
 from repro.topology.generators import fat_tree
 
@@ -28,20 +30,24 @@ def main() -> None:
     topology = fat_tree(4)
     pool = PrefixPool(seed=11)
     generator = ShortestPathRuleGenerator(topology, seed=11)
-    net = DeltaNet()
+    session = VerificationSession("deltanet")
 
-    # Route 40 prefixes to edge switches across the pods.
+    # Route 40 prefixes to edge switches across the pods (one batch —
+    # pre-deployment loading needs no per-rule checking).
     edges = sorted(n for n in topology.nodes if str(n).startswith("e"))
     prefixes = pool.sample(40)
-    for index, prefix in enumerate(prefixes):
-        destination = edges[index % len(edges)]
-        for rule in generator.rules_for_prefix(prefix, destination=destination,
-                                               priority=prefix[1]):
-            net.insert_rule(rule)
+    with session.batch():
+        for index, prefix in enumerate(prefixes):
+            destination = edges[index % len(edges)]
+            for rule in generator.rules_for_prefix(
+                    prefix, destination=destination, priority=prefix[1]):
+                session.insert(rule)
+    stats = session.stats()
     print(f"fat-tree(4): {topology.num_nodes} switches, "
-          f"{net.num_rules} rules, {net.num_atoms} atoms")
+          f"{stats['rules']} rules, {stats['atoms']} atoms")
 
-    # -- Algorithm 3 ----------------------------------------------------------
+    # -- Algorithm 3 (Delta-net-specific; session.native escape hatch) --------
+    net = session.native
     closure = all_pairs_reachability(net)
     print(f"\nAlgorithm 3 closure: {len(closure)} reachable (src, dst) pairs")
     src, dst = "e0_0", "e3_1"
@@ -51,21 +57,24 @@ def main() -> None:
           f"first intervals {spans}")
     print(f"  forwarding loops on the diagonal: "
           f"{len(loops_from_closure(closure))}")
+    print(f"  (uniform query agrees: session.reachable gives "
+          f"{len(session.reachable(src, dst))} interval(s))")
 
     # -- waypoint policy --------------------------------------------------------
-    bypassing = check_waypoint(net, "e0_0", "e1_0", "a0_0")
+    bypassing = session.check(WaypointProperty("e0_0", "e1_0", "a0_0"))
     print(f"\nwaypoint check (e0_0 -> e1_0 must pass a0_0): "
-          f"{len(bypassing)} bypassing classes "
-          f"({'violated' if bypassing else 'holds'})")
+          f"{'violated' if bypassing else 'holds'}")
+    for violation in bypassing:
+        print(f"  {violation}")
 
     # -- tenant isolation --------------------------------------------------------
     slice_a = [PrefixPool.to_interval(p) for p in prefixes[:5]]
     slice_b = [PrefixPool.to_interval(p) for p in prefixes[5:10]]
-    offenders = check_isolation(net, slice_a, slice_b)
+    offenders = session.check(IsolationProperty(slice_a, slice_b))
     print(f"isolation check (tenant A: 5 prefixes, tenant B: 5 prefixes): "
           f"{len(offenders)} links carry both tenants")
-    for link in list(offenders)[:3]:
-        print(f"  shared: {link}")
+    for violation in offenders[:3]:
+        print(f"  shared: {violation.signature[1]}")
     print("\n(shared core links are expected in a fat-tree unless slices "
           "are pinned to disjoint paths)")
 

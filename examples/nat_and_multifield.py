@@ -9,10 +9,15 @@ Demonstrates the two extension mechanisms the paper sketches:
   rewrites a private destination prefix onto a public one, with
   reachability answered in the sender's original address space.
 
+The NAT demo drives its Delta-net through the unified
+:class:`repro.VerificationSession`; the rewrite analysis itself needs
+the native atom structures (``session.native``), and the multi-field
+graph is a separate structure outside the single-field backend protocol.
+
 Run:  python examples/nat_and_multifield.py
 """
 
-from repro.core.deltanet import DeltaNet
+from repro import VerificationSession
 from repro.core.multifield import FieldSchema, MultiFieldDeltaNet
 from repro.core.prefix import prefix_to_interval
 from repro.core.rewrite import (
@@ -50,31 +55,37 @@ def nat_demo() -> None:
     print("=" * 72)
     print("NAT-style prefix rewriting on a link  (paper §6, future work)")
     print("=" * 72)
-    net = DeltaNet()
+    session = VerificationSession("deltanet")
     private_lo, private_hi = prefix_to_interval("192.168.0.0/16")
     public_lo, public_hi = prefix_to_interval("203.0.113.0/24")
 
     # Inside: the gateway forwards private-destined traffic to the NAT.
-    net.insert_rule(Rule.forward(0, private_lo, private_hi, 10,
-                                 "lan", "nat"))
     # The NAT's egress link translates 192.168.0.0/24 -> 203.0.113.0/24.
+    # Outside: the WAN router only carries public space.
     nat_match_lo, nat_match_hi = prefix_to_interval("192.168.0.0/24")
     rewrites = RewriteTable()
     rewrites.add(("nat", "wan"), PrefixRewrite(nat_match_lo, nat_match_hi,
                                                public_lo))
-    net.insert_rule(Rule.forward(1, private_lo, private_hi, 10,
-                                 "nat", "wan"))
-    # Outside: the WAN router only carries public space.
-    net.insert_rule(Rule.forward(2, public_lo, public_hi, 10,
-                                 "wan", "internet"))
+    with session.batch():
+        session.insert(Rule.forward(0, private_lo, private_hi, 10,
+                                    "lan", "nat"))
+        session.insert(Rule.forward(1, private_lo, private_hi, 10,
+                                    "nat", "wan"))
+        session.insert(Rule.forward(2, public_lo, public_hi, 10,
+                                    "wan", "internet"))
 
-    reach = reachable_intervals_with_rewrites(net, rewrites,
+    # Without the rewrite, the uniform query sees the private space die
+    # at the WAN router; the rewrite-aware analysis runs on the native
+    # Delta-net underneath the session.
+    print(f"  plain reachability lan->internet (no rewrite semantics): "
+          f"{session.reachable('lan', 'internet') or 'nothing'}")
+    reach = reachable_intervals_with_rewrites(session.native, rewrites,
                                               "lan", "internet")
     print("  packets the LAN can address to reach the internet "
           "(original coordinates):")
     for lo, hi in reach.spans:
         print(f"    [{lo}:{hi})  (= 192.168.0.0/24 pre-NAT)")
-    without = reachable_intervals_with_rewrites(net, RewriteTable(),
+    without = reachable_intervals_with_rewrites(session.native, RewriteTable(),
                                                 "lan", "internet")
     print(f"  without the NAT rewrite: {without.spans or 'nothing'} — the "
           f"WAN router never matches private space")

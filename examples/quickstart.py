@@ -4,51 +4,62 @@
 Builds the forwarding table of the paper's Table 1 (a high-priority drop
 rule shadowing part of a low-priority forward rule), inserts a few more
 rules, and runs the per-update checks every SDN controller would want:
-forwarding loops, black holes, and reachability.
+forwarding loops, black holes, and reachability — all through the
+unified :class:`repro.VerificationSession` API, so swapping the paper's
+verifier for any baseline is a one-word change.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py            (Delta-net)
+      BACKEND=veriflow python examples/quickstart.py
 """
 
-from repro import DeltaNet, LoopChecker, reachable_atoms
-from repro.checkers.blackholes import find_blackholes
+import os
+
+from repro import (
+    BlackholeProperty, LoopProperty, ReachabilityProperty,
+    VerificationSession,
+)
 from repro.core.rules import Action
 
 
 def main() -> None:
-    net = DeltaNet()               # IPv4: 32-bit destination addresses
-    checker = LoopChecker(net)
+    backend = os.environ.get("BACKEND", "deltanet")
+    session = VerificationSession(backend)     # IPv4: 32-bit dst addresses
+    session.watch(LoopProperty())
 
     # -- Table 1: two rules on switch s1 ------------------------------------
     # High priority: drop 0.0.0.10/31.  Low priority: forward 0.0.0.0/28.
-    r_high = net.make_rule(0, "0.0.0.10/31", priority=20, source="s1",
-                           action=Action.DROP)
-    r_low = net.make_rule(1, "0.0.0.0/28", priority=10, source="s1",
-                          target="s2")
+    r_high = session.make_rule(0, "0.0.0.10/31", priority=20, source="s1",
+                               action=Action.DROP)
+    r_low = session.make_rule(1, "0.0.0.0/28", priority=10, source="s1",
+                              target="s2")
     for rule in (r_high, r_low):
-        delta = net.insert_rule(rule)
-        loops = checker.check_update(delta)
-        print(f"inserted {rule}: {len(loops)} loops")
+        result = session.insert(rule)
+        print(f"inserted {rule}: {len(result.violations)} violations "
+              f"({result.latency * 1e6:.0f}us)")
 
-    print(f"\natoms: {net.num_atoms} "
-          f"(the paper's Figure 5 segmentation plus the tail atom)")
-    print("flows on s1->s2:", net.flows_on(("s1", "s2")))
-    print("dropped at s1:  ", net.flows_on(("s1", "__drop__")))
+    stats = session.stats()
+    if "atoms" in stats:
+        print(f"\natoms: {stats['atoms']} "
+              f"(the paper's Figure 5 segmentation plus the tail atom)")
+    print("flows on s1->s2:", session.flows_on(("s1", "s2")))
+    print("dropped at s1:  ", session.flows_on(("s1", "__drop__")))
 
     # -- grow the network ----------------------------------------------------
-    net.insert_rule(net.make_rule(2, "0.0.0.0/28", 10, "s2", "s3"))
-    delta = net.insert_rule(net.make_rule(3, "0.0.0.0/30", 30, "s3", "s1"))
-    loops = checker.check_update(delta)
-    print(f"\nafter closing s3->s1 for 0.0.0.0/30: {len(loops)} loop(s)")
-    for loop in loops:
-        lo, hi = net.atoms.atom_interval(loop.atom)
-        print(f"  packets [{lo}:{hi}) cycle through {' -> '.join(map(str, loop.cycle))}")
+    session.insert(session.make_rule(2, "0.0.0.0/28", 10, "s2", "s3"))
+    result = session.insert(session.make_rule(3, "0.0.0.0/30", 30, "s3", "s1"))
+    print(f"\nafter closing s3->s1 for 0.0.0.0/30: "
+          f"{len(result.violations)} violation(s)")
+    for violation in result.violations:
+        print(f"  {violation}")
+        print(f"    (cycling packet space: {session.flows_on(('s3', 's1'))})")
 
     # -- reachability and black holes ---------------------------------------
-    atoms = reachable_atoms(net, "s1", "s3")
-    spans = sorted(net.atoms.atom_interval(a) for a in atoms)
+    spans = session.reachable("s1", "s3")
     print(f"\npackets reaching s3 from s1: {spans}")
-    holes = find_blackholes(net, expected_sinks=["s3"])
-    print(f"black holes: { {n: len(a) for n, a in holes.items()} }")
+    holes = session.check(BlackholeProperty(expected_sinks=["s3"]))
+    print(f"black holes: {[str(v) for v in holes] or 'none'}")
+    unreached = session.check(ReachabilityProperty("s1", "s3"))
+    print(f"reachability s1->s3: {'violated' if unreached else 'holds'}")
 
 
 if __name__ == "__main__":

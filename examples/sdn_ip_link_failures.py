@@ -3,24 +3,27 @@
 
 Recreates Figure 7's pipeline in-process:
 
-    BGP peers --eBGP--> RIB --SDN-IP--> controller --(+r / -r)--> Delta-net
+    BGP peers --eBGP--> RIB --SDN-IP--> controller --(+r / -r)--> verifier
 
 Sixteen switches in the Airtel topology, one Quagga-like border router
-per switch announcing Route-Views-style prefixes.  Delta-net subscribes
-to the controller's rule feed and checks every insertion/removal for
-forwarding loops as it happens; an event injector then fails and
-recovers every link (the Airtel 1 campaign) while verification keeps up.
+per switch announcing Route-Views-style prefixes.  A
+:class:`repro.VerificationSession` (Delta-net backend with atom GC)
+subscribes to the controller's rule feed and checks every
+insertion/removal for forwarding loops as it happens; an event injector
+then fails and recovers every link (the Airtel 1 campaign) while
+verification keeps up.  Because the controller feed is just
+``session.apply(op)``, any registered backend can sit in the verifier
+box — set ``BACKEND=veriflow`` to watch the baseline fall behind.
 
 Run:  python examples/sdn_ip_link_failures.py
 """
 
-import time
+import os
 
+from repro import LoopProperty, VerificationSession
 from repro.analysis.stats import summarize
 from repro.bgp.prefixes import PrefixPool
 from repro.bgp.updates import UpdateStream
-from repro.checkers.loops import LoopChecker
-from repro.core.deltanet import DeltaNet
 from repro.sdn.controller import Controller
 from repro.sdn.events import EventInjector
 from repro.sdn.sdnip import SdnIp
@@ -30,21 +33,16 @@ from repro.topology.generators import airtel
 def main() -> None:
     topology = airtel()
     controller = Controller(topology)
-    net = DeltaNet(gc=True)
-    checker = LoopChecker(net)
+    backend = os.environ.get("BACKEND", "deltanet")
+    options = {"gc": True} if backend in ("deltanet", "sharded") else {}
+    session = VerificationSession(backend, properties=(LoopProperty(),),
+                                 **options)
     times = []
-    loops_found = 0
 
     def verify(op) -> None:
-        """The Delta-net box of Figure 7: check each +r / -r in real time."""
-        nonlocal loops_found
-        start = time.perf_counter()
-        if op.is_insert:
-            delta = net.insert_rule(op.rule)
-        else:
-            delta = net.remove_rule(op.rid)
-        loops_found += len(checker.check_update(delta))
-        times.append(time.perf_counter() - start)
+        """The verifier box of Figure 7: check each +r / -r in real time."""
+        result = session.apply(op)
+        times.append(result.latency)
 
     controller.subscribe(verify)
 
@@ -53,10 +51,12 @@ def main() -> None:
     stream = UpdateStream(list(peers), PrefixPool(seed=42),
                           prefixes_per_peer=8, seed=42)
 
-    print("announcing prefixes from 16 border routers ...")
+    print(f"announcing prefixes from 16 border routers (backend={backend}) ...")
     sdnip.handle_updates(stream.initial_announcements())
+    stats = session.stats()
     print(f"  programmed {controller.num_installed} rules, "
-          f"{net.num_atoms} atoms, {loops_found} transient loops")
+          f"{stats.get('atoms', '?')} atoms, "
+          f"{len(session.violations())} transient loops")
 
     print("\ninjecting link failures (Airtel 1 campaign: every link once) ...")
     injector = EventInjector(sdnip)
@@ -73,9 +73,9 @@ def main() -> None:
           f"mean {summary['mean'] * 1e6:.1f} us, "
           f"p99 {summary['p99'] * 1e6:.1f} us, "
           f"{summary['frac_below_threshold'] * 100:.1f}% under 250 us")
-    print(f"  forwarding loops flagged: {loops_found} "
+    print(f"  forwarding loops flagged: {len(session.violations())} "
           f"(reroute churn can transiently loop; steady state is clean)")
-    print(f"final state: {net!r}")
+    print(f"final state: {session!r}")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,52 @@
-"""Thin legacy shim so `pip install -e . --no-use-pep517` works offline
-(the sandbox has setuptools but no `wheel`, which the PEP-517 editable
-path requires).  All metadata lives in pyproject.toml."""
+"""Packaging for the Delta-net (NSDI'17) reproduction.
 
-from setuptools import setup
+Kept as a classic ``setup.py`` (rather than pyproject-only metadata) so
+``pip install -e . --no-use-pep517`` works in offline sandboxes that
+ship setuptools but not ``wheel``.  Installs the ``repro`` package from
+the ``src/`` layout and the ``deltanet`` console entry point documented
+in :mod:`repro.cli`.
+"""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    """Read __version__ from src/repro/__init__.py without importing it."""
+    init_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "src", "repro", "__init__.py")
+    with open(init_path, encoding="utf-8") as stream:
+        match = re.search(r'^__version__ = "([^"]+)"', stream.read(),
+                          re.MULTILINE)
+    return match.group(1) if match else "0.0.0"
+
+
+setup(
+    name="deltanet-repro",
+    version=_version(),
+    description=("Reproduction of Delta-net: Real-time Network "
+                 "Verification Using Atoms (NSDI 2017), with a unified "
+                 "multi-backend verification API"),
+    long_description=("See README/docs/api.md: VerificationSession over "
+                      "pluggable backends (deltanet, veriflow, apv, "
+                      "netplumber, sharded) with property subscriptions."),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    install_requires=[],  # stdlib only, by design
+    entry_points={
+        "console_scripts": [
+            "deltanet = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Networking",
+    ],
+)

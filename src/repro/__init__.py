@@ -2,19 +2,44 @@
 
 A complete, from-scratch Python reproduction of Horn, Kheradmand &
 Prasad's Delta-net data-plane checker and everything its evaluation
-depends on: the Veriflow-RI baseline, an atomic-predicates verifier,
+depends on: the Veriflow-RI baseline, an atomic-predicates verifier, a
+NetPlumber-style plumbing graph, Libra-style header-space sharding,
 topology/BGP/routing substrates, an SDN-IP control-plane emulation,
 dataset generators for all eight Table 2 workloads, and the replay and
 analysis harness behind every table and figure.
 
-Quickstart::
+Quickstart — the unified session API::
 
-    from repro import DeltaNet, LoopChecker
+    from repro import (VerificationSession, LoopProperty,
+                       BlackholeProperty, ReachabilityProperty)
 
-    net = DeltaNet()
-    r1 = net.make_rule(0, "10.0.0.0/8", priority=10, source="s1", target="s2")
-    delta = net.insert_rule(r1)
-    loops = LoopChecker(net).check_update(delta)
+    session = VerificationSession("deltanet")   # or "veriflow", "apv",
+                                                # "netplumber", "sharded"
+    session.watch(LoopProperty())
+    session.watch(BlackholeProperty())
+    session.watch(ReachabilityProperty("s1", "s2"))
+
+    rule = session.make_rule(0, "10.0.0.0/8", priority=10,
+                             source="s1", target="s2")
+    result = session.insert(rule)       # checked incrementally
+    result.violations                   # new loop/blackhole/... alerts
+    result.latency                      # seconds, per paper §4.3.1
+
+    with session.batch() as txn:        # aggregate into one delta-graph
+        session.insert(r1)
+        session.remove(2)
+    txn.result.violations
+
+    session.flows_on(("s1", "s2"))      # uniform queries, any backend
+    session.reachable("s1", "s2")
+    session.what_if_link_down(("s1", "s2"))
+
+Every backend is constructed, fed updates, and queried identically; see
+``available_backends()`` and ``docs/api.md``.  The original classes
+(``DeltaNet``, ``VeriflowRI``, ``APVerifier``, ``NetPlumber``,
+``ShardedDeltaNet``) and the ``repro.checkers`` functions remain
+importable for direct, backend-specific use — new code should prefer the
+session API.
 """
 
 from repro.core import (
@@ -29,14 +54,29 @@ from repro.veriflow import VeriflowRI
 from repro.apv import APVerifier
 from repro.netplumber import NetPlumber
 from repro.libra import ShardedDeltaNet, even_shards
+from repro.api import (
+    BackendAdapter, BackendUpdate, BlackholeProperty, IsolationProperty,
+    LoopProperty, Property, ReachabilityProperty, UnknownBackendError,
+    UpdateResult, VerificationSession, Violation, WaypointProperty,
+    available_backends, create_backend, register_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the unified API (preferred entry point)
+    "VerificationSession", "UpdateResult", "Violation",
+    "BackendAdapter", "BackendUpdate", "UnknownBackendError",
+    "available_backends", "create_backend", "register_backend",
+    "Property", "LoopProperty", "BlackholeProperty",
+    "ReachabilityProperty", "WaypointProperty", "IsolationProperty",
+    # core structures
     "AtomTable", "DeltaGraph", "DeltaNet", "Interval", "IntervalSet",
     "Link", "Rule", "prefix_to_interval",
+    # checkers (legacy direct entry points)
     "LoopChecker", "all_pairs_reachability", "find_forwarding_loops",
     "link_failure_impact", "reachable_atoms",
+    # native verifiers (legacy direct entry points)
     "VeriflowRI", "APVerifier", "NetPlumber",
     "ShardedDeltaNet", "even_shards",
     "__version__",

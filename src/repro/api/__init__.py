@@ -1,0 +1,34 @@
+"""`repro.api` — the unified verification API.
+
+One façade (:class:`VerificationSession`) over five pluggable backends
+(:func:`available_backends`), with property subscriptions delivering
+violations on every update.  See ``docs/api.md`` for the full tour.
+"""
+
+from repro.api.registry import (
+    BackendAdapter, BackendUpdate, Cycle, Spans, UnknownBackendError,
+    available_backends, backend_description, backend_factory,
+    canonical_cycle, create_backend, register_backend, unregister_backend,
+)
+from repro.api import backends as _backends  # noqa: F401  (registers the five)
+from repro.api.properties import (
+    BlackholeProperty, Commit, IsolationProperty, LoopProperty, Property,
+    ReachabilityProperty, Violation, WaypointProperty, propagate_intervals,
+)
+from repro.api.session import (
+    BatchTransaction, OpRecord, UpdateResult, VerificationSession,
+)
+
+__all__ = [
+    # session
+    "VerificationSession", "UpdateResult", "OpRecord", "BatchTransaction",
+    # registry
+    "BackendAdapter", "BackendUpdate", "UnknownBackendError",
+    "available_backends", "backend_description", "backend_factory",
+    "create_backend", "register_backend", "unregister_backend",
+    "Cycle", "Spans", "canonical_cycle",
+    # properties
+    "Property", "Violation", "Commit", "LoopProperty", "BlackholeProperty",
+    "ReachabilityProperty", "WaypointProperty", "IsolationProperty",
+    "propagate_intervals",
+]

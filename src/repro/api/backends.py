@@ -1,0 +1,424 @@
+"""The five registry backends wrapping this repo's native verifiers.
+
+Each adapter translates between the uniform :class:`~repro.api.registry.
+BackendAdapter` surface (rules in, canonical interval spans out) and one
+native verifier:
+
+==============  ==========================================  ==============
+registry name   native class                                update cost
+==============  ==========================================  ==============
+``deltanet``    :class:`repro.core.deltanet.DeltaNet`       incremental
+``sharded``     :class:`repro.libra.sharding.ShardedDeltaNet`  incremental, per shard
+``veriflow``    :class:`repro.veriflow.verifier.VeriflowRI` per-update ECs
+``apv``         :class:`repro.apv.verifier.APVerifier`      full recompute
+``netplumber``  :class:`repro.netplumber.plumbing.NetPlumber`  pipe maintenance
+==============  ==========================================  ==============
+
+The native instance stays reachable as ``backend.native`` — an explicit
+escape hatch for paper-specific analyses (Algorithm 3 closures, atom
+introspection) that the uniform protocol deliberately does not cover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.api.registry import (
+    BackendAdapter, BackendUpdate, Cycle, Spans, canonical_cycle,
+    register_backend,
+)
+from repro.core.delta_graph import DeltaGraph
+from repro.core.rules import DROP, Link, Rule
+
+
+def _as_link(link: Union[Link, Tuple[object, object]]) -> Link:
+    return link if isinstance(link, Link) else Link(*link)
+
+
+def _label_loops(label: Dict[Link, Set[int]]) -> List[Cycle]:
+    """Loop sweep over any ``link -> class-id set`` edge labelling.
+
+    For a fixed class id the labelling is a functional graph (one
+    out-edge per node), so pointer chasing with a visited set finds every
+    cycle.  Used by backends whose native state is an edge-labelled graph
+    but is not a :class:`DeltaNet` (the atomic-predicates verifier).
+    """
+    out: Dict[object, List[Link]] = {}
+    classes: Set[int] = set()
+    for link, ids in label.items():
+        if not ids:
+            continue
+        out.setdefault(link.source, []).append(link)
+        classes.update(ids)
+    loops: Dict[Cycle, None] = {}
+    for cid in classes:
+        for start in out:
+            seen_at: Dict[object, int] = {}
+            path: List[object] = []
+            node: Optional[object] = start
+            while node is not None and node != DROP:
+                if node in seen_at:
+                    loops.setdefault(canonical_cycle(path[seen_at[node]:]))
+                    break
+                seen_at[node] = len(path)
+                path.append(node)
+                node = next(
+                    (link.target for link in out.get(node, ())
+                     if cid in label.get(link, ())), None)
+    return list(loops)
+
+
+@register_backend("deltanet")
+class DeltaNetBackend(BackendAdapter):
+    """Delta-net: incremental atoms + edge-labelled graph (the paper's verifier)."""
+
+    def __init__(self, width: int = 32, gc: bool = False,
+                 seed: int = 0x5EED) -> None:
+        super().__init__(width=width)
+        from repro.core.deltanet import DeltaNet
+
+        self.native = DeltaNet(width=width, gc=gc, seed=seed)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        delta = self.native.insert_rule(rule)
+        return BackendUpdate(rule.rid, True, rule, delta=delta)
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        delta = self.native.remove_rule(rule.rid)
+        return BackendUpdate(rule.rid, False, rule, delta=delta)
+
+    def links(self) -> List[Link]:
+        return list(self.native.links())
+
+    def flows_on(self, link) -> Spans:
+        return self.native.flows_on(_as_link(link))
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        from repro.checkers.reachability import reachable_atoms
+        from repro.core.atomset import atoms_to_interval_set
+
+        atoms = reachable_atoms(self.native, src, dst)
+        return atoms_to_interval_set(atoms, self.native.atoms)
+
+    def what_if_link_down(self, link) -> Spans:
+        from repro.checkers.whatif import link_failure_impact
+
+        impact = link_failure_impact(self.native, _as_link(link))
+        return impact.affected_intervals(self.native)
+
+    def find_loops(self) -> List[Cycle]:
+        from repro.checkers.loops import find_forwarding_loops
+
+        seen: Dict[Cycle, None] = {}
+        for loop in find_forwarding_loops(self.native):
+            seen.setdefault(canonical_cycle(loop.cycle))
+        return list(seen)
+
+    def loops_for_commit(self, updates, delta) -> List[Cycle]:
+        if delta is None:
+            return super().loops_for_commit(updates, delta)
+        from repro.checkers.loops import LoopChecker
+
+        seen: Dict[Cycle, None] = {}
+        for loop in LoopChecker(self.native).check_update(delta):
+            seen.setdefault(canonical_cycle(loop.cycle))
+        return list(seen)
+
+    def check_invariants(self) -> None:
+        self.native.check_invariants()
+
+    def stats(self):
+        out = super().stats()
+        out.update(atoms=self.native.num_atoms,
+                   links=sum(1 for _ in self.native.links()))
+        return out
+
+
+@register_backend("sharded")
+class ShardedBackend(BackendAdapter):
+    """Libra-style sharded Delta-net: disjoint header-space slices, fan-out queries."""
+
+    def __init__(self, width: int = 32, shards: int = 4, gc: bool = False) -> None:
+        super().__init__(width=width)
+        from repro.checkers.loops import LoopChecker
+        from repro.libra.sharding import ShardedDeltaNet, even_shards
+
+        self.native = ShardedDeltaNet(even_shards(shards, width),
+                                      width=width, gc=gc)
+        self._checkers = [LoopChecker(net) for net in self.native.nets]
+
+    def _shard_loops(self, deltas: Dict[int, DeltaGraph]) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for index, delta in deltas.items():
+            for loop in self._checkers[index].check_update(delta):
+                seen.setdefault(canonical_cycle(loop.cycle))
+        return list(seen)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        deltas = self.native.apply_insert(rule)
+        return BackendUpdate(rule.rid, True, rule,
+                             loops=self._shard_loops(deltas))
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        deltas = self.native.apply_remove(rule.rid)
+        return BackendUpdate(rule.rid, False, rule,
+                             loops=self._shard_loops(deltas))
+
+    def links(self) -> List[Link]:
+        seen: Dict[Link, None] = {}
+        for net in self.native.nets:
+            for link in net.links():
+                seen.setdefault(link)
+        return list(seen)
+
+    def flows_on(self, link) -> Spans:
+        return self.native.flows_on(_as_link(link))
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        from repro.checkers.reachability import reachable_atoms
+        from repro.core.atomset import atoms_to_interval_set
+        from repro.core.intervals import normalize
+
+        spans: List[Tuple[int, int]] = []
+        for net in self.native.nets:
+            atoms = reachable_atoms(net, src, dst)
+            spans.extend(atoms_to_interval_set(atoms, net.atoms))
+        return normalize(spans)
+
+    def find_loops(self) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for loop in self.native.find_loops():
+            seen.setdefault(canonical_cycle(loop.cycle))
+        return list(seen)
+
+    def check_invariants(self) -> None:
+        for net in self.native.nets:
+            net.check_invariants()
+
+    def stats(self):
+        out = super().stats()
+        out.update(shards=self.native.num_shards,
+                   total_atoms=self.native.total_atoms,
+                   shard_sizes=self.native.shard_sizes())
+        return out
+
+
+@register_backend("veriflow")
+class VeriflowBackend(BackendAdapter):
+    """Veriflow-RI: per-update equivalence classes and forwarding graphs."""
+
+    def __init__(self, width: int = 32, check_loops: bool = True) -> None:
+        super().__init__(width=width)
+        from repro.veriflow.verifier import VeriflowRI
+
+        self.native = VeriflowRI(width=width)
+        self._check_loops = check_loops
+
+    def _wrap(self, result, rule: Rule, inserted: bool) -> BackendUpdate:
+        loops = None
+        if self._check_loops:
+            seen: Dict[Cycle, None] = {}
+            for _interval, cycle in result.loops:
+                seen.setdefault(canonical_cycle(cycle))
+            loops = list(seen)
+        return BackendUpdate(rule.rid, inserted, rule, loops=loops)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        result = self.native.insert_rule(rule, check_loops=self._check_loops)
+        return self._wrap(result, rule, True)
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        result = self.native.remove_rule(rule.rid, check_loops=self._check_loops)
+        return self._wrap(result, rule, False)
+
+    # -- EC machinery shared by the queries -----------------------------------
+
+    def _boundaries(self) -> List[int]:
+        bounds = {0, 1 << self.width}
+        for rule in self._rules.values():
+            bounds.add(rule.lo)
+            bounds.add(rule.hi)
+        return sorted(bounds)
+
+    def _chase(self, edges: Dict[object, object], src: object,
+               dst: object) -> bool:
+        """Does the EC's (functional) forwarding graph carry src -> dst?"""
+        if src == dst:
+            return True
+        seen: Set[object] = {src}
+        node: Optional[object] = edges.get(src)
+        while node is not None and node != DROP:
+            if node == dst:
+                return True
+            if node in seen:
+                return False
+            seen.add(node)
+            node = edges.get(node)
+        return False
+
+    def links(self) -> List[Link]:
+        return list(self.native.rules_by_link)
+
+    def flows_on(self, link) -> Spans:
+        """Recompute, per rule on the link, the ECs that actually use it."""
+        from repro.core.intervals import normalize
+        from repro.veriflow.ecs import equivalence_classes
+
+        link = _as_link(link)
+        spans: List[Tuple[int, int]] = []
+        seen_ecs: Set[Tuple[int, int]] = set()
+        for rid in self.native.rules_by_link.get(link, ()):
+            rule = self.native.rules[rid]
+            overlapping = self.native.trie.overlapping_interval(rule.lo, rule.hi)
+            for ec in equivalence_classes(overlapping, rule.lo, rule.hi):
+                if ec in seen_ecs:
+                    continue
+                seen_ecs.add(ec)
+                graph = self.native._forwarding_graph(ec)
+                if graph.edges.get(link.source) == link.target:
+                    spans.append(ec)
+        return normalize(spans)
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        """One forwarding graph per global EC, chased from ``src``."""
+        from repro.core.intervals import normalize
+
+        spans: List[Tuple[int, int]] = []
+        bounds = self._boundaries()
+        for lo, hi in zip(bounds, bounds[1:]):
+            graph = self.native._forwarding_graph((lo, hi))
+            if self._chase(graph.edges, src, dst):
+                spans.append((lo, hi))
+        return normalize(spans)
+
+    def what_if_link_down(self, link) -> Spans:
+        """Veriflow's expensive native what-if path (Table 4's comparison)."""
+        from repro.core.intervals import normalize
+
+        graphs = self.native.whatif_link_failure(_as_link(link))
+        return normalize(graph.interval for graph in graphs)
+
+    def find_loops(self) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        bounds = self._boundaries()
+        for lo, hi in zip(bounds, bounds[1:]):
+            graph = self.native._forwarding_graph((lo, hi))
+            loop = graph.find_loop()
+            if loop is not None:
+                seen.setdefault(canonical_cycle(loop))
+        return list(seen)
+
+    def stats(self):
+        out = super().stats()
+        out.update(switches=len(self.native.switches))
+        return out
+
+
+@register_backend("apv")
+class APVBackend(BackendAdapter):
+    """Atomic-predicates verifier: full partition recompute on every update."""
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width=width)
+        from repro.apv.verifier import APVerifier
+
+        self.native = APVerifier([], width=width)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        self.native.insert_rule(rule)
+        return BackendUpdate(rule.rid, True, rule)
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        self.native.remove_rule(rule.rid)
+        return BackendUpdate(rule.rid, False, rule)
+
+    def links(self) -> List[Link]:
+        return [link for link, ids in self.native.label.items() if ids]
+
+    def flows_on(self, link) -> Spans:
+        indices = self.native.label.get(_as_link(link), set())
+        return self.native.predicate_of(indices).spans
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        return self.native.reachable(src, dst).spans
+
+    def find_loops(self) -> List[Cycle]:
+        return _label_loops(self.native.label)
+
+    def stats(self):
+        out = super().stats()
+        out.update(atomic_predicates=self.native.num_atomic_predicates)
+        return out
+
+
+@register_backend("netplumber")
+class NetPlumberBackend(BackendAdapter):
+    """NetPlumber: rules-as-nodes plumbing graph with overlap pipes."""
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width=width)
+        from repro.netplumber.plumbing import NetPlumber
+
+        self.native = NetPlumber(width=width)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        self.native.insert_rule(rule)
+        return BackendUpdate(rule.rid, True, rule)
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        self.native.remove_rule(rule.rid)
+        return BackendUpdate(rule.rid, False, rule)
+
+    def links(self) -> List[Link]:
+        seen: Dict[Link, None] = {}
+        for rule in self.native.rules.values():
+            if self.native.effective_match(rule.rid):
+                seen.setdefault(rule.link)
+        return list(seen)
+
+    def flows_on(self, link) -> Spans:
+        """A link carries the union of its rules' unshadowed matches."""
+        from repro.core.intervals import IntervalSet
+
+        link = _as_link(link)
+        flows = IntervalSet()
+        for rule in self.native.rules.values():
+            if rule.link == link:
+                flows = flows | self.native.effective_match(rule.rid)
+        return flows.spans
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        return self.native.reachable(src, dst).spans
+
+    def _cycle_flow(self, rid_cycle: List[int]):
+        """Packet space surviving one full turn of a plumbing cycle.
+
+        ``NetPlumber.find_loops`` checks pipes pairwise, which
+        over-approximates: each hop may carry flow while no single packet
+        survives the whole cycle.  Intersecting around the loop makes the
+        verdict exact at this single-field granularity.
+        """
+        from repro.core.intervals import IntervalSet
+
+        flow = self.native.effective_match(rid_cycle[0])
+        for index, rid in enumerate(rid_cycle):
+            succ = rid_cycle[(index + 1) % len(rid_cycle)]
+            pipe = self.native.pipes_out[rid].get(succ)
+            if pipe is None:
+                return IntervalSet()
+            flow = flow & pipe.carries & self.native.effective_match(succ)
+        return flow
+
+    def find_loops(self) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for rid_cycle in self.native.find_loops():
+            if not self._cycle_flow(rid_cycle):
+                continue
+            seen.setdefault(canonical_cycle(
+                self.native.rules[rid].source for rid in rid_cycle))
+        return list(seen)
+
+    def stats(self):
+        out = super().stats()
+        out.update(pipes=self.native.num_pipes)
+        return out

@@ -1,0 +1,288 @@
+"""The :class:`Property` protocol: invariants checked on every update.
+
+A property registered on a session via ``session.watch(...)`` is
+evaluated after each committed update (one rule operation, or one
+aggregated batch); any violations it reports are delivered on the
+:class:`~repro.api.session.UpdateResult`.  The session deduplicates by
+violation *signature*, so a subscription behaves like an alert stream —
+each distinct violation is reported the first time it is observed, no
+matter whether the backend detects it incrementally (Delta-net's
+delta-graph chase, Veriflow's per-update EC check) or by re-sweeping.
+
+These classes unify the previously divergent ``repro.checkers`` entry
+points: the same :class:`LoopProperty` works on all five backends, and
+:class:`WaypointProperty` / :class:`IsolationProperty` run on generic
+interval propagation rather than Delta-net internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, Union,
+    runtime_checkable,
+)
+
+from repro.api.registry import BackendAdapter, BackendUpdate, Spans
+from repro.core.delta_graph import DeltaGraph
+from repro.core.intervals import IntervalSet
+from repro.core.rules import DROP, Link
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation.
+
+    ``signature`` is the hashable identity the session deduplicates on;
+    ``data`` carries the property-specific evidence (a cycle, a node, a
+    span list) and is excluded from equality.
+    """
+
+    property_name: str
+    signature: Tuple[object, ...]
+    detail: str
+    data: Any = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"[{self.property_name}] {self.detail}"
+
+
+@dataclass
+class Commit:
+    """What the session just applied: the updates and, when the backend
+    maintains one, the merged delta-graph."""
+
+    updates: List[BackendUpdate]
+    delta: Optional[DeltaGraph] = None
+
+
+@runtime_checkable
+class Property(Protocol):
+    """A subscribable invariant.
+
+    ``check(backend, commit)`` returns the violations observable after
+    ``commit``; ``commit`` is ``None`` for one-shot evaluation via
+    ``session.check(prop)``, in which case the property must inspect the
+    whole current state.
+
+    An optional ``clears`` attribute declares the dedup semantics:
+    ``True`` for state-based properties whose ``check`` reports *all*
+    current violations (the session re-arms a violation once it
+    disappears, so it can fire again later); ``False`` — the default
+    when absent — for event-like properties that may report only the
+    violations an update introduced (delivered at most once, since
+    their absence from a later check means nothing).
+    """
+
+    name: str
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]: ...
+
+
+def _fmt_spans(spans: Spans, limit: int = 4) -> str:
+    shown = ", ".join(f"[{lo}:{hi})" for lo, hi in spans[:limit])
+    more = f", +{len(spans) - limit} more" if len(spans) > limit else ""
+    return shown + more
+
+
+def propagate_intervals(backend: BackendAdapter, src: object,
+                        avoid: Iterable[object] = ()) -> Dict[object, IntervalSet]:
+    """Generic packet-space propagation from ``src`` over any backend.
+
+    Pushes the full header space from ``src`` along ``flows_on`` labels
+    (skipping ``avoid`` nodes and the drop sink).  Because every
+    backend's per-node forwarding is functional on packet classes, the
+    interval algebra is exact — this is ``reachable_atoms`` lifted from
+    atoms to the uniform span currency.
+    """
+    skip = set(avoid)
+    adjacency: Dict[object, List[Tuple[Link, IntervalSet]]] = {}
+    for link in backend.links():
+        flows = IntervalSet(backend.flows_on(link))
+        if flows:
+            adjacency.setdefault(link.source, []).append((link, flows))
+    reached: Dict[object, IntervalSet] = {
+        src: IntervalSet.universe(backend.width)}
+    queue = [src]
+    while queue:
+        node = queue.pop()
+        mask = reached[node]
+        for link, flows in adjacency.get(node, ()):
+            if link.target == DROP or link.target in skip:
+                continue
+            passed = mask & flows
+            if not passed:
+                continue
+            previous = reached.get(link.target, IntervalSet())
+            fresh = passed - previous
+            if fresh:
+                reached[link.target] = previous | fresh
+                queue.append(link.target)
+    return reached
+
+
+class LoopProperty:
+    """Forwarding loops (the paper's flagship per-update check).
+
+    The property manages its own alert dedup: each distinct cycle is
+    delivered when it appears, and again whenever it is re-introduced
+    after having been broken.  Liveness of previously-reported cycles is
+    re-checked by intersecting the flows around the cycle — exact for
+    functional forwarding, and only a handful of ``flows_on`` lookups
+    per reported loop.  (Plain signature dedup cannot do this: the
+    incremental backends report a loop only on the update that creates
+    it, so its later absence from a check means nothing.)
+    """
+
+    name = "loops"
+    clears = True  # session dedup defers to the property's own
+
+    def __init__(self) -> None:
+        self._reported: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
+
+    @staticmethod
+    def _cycle_alive(backend: BackendAdapter, cycle) -> bool:
+        """Does any packet still survive one full turn of ``cycle``?"""
+        flow: Optional[IntervalSet] = None
+        for index, node in enumerate(cycle):
+            successor = cycle[(index + 1) % len(cycle)]
+            spans = IntervalSet(backend.flows_on((node, successor)))
+            flow = spans if flow is None else flow & spans
+            if not flow:
+                return False
+        return True
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]:
+        if commit is None:
+            cycles = backend.find_loops()
+        else:
+            # Forget cycles that no longer carry traffic, so a later
+            # re-introduction is reported again.  A node's forwarding
+            # only changes on an update installed at that node, so only
+            # cycles through an updated switch need their liveness
+            # re-checked — everything else is guaranteed still looping.
+            if self._reported:
+                updated_nodes = {update.rule.source
+                                 for update in commit.updates
+                                 if update.rule is not None}
+                if commit.delta is not None:
+                    updated_nodes |= commit.delta.affected_sources()
+                for signature, cycle in list(self._reported.items()):
+                    if (updated_nodes.intersection(cycle)
+                            and not self._cycle_alive(backend, cycle)):
+                        del self._reported[signature]
+            cycles = backend.loops_for_commit(commit.updates, commit.delta)
+        for cycle in cycles:
+            signature = ("loop", cycle)
+            if commit is not None:
+                if signature in self._reported:
+                    continue
+                self._reported[signature] = cycle
+            yield Violation(
+                self.name, signature,
+                "forwarding loop " + " -> ".join(map(str, cycle)) +
+                f" -> {cycle[0]}", data=cycle)
+
+
+class BlackholeProperty:
+    """Nodes that silently swallow traffic (no forward, no explicit drop)."""
+
+    name = "blackholes"
+    clears = True
+
+    def __init__(self, expected_sinks: Iterable[object] = ()) -> None:
+        self.expected_sinks = set(expected_sinks)
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]:
+        for node, spans in backend.find_blackholes().items():
+            if node in self.expected_sinks:
+                continue
+            yield Violation(
+                self.name, ("blackhole", node),
+                f"traffic black-holed at {node}: {_fmt_spans(spans)}",
+                data=spans)
+
+
+class ReachabilityProperty:
+    """``dst`` must (or, with ``expect_reachable=False``, must not) be
+    reachable from ``src``."""
+
+    name = "reachability"
+    clears = True
+
+    def __init__(self, src: object, dst: object,
+                 expect_reachable: bool = True) -> None:
+        self.src = src
+        self.dst = dst
+        self.expect_reachable = expect_reachable
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]:
+        spans = backend.reachable(self.src, self.dst)
+        if bool(spans) == self.expect_reachable:
+            return
+        if self.expect_reachable:
+            detail = f"{self.dst} unreachable from {self.src}"
+        else:
+            detail = (f"{self.dst} reachable from {self.src}: "
+                      f"{_fmt_spans(spans)}")
+        yield Violation(self.name,
+                        ("reachability", self.src, self.dst,
+                         self.expect_reachable),
+                        detail, data=spans)
+
+
+class WaypointProperty:
+    """All ``src -> dst`` traffic must traverse ``waypoint``."""
+
+    name = "waypoint"
+    clears = True
+
+    def __init__(self, src: object, dst: object, waypoint: object) -> None:
+        if waypoint in (src, dst):
+            raise ValueError("waypoint must differ from the endpoints")
+        self.src = src
+        self.dst = dst
+        self.waypoint = waypoint
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]:
+        reached = propagate_intervals(backend, self.src,
+                                      avoid=(self.waypoint,))
+        leaked = reached.get(self.dst)
+        if leaked:
+            yield Violation(
+                self.name,
+                ("waypoint", self.src, self.dst, self.waypoint),
+                f"traffic {self.src} -> {self.dst} bypasses "
+                f"{self.waypoint}: {_fmt_spans(leaked.spans)}",
+                data=leaked.spans)
+
+
+class IsolationProperty:
+    """No link may carry traffic of both header-space slices."""
+
+    name = "isolation"
+    clears = True
+
+    def __init__(self, slice_a: Iterable[Tuple[int, int]],
+                 slice_b: Iterable[Tuple[int, int]]) -> None:
+        self.slice_a = IntervalSet(slice_a)
+        self.slice_b = IntervalSet(slice_b)
+
+    def check(self, backend: BackendAdapter,
+              commit: Optional[Commit]) -> Iterable[Violation]:
+        for link in backend.links():
+            flows = IntervalSet(backend.flows_on(link))
+            shared_a = flows & self.slice_a
+            shared_b = flows & self.slice_b
+            if shared_a and shared_b:
+                yield Violation(
+                    self.name, ("isolation", link),
+                    f"link {link} carries both slices "
+                    f"({_fmt_spans(shared_a.spans, 2)} | "
+                    f"{_fmt_spans(shared_b.spans, 2)})",
+                    data=(shared_a.spans, shared_b.spans))

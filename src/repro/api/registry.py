@@ -1,0 +1,288 @@
+"""The :class:`Backend` protocol and the backend registry.
+
+Every verifier in this repository — Delta-net, Veriflow-RI, the
+atomic-predicates verifier, NetPlumber, and the Libra-style sharded
+Delta-net — is exposed to :class:`repro.api.session.VerificationSession`
+through the same small surface:
+
+* a *transactional* update pair ``insert(rule)`` / ``remove(rid)``, each
+  returning a :class:`BackendUpdate` describing what the backend learned
+  while processing the operation (a delta-graph when the backend
+  maintains one, natively detected loops when checking is fused into the
+  update, or neither),
+* uniform queries over the *packet space as canonical half-closed
+  intervals* — the one currency all five verifiers can speak:
+  ``flows_on``, ``reachable``, ``what_if_link_down``, ``find_loops``,
+  ``find_blackholes``.
+
+Backends register themselves by name::
+
+    @register_backend("deltanet")
+    class DeltaNetBackend(BackendAdapter):
+        ...
+
+and callers resolve them by name::
+
+    backend = create_backend("deltanet", width=32, gc=True)
+    available_backends()   # ('apv', 'deltanet', 'netplumber', ...)
+
+Unknown names raise :class:`UnknownBackendError` with did-you-mean
+suggestions, so CLI typos fail helpfully.
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Tuple, Type, Union,
+)
+
+from repro.core.delta_graph import DeltaGraph
+from repro.core.prefix import prefix_to_interval
+from repro.core.rules import Action, DROP, Link, Rule
+
+#: A forwarding cycle as a canonical tuple of graph nodes.
+Cycle = Tuple[object, ...]
+
+#: Disjoint half-closed ``(lo, hi)`` intervals — the uniform answer type.
+Spans = List[Tuple[int, int]]
+
+
+def canonical_cycle(nodes: Iterable[object]) -> Cycle:
+    """Rotate a cycle to start at its minimal node (by repr), for dedup."""
+    ordered = list(nodes)
+    pivot = min(range(len(ordered)), key=lambda i: repr(ordered[i]))
+    return tuple(ordered[pivot:] + ordered[:pivot])
+
+
+@dataclass
+class BackendUpdate:
+    """What a backend reports about one processed rule operation.
+
+    ``delta`` is a :class:`~repro.core.delta_graph.DeltaGraph` for
+    backends that maintain one (Delta-net); ``loops`` holds canonical
+    cycles for backends whose update natively runs a loop check
+    (Veriflow-RI, sharded Delta-net).  Either may be ``None`` — the
+    session's properties fall back to whole-data-plane sweeps then.
+    """
+
+    rid: int
+    inserted: bool
+    rule: Optional[Rule] = None
+    delta: Optional[DeltaGraph] = None
+    loops: Optional[List[Cycle]] = None
+
+
+class BackendAdapter(abc.ABC):
+    """Common base for registry backends.
+
+    Subclasses implement ``_do_insert`` / ``_do_remove`` plus the query
+    primitives; the base class provides uniform rule bookkeeping (so
+    duplicate/unknown rule ids fail identically on every backend, even
+    those whose native classes do not check) and interval-algebra default
+    implementations for the derived queries.
+    """
+
+    #: Registry name, set by :func:`register_backend`.
+    name: str = "?"
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self._rules: Dict[int, Rule] = {}
+
+    # -- update API (the checked operations) ---------------------------------
+
+    def insert(self, rule: Rule) -> BackendUpdate:
+        if rule.rid in self._rules:
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        update = self._do_insert(rule)
+        self._rules[rule.rid] = rule
+        return update
+
+    def remove(self, rid: int) -> BackendUpdate:
+        rule = self._rules.get(rid)
+        if rule is None:
+            raise KeyError(f"unknown rule id {rid}")
+        update = self._do_remove(rule)
+        del self._rules[rid]
+        return update
+
+    @abc.abstractmethod
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        """Apply one insertion to the native verifier."""
+
+    @abc.abstractmethod
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        """Apply one removal to the native verifier."""
+
+    # -- uniform bookkeeping ---------------------------------------------------
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    def rules(self) -> Dict[int, Rule]:
+        """The currently installed rules, by rule id (read-only view)."""
+        return dict(self._rules)
+
+    def make_rule(self, rid: int, prefix: str, priority: int, source: object,
+                  target: object = None, action: Action = Action.FORWARD) -> Rule:
+        """Build a rule from CIDR text; drop rules omit ``target``."""
+        lo, hi = prefix_to_interval(prefix, self.width)
+        if action is Action.DROP:
+            return Rule.drop(rid, lo, hi, priority, source)
+        if target is None:
+            raise ValueError("forward rules need a target")
+        return Rule.forward(rid, lo, hi, priority, source, target)
+
+    # -- query primitives (per-backend) ---------------------------------------
+
+    @abc.abstractmethod
+    def links(self) -> List[Link]:
+        """Links that currently carry (or may carry) traffic."""
+
+    @abc.abstractmethod
+    def flows_on(self, link: Union[Link, Tuple[object, object]]) -> Spans:
+        """The packet space carried by ``link`` as canonical intervals."""
+
+    @abc.abstractmethod
+    def reachable(self, src: object, dst: object) -> Spans:
+        """Packets that can flow from ``src`` to ``dst`` as intervals."""
+
+    @abc.abstractmethod
+    def find_loops(self) -> List[Cycle]:
+        """Whole-data-plane forwarding-loop sweep (canonical cycles)."""
+
+    # -- derived queries (interval-algebra defaults) ---------------------------
+
+    def what_if_link_down(self, link: Union[Link, Tuple[object, object]]) -> Spans:
+        """Packet space affected by failing ``link``.
+
+        The affected packets are exactly the flows currently using the
+        link; backends with a native (and possibly much more expensive)
+        what-if path override this.
+        """
+        return self.flows_on(link)
+
+    def find_blackholes(self) -> Dict[object, Spans]:
+        """Nodes that receive traffic they neither forward nor drop.
+
+        Default: pure interval algebra over ``links()`` / ``flows_on()``
+        — per node, the arriving packet space minus the outgoing (or
+        explicitly dropped) packet space.
+        """
+        from repro.core.intervals import IntervalSet
+
+        incoming: Dict[object, IntervalSet] = {}
+        outgoing: Dict[object, IntervalSet] = {}
+        for link in self.links():
+            flows = IntervalSet(self.flows_on(link))
+            if not flows:
+                continue
+            if link.target != DROP:
+                incoming[link.target] = incoming.get(link.target, IntervalSet()) | flows
+            outgoing[link.source] = outgoing.get(link.source, IntervalSet()) | flows
+        holes: Dict[object, Spans] = {}
+        for node, arrived in incoming.items():
+            lost = arrived - outgoing.get(node, IntervalSet())
+            if lost:
+                holes[node] = lost.spans
+        return holes
+
+    def loops_for_commit(self, updates: List[BackendUpdate],
+                         delta: Optional[DeltaGraph]) -> List[Cycle]:
+        """Loops attributable to a committed update batch.
+
+        Default: when every update carried natively detected loops,
+        return their union; otherwise fall back to a full sweep (the
+        session deduplicates re-reported pre-existing loops).
+        """
+        if updates and all(u.loops is not None for u in updates):
+            seen: Dict[Cycle, None] = {}
+            for update in updates:
+                for cycle in update.loops:
+                    seen.setdefault(cycle)
+            return list(seen)
+        return self.find_loops()
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Backend-internal consistency assertions (tests/debugging)."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend-specific size/shape counters."""
+        return {"backend": self.name, "rules": self.num_rules}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rules={self.num_rules}, width={self.width})"
+
+
+# -- the registry -------------------------------------------------------------
+
+BackendFactory = Callable[..., BackendAdapter]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+class UnknownBackendError(ValueError):
+    """Raised when a backend name is not registered."""
+
+
+def register_backend(name: str, factory: Optional[BackendFactory] = None,
+                     *, replace: bool = False):
+    """Register a backend factory under ``name``.
+
+    Usable as a decorator on a :class:`BackendAdapter` subclass (the
+    class's ``name`` attribute is set to the registry name) or called
+    directly with any ``(**options) -> BackendAdapter`` factory.
+    """
+
+    def _register(target: BackendFactory) -> BackendFactory:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"backend {name!r} already registered")
+        if isinstance(target, type) and issubclass(target, BackendAdapter):
+            target.name = name
+        _REGISTRY[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_factory(name: str) -> BackendFactory:
+    """Resolve a registry name, raising with suggestions when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        suggestions = difflib.get_close_matches(name, _REGISTRY, n=3, cutoff=0.4)
+        hint = f"; did you mean {' or '.join(map(repr, suggestions))}?" \
+            if suggestions else ""
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}{hint}") from None
+
+
+def create_backend(name: str, **options: Any) -> BackendAdapter:
+    """Instantiate a registered backend with keyword ``options``."""
+    return backend_factory(name)(**options)
+
+
+def backend_description(name: str) -> str:
+    """First docstring line of a registered backend (for `deltanet backends`)."""
+    factory = backend_factory(name)
+    doc = (factory.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""

@@ -1,0 +1,311 @@
+"""`VerificationSession`: one façade over every data-plane verifier.
+
+The session is the single entry point the replay engine, the CLI, the
+examples and the benchmarks all construct::
+
+    from repro.api import VerificationSession, LoopProperty
+
+    session = VerificationSession("deltanet", width=32)
+    session.watch(LoopProperty())
+    result = session.insert(session.make_rule(0, "10.0.0.0/8", 10,
+                                              "s1", "s2"))
+    result.violations        # new violations caused by this update
+    result.latency           # seconds spent in the backend + checks
+
+    with session.batch() as txn:
+        session.insert(r1)
+        session.remove(2)
+    txn.result               # ONE aggregated UpdateResult for the batch
+
+Batching mirrors the paper's note that "multiple rule updates may be
+aggregated into a delta-graph": on backends that produce delta-graphs
+the per-op deltas are merged (adds cancelling removes) and the
+incremental property checks run once on the aggregate.  Batches are
+*transactional* in the checking sense — one result, one set of
+violations — not rollback-on-error; a failing operation propagates
+immediately, earlier operations of the batch stay applied, and
+``txn.result`` still covers (and checks) those applied operations.
+
+Violations are deduplicated by signature: a property subscription
+behaves as an alert stream delivering each distinct violation when it
+becomes observable.  State-based properties (blackholes, reachability,
+waypoint, isolation) re-arm once the violation clears, so breaking the
+same invariant again alerts again; ``LoopProperty`` tracks cycle
+liveness itself for the same effect.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any, Dict, Iterable, List, Optional, Set, Tuple, Union,
+)
+
+from repro.api.properties import Commit, Property, Violation
+from repro.api.registry import (
+    BackendAdapter, BackendUpdate, Cycle, Spans, available_backends,
+    create_backend,
+)
+from repro.core.delta_graph import DeltaGraph
+from repro.core.rules import Action, Link, Rule
+from repro.datasets.format import Op
+
+
+@dataclass
+class OpRecord:
+    """One applied operation with its measured latency."""
+
+    kind: str          # "+" | "-"
+    rid: int
+    seconds: float
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == "+"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one committed update (single op or aggregated batch)."""
+
+    backend: str
+    ops: List[OpRecord] = field(default_factory=list)
+    #: Merged delta-graph, when every op produced one (Delta-net).
+    delta: Optional[DeltaGraph] = None
+    #: New violations observed by the watched properties.
+    violations: List[Violation] = field(default_factory=list)
+    #: Seconds spent running property checks (on top of op latencies).
+    check_seconds: float = 0.0
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def latency(self) -> float:
+        """Total seconds: backend updates plus property checking."""
+        return sum(op.seconds for op in self.ops) + self.check_seconds
+
+    def __repr__(self) -> str:
+        return (f"UpdateResult({self.backend}, ops={self.num_ops}, "
+                f"violations={len(self.violations)}, "
+                f"latency={self.latency * 1e6:.1f}us)")
+
+
+class BatchTransaction:
+    """Context manager collecting a batch's updates into one result."""
+
+    def __init__(self, session: "VerificationSession") -> None:
+        self._session = session
+        self.updates: List[BackendUpdate] = []
+        self.ops: List[OpRecord] = []
+        self.result: Optional[UpdateResult] = None
+
+    def __enter__(self) -> "BatchTransaction":
+        self._session._begin_batch(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._session._end_batch(self, failed=exc_type is not None)
+
+
+class VerificationSession:
+    """Uniform construct / update / subscribe / query surface.
+
+    ``backend`` is a registry name (see
+    :func:`repro.api.available_backends`), an already-constructed
+    :class:`BackendAdapter`, or any object satisfying the adapter
+    surface.  Keyword ``options`` are forwarded to the backend factory
+    (``gc=True``, ``shards=8``, ...).
+    """
+
+    def __init__(self, backend: Union[str, BackendAdapter] = "deltanet",
+                 *, width: int = 32,
+                 properties: Iterable[Property] = (),
+                 **options: Any) -> None:
+        if isinstance(backend, str):
+            self.backend: BackendAdapter = create_backend(
+                backend, width=width, **options)
+        else:
+            if options:
+                raise ValueError(
+                    "backend options require a registry name, not an instance")
+            self.backend = backend
+        self._properties: List[Property] = []
+        self._seen: Dict[int, Set[Tuple[object, ...]]] = {}
+        self._violation_log: List[Violation] = []
+        self._batch: Optional[BatchTransaction] = None
+        for prop in properties:
+            self.watch(prop)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def width(self) -> int:
+        return self.backend.width
+
+    @property
+    def native(self) -> Any:
+        """The wrapped verifier instance — the escape hatch for
+        backend-specific analyses the uniform API does not cover."""
+        return getattr(self.backend, "native", self.backend)
+
+    @property
+    def num_rules(self) -> int:
+        return self.backend.num_rules
+
+    def rules(self) -> Dict[int, Rule]:
+        return self.backend.rules()
+
+    def stats(self) -> Dict[str, Any]:
+        return self.backend.stats()
+
+    def check_invariants(self) -> None:
+        self.backend.check_invariants()
+
+    # -- property subscriptions ------------------------------------------------
+
+    def watch(self, prop: Property) -> Property:
+        """Subscribe ``prop``; it is checked on every committed update."""
+        if not isinstance(prop, Property):
+            raise TypeError(f"{prop!r} does not implement Property")
+        self._properties.append(prop)
+        self._seen.setdefault(id(prop), set())
+        return prop
+
+    def unwatch(self, prop: Property) -> None:
+        self._properties = [p for p in self._properties if p is not prop]
+
+    @property
+    def properties(self) -> Tuple[Property, ...]:
+        return tuple(self._properties)
+
+    def check(self, prop: Property) -> List[Violation]:
+        """One-shot evaluation of ``prop`` on the current state (no
+        subscription, no dedup)."""
+        return list(prop.check(self.backend, None))
+
+    def violations(self) -> List[Violation]:
+        """Every violation delivered so far, in delivery order."""
+        return list(self._violation_log)
+
+    # -- the transactional update API ------------------------------------------
+
+    def make_rule(self, rid: int, prefix: str, priority: int, source: object,
+                  target: object = None,
+                  action: Action = Action.FORWARD) -> Rule:
+        return self.backend.make_rule(rid, prefix, priority, source,
+                                      target, action)
+
+    def insert(self, rule: Rule) -> Union[UpdateResult, OpRecord]:
+        """Insert ``rule``; returns the :class:`UpdateResult` (or, inside
+        a batch, the per-op :class:`OpRecord` — the aggregated result
+        lands on the transaction)."""
+        return self._apply_one("+", rule.rid,
+                               lambda: self.backend.insert(rule))
+
+    def remove(self, rid: int) -> Union[UpdateResult, OpRecord]:
+        """Remove the rule with id ``rid``."""
+        return self._apply_one("-", rid, lambda: self.backend.remove(rid))
+
+    def apply(self, op: Op) -> Union[UpdateResult, OpRecord]:
+        """Apply one dataset :class:`~repro.datasets.format.Op`."""
+        if op.is_insert:
+            return self.insert(op.rule)
+        return self.remove(op.rid)
+
+    def batch(self) -> BatchTransaction:
+        """``with session.batch() as txn:`` — aggregate ops into one
+        delta-graph-like result, checked once at commit."""
+        return BatchTransaction(self)
+
+    # -- queries (fan out on sharded backends) ---------------------------------
+
+    def flows_on(self, link: Union[Link, Tuple[object, object]]) -> Spans:
+        return self.backend.flows_on(link)
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        return self.backend.reachable(src, dst)
+
+    def what_if_link_down(self,
+                          link: Union[Link, Tuple[object, object]]) -> Spans:
+        return self.backend.what_if_link_down(link)
+
+    def find_loops(self) -> List[Cycle]:
+        return self.backend.find_loops()
+
+    def find_blackholes(self) -> Dict[object, Spans]:
+        return self.backend.find_blackholes()
+
+    def links(self) -> List[Link]:
+        return self.backend.links()
+
+    # -- internals --------------------------------------------------------------
+
+    def _apply_one(self, kind: str, rid: int, action):
+        clock = time.perf_counter
+        start = clock()
+        update: BackendUpdate = action()
+        record = OpRecord(kind, rid, clock() - start)
+        if self._batch is not None:
+            self._batch.updates.append(update)
+            self._batch.ops.append(record)
+            return record
+        return self._commit([update], [record])
+
+    def _begin_batch(self, txn: BatchTransaction) -> None:
+        if self._batch is not None:
+            raise RuntimeError("batches do not nest")
+        self._batch = txn
+
+    def _end_batch(self, txn: BatchTransaction, failed: bool) -> None:
+        self._batch = None
+        # Even when the batch body raised, the operations applied before
+        # the error have changed the data plane — they must still be
+        # checked, or their violations would be lost for good (every
+        # later incremental check inspects only its own delta).
+        txn.result = self._commit(txn.updates, txn.ops)
+
+    @staticmethod
+    def _merge_deltas(updates: List[BackendUpdate]) -> Optional[DeltaGraph]:
+        if not updates or any(u.delta is None for u in updates):
+            return None
+        merged = DeltaGraph()
+        for update in updates:
+            merged.merge(update.delta)
+        return merged
+
+    def _commit(self, updates: List[BackendUpdate],
+                ops: List[OpRecord]) -> UpdateResult:
+        delta = self._merge_deltas(updates)
+        result = UpdateResult(backend=self.backend_name, ops=ops, delta=delta)
+        if self._properties and updates:
+            clock = time.perf_counter
+            start = clock()
+            commit = Commit(updates=updates, delta=delta)
+            for prop in self._properties:
+                seen = self._seen[id(prop)]
+                current: Set[Tuple[object, ...]] = set()
+                for violation in prop.check(self.backend, commit):
+                    current.add(violation.signature)
+                    if violation.signature in seen:
+                        continue
+                    seen.add(violation.signature)
+                    result.violations.append(violation)
+                    self._violation_log.append(violation)
+                if getattr(prop, "clears", False):
+                    # State-based properties re-arm once satisfied: a
+                    # violation that disappeared may fire again later.
+                    self._seen[id(prop)] = current
+            result.check_seconds = clock() - start
+        return result
+
+    def __repr__(self) -> str:
+        return (f"VerificationSession(backend={self.backend_name!r}, "
+                f"rules={self.num_rules}, "
+                f"properties={[p.name for p in self._properties]})")

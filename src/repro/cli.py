@@ -1,10 +1,15 @@
 """Command-line interface: generate datasets, replay them, run queries.
 
+Engines are resolved through the backend registry
+(:func:`repro.api.available_backends`), so every registered verifier —
+including ones registered by downstream code — is replayable by name.
+
 Examples::
 
+    deltanet backends
     deltanet generate Berkeley --scale 2 -o berkeley.ops
     deltanet replay berkeley.ops --engine deltanet
-    deltanet replay berkeley.ops --engine veriflow
+    deltanet replay berkeley.ops --engine sharded
     deltanet whatif Berkeley --scale 1
     deltanet datasets
 """
@@ -19,11 +24,14 @@ from typing import List, Optional
 from repro.analysis.cdf import ascii_cdf
 from repro.analysis.memory import deep_size, format_bytes
 from repro.analysis.tables import render_table
+from repro.api import available_backends, backend_description
 from repro.checkers.whatif import link_failure_impact
 from repro.datasets import (
     DATASET_BUILDERS, PAPER_TABLE2, build_dataset, load_ops, save_ops,
 )
-from repro.replay import DeltaNetEngine, ReplayResult, VeriflowEngine, replay
+from repro.replay import (
+    ReplayResult, SessionEngine, engine_names, make_engine, replay,
+)
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -45,19 +53,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_engine(name: str, check_loops: bool):
-    if name == "deltanet":
-        return DeltaNetEngine(check_loops=check_loops)
-    if name == "deltanet-gc":
-        return DeltaNetEngine(gc=True, check_loops=check_loops)
-    if name == "veriflow":
-        return VeriflowEngine(check_loops=check_loops)
-    raise ValueError(f"unknown engine {name!r}")
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    rows = [(name, backend_description(name))
+            for name in available_backends()]
+    rows.append(("deltanet-gc", "Delta-net with atom garbage collection "
+                 "(§3.2.2 remark)"))
+    print(render_table(("Backend", "Description"), sorted(rows),
+                       title="Registered verification backends "
+                             "(`replay --engine <name>`)"))
+    return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     ops = load_ops(args.opsfile)
-    engine = _make_engine(args.engine, not args.no_check)
+    engine = make_engine(args.engine, check_loops=not args.no_check)
     result = replay(ops, engine, engine_name=args.engine)
     summary = result.summary()
     micro = 1e6
@@ -70,15 +79,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"total={summary['total']:.3f}s")
     if args.cdf:
         print(ascii_cdf({args.engine: result.times}))
-    if isinstance(engine, DeltaNetEngine):
+    if engine.num_atoms is not None:
         print(f"  atoms={engine.num_atoms} "
-              f"state={format_bytes(deep_size(engine.deltanet))}")
+              f"state={format_bytes(deep_size(engine.session.native))}")
     return 0
 
 
-def _build_data_plane(name: str, scale: float) -> DeltaNetEngine:
+def _build_data_plane(name: str, scale: float) -> SessionEngine:
     dataset = build_dataset(name, scale=scale)
-    engine = DeltaNetEngine(check_loops=False)
+    engine = make_engine("deltanet", check_loops=False)
     for op in dataset.ops:
         if op.is_insert:
             engine.process(op)
@@ -91,7 +100,7 @@ def _cmd_allpairs(args: argparse.Namespace) -> int:
     )
 
     engine = _build_data_plane(args.dataset, args.scale)
-    deltanet = engine.deltanet
+    deltanet = engine.session.native
     start = time.perf_counter()
     closure = all_pairs_reachability(deltanet)
     elapsed = time.perf_counter() - start
@@ -107,7 +116,7 @@ def _cmd_blackholes(args: argparse.Namespace) -> int:
     from repro.checkers.blackholes import find_blackholes
 
     engine = _build_data_plane(args.dataset, args.scale)
-    holes = find_blackholes(engine.deltanet)
+    holes = find_blackholes(engine.session.native)
     print(f"{args.dataset}: {len(holes)} node(s) black-hole traffic")
     for node, atoms in sorted(holes.items(), key=lambda kv: repr(kv[0]))[:20]:
         print(f"  {node}: {len(atoms)} packet classes")
@@ -142,11 +151,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
     dataset = build_dataset(args.dataset, scale=args.scale)
-    engine = DeltaNetEngine(check_loops=False)
+    engine = make_engine("deltanet", check_loops=False)
     for op in dataset.ops:
         if op.is_insert:
             engine.process(op)
-    deltanet = engine.deltanet
+    deltanet = engine.session.native
     links = list(deltanet.label)
     start = time.perf_counter()
     total_flows = 0
@@ -168,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table 2 datasets")
 
+    sub.add_parser("backends", help="list the registered verifier backends")
+
     generate = sub.add_parser("generate", help="generate a dataset ops file")
     generate.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
     generate.add_argument("-o", "--output", required=True)
@@ -176,7 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd = sub.add_parser("replay", help="replay an ops file")
     replay_cmd.add_argument("opsfile")
     replay_cmd.add_argument("--engine", default="deltanet",
-                            choices=("deltanet", "deltanet-gc", "veriflow"))
+                            choices=engine_names(),
+                            help="verification backend (see `deltanet backends`)")
     replay_cmd.add_argument("--no-check", action="store_true",
                             help="skip per-update loop checking")
     replay_cmd.add_argument("--cdf", action="store_true",
@@ -208,6 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
+        "backends": _cmd_backends,
         "generate": _cmd_generate,
         "replay": _cmd_replay,
         "whatif": _cmd_whatif,

@@ -125,7 +125,10 @@ class DeltaNet:
                 f"the {self.width}-bit header space")
         self.rules[rule.rid] = rule
         self.nodes.add(rule.source)
-        self.nodes.add(rule.target)
+        if rule.target is not None:
+            # Rules built without a concrete next hop (e.g. a raw
+            # Link(source, None)) must not pollute the node set.
+            self.nodes.add(rule.target)
         delta_graph = DeltaGraph()
 
         # CREATE_ATOMS+ (line 2): |delta| <= 2 new atoms.
@@ -252,6 +255,7 @@ class DeltaNet:
 
     def check_invariants(self) -> None:
         """Assert the §3.2 data-structure invariants; O(R*K), tests only."""
+        assert None not in self.nodes, "None leaked into the node set"
         for atom, (lo, hi) in self.atoms.intervals():
             owners = self._owner[atom]
             assert owners is not None, f"live atom {atom} has no owner slot"

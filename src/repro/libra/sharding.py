@@ -20,6 +20,7 @@ import bisect
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.checkers.loops import Loop, find_forwarding_loops
+from repro.core.delta_graph import DeltaGraph
 from repro.core.deltanet import DeltaNet
 from repro.core.intervals import normalize
 from repro.core.rules import Action, Rule
@@ -88,9 +89,22 @@ class ShardedDeltaNet:
 
     def insert_rule(self, rule: Rule) -> List[int]:
         """Clip the rule into its shards; returns the shard indices."""
+        return sorted(self.apply_insert(rule))
+
+    def remove_rule(self, rid: int) -> List[int]:
+        return sorted(self.apply_remove(rid))
+
+    def apply_insert(self, rule: Rule) -> Dict[int, DeltaGraph]:
+        """Insert ``rule``; return each touched shard's delta-graph.
+
+        Atom identifiers in the per-shard delta-graphs are local to that
+        shard's Delta-net, so the deltas are returned per shard rather
+        than merged (the map step keeps shards fully independent).
+        """
         if rule.rid in self._placement:
             raise ValueError(f"duplicate rule id {rule.rid}")
         placement: List[Tuple[int, int]] = []
+        deltas: Dict[int, DeltaGraph] = {}
         for index in self.shards_of_interval(rule.lo, rule.hi):
             slice_lo, slice_hi = self.slices[index]
             clip_lo, clip_hi = max(rule.lo, slice_lo), min(rule.hi, slice_hi)
@@ -102,18 +116,18 @@ class ShardedDeltaNet:
             else:
                 clipped = Rule.forward(clipped_rid, clip_lo, clip_hi,
                                        rule.priority, rule.source, rule.target)
-            self.nets[index].insert_rule(clipped)
+            deltas[index] = self.nets[index].insert_rule(clipped)
             placement.append((index, clipped_rid))
         self._placement[rule.rid] = placement
-        return [index for index, _rid in placement]
+        return deltas
 
-    def remove_rule(self, rid: int) -> List[int]:
+    def apply_remove(self, rid: int) -> Dict[int, DeltaGraph]:
+        """Remove a rule; return each touched shard's delta-graph."""
         placement = self._placement.pop(rid, None)
         if placement is None:
             raise KeyError(f"unknown rule id {rid}")
-        for index, clipped_rid in placement:
-            self.nets[index].remove_rule(clipped_rid)
-        return [index for index, _rid in placement]
+        return {index: self.nets[index].remove_rule(clipped_rid)
+                for index, clipped_rid in placement}
 
     # -- queries (the "reduce" step) --------------------------------------------------
 

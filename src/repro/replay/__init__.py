@@ -1,7 +1,11 @@
 """Replay harness: drive a verifier with a dataset and time every op."""
 
 from repro.replay.engine import (
-    DeltaNetEngine, VeriflowEngine, ReplayResult, replay,
+    DeltaNetEngine, Engine, ReplayResult, SessionEngine, VeriflowEngine,
+    engine_names, make_engine, replay,
 )
 
-__all__ = ["DeltaNetEngine", "VeriflowEngine", "ReplayResult", "replay"]
+__all__ = [
+    "Engine", "SessionEngine", "make_engine", "engine_names",
+    "DeltaNetEngine", "VeriflowEngine", "ReplayResult", "replay",
+]

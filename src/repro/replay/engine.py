@@ -2,10 +2,15 @@
 
 "To evaluate Delta-net's performance with respect to rule insertions and
 removals, we build the delta-graph for each operation, and find in it all
-forwarding loops."  The :class:`DeltaNetEngine` does exactly that; the
-:class:`VeriflowEngine` runs Veriflow-RI's per-update EC/forwarding-graph
-computation.  Both expose a uniform ``process(op) -> loops_found`` step so
-:func:`replay` can time them identically.
+forwarding loops."  :class:`SessionEngine` does that through the unified
+:class:`repro.api.VerificationSession`, so *any* registered backend
+(``deltanet``, ``veriflow``, ``apv``, ``netplumber``, ``sharded``) can be
+replayed and timed identically; :func:`make_engine` resolves a registry
+name (plus the ``deltanet-gc`` variant) to an engine.
+
+:class:`DeltaNetEngine` and :class:`VeriflowEngine` are the original
+hand-rolled engines, kept as thin deprecated aliases for callers that
+poke at ``engine.deltanet`` / ``engine.veriflow`` directly.
 """
 
 from __future__ import annotations
@@ -27,8 +32,70 @@ class Engine(Protocol):
         """Apply the op, run the per-update check; return #loops found."""
 
 
+class SessionEngine:
+    """Replay engine over a :class:`repro.api.VerificationSession`.
+
+    ``process`` applies one op through the session; with
+    ``check_loops=True`` a :class:`repro.api.LoopProperty` subscription
+    counts the *new* loop violations each update surfaces.
+    """
+
+    def __init__(self, backend: str = "deltanet", width: int = 32,
+                 check_loops: bool = True, **options) -> None:
+        from repro.api import LoopProperty, VerificationSession
+
+        properties = (LoopProperty(),) if check_loops else ()
+        if backend == "veriflow":
+            # Veriflow fuses loop checking into the update itself; with
+            # checking off, the native per-update EC sweep must be
+            # skipped too or --no-check would still pay for it.
+            options.setdefault("check_loops", check_loops)
+        self.session = VerificationSession(
+            backend, width=width, properties=properties, **options)
+        self.check_loops = check_loops
+
+    def process(self, op: Op) -> int:
+        result = self.session.apply(op)
+        return len(result.violations)
+
+    @property
+    def backend_name(self) -> str:
+        return self.session.backend_name
+
+    @property
+    def num_atoms(self) -> Optional[int]:
+        """Atom count for atom-based backends, else ``None``."""
+        native = self.session.native
+        return getattr(native, "num_atoms", None)
+
+
+def make_engine(name: str, check_loops: bool = True, width: int = 32,
+                **options) -> SessionEngine:
+    """Resolve an engine name via the backend registry.
+
+    Accepts every :func:`repro.api.available_backends` name plus the
+    ``deltanet-gc`` convenience alias (Delta-net with atom GC enabled).
+    Unknown names raise :class:`repro.api.UnknownBackendError`.
+    """
+    if name == "deltanet-gc":
+        return SessionEngine("deltanet", width=width,
+                             check_loops=check_loops, gc=True, **options)
+    return SessionEngine(name, width=width, check_loops=check_loops,
+                         **options)
+
+
+def engine_names() -> List[str]:
+    """All names :func:`make_engine` accepts, sorted."""
+    from repro.api import available_backends
+
+    return sorted((*available_backends(), "deltanet-gc"))
+
+
 class DeltaNetEngine:
-    """Delta-net + incremental delta-graph loop checking."""
+    """Delta-net + incremental delta-graph loop checking.
+
+    .. deprecated:: use ``make_engine("deltanet")`` / the session API.
+    """
 
     def __init__(self, width: int = 32, gc: bool = False,
                  check_loops: bool = True) -> None:
@@ -51,7 +118,10 @@ class DeltaNetEngine:
 
 
 class VeriflowEngine:
-    """Veriflow-RI's per-update EC computation and per-EC graph checks."""
+    """Veriflow-RI's per-update EC computation and per-EC graph checks.
+
+    .. deprecated:: use ``make_engine("veriflow")`` / the session API.
+    """
 
     def __init__(self, width: int = 32, check_loops: bool = True) -> None:
         self.veriflow = VeriflowRI(width=width)

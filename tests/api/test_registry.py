@@ -1,0 +1,104 @@
+"""Registry round-trip: names resolve, typos fail helpfully."""
+
+import pytest
+
+from repro.api import (
+    BackendAdapter, UnknownBackendError, VerificationSession,
+    available_backends, backend_description, create_backend,
+    register_backend, unregister_backend,
+)
+from repro.core.rules import Rule
+
+FIVE = ("apv", "deltanet", "netplumber", "sharded", "veriflow")
+
+
+class TestAvailableBackends:
+    def test_lists_all_five(self):
+        assert set(FIVE) <= set(available_backends())
+
+    def test_sorted(self):
+        names = available_backends()
+        assert list(names) == sorted(names)
+
+    def test_descriptions_nonempty(self):
+        for name in FIVE:
+            assert backend_description(name)
+
+
+class TestCreateBackend:
+    @pytest.mark.parametrize("name", FIVE)
+    def test_round_trip(self, name):
+        backend = create_backend(name, width=8)
+        assert isinstance(backend, BackendAdapter)
+        assert backend.name == name
+        assert backend.width == 8
+        backend.insert(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        assert backend.num_rules == 1
+        assert backend.flows_on(("s1", "s2")) == [(0, 16)]
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(UnknownBackendError, match="deltanet"):
+            create_backend("deltane")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(UnknownBackendError, match="available"):
+            create_backend("no-such-backend-at-all")
+
+    def test_unknown_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            VerificationSession("nope")
+
+    def test_options_forwarded(self):
+        backend = create_backend("sharded", width=8, shards=2)
+        assert backend.native.num_shards == 2
+        gc = create_backend("deltanet", width=8, gc=True)
+        assert gc.native.gc is True
+
+
+class TestRegisterBackend:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("deltanet")(type("X", (), {}))
+
+    def test_custom_registration_and_removal(self):
+        @register_backend("test-custom")
+        class Custom(BackendAdapter):  # pragma: no cover - trivial
+            def _do_insert(self, rule):
+                raise NotImplementedError
+
+            def _do_remove(self, rule):
+                raise NotImplementedError
+
+            def links(self):
+                return []
+
+            def flows_on(self, link):
+                return []
+
+            def reachable(self, src, dst):
+                return []
+
+            def find_loops(self):
+                return []
+
+        try:
+            assert "test-custom" in available_backends()
+            assert Custom.name == "test-custom"
+        finally:
+            unregister_backend("test-custom")
+        assert "test-custom" not in available_backends()
+
+
+class TestUniformErrors:
+    @pytest.mark.parametrize("name", FIVE)
+    def test_duplicate_rid(self, name):
+        backend = create_backend(name, width=8)
+        backend.insert(Rule.forward(0, 0, 16, 1, "s1", "s2"))
+        with pytest.raises(ValueError, match="duplicate"):
+            backend.insert(Rule.forward(0, 0, 8, 2, "s1", "s3"))
+
+    @pytest.mark.parametrize("name", FIVE)
+    def test_unknown_rid(self, name):
+        backend = create_backend(name, width=8)
+        with pytest.raises(KeyError):
+            backend.remove(99)
