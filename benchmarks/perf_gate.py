@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Update-latency benchmark and performance-regression gate.
+
+Measures the full per-update verification pipeline (apply the rule
+operation + incremental loop check, Table 3's definition) for several
+engine configurations on a deterministic synthetic workload, and writes
+machine-readable results to ``BENCH_update_latency.json`` at the repo
+root.  The committed copy of that file is the performance baseline; the
+``check`` subcommand re-measures and fails on regressions, so the hot
+path cannot silently rot.
+
+Cross-machine comparability: every run also measures a fixed pure-Python
+calibration loop.  ``check`` scales the baseline's throughput by the
+ratio of calibration speeds before applying the tolerance, so a slower
+CI runner does not read as a regression (and a faster one does not mask
+a real regression).
+
+Each (variant, size) measurement runs in a fresh subprocess so peak-RSS
+numbers are clean per configuration.
+
+Usage::
+
+    python benchmarks/perf_gate.py run [--sizes 10000,50000] [-o FILE]
+    python benchmarks/perf_gate.py check [--sizes 10000] [--tolerance 0.30]
+    python benchmarks/perf_gate.py measure --variant deltanet --size 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import resource
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_update_latency.json")
+WORKLOAD_SEED = 0xD31A
+SCHEMA_VERSION = 1
+
+#: Engine configurations: name -> (engine, replay batch size, check loops).
+#: ``batch=None`` is the seed's per-op path.
+VARIANTS: Dict[str, dict] = {
+    "deltanet": dict(engine="deltanet", batch=None, check=True),
+    "deltanet-batched": dict(engine="deltanet", batch=1000, check=True),
+    "deltanet-nocheck": dict(engine="deltanet", batch=None, check=False),
+    "deltanet-batched-nocheck": dict(engine="deltanet", batch=1000,
+                                     check=False),
+    "sharded": dict(engine="sharded", batch=None, check=True),
+    "sharded-batched": dict(engine="sharded", batch=1000, check=True),
+    "parallel-batched": dict(engine="parallel", batch=1000, check=True),
+}
+
+#: Variants the regression gate enforces.  The parallel variant is
+#: recorded for trajectory but not gated: its throughput depends on the
+#: host's core count, which calibration cannot normalize away.
+GATED_VARIANTS = ("deltanet", "deltanet-batched", "deltanet-nocheck",
+                  "deltanet-batched-nocheck", "sharded", "sharded-batched")
+
+#: The headline acceptance ratio the baseline must demonstrate:
+#: batched Delta-net vs. the sequential per-op path, ops/sec.
+TARGET_BATCH_SPEEDUP = 3.0
+
+
+def synthetic_update_workload(size: int, seed: int = WORKLOAD_SEED,
+                              width: int = 32, switches: int = 40,
+                              removal_fraction: float = 0.3):
+    """A deterministic ops stream shaped like the paper's datasets.
+
+    Prefixes come from a shared pool (so atoms << rules, the Table 3
+    shape), rules land on random switches with globally unique
+    priorities, and ~``removal_fraction`` of operations remove a random
+    live rule.
+    """
+    from repro.core.rules import Rule
+    from repro.datasets.format import Op
+
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(max(64, size // 25)):
+        plen = rng.randint(10, 24)
+        span = 1 << (width - plen)
+        lo = rng.randrange(1 << width) & ~(span - 1)
+        pool.append((lo, lo + span))
+    ops: List[Op] = []
+    live: List[int] = []
+    next_rid = 0
+    while len(ops) < size:
+        if live and rng.random() < removal_fraction:
+            ops.append(Op.remove(live.pop(rng.randrange(len(live)))))
+            continue
+        lo, hi = pool[rng.randrange(len(pool))]
+        source = rng.randrange(switches)
+        target = (source + rng.randrange(1, switches)) % switches
+        ops.append(Op.insert(Rule.forward(
+            next_rid, lo, hi, next_rid, f"s{source}", f"s{target}")))
+        live.append(next_rid)
+        next_rid += 1
+    return ops
+
+
+def calibration_score(rounds: int = 3) -> float:
+    """Machine-speed probe: iterations/second of a fixed Python loop."""
+    def one_round() -> float:
+        total, value = 0, 0x9E3779B9
+        start = time.perf_counter()
+        for index in range(400_000):
+            value = (value * 0x5DEECE66D + index) & 0xFFFFFFFFFFFF
+            total += value >> 24
+        return 400_000 / (time.perf_counter() - start)
+
+    return max(one_round() for _ in range(rounds))
+
+
+def measure_variant(variant: str, size: int) -> dict:
+    """One (variant, size) measurement; runs inside its own process."""
+    from repro.analysis.stats import percentile
+    from repro.replay.engine import make_engine, replay
+
+    spec = VARIANTS[variant]
+    ops = synthetic_update_workload(size)
+    engine = make_engine(spec["engine"], check_loops=spec["check"])
+    try:
+        start = time.perf_counter()
+        result = replay(ops, engine, engine_name=variant,
+                        batch_size=spec["batch"])
+        elapsed = time.perf_counter() - start
+        times = result.times
+        atoms = engine.num_atoms
+        if atoms is None:
+            native = engine.session.native
+            atoms = getattr(native, "total_atoms", None)
+        return {
+            "variant": variant,
+            "engine": spec["engine"],
+            "batch_size": spec["batch"],
+            "check_loops": spec["check"],
+            "ops": result.num_ops,
+            "seconds": round(elapsed, 4),
+            "ops_per_sec": round(result.num_ops / elapsed, 1),
+            "p50_us": round(percentile(times, 50) * 1e6, 2),
+            "p95_us": round(percentile(times, 95) * 1e6, 2),
+            "p99_us": round(percentile(times, 99) * 1e6, 2),
+            "atoms": atoms,
+            "loops_found": result.loops_found,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+    finally:
+        engine.close()
+
+
+def _measure_in_subprocess(variant: str, size: int) -> dict:
+    """Fork a fresh interpreter so peak RSS is this measurement's own."""
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "measure",
+         "--variant", variant, "--size", str(size)],
+        capture_output=True, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(
+                 [os.path.join(REPO_ROOT, "src"), REPO_ROOT,
+                  os.environ.get("PYTHONPATH", "")])})
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"measurement {variant}@{size} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_benchmark(sizes, variants=None, echo=print) -> dict:
+    """The full measurement matrix, as the JSON-serializable document."""
+    chosen = list(variants) if variants is not None else list(VARIANTS)
+    results: Dict[str, dict] = {}
+    for size in sizes:
+        for variant in chosen:
+            echo(f"  measuring {variant} @ {size} rules ...")
+            entry = _measure_in_subprocess(variant, size)
+            results[f"{variant}@{size}"] = entry
+            echo(f"    {entry['ops_per_sec']:,.0f} ops/s  "
+                 f"p50={entry['p50_us']}us p99={entry['p99_us']}us "
+                 f"rss={entry['peak_rss_kb']}KiB")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "name": "update-latency",
+            "seed": WORKLOAD_SEED,
+            "sizes": list(sizes),
+            "description": "synthetic prefix-pool rule updates, "
+                           "~30% removals, per-update loop checking "
+                           "per variant",
+        },
+        "calibration_score": round(calibration_score(), 1),
+        "results": results,
+    }
+    for size in sizes:
+        seq = results.get(f"deltanet@{size}")
+        bat = results.get(f"deltanet-batched@{size}")
+        if seq and bat:
+            document.setdefault("speedups", {})[f"batched@{size}"] = round(
+                bat["ops_per_sec"] / seq["ops_per_sec"], 2)
+    return document
+
+
+def compare_to_baseline(current: dict, baseline_path: str,
+                        tolerance: float, echo=print) -> List[str]:
+    """Regressed result keys of ``current`` vs the committed baseline.
+
+    Throughput comparisons are calibration-normalized (machine speed);
+    the batched-vs-sequential speedup floor is machine-independent and
+    checked unscaled.  Returns an empty list when everything holds.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    factor = current["calibration_score"] / baseline["calibration_score"]
+    echo(f"calibration: baseline={baseline['calibration_score']:,.0f} "
+         f"current={current['calibration_score']:,.0f} "
+         f"(machine factor {factor:.2f}x)")
+    failures = []
+    for key, entry in current["results"].items():
+        if key.split("@")[0] not in GATED_VARIANTS:
+            continue
+        reference = baseline["results"].get(key)
+        if reference is None:
+            echo(f"  {key}: no baseline entry, skipping")
+            continue
+        expected = reference["ops_per_sec"] * factor
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if entry["ops_per_sec"] >= floor else "REGRESSION"
+        echo(f"  {key}: {entry['ops_per_sec']:,.0f} ops/s "
+             f"(baseline-normalized {expected:,.0f}, floor {floor:,.0f}) "
+             f"{status}")
+        if status != "ok":
+            failures.append(key)
+    # The headline property must hold on this machine too: batching
+    # beats the sequential path by a real margin, machine-independent.
+    for size in current["workload"]["sizes"]:
+        seq = current["results"].get(f"deltanet@{size}")
+        bat = current["results"].get(f"deltanet-batched@{size}")
+        if seq and bat:
+            ratio = bat["ops_per_sec"] / seq["ops_per_sec"]
+            status = "ok" if ratio >= TARGET_BATCH_SPEEDUP else "REGRESSION"
+            echo(f"  batched speedup @ {size}: {ratio:.2f}x "
+                 f"(target >= {TARGET_BATCH_SPEEDUP}x) {status}")
+            if status != "ok":
+                failures.append(f"batched-speedup@{size}")
+    return failures
+
+
+def check_regressions(baseline_path: str, sizes, tolerance: float,
+                      echo=print) -> int:
+    """Re-measure the gated variants and compare against the baseline."""
+    current = run_benchmark(sizes, variants=GATED_VARIANTS, echo=echo)
+    failures = compare_to_baseline(current, baseline_path, tolerance,
+                                   echo=echo)
+    if failures:
+        echo(f"PERF GATE FAILED: {', '.join(failures)}")
+        return 1
+    echo("perf gate passed")
+    return 0
+
+
+def _parse_sizes(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="measure and write the baseline")
+    run_cmd.add_argument("--sizes", type=_parse_sizes, default=[10000, 50000])
+    run_cmd.add_argument("-o", "--output", default=DEFAULT_BASELINE)
+
+    check_cmd = sub.add_parser("check", help="fail on perf regressions")
+    check_cmd.add_argument("--sizes", type=_parse_sizes, default=[10000])
+    check_cmd.add_argument("--baseline", default=DEFAULT_BASELINE)
+    check_cmd.add_argument("--tolerance", type=float, default=0.30)
+
+    measure_cmd = sub.add_parser(
+        "measure", help="single measurement, JSON on stdout (internal)")
+    measure_cmd.add_argument("--variant", required=True,
+                             choices=sorted(VARIANTS))
+    measure_cmd.add_argument("--size", type=int, required=True)
+
+    args = parser.parse_args(argv)
+    if args.command == "measure":
+        json.dump(measure_variant(args.variant, args.size), sys.stdout)
+        return 0
+    if args.command == "run":
+        document = run_benchmark(args.sizes)
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+        for key, value in document.get("speedups", {}).items():
+            print(f"  speedup {key}: {value}x")
+        return 0
+    return check_regressions(args.baseline, args.sizes, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

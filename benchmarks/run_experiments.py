@@ -152,6 +152,63 @@ def table5(report: ExperimentReport) -> None:
     report.end_checks()
 
 
+def update_latency(report: ExperimentReport) -> None:
+    """Repo benchmark: per-update pipeline throughput across engines.
+
+    Also (re)writes the machine-readable ``BENCH_update_latency.json``
+    consumed by ``benchmarks/perf_gate.py check`` — the perf-regression
+    baseline.
+    """
+    import json
+    import os.path
+
+    from benchmarks import perf_gate
+
+    full_scale = BENCH_SCALE >= 1.0
+    sizes = [10000, 50000] if full_scale else [10000]
+    document = perf_gate.run_benchmark(sizes)
+    baseline_path = perf_gate.DEFAULT_BASELINE
+    regressions = []
+    if os.path.exists(baseline_path):
+        regressions = perf_gate.compare_to_baseline(
+            document, baseline_path, tolerance=0.30)
+    if full_scale and not regressions:
+        # Refresh the committed baseline only from a clean full-matrix
+        # run: a reduced-scale pass would drop the 50k entries, and a
+        # regressed run must never re-baseline itself past the CI gate
+        # (use `perf_gate.py run` explicitly to accept a slowdown).
+        with open(baseline_path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        note = f"baseline refreshed at {baseline_path}."
+    elif regressions:
+        note = (f"REGRESSION vs committed baseline "
+                f"({', '.join(regressions)}) — baseline left untouched.")
+    else:
+        note = ("reduced REPRO_BENCH_SCALE — committed baseline left "
+                "untouched.")
+    rows = []
+    for key, entry in sorted(document["results"].items()):
+        rows.append((key, f"{entry['ops_per_sec']:,.0f}",
+                     f"{entry['p50_us']:.1f}", f"{entry['p95_us']:.1f}",
+                     f"{entry['p99_us']:.1f}", entry["atoms"],
+                     f"{entry['peak_rss_kb'] / 1024:.0f}"))
+    report.section("Update latency — batched / sharded / parallel engines",
+                   "Full per-update pipeline (rule op + incremental loop "
+                   f"check); {note}")
+    report.table(("Engine@rules", "ops/s", "p50 us", "p95 us", "p99 us",
+                  "Atoms", "RSS MiB"), rows)
+    speedups = document.get("speedups", {})
+    for key, ratio in sorted(speedups.items()):
+        report.shape_check(
+            f"batched Delta-net >= {perf_gate.TARGET_BATCH_SPEEDUP}x "
+            f"sequential ({key}: {ratio}x)",
+            ratio >= perf_gate.TARGET_BATCH_SPEEDUP)
+    report.shape_check("no regression vs committed perf baseline",
+                       not regressions)
+    report.end_checks()
+
+
 def appendix_c(report: ExperimentReport) -> None:
     from repro.replay.engine import VeriflowEngine
 
@@ -181,7 +238,7 @@ def main(argv) -> int:
         "Delta-net reproduction — experiment report "
         f"(scale={BENCH_SCALE})")
     for step in (table2, table3, figure8, headline, table4, table5,
-                 appendix_c):
+                 appendix_c, update_latency):
         print(f"running {step.__name__} ...", flush=True)
         step(report)
     report.save(output)

@@ -6,9 +6,10 @@ violations on every update.  See ``docs/api.md`` for the full tour.
 """
 
 from repro.api.registry import (
-    BackendAdapter, BackendUpdate, Cycle, Spans, UnknownBackendError,
-    available_backends, backend_description, backend_factory,
-    canonical_cycle, create_backend, register_backend, unregister_backend,
+    BackendAdapter, BackendBatch, BackendUpdate, Cycle, Spans,
+    UnknownBackendError, available_backends, backend_description,
+    backend_factory, canonical_cycle, create_backend, register_backend,
+    unregister_backend,
 )
 from repro.api import backends as _backends  # noqa: F401  (registers the five)
 from repro.api.properties import (
@@ -23,7 +24,7 @@ __all__ = [
     # session
     "VerificationSession", "UpdateResult", "OpRecord", "BatchTransaction",
     # registry
-    "BackendAdapter", "BackendUpdate", "UnknownBackendError",
+    "BackendAdapter", "BackendBatch", "BackendUpdate", "UnknownBackendError",
     "available_backends", "backend_description", "backend_factory",
     "create_backend", "register_backend", "unregister_backend",
     "Cycle", "Spans", "canonical_cycle",

@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.api.registry import (
-    BackendAdapter, BackendUpdate, Cycle, Spans, canonical_cycle,
-    register_backend,
+    BackendAdapter, BackendBatch, BackendUpdate, Cycle, Spans,
+    canonical_cycle, register_backend,
 )
 from repro.core.delta_graph import DeltaGraph
 from repro.core.rules import DROP, Link, Rule
@@ -33,6 +33,30 @@ from repro.core.rules import DROP, Link, Rule
 
 def _as_link(link: Union[Link, Tuple[object, object]]) -> Link:
     return link if isinstance(link, Link) else Link(*link)
+
+
+def _batch_updates_with_loops(inserts: List[Rule], removal_rules: List[Rule],
+                              loops: Optional[List[Cycle]]
+                              ) -> List[BackendUpdate]:
+    """Per-op updates for a natively checked batch.
+
+    The batch's loops are one aggregate observation; they ride on the
+    first update (``loops_for_commit`` unions over the batch, so the
+    placement is immaterial) while the rest carry empty lists to signal
+    "natively checked, nothing new".  ``loops=None`` means the native
+    check was *skipped* — every update then carries ``None`` so the
+    session's sweep fallback still fires for watched properties.
+    """
+    checked = loops is not None
+    updates = [BackendUpdate(rule.rid, False, rule,
+                             loops=[] if checked else None)
+               for rule in removal_rules]
+    updates += [BackendUpdate(rule.rid, True, rule,
+                              loops=[] if checked else None)
+                for rule in inserts]
+    if updates and loops is not None:
+        updates[0].loops = list(loops)
+    return updates
 
 
 def _label_loops(label: Dict[Link, Set[int]]) -> List[Cycle]:
@@ -87,6 +111,13 @@ class DeltaNetBackend(BackendAdapter):
         delta = self.native.remove_rule(rule.rid)
         return BackendUpdate(rule.rid, False, rule, delta=delta)
 
+    def _do_apply_batch(self, inserts, removals, removal_rules) -> BackendBatch:
+        delta = self.native.apply_batch(inserts, removals)
+        updates = [BackendUpdate(rule.rid, False, rule)
+                   for rule in removal_rules]
+        updates += [BackendUpdate(rule.rid, True, rule) for rule in inserts]
+        return BackendBatch(updates=updates, delta=delta)
+
     def links(self) -> List[Link]:
         return list(self.native.links())
 
@@ -138,7 +169,8 @@ class DeltaNetBackend(BackendAdapter):
 class ShardedBackend(BackendAdapter):
     """Libra-style sharded Delta-net: disjoint header-space slices, fan-out queries."""
 
-    def __init__(self, width: int = 32, shards: int = 4, gc: bool = False) -> None:
+    def __init__(self, width: int = 32, shards: int = 4, gc: bool = False,
+                 check_loops: bool = True) -> None:
         super().__init__(width=width)
         from repro.checkers.loops import LoopChecker
         from repro.libra.sharding import ShardedDeltaNet, even_shards
@@ -146,8 +178,13 @@ class ShardedBackend(BackendAdapter):
         self.native = ShardedDeltaNet(even_shards(shards, width),
                                       width=width, gc=gc)
         self._checkers = [LoopChecker(net) for net in self.native.nets]
+        self._check_loops = check_loops
 
-    def _shard_loops(self, deltas: Dict[int, DeltaGraph]) -> List[Cycle]:
+    def _shard_loops(self, deltas: Dict[int, DeltaGraph]) -> Optional[List[Cycle]]:
+        """Per-shard incremental check — ``None`` (not ``[]``) when
+        checking is off, so the session's sweep fallback still fires."""
+        if not self._check_loops:
+            return None
         seen: Dict[Cycle, None] = {}
         for index, delta in deltas.items():
             for loop in self._checkers[index].check_update(delta):
@@ -163,6 +200,12 @@ class ShardedBackend(BackendAdapter):
         deltas = self.native.apply_remove(rule.rid)
         return BackendUpdate(rule.rid, False, rule,
                              loops=self._shard_loops(deltas))
+
+    def _do_apply_batch(self, inserts, removals, removal_rules) -> BackendBatch:
+        deltas = self.native.apply_batch(inserts, removals)
+        loops = self._shard_loops(deltas)
+        updates = _batch_updates_with_loops(inserts, removal_rules, loops)
+        return BackendBatch(updates=updates)
 
     def links(self) -> List[Link]:
         seen: Dict[Link, None] = {}
@@ -199,6 +242,81 @@ class ShardedBackend(BackendAdapter):
         out = super().stats()
         out.update(shards=self.native.num_shards,
                    total_atoms=self.native.total_atoms,
+                   shard_sizes=self.native.shard_sizes())
+        return out
+
+
+@register_backend("parallel")
+class ParallelShardedBackend(BackendAdapter):
+    """Process-parallel Libra sharding: one worker process per shard."""
+
+    def __init__(self, width: int = 32, shards: int = 4, gc: bool = False,
+                 check_loops: bool = True,
+                 start_method: Optional[str] = None,
+                 force_inline: bool = False) -> None:
+        super().__init__(width=width)
+        from repro.libra.parallel import ParallelShardedDeltaNet
+        from repro.libra.sharding import even_shards
+
+        self.native = ParallelShardedDeltaNet(
+            even_shards(shards, width), width=width, gc=gc,
+            start_method=start_method, force_inline=force_inline)
+        self._check_loops = check_loops
+
+    def close(self) -> None:
+        self.native.close()
+
+    @staticmethod
+    def _canonical(cycles) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for cycle in cycles:
+            seen.setdefault(canonical_cycle(cycle))
+        return list(seen)
+
+    def _do_insert(self, rule: Rule) -> BackendUpdate:
+        # With checking off, report loops=None (not []): [] would read as
+        # "checked, clean" and suppress the session's sweep fallback.
+        loops = self.native.insert_rule(rule, check=self._check_loops)
+        return BackendUpdate(
+            rule.rid, True, rule,
+            loops=self._canonical(loops) if self._check_loops else None)
+
+    def _do_remove(self, rule: Rule) -> BackendUpdate:
+        loops = self.native.remove_rule(rule.rid, check=self._check_loops)
+        return BackendUpdate(
+            rule.rid, False, rule,
+            loops=self._canonical(loops) if self._check_loops else None)
+
+    def _do_apply_batch(self, inserts, removals, removal_rules) -> BackendBatch:
+        loops = self.native.apply_batch(inserts, removals,
+                                        check=self._check_loops)
+        updates = _batch_updates_with_loops(
+            inserts, removal_rules,
+            self._canonical(loops) if self._check_loops else None)
+        return BackendBatch(updates=updates)
+
+    def links(self) -> List[Link]:
+        return self.native.links()
+
+    def flows_on(self, link) -> Spans:
+        return self.native.flows_on(_as_link(link))
+
+    def reachable(self, src: object, dst: object) -> Spans:
+        return self.native.reachable(src, dst)
+
+    def find_loops(self) -> List[Cycle]:
+        return self._canonical(self.native.find_loops())
+
+    def find_blackholes(self) -> Dict[object, Spans]:
+        return self.native.find_blackholes()
+
+    def check_invariants(self) -> None:
+        self.native.check_invariants()
+
+    def stats(self):
+        out = super().stats()
+        out.update(shards=self.native.num_shards,
+                   parallel=self.native.parallel,
                    shard_sizes=self.native.shard_sizes())
         return out
 

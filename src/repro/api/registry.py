@@ -41,7 +41,7 @@ from typing import (
 
 from repro.core.delta_graph import DeltaGraph
 from repro.core.prefix import prefix_to_interval
-from repro.core.rules import Action, DROP, Link, Rule
+from repro.core.rules import Action, DROP, Link, Rule, validate_batch_ops
 
 #: A forwarding cycle as a canonical tuple of graph nodes.
 Cycle = Tuple[object, ...]
@@ -73,6 +73,21 @@ class BackendUpdate:
     rule: Optional[Rule] = None
     delta: Optional[DeltaGraph] = None
     loops: Optional[List[Cycle]] = None
+
+
+@dataclass
+class BackendBatch:
+    """What a backend reports about one aggregated update batch.
+
+    ``updates`` carries one :class:`BackendUpdate` per operation
+    (removals first, then insertions — the batch order).  ``delta`` is
+    the batch's merged delta-graph when the backend maintains one; for
+    backends that natively ran checks during the batch, the loops ride on
+    the per-op updates as usual.
+    """
+
+    updates: List[BackendUpdate]
+    delta: Optional[DeltaGraph] = None
 
 
 class BackendAdapter(abc.ABC):
@@ -116,6 +131,53 @@ class BackendAdapter(abc.ABC):
     @abc.abstractmethod
     def _do_remove(self, rule: Rule) -> BackendUpdate:
         """Apply one removal to the native verifier."""
+
+    # -- batched updates ---------------------------------------------------------
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this backend has a *native* batched update path.
+
+        :meth:`apply_batch` works on every backend either way — without
+        native support it loops the checked single-op path.
+        """
+        return type(self)._do_apply_batch is not BackendAdapter._do_apply_batch
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = ()) -> BackendBatch:
+        """Apply removals then insertions as one aggregated batch.
+
+        Order semantics match :meth:`repro.core.deltanet.DeltaNet.apply`:
+        all removals run first (so a batch may remove and re-insert the
+        same rule id), then all insertions in batch order.  The batch is
+        validated up front — duplicate or unknown rule ids reject the
+        whole batch before the native verifier is touched.
+        """
+        inserts = list(rules_to_insert)
+        removals = list(rids_to_remove)
+        # Validated here too (not just natively) so the sequential
+        # fallback backends also reject the whole batch up front, before
+        # any removal is applied.
+        validate_batch_ops(inserts, removals, self._rules, self.width)
+        removal_rules = [self._rules[rid] for rid in removals]
+        if not self.supports_batch:
+            # Sequential fallback through the checked single-op path
+            # (which maintains the rule bookkeeping itself).
+            updates = [self.remove(rid) for rid in removals]
+            updates += [self.insert(rule) for rule in inserts]
+            return BackendBatch(updates=updates,
+                                delta=_merge_update_deltas(updates))
+        batch = self._do_apply_batch(inserts, removals, removal_rules)
+        for rid in removals:
+            del self._rules[rid]
+        for rule in inserts:
+            self._rules[rule.rid] = rule
+        return batch
+
+    def _do_apply_batch(self, inserts: List[Rule], removals: List[int],
+                        removal_rules: List[Rule]) -> BackendBatch:
+        """Native batched path; override where the verifier has one."""
+        raise NotImplementedError
 
     # -- uniform bookkeeping ---------------------------------------------------
 
@@ -209,6 +271,11 @@ class BackendAdapter(abc.ABC):
 
     # -- diagnostics -----------------------------------------------------------
 
+    def close(self) -> None:
+        """Release backend resources (worker processes, ...); idempotent.
+
+        A no-op for in-process backends."""
+
     def check_invariants(self) -> None:
         """Backend-internal consistency assertions (tests/debugging)."""
 
@@ -218,6 +285,16 @@ class BackendAdapter(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rules={self.num_rules}, width={self.width})"
+
+
+def _merge_update_deltas(updates: List[BackendUpdate]) -> Optional[DeltaGraph]:
+    """Merge per-op delta-graphs, or ``None`` unless every op has one."""
+    if not updates or any(update.delta is None for update in updates):
+        return None
+    merged = DeltaGraph()
+    for update in updates:
+        merged.merge(update.delta)
+    return merged
 
 
 # -- the registry -------------------------------------------------------------

@@ -17,10 +17,16 @@ examples and the benchmarks all construct::
         session.remove(2)
     txn.result               # ONE aggregated UpdateResult for the batch
 
+    session.apply_batch(rules, rids)   # bulk path: batches the backend
+                                       # work itself (removals first)
+
 Batching mirrors the paper's note that "multiple rule updates may be
 aggregated into a delta-graph": on backends that produce delta-graphs
 the per-op deltas are merged (adds cancelling removes) and the
-incremental property checks run once on the aggregate.  Batches are
+incremental property checks run once on the aggregate;
+:meth:`VerificationSession.apply_batch` additionally reaches the
+backends' native batched engines (``DeltaNet.apply_batch`` and the
+sharded/parallel equivalents).  Batches are
 *transactional* in the checking sense — one result, one set of
 violations — not rollback-on-error; a failing operation propagates
 immediately, earlier operations of the batch stay applied, and
@@ -44,12 +50,15 @@ from typing import (
 
 from repro.api.properties import Commit, Property, Violation
 from repro.api.registry import (
-    BackendAdapter, BackendUpdate, Cycle, Spans, available_backends,
-    create_backend,
+    BackendAdapter, BackendBatch, BackendUpdate, Cycle, Spans,
+    available_backends, create_backend,
 )
 from repro.core.delta_graph import DeltaGraph
 from repro.core.rules import Action, Link, Rule
 from repro.datasets.format import Op
+
+#: Sentinel distinguishing "compute the delta" from an explicit ``None``.
+_UNSET = object()
 
 
 @dataclass
@@ -168,6 +177,18 @@ class VerificationSession:
     def check_invariants(self) -> None:
         self.backend.check_invariants()
 
+    def close(self) -> None:
+        """Release backend resources (e.g. parallel shard workers)."""
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "VerificationSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- property subscriptions ------------------------------------------------
 
     def watch(self, prop: Property) -> Property:
@@ -221,8 +242,58 @@ class VerificationSession:
 
     def batch(self) -> BatchTransaction:
         """``with session.batch() as txn:`` — aggregate ops into one
-        delta-graph-like result, checked once at commit."""
+        delta-graph-like result, checked once at commit.
+
+        Operations inside the block still run one at a time through the
+        backend; only the checking is aggregated.  For bulk throughput
+        use :meth:`apply_batch`, which also batches the backend work.
+        """
         return BatchTransaction(self)
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = ()) -> UpdateResult:
+        """Bulk update through the backend's batched engine.
+
+        Removals run first, then insertions (the
+        :meth:`repro.core.deltanet.DeltaNet.apply` order), the backend
+        amortizes its per-op costs across the batch, and the watched
+        properties are checked once against the aggregated outcome — one
+        :class:`UpdateResult` for the whole batch.  Per-op latencies in
+        ``result.ops`` are the batch time split evenly, keeping
+        per-operation statistics comparable with the single-op path.
+
+        Works on every backend: those without a native batched path fall
+        back to looping single ops inside the backend adapter.
+        """
+        if self._batch is not None:
+            raise RuntimeError("apply_batch cannot run inside session.batch()")
+        inserts = list(rules_to_insert)
+        removals = list(rids_to_remove)
+        clock = time.perf_counter
+        start = clock()
+        batch_call = getattr(self.backend, "apply_batch", None)
+        if batch_call is not None:
+            batch: BackendBatch = batch_call(inserts, removals)
+            updates, delta = batch.updates, batch.delta
+        else:
+            # Duck-typed backend instance without the batch capability:
+            # still validate the whole batch up front (when the backend
+            # exposes its rule table) so a bad op cannot leave it
+            # half-applied, then loop the single-op path.
+            rules_view = getattr(self.backend, "rules", None)
+            if rules_view is not None:
+                from repro.core.rules import validate_batch_ops
+
+                validate_batch_ops(inserts, removals, rules_view(),
+                                   self.width)
+            updates = [self.backend.remove(rid) for rid in removals]
+            updates += [self.backend.insert(rule) for rule in inserts]
+            delta = self._merge_deltas(updates)
+        elapsed = clock() - start
+        per_op = elapsed / len(updates) if updates else 0.0
+        ops = [OpRecord("+" if update.inserted else "-", update.rid, per_op)
+               for update in updates]
+        return self._commit(updates, ops, delta=delta)
 
     # -- queries (fan out on sharded backends) ---------------------------------
 
@@ -273,16 +344,14 @@ class VerificationSession:
 
     @staticmethod
     def _merge_deltas(updates: List[BackendUpdate]) -> Optional[DeltaGraph]:
-        if not updates or any(u.delta is None for u in updates):
-            return None
-        merged = DeltaGraph()
-        for update in updates:
-            merged.merge(update.delta)
-        return merged
+        from repro.api.registry import _merge_update_deltas
 
-    def _commit(self, updates: List[BackendUpdate],
-                ops: List[OpRecord]) -> UpdateResult:
-        delta = self._merge_deltas(updates)
+        return _merge_update_deltas(updates)
+
+    def _commit(self, updates: List[BackendUpdate], ops: List[OpRecord],
+                delta: Any = _UNSET) -> UpdateResult:
+        if delta is _UNSET:
+            delta = self._merge_deltas(updates)
         result = UpdateResult(backend=self.backend_name, ops=ops, delta=delta)
         if self._properties and updates:
             clock = time.perf_counter

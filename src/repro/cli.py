@@ -67,21 +67,27 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     ops = load_ops(args.opsfile)
     engine = make_engine(args.engine, check_loops=not args.no_check)
-    result = replay(ops, engine, engine_name=args.engine)
-    summary = result.summary()
-    micro = 1e6
-    print(f"{args.engine}: {result.num_ops} ops, "
-          f"{result.loops_found} loops found")
-    print(f"  median={summary['median'] * micro:.1f}us "
-          f"mean={summary['mean'] * micro:.1f}us "
-          f"p99={summary['p99'] * micro:.1f}us "
-          f"max={summary['max'] * micro:.1f}us "
-          f"total={summary['total']:.3f}s")
-    if args.cdf:
-        print(ascii_cdf({args.engine: result.times}))
-    if engine.num_atoms is not None:
-        print(f"  atoms={engine.num_atoms} "
-              f"state={format_bytes(deep_size(engine.session.native))}")
+    try:
+        result = replay(ops, engine, engine_name=args.engine,
+                        batch_size=args.batch)
+        summary = result.summary()
+        micro = 1e6
+        mode = f" (batch={args.batch})" if args.batch else ""
+        print(f"{args.engine}{mode}: {result.num_ops} ops, "
+              f"{result.loops_found} loops found")
+        print(f"  median={summary['median'] * micro:.1f}us "
+              f"mean={summary['mean'] * micro:.1f}us "
+              f"p99={summary['p99'] * micro:.1f}us "
+              f"max={summary['max'] * micro:.1f}us "
+              f"total={summary['total']:.3f}s "
+              f"throughput={result.num_ops / max(summary['total'], 1e-12):,.0f} ops/s")
+        if args.cdf:
+            print(ascii_cdf({args.engine: result.times}))
+        if engine.num_atoms is not None:
+            print(f"  atoms={engine.num_atoms} "
+                  f"state={format_bytes(deep_size(engine.session.native))}")
+    finally:
+        engine.close()
     return 0
 
 
@@ -169,6 +175,14 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="deltanet",
@@ -191,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="verification backend (see `deltanet backends`)")
     replay_cmd.add_argument("--no-check", action="store_true",
                             help="skip per-update loop checking")
+    replay_cmd.add_argument("--batch", type=_positive_int, default=None,
+                            metavar="N",
+                            help="apply ops in aggregated batches of up to "
+                                 "N (amortizes update + check costs)")
     replay_cmd.add_argument("--cdf", action="store_true",
                             help="print an ASCII CDF of per-op times")
 

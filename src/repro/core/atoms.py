@@ -83,6 +83,23 @@ class AtomTable:
         for _key, atom in self._map.iritems(lo, hi):
             yield atom
 
+    def atoms_in_list(self, lo: int, hi: int) -> List[int]:
+        """:meth:`atoms_in` materialized eagerly (the hot-path variant)."""
+        return self._map.range_values(lo, hi)
+
+    def overlapping(self, lo: int, hi: int) -> Iterator[int]:
+        """All atoms whose interval intersects ``[lo : hi)``.
+
+        Unlike :meth:`atoms_in`, the bounds need not be existing
+        boundaries: the atom containing ``lo`` is included even when its
+        start lies below ``lo``.
+        """
+        if not self.min <= lo < hi <= self.max:
+            raise ValueError(f"interval [{lo}:{hi}) out of range")
+        start = self._map.floor_key(lo)
+        for _key, atom in self._map.iritems(start, hi):
+            yield atom
+
     def intervals(self) -> Iterator[Tuple[int, Tuple[int, int]]]:
         """All live ``(atom, (lo, hi))`` pairs in ascending interval order."""
         items = list(self._map.items())
@@ -129,12 +146,50 @@ class AtomTable:
                 f"interval [{lo}:{hi}) outside [{self.min}, {self.max})")
         delta: List[Tuple[int, int]] = []
         for bound in (lo, hi):
-            if bound in self._map:
+            found, old_atom = self._map.floor_item(bound)
+            if found == bound:
                 continue
-            _key, old_atom = self._map.floor_item(bound)
             new_atom = self._alloc(bound)
             self._map.insert(bound, new_atom)
             delta.append((old_atom, new_atom))
+        return delta
+
+    def create_atoms_many(self, intervals: Iterable[Tuple[int, int]]
+                          ) -> List[Tuple[int, int]]:
+        """``CREATE_ATOMS+`` for a whole batch of rule intervals.
+
+        One deduplicated pass over the batch's boundaries: each distinct
+        missing boundary costs a single ordered-map probe + insert, no
+        matter how many rules of the batch share it.  Identifiers are
+        allocated in first-encounter order, so the resulting atom ids are
+        exactly those sequential :meth:`create_atoms` calls would have
+        produced.  Returns the concatenated delta pairs in creation order.
+
+        .. warning:: Same caveat as :meth:`create_atoms` — on a table
+           owned by a live DeltaNet, only
+           :meth:`~repro.core.deltanet.DeltaNet.apply_batch` may call
+           this.
+        """
+        amin, amax = self.min, self.max
+        table = self._map
+        floor_item = table.floor_item
+        table_insert = table.insert
+        delta: List[Tuple[int, int]] = []
+        seen = set()
+        for lo, hi in intervals:
+            if not amin <= lo < hi <= amax:
+                raise ValueError(
+                    f"interval [{lo}:{hi}) outside [{amin}, {amax})")
+            for bound in (lo, hi):
+                if bound in seen:
+                    continue
+                seen.add(bound)
+                found, old_atom = floor_item(bound)
+                if found == bound:
+                    continue
+                new_atom = self._alloc(bound)
+                table_insert(bound, new_atom)
+                delta.append((old_atom, new_atom))
         return delta
 
     def _alloc(self, start: int) -> int:

@@ -15,12 +15,46 @@ A rule (paper §3.2) carries:
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple, Optional, Tuple
+from typing import Container, Iterable, NamedTuple, Optional, Set, Tuple
 
 from repro.core.prefix import format_prefix, interval_plen, is_prefix_interval
 
 #: Distinguished graph sink for dropped packets.
 DROP = "__drop__"
+
+
+def validate_batch_ops(inserts: Iterable["Rule"], removals: Iterable[int],
+                       known_rids: Container[int], width: int) -> Set[int]:
+    """Up-front validation shared by every batched update entry point.
+
+    Checks, before any state changes: each removal id is known (in
+    ``known_rids``) and not removed twice; each insert id is unique
+    within the batch and not already installed (unless the same batch
+    removes it first — removals run first in batch order); each insert
+    interval fits the ``width``-bit header space.  Returns the removal
+    id set.  Used by ``DeltaNet.apply_batch``, ``ShardRouter.
+    route_batch`` and ``BackendAdapter.apply_batch`` so a rejected batch
+    fails identically everywhere and leaves no trace.
+    """
+    removal_set: Set[int] = set()
+    for rid in removals:
+        if rid in removal_set:
+            raise KeyError(f"duplicate removal of rule id {rid}")
+        if rid not in known_rids:
+            raise KeyError(f"unknown rule id {rid}")
+        removal_set.add(rid)
+    space = 1 << width
+    insert_rids: Set[int] = set()
+    for rule in inserts:
+        if rule.rid in insert_rids or (
+                rule.rid in known_rids and rule.rid not in removal_set):
+            raise ValueError(f"duplicate rule id {rule.rid}")
+        insert_rids.add(rule.rid)
+        if not 0 <= rule.lo < rule.hi <= space:
+            raise ValueError(
+                f"rule {rule.rid} interval [{rule.lo}:{rule.hi}) outside "
+                f"the {width}-bit header space")
+    return removal_set
 
 
 class Action(enum.Enum):

@@ -11,6 +11,7 @@ MapReduce formulation — while each shard keeps Delta-net's incremental
 guarantees.
 """
 
+from repro.libra.parallel import ParallelShardedDeltaNet
 from repro.libra.sharding import ShardedDeltaNet, even_shards
 
-__all__ = ["ShardedDeltaNet", "even_shards"]
+__all__ = ["ParallelShardedDeltaNet", "ShardedDeltaNet", "even_shards"]

@@ -1,0 +1,399 @@
+"""Process-parallel sharding: Libra's map/reduce with real workers.
+
+:class:`ParallelShardedDeltaNet` runs one OS process per header-space
+shard.  Each worker owns an independent :class:`~repro.core.deltanet.
+DeltaNet` (plus its incremental loop checker) for its slice and serves
+commands over a dedicated duplex pipe.  The parent performs the *map*
+step — clipping rules to shards, exactly as
+:class:`~repro.libra.sharding.ShardedDeltaNet` does — then fans a batch
+(or a query) out to every touched worker and merges the replies: the
+*reduce* step.  Because workers are separate processes, the per-shard
+update sweeps and loop checks run truly concurrently, GIL-free.
+
+Loop checking runs *inside* the workers (the checker needs the shard's
+Delta-net state); workers therefore return canonical loop cycles, not
+delta-graphs, keeping the pipe traffic small.
+
+When worker processes cannot be spawned (restricted sandboxes, platforms
+without a working ``multiprocessing``), the class degrades transparently
+to in-process shard servers with identical semantics — ``.parallel``
+reports which mode is live.  Always :meth:`close` (or use as a context
+manager) to reap the workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.checkers.blackholes import find_blackholes as _shard_blackholes
+from repro.checkers.loops import LoopChecker, find_forwarding_loops
+from repro.checkers.reachability import reachable_atoms
+from repro.core.atomset import atoms_to_interval_set
+from repro.core.deltanet import DeltaNet
+from repro.core.intervals import IntervalSet, normalize
+from repro.core.rules import Link, Rule
+from repro.libra.sharding import ShardRouter, even_shards
+
+#: A forwarding cycle as a canonical tuple of nodes (see Loop.canonical).
+Cycle = Tuple[object, ...]
+
+
+class _ShardServer:
+    """One shard's state and command dispatch.
+
+    Runs inside a worker process normally; the inline fallback calls
+    :meth:`handle` directly in the parent, so both execution modes share
+    one implementation.
+    """
+
+    def __init__(self, width: int, gc: bool) -> None:
+        self.net = DeltaNet(width=width, gc=gc)
+        self.checker = LoopChecker(self.net)
+
+    def handle(self, method: str, args: tuple):
+        return getattr(self, "do_" + method)(*args)
+
+    # -- updates ---------------------------------------------------------------
+
+    def do_apply_batch(self, inserts: List[Rule], removals: List[int],
+                       check: bool) -> List[Cycle]:
+        delta = self.net.apply_batch(inserts, removals)
+        if not check:
+            return []
+        return [loop.cycle for loop in self.checker.check_update(delta)]
+
+    # -- queries (each worker answers for its slice only) ------------------------
+
+    def do_flows_on(self, link: Link) -> List[Tuple[int, int]]:
+        return self.net.flows_on(link)
+
+    def do_links(self) -> List[Link]:
+        return list(self.net.links())
+
+    def do_dump_flows(self) -> Dict[Link, List[Tuple[int, int]]]:
+        return {link: self.net.flows_on(link) for link in self.net.links()}
+
+    def do_find_loops(self) -> List[Cycle]:
+        return [loop.cycle for loop in find_forwarding_loops(self.net)]
+
+    def do_reachable(self, src: object, dst: object) -> List[Tuple[int, int]]:
+        atoms = reachable_atoms(self.net, src, dst)
+        return atoms_to_interval_set(atoms, self.net.atoms)
+
+    def do_find_blackholes(self) -> Dict[object, List[Tuple[int, int]]]:
+        return {node: atoms_to_interval_set(atoms, self.net.atoms)
+                for node, atoms in _shard_blackholes(self.net).items()}
+
+    def do_owner_target(self, source: object, point: int) -> Optional[Link]:
+        rule = self.net.owner_rule(self.net.atoms.atom_at(point), source)
+        return rule.link if rule else None
+
+    def do_stats(self) -> Tuple[int, int]:
+        return self.net.num_rules, self.net.num_atoms
+
+    def do_check_invariants(self) -> None:
+        self.net.check_invariants()
+
+
+def _shard_worker(conn, width: int, gc: bool) -> None:
+    """Worker process main loop: serve commands until EOF/None."""
+    server = _ShardServer(width, gc)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message is None:
+                break
+            method, args = message
+            try:
+                conn.send((True, server.handle(method, args)))
+            except Exception as exc:  # forwarded to the caller; stay alive
+                conn.send((False, exc))
+    finally:
+        conn.close()
+
+
+class _ProcessEndpoint:
+    """Parent-side handle of one worker: submit now, collect later."""
+
+    def __init__(self, ctx, width: int, gc: bool) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker, args=(child_conn, width, gc), daemon=True)
+        self.process.start()
+        child_conn.close()
+
+    def submit(self, method: str, args: tuple) -> None:
+        self.conn.send((method, args))
+
+    def result(self):
+        ok, value = self.conn.recv()
+        if not ok:
+            raise value
+        return value
+
+    def close(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class _InlineEndpoint:
+    """Same submit/result surface, served in-process (fallback mode)."""
+
+    def __init__(self, width: int, gc: bool) -> None:
+        self.server = _ShardServer(width, gc)
+        self._pending: Optional[tuple] = None
+
+    def submit(self, method: str, args: tuple) -> None:
+        try:
+            self._pending = (True, self.server.handle(method, args))
+        except Exception as exc:
+            self._pending = (False, exc)
+
+    def result(self):
+        ok, value = self._pending
+        self._pending = None
+        if not ok:
+            raise value
+        return value
+
+    def close(self) -> None:
+        pass
+
+
+class ParallelShardedDeltaNet(ShardRouter):
+    """Disjoint-slice Delta-nets served by one worker process per shard.
+
+    The update surface mirrors :class:`~repro.libra.sharding.
+    ShardedDeltaNet` (whose :class:`~repro.libra.sharding.ShardRouter`
+    map step it shares), except updates return the *loops* the
+    per-shard incremental checkers found (pass ``check=False`` to skip
+    checking) rather than delta-graphs — deltas live and die inside the
+    workers.
+
+    ``start_method`` picks the :mod:`multiprocessing` context (``fork``
+    where available is fastest); ``force_inline=True`` skips processes
+    entirely and serves every shard in-process.
+    """
+
+    def __init__(self, shards: Optional[Iterable[Tuple[int, int]]] = None,
+                 width: int = 32, gc: bool = False,
+                 start_method: Optional[str] = None,
+                 force_inline: bool = False) -> None:
+        super().__init__(shards, width)
+        self._closed = False
+        self._poisoned = False
+        self.parallel = False
+        workers: List[object] = []
+        if not force_inline:
+            try:
+                ctx = (multiprocessing.get_context(start_method)
+                       if start_method else multiprocessing.get_context())
+                for _ in self.slices:
+                    # Append as we go: a partial spawn failure (fd or
+                    # process limits) must reap the workers already
+                    # started, not leak them.
+                    workers.append(_ProcessEndpoint(ctx, width, gc))
+                self.parallel = True
+            except Exception:
+                for endpoint in workers:
+                    endpoint.close()
+                workers = []
+        if not workers:
+            workers = [_InlineEndpoint(width, gc) for _ in self.slices]
+        self._workers = workers
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._workers:
+            endpoint.close()
+
+    def __enter__(self) -> "ParallelShardedDeltaNet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- fan-out plumbing ----------------------------------------------------------
+
+    def _fan_out(self, method: str, args: tuple = (),
+                 indices: Optional[Iterable[int]] = None) -> List[object]:
+        """Send a command to the selected workers, then collect replies.
+
+        All submits go out before the first result is awaited — with
+        process workers the shards genuinely execute concurrently.
+        Every reply is drained even when one worker errors (an undrained
+        pipe would pair the *next* command with this command's stale
+        reply); the first error is re-raised after the sweep.
+        """
+        chosen = (list(indices) if indices is not None
+                  else range(len(self._workers)))
+        submitted: List[int] = []
+        first_error: Optional[Exception] = None
+        for index in chosen:
+            try:
+                self._workers[index].submit(method, args)
+                submitted.append(index)
+            except Exception as exc:  # dead worker / broken pipe
+                if first_error is None:
+                    first_error = exc
+        results: List[object] = []
+        for index in submitted:
+            try:
+                results.append(self._workers[index].result())
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- updates (map: clip; reduce: merge worker loop reports) --------------------
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = (),
+                    check: bool = True) -> List[Cycle]:
+        """Apply a batch across shards concurrently; merge found loops.
+
+        Same order semantics as :meth:`DeltaNet.apply_batch` (removals
+        first).  The whole batch is validated (by the shared
+        :meth:`~repro.libra.sharding.ShardRouter.route_batch`) before
+        anything is sent, so a rejected batch leaves every shard
+        untouched.
+        """
+        if self._poisoned:
+            raise RuntimeError(
+                "parallel verifier is inconsistent after a failed batch; "
+                "rebuild it (queries on the partial state still work)")
+        inserts = list(rules_to_insert)
+        removals = list(rids_to_remove)
+        per_shard = self.route_batch(inserts, removals)
+        touched = [index for index, (ins, rem) in enumerate(per_shard)
+                   if ins or rem]
+        # Per-shard payloads differ, so submit individually (all sends
+        # before the first await — the workers run concurrently), then
+        # drain every successfully submitted reply before raising any
+        # error, as in _fan_out.  A failed submit (dead worker) gets no
+        # drain — it owes no reply.
+        submitted: List[int] = []
+        first_error: Optional[Exception] = None
+        for index in touched:
+            shard_inserts, shard_removals = per_shard[index]
+            try:
+                self._workers[index].submit(
+                    "apply_batch", (shard_inserts, shard_removals, check))
+                submitted.append(index)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        loops: Dict[Cycle, None] = {}
+        for index in submitted:
+            try:
+                for cycle in self._workers[index].result():
+                    loops.setdefault(cycle)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            # Some shards may have applied their sub-batch while others
+            # did not — without two-phase commit the instance cannot be
+            # reconciled, so refuse all further *updates* rather than
+            # risk phantom rules on a retry.  Queries stay available for
+            # inspecting the partial state.
+            self._poisoned = True
+            raise first_error
+        return list(loops)
+
+    def insert_rule(self, rule: Rule, check: bool = True) -> List[Cycle]:
+        return self.apply_batch([rule], (), check=check)
+
+    def remove_rule(self, rid: int, check: bool = True) -> List[Cycle]:
+        return self.apply_batch((), [rid], check=check)
+
+    # -- queries (reduce over all shards) ------------------------------------------
+
+    def flows_on(self, link) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for shard_spans in self._fan_out("flows_on", (link,)):
+            spans.extend(shard_spans)
+        return normalize(spans)
+
+    def links(self) -> List[Link]:
+        seen: Dict[Link, None] = {}
+        for shard_links in self._fan_out("links"):
+            for link in shard_links:
+                seen.setdefault(link)
+        return list(seen)
+
+    def dump_flows(self) -> Dict[Link, List[Tuple[int, int]]]:
+        """Every link's flows, merged across shards (tests/diagnostics)."""
+        merged: Dict[Link, List[Tuple[int, int]]] = {}
+        for shard_dump in self._fan_out("dump_flows"):
+            for link, spans in shard_dump.items():
+                merged.setdefault(link, []).extend(spans)
+        return {link: normalize(spans) for link, spans in merged.items()}
+
+    def find_loops(self) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for shard_loops in self._fan_out("find_loops"):
+            for cycle in shard_loops:
+                seen.setdefault(cycle)
+        return list(seen)
+
+    def reachable(self, src: object, dst: object) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for shard_spans in self._fan_out("reachable", (src, dst)):
+            spans.extend(shard_spans)
+        return normalize(spans)
+
+    def find_blackholes(self) -> Dict[object, List[Tuple[int, int]]]:
+        merged: Dict[object, IntervalSet] = {}
+        for shard_holes in self._fan_out("find_blackholes"):
+            for node, spans in shard_holes.items():
+                merged[node] = merged.get(node, IntervalSet()) | IntervalSet(spans)
+        return {node: spans.spans for node, spans in merged.items()}
+
+    def owner_link_at(self, source: object, point: int) -> Optional[Link]:
+        """The link a ``point``-packet takes at ``source``, if any."""
+        index = self.shard_of_point(point)
+        return self._fan_out("owner_target", (source, point), [index])[0]
+
+    def shard_sizes(self) -> List[Tuple[int, int]]:
+        """(rules, atoms) per shard — the load-balance view."""
+        return list(self._fan_out("stats"))
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(atoms for _rules, atoms in self.shard_sizes())
+
+    def check_invariants(self) -> None:
+        self._fan_out("check_invariants")
+
+    def __repr__(self) -> str:
+        mode = "processes" if self.parallel else "inline"
+        return (f"ParallelShardedDeltaNet(shards={self.num_shards}, "
+                f"rules={self.num_rules}, mode={mode})")

@@ -23,7 +23,7 @@ from repro.checkers.loops import Loop, find_forwarding_loops
 from repro.core.delta_graph import DeltaGraph
 from repro.core.deltanet import DeltaNet
 from repro.core.intervals import normalize
-from repro.core.rules import Action, Rule
+from repro.core.rules import Action, Rule, validate_batch_ops
 
 
 def even_shards(count: int, width: int = 32) -> List[Tuple[int, int]]:
@@ -37,26 +37,45 @@ def even_shards(count: int, width: int = 32) -> List[Tuple[int, int]]:
     return list(zip(bounds, bounds[1:]))
 
 
-class ShardedDeltaNet:
-    """Independent Delta-net instances over disjoint header-space slices."""
+def validate_slices(slices: List[Tuple[int, int]], width: int) -> None:
+    """Check that ``slices`` tile ``[0, 2^width)`` contiguously."""
+    space = 1 << width
+    cursor = 0
+    for lo, hi in slices:
+        if lo != cursor or hi <= lo:
+            raise ValueError(
+                f"shards must tile [0, 2^{width}) contiguously; "
+                f"got slice [{lo}:{hi}) at cursor {cursor}")
+        cursor = hi
+    if cursor != space:
+        raise ValueError("shards do not cover the full space")
 
-    def __init__(self, shards: Iterable[Tuple[int, int]] = None,
-                 width: int = 32, gc: bool = False) -> None:
+
+def clip_rule(rule: Rule, rid: int, lo: int, hi: int) -> Rule:
+    """``rule`` restricted to ``[lo : hi)``, re-identified as ``rid``."""
+    clip_lo, clip_hi = max(rule.lo, lo), min(rule.hi, hi)
+    if rule.action is Action.DROP:
+        return Rule.drop(rid, clip_lo, clip_hi, rule.priority, rule.source)
+    return Rule.forward(rid, clip_lo, clip_hi, rule.priority,
+                        rule.source, rule.target)
+
+
+class ShardRouter:
+    """The map step's shared machinery: slice geometry, rule clipping,
+    and the ``rid -> (shard, clipped rid)`` placement bookkeeping.
+
+    Base class of both the serial :class:`ShardedDeltaNet` and the
+    process-parallel :class:`~repro.libra.parallel.
+    ParallelShardedDeltaNet`, so routing/validation semantics cannot
+    diverge between the two.
+    """
+
+    def __init__(self, shards: Optional[Iterable[Tuple[int, int]]],
+                 width: int) -> None:
         self.width = width
         self.slices: List[Tuple[int, int]] = (
             list(shards) if shards is not None else even_shards(4, width))
-        space = 1 << width
-        cursor = 0
-        for lo, hi in self.slices:
-            if lo != cursor or hi <= lo:
-                raise ValueError(
-                    f"shards must tile [0, 2^{width}) contiguously; "
-                    f"got slice [{lo}:{hi}) at cursor {cursor}")
-            cursor = hi
-        if cursor != space:
-            raise ValueError("shards do not cover the full space")
-        self.nets: List[DeltaNet] = [DeltaNet(width=width, gc=gc)
-                                     for _ in self.slices]
+        validate_slices(self.slices, width)
         self._starts = [lo for lo, _hi in self.slices]
         #: rid -> list of (shard index, clipped rid)
         self._placement: Dict[int, List[Tuple[int, int]]] = {}
@@ -70,10 +89,6 @@ class ShardedDeltaNet:
     def num_rules(self) -> int:
         return len(self._placement)
 
-    @property
-    def total_atoms(self) -> int:
-        return sum(net.num_atoms for net in self.nets)
-
     def shard_of_point(self, point: int) -> int:
         index = bisect.bisect_right(self._starts, point) - 1
         if index < 0 or not (self.slices[index][0] <= point < self.slices[index][1]):
@@ -84,6 +99,51 @@ class ShardedDeltaNet:
         first = self.shard_of_point(lo)
         last = self.shard_of_point(hi - 1)
         return list(range(first, last + 1))
+
+    def route_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = ()
+                    ) -> List[Tuple[List[Rule], List[int]]]:
+        """The map step alone: validate and clip a batch per shard.
+
+        Returns one ``(clipped inserts, clipped removal rids)`` pair per
+        shard, committing the placement bookkeeping.  The whole batch is
+        validated before any state changes, so a rejected batch leaves
+        no trace.  Callers then apply each shard's sub-batch —
+        sequentially here, concurrently in the parallel subclass.
+        """
+        inserts = list(rules_to_insert)
+        removals = list(rids_to_remove)
+        validate_batch_ops(inserts, removals, self._placement, self.width)
+        per_shard: List[Tuple[List[Rule], List[int]]] = [
+            ([], []) for _ in self.slices]
+        for rid in removals:
+            for index, clipped_rid in self._placement.pop(rid):
+                per_shard[index][1].append(clipped_rid)
+        for rule in inserts:
+            placement: List[Tuple[int, int]] = []
+            for index in self.shards_of_interval(rule.lo, rule.hi):
+                slice_lo, slice_hi = self.slices[index]
+                clipped_rid = self._next_clipped
+                self._next_clipped += 1
+                per_shard[index][0].append(
+                    clip_rule(rule, clipped_rid, slice_lo, slice_hi))
+                placement.append((index, clipped_rid))
+            self._placement[rule.rid] = placement
+        return per_shard
+
+
+class ShardedDeltaNet(ShardRouter):
+    """Independent Delta-net instances over disjoint header-space slices."""
+
+    def __init__(self, shards: Iterable[Tuple[int, int]] = None,
+                 width: int = 32, gc: bool = False) -> None:
+        super().__init__(shards, width)
+        self.nets: List[DeltaNet] = [DeltaNet(width=width, gc=gc)
+                                     for _ in self.slices]
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(net.num_atoms for net in self.nets)
 
     # -- rule lifecycle (the "map" step) -------------------------------------------
 
@@ -107,15 +167,9 @@ class ShardedDeltaNet:
         deltas: Dict[int, DeltaGraph] = {}
         for index in self.shards_of_interval(rule.lo, rule.hi):
             slice_lo, slice_hi = self.slices[index]
-            clip_lo, clip_hi = max(rule.lo, slice_lo), min(rule.hi, slice_hi)
             clipped_rid = self._next_clipped
             self._next_clipped += 1
-            if rule.action is Action.DROP:
-                clipped = Rule.drop(clipped_rid, clip_lo, clip_hi,
-                                    rule.priority, rule.source)
-            else:
-                clipped = Rule.forward(clipped_rid, clip_lo, clip_hi,
-                                       rule.priority, rule.source, rule.target)
+            clipped = clip_rule(rule, clipped_rid, slice_lo, slice_hi)
             deltas[index] = self.nets[index].insert_rule(clipped)
             placement.append((index, clipped_rid))
         self._placement[rule.rid] = placement
@@ -128,6 +182,20 @@ class ShardedDeltaNet:
             raise KeyError(f"unknown rule id {rid}")
         return {index: self.nets[index].remove_rule(clipped_rid)
                 for index, clipped_rid in placement}
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = ()
+                    ) -> Dict[int, DeltaGraph]:
+        """Batched map step: route the batch, then one
+        :meth:`DeltaNet.apply_batch` per touched shard.  Returns each
+        touched shard's aggregated delta-graph."""
+        per_shard = self.route_batch(rules_to_insert, rids_to_remove)
+        deltas: Dict[int, DeltaGraph] = {}
+        for index, (shard_inserts, shard_removals) in enumerate(per_shard):
+            if shard_inserts or shard_removals:
+                deltas[index] = self.nets[index].apply_batch(
+                    shard_inserts, shard_removals)
+        return deltas
 
     # -- queries (the "reduce" step) --------------------------------------------------
 

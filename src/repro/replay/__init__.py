@@ -2,10 +2,11 @@
 
 from repro.replay.engine import (
     DeltaNetEngine, Engine, ReplayResult, SessionEngine, VeriflowEngine,
-    engine_names, make_engine, replay,
+    engine_names, iter_batches, make_engine, replay,
 )
 
 __all__ = [
     "Engine", "SessionEngine", "make_engine", "engine_names",
     "DeltaNetEngine", "VeriflowEngine", "ReplayResult", "replay",
+    "iter_batches",
 ]

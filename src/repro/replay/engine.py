@@ -45,10 +45,10 @@ class SessionEngine:
         from repro.api import LoopProperty, VerificationSession
 
         properties = (LoopProperty(),) if check_loops else ()
-        if backend == "veriflow":
-            # Veriflow fuses loop checking into the update itself; with
-            # checking off, the native per-update EC sweep must be
-            # skipped too or --no-check would still pay for it.
+        if backend in ("veriflow", "sharded", "parallel"):
+            # These fuse loop checking into the update itself; with
+            # checking off, the native per-update sweep must be skipped
+            # too or --no-check would still pay for it.
             options.setdefault("check_loops", check_loops)
         self.session = VerificationSession(
             backend, width=width, properties=properties, **options)
@@ -57,6 +57,17 @@ class SessionEngine:
     def process(self, op: Op) -> int:
         result = self.session.apply(op)
         return len(result.violations)
+
+    def process_batch(self, ops: Sequence[Op]) -> int:
+        """Apply a chunk of ops as one aggregated batch (see
+        :func:`iter_batches` for the chunking contract)."""
+        result = self.session.apply_batch(
+            [op.rule for op in ops if op.is_insert],
+            [op.rid for op in ops if not op.is_insert])
+        return len(result.violations)
+
+    def close(self) -> None:
+        self.session.close()
 
     @property
     def backend_name(self) -> str:
@@ -156,13 +167,64 @@ class ReplayResult:
         return summarize(self.times)
 
 
+def iter_batches(ops: Iterable[Op], batch_size: int) -> Iterable[List[Op]]:
+    """Chunk an op stream into batches safe for removals-first replay.
+
+    A batch is applied as "all removals, then all insertions", so a chunk
+    must never contain an operation that depends on a *later-kind* op of
+    the same chunk: an insert followed (in stream order) by a removal of
+    the same rule id, a re-insert of an id inserted earlier in the chunk,
+    or a duplicate removal.  The chunker flushes early at each such
+    conflict, preserving exact sequential semantics; remove-then-reinsert
+    of the same id stays within one batch (that *is* the batch order).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: List[Op] = []
+    inserted: set = set()
+    removed: set = set()
+    for op in ops:
+        conflict = (op.rid in inserted if op.is_insert
+                    else op.rid in inserted or op.rid in removed)
+        if batch and (conflict or len(batch) >= batch_size):
+            yield batch
+            batch, inserted, removed = [], set(), set()
+        batch.append(op)
+        (inserted if op.is_insert else removed).add(op.rid)
+    if batch:
+        yield batch
+
+
 def replay(ops: Iterable[Op], engine: Engine,
            engine_name: Optional[str] = None,
            progress_every: int = 0,
-           progress: Callable[[int], None] = None) -> ReplayResult:
-    """Replay ``ops`` through ``engine``, timing each operation."""
+           progress: Callable[[int], None] = None,
+           batch_size: Optional[int] = None) -> ReplayResult:
+    """Replay ``ops`` through ``engine``, timing each operation.
+
+    With ``batch_size`` set (and an engine providing ``process_batch``),
+    ops are applied in aggregated batches (see :func:`iter_batches`);
+    each batch's wall time is split evenly across its ops so the
+    per-operation statistics stay comparable with single-op replays.
+    """
     result = ReplayResult(engine_name=engine_name or type(engine).__name__)
     clock = time.perf_counter
+    if batch_size is not None:
+        process_batch = getattr(engine, "process_batch", None)
+        if process_batch is None:
+            raise TypeError(
+                f"{type(engine).__name__} does not support batched replay")
+        for batch in iter_batches(ops, batch_size):
+            start = clock()
+            loops = process_batch(batch)
+            elapsed = clock() - start
+            result.times.extend([elapsed / len(batch)] * len(batch))
+            result.loops_found += loops
+            result.num_ops += len(batch)
+            if progress_every and progress and \
+                    result.num_ops % progress_every < len(batch):
+                progress(result.num_ops)
+        return result
     for index, op in enumerate(ops):
         start = clock()
         loops = engine.process(op)

@@ -36,12 +36,22 @@ def _splitmix64(x: int) -> int:
 
 
 def _heap_prio(key: Any) -> int:
-    if isinstance(key, tuple):
-        acc = 0x243F6A8885A308D3
-        for part in key:
-            acc = _splitmix64(acc ^ _splitmix64(hash(part) & _MASK64))
-        return acc
+    # One mixer round over the built-in hash: Python's tuple hash already
+    # combines the parts, and splitmix64 disperses the result so nearby
+    # keys (sequential priorities/rule ids) get uncorrelated heap
+    # priorities.  Rule keys are int tuples, whose hash is stable across
+    # processes, so replays stay reproducible.
     return _splitmix64(hash(key) & _MASK64)
+
+
+def heap_prio(key: Any) -> int:
+    """The deterministic heap priority :func:`insert` derives for ``key``.
+
+    Hot loops that insert the same key into many treaps (one per atom)
+    compute this once and pass it as ``insert(..., prio=...)`` instead of
+    re-hashing the key per insertion.
+    """
+    return _heap_prio(key)
 
 
 class PNode:
@@ -61,9 +71,14 @@ class PNode:
 Root = Optional[PNode]
 
 
-def insert(root: Root, key: Any, value: Any) -> Root:
-    """Return a new root with ``key -> value`` inserted (or replaced)."""
-    return _insert(root, key, value, _heap_prio(key))
+def insert(root: Root, key: Any, value: Any,
+           prio: Optional[int] = None) -> Root:
+    """Return a new root with ``key -> value`` inserted (or replaced).
+
+    ``prio`` may carry a precomputed :func:`heap_prio` of ``key``; passing
+    any other value breaks the heap invariant.
+    """
+    return _insert(root, key, value, _heap_prio(key) if prio is None else prio)
 
 
 def _insert(node: Root, key: Any, value: Any, prio: int) -> PNode:

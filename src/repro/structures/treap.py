@@ -242,6 +242,38 @@ class TreapMap:
                     stack.append(node)
                     node = node.left
 
+    def range_values(self, lo: Any = None, hi: Any = None) -> List[Any]:
+        """Values for keys in ``[lo : hi)`` as a list, in key order.
+
+        Same contract as :meth:`iritems` but materialized eagerly with no
+        generator machinery — the hot-path variant for short ranges that
+        are walked immediately (Delta-net enumerates the atoms of a
+        rule's interval once per update).
+        """
+        out: List[Any] = []
+        push = out.append
+        stack: List[_Node] = []
+        node = self._root
+        while node is not None:
+            if lo is not None and node.key < lo:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            if hi is not None and not (node.key < hi):
+                break
+            push(node.value)
+            node = node.right
+            while node is not None:
+                if lo is not None and node.key < lo:
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+        return out
+
     def keys(self) -> Iterator[Any]:
         return self.irange()
 
