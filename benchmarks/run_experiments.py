@@ -209,6 +209,62 @@ def update_latency(report: ExperimentReport) -> None:
     report.end_checks()
 
 
+def check_latency(report: ExperimentReport) -> None:
+    """Repo benchmark: per-update verify throughput, index vs sweep.
+
+    Also (re)writes the machine-readable ``BENCH_check_latency.json``
+    consumed by ``perf_gate.py check --suite check_latency`` — same
+    refresh discipline as :func:`update_latency`: only a clean
+    full-scale run may re-baseline.
+    """
+    import json
+    import os.path
+
+    from benchmarks import perf_gate
+
+    full_scale = BENCH_SCALE >= 1.0
+    sizes = [10000, 50000] if full_scale else [10000]
+    document = perf_gate.run_check_benchmark(sizes)
+    baseline_path = perf_gate.CHECK_BASELINE
+    regressions = []
+    if os.path.exists(baseline_path):
+        regressions = perf_gate.compare_check_to_baseline(
+            document, baseline_path, tolerance=0.30)
+    if full_scale and not regressions:
+        with open(baseline_path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        note = f"baseline refreshed at {baseline_path}."
+    elif regressions:
+        note = (f"REGRESSION vs committed baseline "
+                f"({', '.join(regressions)}) — baseline left untouched.")
+    else:
+        note = ("reduced REPRO_BENCH_SCALE — committed baseline left "
+                "untouched.")
+    rows = []
+    for key, entry in sorted(document["results"].items()):
+        rows.append((key, f"{entry['ops_per_sec']:,.0f}",
+                     f"{entry['p50_us']:.1f}", f"{entry['p99_us']:.1f}",
+                     entry["label_runs"], entry["label_atoms"],
+                     f"{entry['label_bytes_runs'] / 1024:.0f}",
+                     f"{entry['label_bytes_sets'] / 1024:.0f}"))
+    report.section("Check latency — forwarding index vs sweep checker",
+                   "Per-update verify pipeline (rule op + loop check of "
+                   f"its delta) over a {perf_gate.CHECK_WINDOW}-op window "
+                   f"at scale; {note}")
+    report.table(("Checker@rules", "ops/s", "p50 us", "p99 us",
+                  "Label runs", "Label atoms", "Runs KiB", "Sets KiB"),
+                 rows)
+    for key, ratio in sorted(document.get("speedups", {}).items()):
+        report.shape_check(
+            f"indexed checker >= {perf_gate.TARGET_CHECK_SPEEDUP}x sweep "
+            f"({key}: {ratio}x)",
+            ratio >= perf_gate.TARGET_CHECK_SPEEDUP)
+    report.shape_check("no regression vs committed check baseline",
+                       not regressions)
+    report.end_checks()
+
+
 def appendix_c(report: ExperimentReport) -> None:
     from repro.replay.engine import VeriflowEngine
 
@@ -238,7 +294,7 @@ def main(argv) -> int:
         "Delta-net reproduction — experiment report "
         f"(scale={BENCH_SCALE})")
     for step in (table2, table3, figure8, headline, table4, table5,
-                 appendix_c, update_latency):
+                 appendix_c, update_latency, check_latency):
         print(f"running {step.__name__} ...", flush=True)
         step(report)
     report.save(output)

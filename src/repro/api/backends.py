@@ -148,6 +148,10 @@ class DeltaNetBackend(BackendAdapter):
     def loops_for_commit(self, updates, delta) -> List[Cycle]:
         if delta is None:
             return super().loops_for_commit(updates, delta)
+        if delta.is_empty():
+            # No label changed — no new loop can exist; skip even the
+            # (cheap) incremental chase.
+            return []
         from repro.checkers.loops import LoopChecker
 
         seen: Dict[Cycle, None] = {}
@@ -172,23 +176,22 @@ class ShardedBackend(BackendAdapter):
     def __init__(self, width: int = 32, shards: int = 4, gc: bool = False,
                  check_loops: bool = True) -> None:
         super().__init__(width=width)
-        from repro.checkers.loops import LoopChecker
         from repro.libra.sharding import ShardedDeltaNet, even_shards
 
         self.native = ShardedDeltaNet(even_shards(shards, width),
                                       width=width, gc=gc)
-        self._checkers = [LoopChecker(net) for net in self.native.nets]
         self._check_loops = check_loops
 
     def _shard_loops(self, deltas: Dict[int, DeltaGraph]) -> Optional[List[Cycle]]:
-        """Per-shard incremental check — ``None`` (not ``[]``) when
-        checking is off, so the session's sweep fallback still fires."""
+        """Per-shard incremental check (the native per-shard checkers,
+        each chasing its shard's forwarding index) — ``None`` (not
+        ``[]``) when checking is off, so the session's sweep fallback
+        still fires."""
         if not self._check_loops:
             return None
         seen: Dict[Cycle, None] = {}
-        for index, delta in deltas.items():
-            for loop in self._checkers[index].check_update(delta):
-                seen.setdefault(canonical_cycle(loop.cycle))
+        for loop in self.native.check_update(deltas):
+            seen.setdefault(canonical_cycle(loop.cycle))
         return list(seen)
 
     def _do_insert(self, rule: Rule) -> BackendUpdate:

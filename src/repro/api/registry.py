@@ -41,7 +41,9 @@ from typing import (
 
 from repro.core.delta_graph import DeltaGraph
 from repro.core.prefix import prefix_to_interval
-from repro.core.rules import Action, DROP, Link, Rule, validate_batch_ops
+from repro.core.rules import (
+    Action, DROP, Link, Rule, canonical_rotation, validate_batch_ops,
+)
 
 #: A forwarding cycle as a canonical tuple of graph nodes.
 Cycle = Tuple[object, ...]
@@ -51,10 +53,9 @@ Spans = List[Tuple[int, int]]
 
 
 def canonical_cycle(nodes: Iterable[object]) -> Cycle:
-    """Rotate a cycle to start at its minimal node (by repr), for dedup."""
-    ordered = list(nodes)
-    pivot = min(range(len(ordered)), key=lambda i: repr(ordered[i]))
-    return tuple(ordered[pivot:] + ordered[:pivot])
+    """Rotate a cycle to its canonical start, for dedup (see
+    :func:`repro.core.rules.canonical_rotation` for the pivot rule)."""
+    return canonical_rotation(nodes)
 
 
 @dataclass
@@ -259,7 +260,10 @@ class BackendAdapter(abc.ABC):
 
         Default: when every update carried natively detected loops,
         return their union; otherwise fall back to a full sweep (the
-        session deduplicates re-reported pre-existing loops).
+        session deduplicates re-reported pre-existing loops).  An update
+        whose delta-graph is *empty* changed no label, so no new loop
+        can exist — it short-circuits to nothing instead of paying a
+        sweep for a no-op.
         """
         if updates and all(u.loops is not None for u in updates):
             seen: Dict[Cycle, None] = {}
@@ -267,6 +271,8 @@ class BackendAdapter(abc.ABC):
                 for cycle in update.loops:
                     seen.setdefault(cycle)
             return list(seen)
+        if delta is not None and delta.is_empty():
+            return []
         return self.find_loops()
 
     # -- diagnostics -----------------------------------------------------------

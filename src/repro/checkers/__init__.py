@@ -1,9 +1,13 @@
 """Network-wide invariant checkers on Delta-net's edge-labelled graph.
 
-Each checker consumes the ``label[link] -> atom set`` view maintained by
-:class:`repro.core.deltanet.DeltaNet` — either incrementally (on the
-delta-graph of one rule update, §3.3 "delta-graphs") or globally (whole
-data-plane sweeps, Algorithm 3, what-if queries).
+Each checker consumes the verifier's persistent
+:class:`~repro.core.findex.ForwardingIndex` — run-length labels plus
+their per-source arrangement — either incrementally (on the delta-graph
+of one rule update, §3.3 "delta-graphs") or globally (whole data-plane
+sweeps, Algorithm 3, what-if queries).  Nothing is rebuilt per check;
+the seed's rebuild-per-check implementations live on in
+:mod:`repro.checkers.sweep` as the equivalence oracle and benchmark
+baseline.
 """
 
 from repro.checkers.loops import LoopChecker, find_forwarding_loops, Loop

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms, iter_bits
+from repro.core.atomset import (
+    atoms_to_bitmask, bitmask_to_atoms, iter_bits, label_bitmask,
+)
 from repro.core.deltanet import DeltaNet
 from repro.core.rules import DROP, Link
 
@@ -37,7 +39,7 @@ def all_pairs_reachability(deltanet: DeltaNet,
         if not atoms or link.target == DROP:
             continue
         key = (link.source, link.target)
-        closure[key] = closure.get(key, 0) | atoms_to_bitmask(atoms)
+        closure[key] = closure.get(key, 0) | label_bitmask(atoms)
 
     # label[i, j] |= label[i, k] & label[k, j]   (Algorithm 3, line 2)
     for k in node_list:
@@ -113,7 +115,7 @@ def incremental_all_pairs(deltanet: DeltaNet, delta_graph,
     for link, atoms in deltanet.label.items():
         if not atoms or link.target == DROP:
             continue
-        restricted = atoms_to_bitmask(atoms) & mask
+        restricted = label_bitmask(atoms) & mask
         if restricted:
             key = (link.source, link.target)
             closure[key] = closure.get(key, 0) | restricted

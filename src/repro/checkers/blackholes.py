@@ -5,35 +5,45 @@ but no rule at ``n`` forwards (or explicitly drops) it.  Explicit drop
 rules are not black holes — they are intended policy and appear in the
 graph as edges to the :data:`~repro.core.rules.DROP` sink.
 
+The per-node incoming/outgoing aggregation runs as O(runs) merges over
+the forwarding index's run-length labels — per-link, not per-atom — and
+the outgoing side comes straight from the index's per-source view.
+
 Expected traffic sinks (e.g. egress border switches in the SDN-IP
 scenario, or hosts) can be excluded via ``expected_sinks``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.core.deltanet import DeltaNet
 from repro.core.rules import DROP
+from repro.structures.atomruns import AtomRuns
 
 
 def find_blackholes(deltanet: DeltaNet,
                     expected_sinks: Iterable[object] = ()) -> Dict[object, Set[int]]:
     """Map each black-holing node to the set of atoms it swallows."""
     sinks = set(expected_sinks)
-    incoming: Dict[object, Set[int]] = {}
-    outgoing: Dict[object, Set[int]] = {}
-    for link, atoms in deltanet.label.items():
-        if not atoms:
-            continue
-        if link.target != DROP:
-            incoming.setdefault(link.target, set()).update(atoms)
-        outgoing.setdefault(link.source, set()).update(atoms)
+    findex = deltanet.findex
+    # Collect each node's incoming run pairs first and normalize once
+    # per node (one sort over that node's runs) — accumulating with
+    # repeated union_update would rebuild the accumulator per link.
+    incoming: Dict[object, List[Tuple[int, int]]] = {}
+    for link, runs in findex.by_link.items():
+        if link.target != DROP and runs:
+            incoming.setdefault(link.target, []).extend(runs.runs())
     holes: Dict[object, Set[int]] = {}
-    for node, arrived in incoming.items():
+    for node, run_pairs in incoming.items():
         if node in sinks:
             continue
-        lost = arrived - outgoing.get(node, set())
+        arrived = AtomRuns.from_runs(run_pairs)
+        out_pairs: List[Tuple[int, int]] = []
+        for runs in findex.out_links(node).values():
+            out_pairs.extend(runs.runs())
+        lost = (arrived.difference(AtomRuns.from_runs(out_pairs))
+                if out_pairs else arrived)
         if lost:
-            holes[node] = lost
+            holes[node] = set(lost)
     return holes

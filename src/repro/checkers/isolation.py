@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms
+from repro.core.atomset import bitmask_to_atoms, label_bitmask
 from repro.core.deltanet import DeltaNet
 from repro.core.rules import Link
 
@@ -41,7 +41,7 @@ def check_isolation(deltanet: DeltaNet,
     for link, atoms in deltanet.label.items():
         if not atoms:
             continue
-        link_mask = atoms_to_bitmask(atoms)
+        link_mask = label_bitmask(atoms)
         shared = link_mask & mask_a, link_mask & mask_b
         if shared[0] and shared[1]:
             offenders[link] = bitmask_to_atoms(shared[0] | shared[1])

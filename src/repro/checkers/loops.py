@@ -6,6 +6,14 @@ highest-priority owning rule).  A loop is therefore found by pointer
 chasing with a visited set — the paper's "iterative depth-first graph
 traversal".
 
+Chasing runs through the verifier's persistent
+:class:`~repro.core.findex.ForwardingIndex`: a node's labelled out-edges
+are one dict lookup and atom membership is O(log runs), so a check costs
+O(affected · path · log) — nothing is rebuilt per check.  (The seed
+rebuilt a ``source -> out-links`` map on every ``check_update``, an O(E)
+tax the ``check_latency`` benchmark now measures against; the old code
+survives as :mod:`repro.checkers.sweep`, the equivalence oracle.)
+
 Two entry points:
 
 * :meth:`LoopChecker.check_update` — incremental: after a rule update,
@@ -22,7 +30,8 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from repro.core.delta_graph import DeltaGraph
 from repro.core.deltanet import DeltaNet
-from repro.core.rules import DROP, Link
+from repro.core.findex import NextHop
+from repro.core.rules import DROP, Link, canonical_rotation
 
 
 class Loop(NamedTuple):
@@ -32,31 +41,13 @@ class Loop(NamedTuple):
     cycle: Tuple[object, ...]
 
     def canonical(self) -> "Loop":
-        """Rotate the cycle to start at its minimal node, for dedup."""
-        nodes = list(self.cycle)
-        pivot = min(range(len(nodes)), key=lambda i: repr(nodes[i]))
-        return Loop(self.atom, tuple(nodes[pivot:] + nodes[:pivot]))
+        """Rotate the cycle to its canonical start, for dedup (see
+        :func:`repro.core.rules.canonical_rotation` for the pivot
+        rule)."""
+        return Loop(self.atom, canonical_rotation(self.cycle))
 
 
-def _next_hop(deltanet: DeltaNet, out_links: Dict[object, List[Link]],
-              node: object, atom: int) -> Optional[object]:
-    """The unique next hop of an ``atom``-packet at ``node``, if any."""
-    for link in out_links.get(node, ()):
-        bucket = deltanet.label.get(link)
-        if bucket and atom in bucket:
-            return link.target
-    return None
-
-
-def _out_link_index(deltanet: DeltaNet) -> Dict[object, List[Link]]:
-    index: Dict[object, List[Link]] = {}
-    for link in deltanet.label:
-        index.setdefault(link.source, []).append(link)
-    return index
-
-
-def _chase(deltanet: DeltaNet, out_links: Dict[object, List[Link]],
-           start: object, atom: int) -> Optional[Loop]:
+def _chase(next_hop: NextHop, start: object, atom: int) -> Optional[Loop]:
     """Follow the functional graph of ``atom`` from ``start``."""
     path: List[object] = []
     seen_at: Dict[object, int] = {}
@@ -66,7 +57,7 @@ def _chase(deltanet: DeltaNet, out_links: Dict[object, List[Link]],
             return Loop(atom, tuple(path[seen_at[node]:])).canonical()
         seen_at[node] = len(path)
         path.append(node)
-        node = _next_hop(deltanet, out_links, node, atom)
+        node = next_hop(node, atom)
     return None
 
 
@@ -80,16 +71,18 @@ class LoopChecker:
         """Loops introduced by the update described by ``delta_graph``.
 
         A new loop must contain at least one newly-added ``(link, atom)``
-        pair, so chasing from each added link's source suffices.
+        pair, so chasing from each added link's source suffices.  Chases
+        share one memoizing resolver over the live index, so the cost is
+        proportional to the delta — never to the edge set.
         """
         if not delta_graph.added:
             return []
-        out_links = _out_link_index(self.deltanet)
+        next_hop = self.deltanet.findex.resolver()
         loops: List[Loop] = []
         seen: Set[Loop] = set()
         for link, atoms in delta_graph.added.items():
             for atom in atoms:
-                loop = _chase(self.deltanet, out_links, link.source, atom)
+                loop = _chase(next_hop, link.source, atom)
                 if loop is not None and loop not in seen:
                     seen.add(loop)
                     loops.append(loop)
@@ -105,7 +98,8 @@ def find_forwarding_loops(deltanet: DeltaNet,
     affected atoms and subgraph); by default every labelled atom on every
     link is covered.
     """
-    out_links = _out_link_index(deltanet)
+    findex = deltanet.findex
+    next_hop = findex.resolver()
     atom_filter = set(atoms) if atoms is not None else None
     link_iter = list(links) if links is not None else list(deltanet.label)
     loops: List[Loop] = []
@@ -121,19 +115,21 @@ def find_forwarding_loops(deltanet: DeltaNet,
             if atom_filter is not None and atom not in atom_filter:
                 continue
             starts.setdefault(atom, set()).add(link.source)
+    num_sources = len(findex.by_source)
     for atom, sources in starts.items():
         done: Set[object] = set()
         for source in sources:
             if source in done:
                 continue
-            loop = _chase(deltanet, out_links, source, atom)
+            loop = _chase(next_hop, source, atom)
             # Every node on the chased path has been classified for this atom.
             node: Optional[object] = source
             steps = 0
-            limit = len(sources) + len(out_links) + 2
-            while node is not None and node != DROP and node not in done and steps < limit:
+            limit = len(sources) + num_sources + 2
+            while (node is not None and node != DROP and node not in done
+                   and steps < limit):
                 done.add(node)
-                node = _next_hop(deltanet, out_links, node, atom)
+                node = next_hop(node, atom)
                 steps += 1
             if loop is not None and loop not in seen:
                 seen.add(loop)

@@ -12,19 +12,26 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms
+from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms, label_bitmask
 from repro.core.deltanet import DeltaNet
 from repro.core.rules import DROP, Link
 
 
 def _masks_and_adjacency(deltanet: DeltaNet) -> Tuple[Dict[Link, int], Dict[object, List[Link]]]:
+    """Per-link bitmasks + per-source adjacency, off the live index.
+
+    The adjacency grouping is the forwarding index's ``by_source`` view
+    — already maintained, never rebuilt here — and each label converts
+    to a mask in O(runs) rather than one shift per atom.
+    """
     masks: Dict[Link, int] = {}
     adjacency: Dict[object, List[Link]] = {}
-    for link, atoms in deltanet.label.items():
-        if not atoms:
-            continue
-        masks[link] = atoms_to_bitmask(atoms)
-        adjacency.setdefault(link.source, []).append(link)
+    for source, out_links in deltanet.findex.by_source.items():
+        links = [link for link, runs in out_links.items() if runs]
+        if links:
+            adjacency[source] = links
+            for link in links:
+                masks[link] = label_bitmask(out_links[link])
     return masks, adjacency
 
 
@@ -63,14 +70,12 @@ def reachable_nodes(deltanet: DeltaNet, src: object, atom: int) -> List[object]:
     """Every node an ``atom``-packet injected at ``src`` traverses."""
     out: List[object] = []
     seen: Set[object] = set()
-    masks, adjacency = _masks_and_adjacency(deltanet)
-    bit = 1 << atom
+    next_hop = deltanet.findex.next_hop
     node: Optional[object] = src
     while node is not None and node != DROP and node not in seen:
         seen.add(node)
         out.append(node)
-        node = next((link.target for link in adjacency.get(node, ())
-                     if masks[link] & bit), None)
+        node = next_hop(node, atom)
     return out
 
 

@@ -5,7 +5,9 @@
 violations of "all src->dst traffic goes through the firewall".  It is a
 straightforward reachability computation on the edge-labelled graph with
 the waypoint node deleted, illustrating the paper's point (§3.3) that
-atom sets make such policy checks plain set algebra.
+atom sets make such policy checks plain set algebra.  The masks and
+adjacency come straight off the forwarding index (the shared
+``_masks_and_adjacency`` helper), so nothing is rebuilt per check.
 """
 
 from __future__ import annotations

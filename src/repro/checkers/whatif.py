@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple, Union
 
 from repro.checkers.loops import Loop, find_forwarding_loops
-from repro.core.atomset import atoms_to_bitmask, bitmask_to_atoms
+from repro.core.atomset import bitmask_to_atoms, label_bitmask
 from repro.core.deltanet import DeltaNet
 from repro.core.rules import Link
 
@@ -64,11 +64,11 @@ def link_failure_impact(deltanet: DeltaNet,
     if not affected:
         return impact
     impact.affected_atoms = set(affected)
-    affected_mask = atoms_to_bitmask(affected)
+    affected_mask = label_bitmask(affected)
     for other_link, atoms in deltanet.label.items():
         if not atoms:
             continue
-        shared = atoms_to_bitmask(atoms) & affected_mask
+        shared = label_bitmask(atoms) & affected_mask
         if shared:
             impact.affected_subgraph[other_link] = bitmask_to_atoms(shared)
     if check_loops:

@@ -10,6 +10,8 @@ The package implements the paper's primary contribution:
 * :mod:`repro.core.deltanet` — Algorithms 1 and 2 (§3.2),
 * :mod:`repro.core.delta_graph` — delta-graphs, the incremental by-product
   of rule updates used for checking (§3.3),
+* :mod:`repro.core.findex` — the persistent forwarding index the
+  property checkers chase through (run-length labels + per-source view),
 * :mod:`repro.core.lattice` — the Boolean lattice induced by atoms (App. A).
 """
 
@@ -19,6 +21,7 @@ from repro.core.rules import Rule, Link, Action, DROP
 from repro.core.atoms import AtomTable, ATOM_INF
 from repro.core.deltanet import DeltaNet
 from repro.core.delta_graph import DeltaGraph
+from repro.core.findex import ForwardingIndex
 from repro.core.multifield import FieldSchema, MultiFieldDeltaNet
 from repro.core.rewrite import (
     PrefixRewrite, RewriteTable, reachable_intervals_with_rewrites,
@@ -29,7 +32,7 @@ __all__ = [
     "prefix_to_interval", "interval_to_prefixes", "format_prefix",
     "Rule", "Link", "Action", "DROP",
     "AtomTable", "ATOM_INF",
-    "DeltaNet", "DeltaGraph",
+    "DeltaNet", "DeltaGraph", "ForwardingIndex",
     "FieldSchema", "MultiFieldDeltaNet",
     "PrefixRewrite", "RewriteTable", "reachable_intervals_with_rewrites",
 ]

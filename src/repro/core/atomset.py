@@ -1,19 +1,22 @@
 """Atom-set representations for edge labels.
 
 Incremental rule updates (Algorithms 1/2) add and discard single atoms,
-for which Python's built-in ``set`` is ideal (O(1) per update).  Bulk
-lattice operations — Algorithm 3's all-pairs closure, what-if queries,
-isolation checks — are dominated by unions/intersections over whole
-labels, for which arbitrary-precision integers used as bitmasks are far
-faster (word-parallel ``&``/``|`` in C).
+which the run-length :class:`~repro.structures.atomruns.AtomRuns` labels
+absorb at their run boundaries.  Bulk lattice operations — Algorithm 3's
+all-pairs closure, what-if queries, isolation checks — are dominated by
+unions/intersections over whole labels, for which arbitrary-precision
+integers used as bitmasks are far faster (word-parallel ``&``/``|`` in C).
 
-This module converts between the two and provides the handful of bitmask
-primitives the checkers need.
+This module converts between the representations and provides the
+handful of bitmask primitives the checkers need.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+_CHUNK_BITS = 64
+_CHUNK_MASK = (1 << _CHUNK_BITS) - 1
 
 
 def atoms_to_bitmask(atoms: Iterable[int]) -> int:
@@ -26,44 +29,60 @@ def atoms_to_bitmask(atoms: Iterable[int]) -> int:
     return mask
 
 
-def bitmask_to_atoms(mask: int) -> Set[int]:
-    """Unpack an int bitmask into a set of atom identifiers."""
+def _scan_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of ``mask`` ascending (the one bit-scan
+    loop behind :func:`bitmask_to_atoms` and :func:`iter_bits`)."""
     if mask < 0:
         raise ValueError("negative bitmask")
-    out: Set[int] = set()
     position = 0
     while mask:
-        chunk = mask & 0xFFFFFFFFFFFFFFFF
-        while chunk:
-            low = chunk & -chunk
-            out.add(position + low.bit_length() - 1)
-            chunk ^= low
-        mask >>= 64
-        position += 64
-    return out
-
-
-def iter_bits(mask: int) -> Iterator[int]:
-    """Yield set-bit positions of ``mask`` in ascending order."""
-    position = 0
-    while mask:
-        chunk = mask & 0xFFFFFFFFFFFFFFFF
+        chunk = mask & _CHUNK_MASK
         while chunk:
             low = chunk & -chunk
             yield position + low.bit_length() - 1
             chunk ^= low
-        mask >>= 64
-        position += 64
+        mask >>= _CHUNK_BITS
+        position += _CHUNK_BITS
 
 
-def popcount(mask: int) -> int:
-    """Number of set bits (atoms) in the mask."""
-    return bin(mask).count("1")
+def bitmask_to_atoms(mask: int) -> Set[int]:
+    """Unpack an int bitmask into a set of atom identifiers."""
+    if mask < 0:
+        raise ValueError("negative bitmask")
+    return set(_scan_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of ``mask`` in ascending order."""
+    return _scan_bits(mask)
+
+
+if hasattr(int, "bit_count"):  # Python >= 3.10: one CPython opcode away
+    def popcount(mask: int) -> int:
+        """Number of set bits (atoms) in the mask."""
+        return mask.bit_count()
+else:  # pragma: no cover - exercised only on Python 3.9
+    def popcount(mask: int) -> int:
+        """Number of set bits (atoms) in the mask (pre-3.10 fallback)."""
+        return bin(mask).count("1")
+
+
+def label_bitmask(bucket) -> int:
+    """A label bucket as a bitmask.
+
+    Run-length buckets convert in O(runs) via ``AtomRuns.to_bitmask``;
+    anything else (plain sets, frozensets, iterables) is packed atom by
+    atom.
+    """
+    to_bitmask = getattr(bucket, "to_bitmask", None)
+    if to_bitmask is not None:
+        return to_bitmask()
+    return atoms_to_bitmask(bucket)
 
 
 def label_map_to_bitmasks(label: Dict[object, Set[int]]) -> Dict[object, int]:
-    """Convert a ``link -> set(atom)`` label map to ``link -> bitmask``."""
-    return {link: atoms_to_bitmask(atoms) for link, atoms in label.items() if atoms}
+    """Convert a ``link -> atom container`` label map to ``link -> bitmask``."""
+    return {link: label_bitmask(atoms) for link, atoms in label.items() if atoms}
 
 
 def atoms_to_interval_set(atoms: Iterable[int], atom_table) -> List[Tuple[int, int]]:

@@ -3,8 +3,12 @@
 Delta-net incrementally maintains a single edge-labelled graph that
 represents the flow of *all* packets in the entire network:
 
-* ``label[link]`` — the set of atoms (packet classes) that flow along
-  ``link``, i.e. the link of the highest-priority rule owning each atom,
+* ``label[link]`` — the atoms (packet classes) that flow along ``link``,
+  i.e. the link of the highest-priority rule owning each atom, stored
+  run-length compressed (:class:`~repro.structures.atomruns.AtomRuns`)
+  inside the persistent :class:`~repro.core.findex.ForwardingIndex`,
+  whose per-source view the property checkers chase through without
+  ever rebuilding a ``source -> out-links`` map,
 * ``owner[atom][source]`` — a priority-ordered BST of the rules installed
   on ``source`` whose interval contains ``atom`` (persistent treaps, so an
   atom split copies them in O(1)),
@@ -33,9 +37,11 @@ from typing import (
 
 from repro.core.atoms import AtomTable
 from repro.core.delta_graph import DeltaGraph
+from repro.core.findex import ForwardingIndex
 from repro.core.prefix import prefix_to_interval
 from repro.core.rules import Action, Link, Rule, validate_batch_ops
 from repro.structures import ptreap
+from repro.structures.atomruns import AtomRuns
 
 OwnerMap = Dict[object, ptreap.Root]  # source node -> persistent treap root
 
@@ -49,7 +55,11 @@ class DeltaNet:
         self.width = width
         self.gc = gc
         self.atoms = AtomTable(width=width, seed=seed)
-        self.label: Dict[Link, Set[int]] = {}
+        #: The forwarding index owns the labels; ``self.label`` aliases
+        #: its ``by_link`` dict so every reader of the label table and
+        #: every checker chasing ``findex.by_source`` see one state.
+        self.findex = ForwardingIndex()
+        self.label: Dict[Link, AtomRuns] = self.findex.by_link
         self.rules: Dict[int, Rule] = {}
         self._owner: List[Optional[OwnerMap]] = [{}]  # slot per atom id; alpha_0 exists
         self.nodes: Set[object] = set()
@@ -71,7 +81,8 @@ class DeltaNet:
     def label_of(self, link: Union[Link, Tuple[object, object]]) -> FrozenSet[int]:
         """Atoms flowing along ``link``, as an immutable snapshot (§3.3).
 
-        The internal label buckets are live mutable sets; handing them out
+        The internal label buckets are live mutable
+        :class:`~repro.structures.atomruns.AtomRuns`; handing them out
         directly would let callers silently corrupt verifier state, so
         this returns a frozen copy (O(|label|)).  Hot internal paths read
         ``self.label`` directly.
@@ -165,7 +176,7 @@ class DeltaNet:
         """Split bookkeeping: copy owner maps, extend labels (lines 3-9)."""
         owner = self._owner
         pt_max = ptreap.max_node
-        label_add = self._label_add
+        label_add = self.findex.add
         for old_atom, new_atom in delta:
             old_owners = owner[old_atom]
             self._set_owner_slot(new_atom, dict(old_owners))
@@ -185,8 +196,8 @@ class DeltaNet:
         pt_insert = ptreap.insert
         pt_max = ptreap.max_node
         owner = self._owner
-        label_add = self._label_add
-        label_discard = self._label_discard
+        label_add = self.findex.add
+        label_discard = self.findex.discard
         record_add = delta_graph.record_add
         record_remove = delta_graph.record_remove
         for atom in self.atoms.atoms_in_list(rule.lo, rule.hi):
@@ -228,8 +239,8 @@ class DeltaNet:
         pt_remove = ptreap.remove
         pt_max = ptreap.max_node
         owner = self._owner
-        label_add = self._label_add
-        label_discard = self._label_discard
+        label_add = self.findex.add
+        label_discard = self.findex.discard
         record_add = delta_graph.record_add
         record_remove = delta_graph.record_remove
         for atom in self.atoms.atoms_in_list(rule.lo, rule.hi):
@@ -345,10 +356,10 @@ class DeltaNet:
         pt_max = ptreap.max_node
         owner = self._owner
         atoms_in_list = self.atoms.atoms_in_list
-        label = self.label
+        label_add = self.findex.add
         added = delta_graph.added
         removed = delta_graph.removed
-        label_discard = self._label_discard
+        label_discard = self.findex.discard
         record_remove = delta_graph.record_remove
         for (source, lo, hi), group in groups.items():
             atoms = atoms_in_list(lo, hi)
@@ -356,9 +367,9 @@ class DeltaNet:
                 self._sweep_group(source, atoms, group, delta_graph)
                 continue
             # Singleton group — the dominant shape.  This is
-            # _insert_ownership with the label/record dict operations
-            # inlined: one bucket probe per change instead of two method
-            # calls, measurably faster at 10^4-10^5 ops per batch.
+            # _insert_ownership with the delta-record dict operations
+            # inlined and the index publishers pre-bound: one probe per
+            # change, measurably faster at 10^4-10^5 ops per batch.
             rule = group[0]
             key = rule.sort_key
             prio = heap_prio(key)
@@ -376,10 +387,7 @@ class DeltaNet:
                 # The rule takes over this atom on a new link: label[rlink]
                 # gains the atom, and the add cancels any removal the batch
                 # recorded earlier for the same (link, atom).
-                bucket = label.get(rlink)
-                if bucket is None:
-                    bucket = label[rlink] = set()
-                bucket.add(atom)
+                label_add(rlink, atom)
                 pending = removed.get(rlink)
                 if pending is not None and atom in pending:
                     pending.discard(atom)
@@ -411,8 +419,8 @@ class DeltaNet:
         pt_insert = ptreap.insert
         pt_max = ptreap.max_node
         owner = self._owner
-        label_add = self._label_add
-        label_discard = self._label_discard
+        label_add = self.findex.add
+        label_discard = self.findex.discard
         record_add = delta_graph.record_add
         record_remove = delta_graph.record_remove
         keyed = [(rule.sort_key, heap_prio(rule.sort_key), rule)
@@ -444,19 +452,6 @@ class DeltaNet:
             self._owner.append(None)
         self._owner[atom] = owners
 
-    def _label_add(self, link: Link, atom: int) -> None:
-        bucket = self.label.get(link)
-        if bucket is None:
-            bucket = self.label[link] = set()
-        bucket.add(atom)
-
-    def _label_discard(self, link: Link, atom: int) -> None:
-        bucket = self.label.get(link)
-        if bucket is not None:
-            bucket.discard(atom)
-            if not bucket:
-                del self.label[link]
-
     def _collect_atom(self, bound: int) -> int:
         """Garbage-collect the atom starting at ``bound`` (§3.2.2 remark).
 
@@ -469,7 +464,7 @@ class DeltaNet:
         owners = self._owner[dead_atom]
         for source, root in owners.items():
             highest = ptreap.max_node(root).value
-            self._label_discard(highest.link, dead_atom)
+            self.findex.discard(highest.link, dead_atom)
         self._owner[dead_atom] = None
         self.atoms.collect(bound)
         return dead_atom
@@ -498,6 +493,8 @@ class DeltaNet:
                 expected.setdefault(highest.link, set()).add(atom)
         actual = {link: set(atoms) for link, atoms in self.label.items() if atoms}
         assert actual == expected, "label map out of sync with owner structure"
+        # The per-source chase view must mirror the labels exactly.
+        self.findex.check_consistency()
 
     def __repr__(self) -> str:
         return (f"DeltaNet(rules={self.num_rules}, atoms={self.num_atoms}, "

@@ -1,0 +1,190 @@
+"""The persistent forwarding index: check-path twin of the delta-graph.
+
+Delta-net's update path is incremental by construction (Algorithms 1/2
+touch only the modified atoms), but the seed's *check* path was not: on
+every update the loop checker rebuilt a ``source -> out-links`` map from
+the whole label table — O(E) per check — and chased next hops with
+per-atom set membership scans.
+
+:class:`ForwardingIndex` removes that rebuild.  It owns the edge labels
+(``by_link``: one :class:`~repro.structures.atomruns.AtomRuns` per link)
+and, sharing those exact AtomRuns objects, a per-source view
+(``by_source``: ``node -> {link: AtomRuns}``).  Both views are mutated
+together by :meth:`add` / :meth:`discard`, which is what
+:class:`~repro.core.deltanet.DeltaNet` calls from every label change —
+single-op and batched alike.  Checkers then chase forwarding paths with
+:meth:`next_hop` (out-links of a node are one dict lookup, membership is
+O(log runs)) and never touch the full edge set again.
+
+Because the per-source view stores *references* to the label AtomRuns,
+the index costs O(nodes + links) extra words on top of the labels — it
+is a second key arrangement, not a second copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.rules import Link
+from repro.structures.atomruns import AtomRuns
+
+#: The memoized ``(node, atom) -> next node`` chase function handed to
+#: one property check (see :meth:`ForwardingIndex.resolver`).
+NextHop = Callable[[object, int], Optional[object]]
+
+_MISS = object()
+
+
+class ForwardingIndex:
+    """Edge labels plus their per-source arrangement, maintained together."""
+
+    __slots__ = ("by_link", "by_source")
+
+    def __init__(self) -> None:
+        #: ``link -> AtomRuns`` — THE label table (links with empty
+        #: labels are absent, as in the seed's label dict).
+        self.by_link: Dict[Link, AtomRuns] = {}
+        #: ``source -> {link: AtomRuns}`` — same AtomRuns objects,
+        #: grouped by the node the traffic leaves.
+        self.by_source: Dict[object, Dict[Link, AtomRuns]] = {}
+
+    # -- label mutation (the only writers) -------------------------------------
+
+    def add(self, link: Link, atom: int) -> None:
+        """``atom`` starts flowing along ``link``."""
+        runs = self.by_link.get(link)
+        if runs is None:
+            runs = self.by_link[link] = AtomRuns()
+            bucket = self.by_source.get(link.source)
+            if bucket is None:
+                bucket = self.by_source[link.source] = {}
+            bucket[link] = runs
+        runs.add(atom)
+
+    def discard(self, link: Link, atom: int) -> None:
+        """``atom`` stops flowing along ``link``; drops emptied entries."""
+        runs = self.by_link.get(link)
+        if runs is None:
+            return
+        runs.discard(atom)
+        if not runs:
+            del self.by_link[link]
+            bucket = self.by_source[link.source]
+            del bucket[link]
+            if not bucket:
+                del self.by_source[link.source]
+
+    def apply_delta(self, delta_graph) -> None:
+        """Replay a :class:`~repro.core.delta_graph.DeltaGraph` into the
+        index — for indexes maintained *outside* a DeltaNet (mirrors,
+        tests).  DeltaNet itself publishes per label change instead.
+
+        Splits replay first (a split's new atom inherits every label of
+        the old atom; that is not a flow change, so the delta records it
+        only in ``splits``), then removed/added flows, then GC'd atoms
+        are erased everywhere.  Exact for single-op and
+        ``apply_batch`` deltas, whose records are at final atom
+        granularity; a hand-``merge``-d multi-op aggregate may interleave
+        splits and GC in ways a linear replay cannot reconstruct.
+        """
+        for old_atom, new_atom in delta_graph.splits:
+            for runs in self.by_link.values():
+                if old_atom in runs:
+                    runs.add(new_atom)
+        for link, atoms in delta_graph.removed.items():
+            for atom in atoms:
+                self.discard(link, atom)
+        for link, atoms in delta_graph.added.items():
+            for atom in atoms:
+                self.add(link, atom)
+        for dead_atom in delta_graph.collected:
+            for link in list(self.by_link):
+                self.discard(link, dead_atom)
+
+    # -- chase primitives (the readers) ----------------------------------------
+
+    def out_links(self, node: object) -> Dict[Link, AtomRuns]:
+        """The labelled out-edges of ``node`` (possibly empty, read-only)."""
+        return self.by_source.get(node) or {}
+
+    def next_hop(self, node: object, atom: int) -> Optional[object]:
+        """The unique next hop of an ``atom``-packet at ``node``, if any."""
+        links = self.by_source.get(node)
+        if links:
+            for link, runs in links.items():
+                if atom in runs:
+                    return link.target
+        return None
+
+    def resolver(self) -> NextHop:
+        """A memoizing :meth:`next_hop` for ONE property check.
+
+        Loop/path chases revisit the same ``(node, atom)`` pairs many
+        times within a check (every start whose path crosses an already
+        classified node); the returned closure caches resolutions so
+        each pair pays the out-link scan once.  The cache is only valid
+        while the labels do not change — take a fresh resolver per
+        check, never cache one across updates.
+        """
+        cache: Dict[Tuple[object, int], Optional[object]] = {}
+        by_source = self.by_source
+
+        def next_hop(node: object, atom: int) -> Optional[object]:
+            key = (node, atom)
+            hop = cache.get(key, _MISS)
+            if hop is not _MISS:
+                return hop
+            hop = None
+            links = by_source.get(node)
+            if links:
+                for link, runs in links.items():
+                    if atom in runs:
+                        hop = link.target
+                        break
+            cache[key] = hop
+            return hop
+
+        return next_hop
+
+    # -- bulk construction / diagnostics ---------------------------------------
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[Tuple[Link, Iterable[int]]]
+                    ) -> "ForwardingIndex":
+        """Build an index from ``(link, atoms)`` pairs (tests, mirrors)."""
+        index = cls()
+        for link, atoms in labels:
+            for atom in atoms:
+                index.add(link, atom)
+        return index
+
+    def label_stats(self) -> Dict[str, int]:
+        """Size counters for the memory table: links, atoms, runs."""
+        links = len(self.by_link)
+        atom_entries = sum(len(runs) for runs in self.by_link.values())
+        runs = sum(runs.num_runs for runs in self.by_link.values())
+        return {"links": links, "label_atoms": atom_entries,
+                "label_runs": runs}
+
+    def check_consistency(self) -> None:
+        """Assert the two views agree exactly (tests/debugging)."""
+        flattened = {link: runs
+                     for bucket in self.by_source.values()
+                     for link, runs in bucket.items()}
+        assert set(flattened) == set(self.by_link), (
+            "by_source and by_link index different link sets")
+        for link, runs in self.by_link.items():
+            assert flattened[link] is runs, (
+                f"by_source holds a different AtomRuns for {link}")
+            assert runs, f"empty label bucket for {link} was not dropped"
+            assert link.source in self.by_source
+        for source, bucket in self.by_source.items():
+            assert bucket, f"empty out-link bucket for {source} not dropped"
+            for link in bucket:
+                assert link.source == source
+
+    def __repr__(self) -> str:
+        stats = self.label_stats()
+        return (f"ForwardingIndex(links={stats['links']}, "
+                f"atoms={stats['label_atoms']}, runs={stats['label_runs']}, "
+                f"sources={len(self.by_source)})")

@@ -23,6 +23,23 @@ from repro.core.prefix import format_prefix, interval_plen, is_prefix_interval
 DROP = "__drop__"
 
 
+def canonical_rotation(nodes: Iterable[object]) -> Tuple[object, ...]:
+    """Rotate a cycle of graph nodes to a canonical start, for dedup.
+
+    The pivot orders by ``(repr, id)``: ``repr`` alone is ambiguous when
+    two distinct nodes share a repr, and an ambiguous pivot would
+    canonicalize two rotations of the same cycle differently.  The
+    ``id`` tiebreak makes the pivot unique per node object, so equality
+    of canonical cycles is exact within a process.  Shared by
+    ``Loop.canonical`` (checker layer) and ``canonical_cycle`` (session
+    layer) so the two dedup schemes cannot drift.
+    """
+    ordered = list(nodes)
+    pivot = min(range(len(ordered)),
+                key=lambda i: (repr(ordered[i]), id(ordered[i])))
+    return tuple(ordered[pivot:] + ordered[:pivot])
+
+
 def validate_batch_ops(inserts: Iterable["Rule"], removals: Iterable[int],
                        known_rids: Container[int], width: int) -> Set[int]:
     """Up-front validation shared by every batched update entry point.

@@ -10,9 +10,10 @@ step — clipping rules to shards, exactly as
 *reduce* step.  Because workers are separate processes, the per-shard
 update sweeps and loop checks run truly concurrently, GIL-free.
 
-Loop checking runs *inside* the workers (the checker needs the shard's
-Delta-net state); workers therefore return canonical loop cycles, not
-delta-graphs, keeping the pipe traffic small.
+Loop checking runs *inside* the workers (the checker chases the shard's
+own persistent forwarding index, which lives and dies with the worker);
+workers therefore return canonical loop cycles, not delta-graphs,
+keeping the pipe traffic small.
 
 When worker processes cannot be spawned (restricted sandboxes, platforms
 without a working ``multiprocessing``), the class degrades transparently
@@ -33,7 +34,7 @@ from repro.core.atomset import atoms_to_interval_set
 from repro.core.deltanet import DeltaNet
 from repro.core.intervals import IntervalSet, normalize
 from repro.core.rules import Link, Rule
-from repro.libra.sharding import ShardRouter, even_shards
+from repro.libra.sharding import ShardRouter
 
 #: A forwarding cycle as a canonical tuple of nodes (see Loop.canonical).
 Cycle = Tuple[object, ...]
@@ -59,7 +60,9 @@ class _ShardServer:
     def do_apply_batch(self, inserts: List[Rule], removals: List[int],
                        check: bool) -> List[Cycle]:
         delta = self.net.apply_batch(inserts, removals)
-        if not check:
+        if not check or delta.is_empty():
+            # An empty delta changed no label in this shard — nothing
+            # to chase, and nothing to ship back over the pipe.
             return []
         return [loop.cycle for loop in self.checker.check_update(delta)]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.checkers.loops import Loop, find_forwarding_loops
+from repro.checkers.loops import Loop, LoopChecker, find_forwarding_loops
 from repro.core.delta_graph import DeltaGraph
 from repro.core.deltanet import DeltaNet
 from repro.core.intervals import normalize
@@ -140,6 +140,11 @@ class ShardedDeltaNet(ShardRouter):
         super().__init__(shards, width)
         self.nets: List[DeltaNet] = [DeltaNet(width=width, gc=gc)
                                      for _ in self.slices]
+        #: One incremental loop checker per shard, bound to that shard's
+        #: persistent forwarding index — checks stay local to the shards
+        #: an update touched and never rebuild any per-check structure.
+        self.checkers: List[LoopChecker] = [LoopChecker(net)
+                                            for net in self.nets]
 
     @property
     def total_atoms(self) -> int:
@@ -196,6 +201,20 @@ class ShardedDeltaNet(ShardRouter):
                 deltas[index] = self.nets[index].apply_batch(
                     shard_inserts, shard_removals)
         return deltas
+
+    def check_update(self, deltas: Dict[int, DeltaGraph]) -> List[Loop]:
+        """Incremental per-shard loop check over ``apply_*`` deltas.
+
+        Each touched shard's checker chases its own forwarding index;
+        shards with an empty delta (no label changed) are skipped
+        outright.  Atom ids in the returned loops are shard-local, but
+        cycles (node tuples) are globally meaningful.
+        """
+        loops: List[Loop] = []
+        for index, delta in deltas.items():
+            if delta:
+                loops.extend(self.checkers[index].check_update(delta))
+        return loops
 
     # -- queries (the "reduce" step) --------------------------------------------------
 

@@ -9,11 +9,17 @@ binary-search-tree structures:
   arbitrary removal and O(1) logical copy on atom splits
   (:mod:`repro.structures.ptreap`, a persistent treap).
 
+On top of those, edge labels are stored run-length compressed
+(:class:`~repro.structures.atomruns.AtomRuns`): sorted runs of
+contiguous atom ids with O(log runs) membership and O(runs) bulk
+algebra, the representation behind the forwarding index's memory model.
+
 Neither ``sortedcontainers`` nor any other third-party structure is used;
 everything here depends only on the standard library.
 """
 
+from repro.structures.atomruns import AtomRuns
 from repro.structures.treap import TreapMap
 from repro.structures.ptreap import PTreap
 
-__all__ = ["TreapMap", "PTreap"]
+__all__ = ["AtomRuns", "TreapMap", "PTreap"]

@@ -102,3 +102,20 @@ class TestUniformErrors:
         backend = create_backend(name, width=8)
         with pytest.raises(KeyError):
             backend.remove(99)
+
+
+class _SameRepr:
+    """Distinct node objects whose reprs collide (regression fixture)."""
+
+    def __repr__(self):
+        return "node"
+
+
+class TestCanonicalCycle:
+    def test_rotation_invariant_under_repr_collisions(self):
+        from repro.api.registry import canonical_cycle
+
+        a, b = _SameRepr(), _SameRepr()
+        cycle = (a, b, "z")
+        rotations = [cycle[i:] + cycle[:i] for i in range(len(cycle))]
+        assert len({canonical_cycle(rotation) for rotation in rotations}) == 1

@@ -121,3 +121,32 @@ class TestAgainstOracle:
             if not had_loop and now_has_loop:
                 assert incremental, "new loop missed by incremental check"
             had_loop = now_has_loop
+
+
+class _SharedRepr:
+    """Distinct node objects whose reprs collide (regression fixture)."""
+
+    def __repr__(self):
+        return "node"
+
+
+class TestCanonicalPivot:
+    def test_rotations_of_same_cycle_canonicalize_identically(self):
+        """Two distinct nodes sharing a repr must not destabilize the
+        pivot: every rotation of one cycle has one canonical form."""
+        a, b = _SharedRepr(), _SharedRepr()
+        cycle = (a, b, "z")
+        rotations = [cycle[i:] + cycle[:i] for i in range(len(cycle))]
+        canons = {Loop(0, rotation).canonical() for rotation in rotations}
+        assert len(canons) == 1
+
+    def test_distinct_cycles_stay_distinct(self):
+        a, b = _SharedRepr(), _SharedRepr()
+        one = Loop(0, (a, "z")).canonical()
+        other = Loop(0, (b, "z")).canonical()
+        assert one != other
+
+    def test_plain_string_nodes_pivot_on_minimum(self):
+        loop = Loop(3, ("s2", "s3", "s1")).canonical()
+        assert loop.cycle[0] == "s1"
+        assert loop.cycle == ("s1", "s2", "s3")

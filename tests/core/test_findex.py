@@ -1,0 +1,116 @@
+"""ForwardingIndex: the persistent check-path view of the labels."""
+
+import random
+
+import pytest
+
+from repro.core.deltanet import DeltaNet
+from repro.core.findex import ForwardingIndex
+from repro.core.rules import Link, Rule
+
+from tests.conftest import random_rules
+
+
+class TestStandalone:
+    def test_add_registers_both_views(self):
+        index = ForwardingIndex()
+        link = Link("a", "b")
+        index.add(link, 3)
+        index.add(link, 4)
+        assert set(index.by_link[link]) == {3, 4}
+        assert index.by_source["a"][link] is index.by_link[link]
+        index.check_consistency()
+
+    def test_discard_drops_empty_entries(self):
+        index = ForwardingIndex()
+        link = Link("a", "b")
+        index.add(link, 3)
+        index.discard(link, 3)
+        assert link not in index.by_link
+        assert "a" not in index.by_source
+        index.check_consistency()
+
+    def test_discard_unknown_is_noop(self):
+        index = ForwardingIndex()
+        index.discard(Link("a", "b"), 7)
+        index.check_consistency()
+
+    def test_next_hop_resolution(self):
+        index = ForwardingIndex()
+        index.add(Link("a", "b"), 1)
+        index.add(Link("a", "c"), 2)
+        assert index.next_hop("a", 1) == "b"
+        assert index.next_hop("a", 2) == "c"
+        assert index.next_hop("a", 9) is None
+        assert index.next_hop("unknown", 1) is None
+
+    def test_resolver_memoizes_current_state_only(self):
+        index = ForwardingIndex()
+        index.add(Link("a", "b"), 1)
+        resolver = index.resolver()
+        assert resolver("a", 1) == "b"
+        index.discard(Link("a", "b"), 1)
+        # The old resolver is stale by contract; a fresh one is correct.
+        assert resolver("a", 1) == "b"
+        assert index.resolver()("a", 1) is None
+
+    def test_out_links_empty_for_unknown_node(self):
+        assert ForwardingIndex().out_links("nowhere") == {}
+
+    def test_from_labels_and_stats(self):
+        index = ForwardingIndex.from_labels([
+            (Link("a", "b"), [0, 1, 2]),
+            (Link("b", "c"), [5]),
+        ])
+        stats = index.label_stats()
+        assert stats == {"links": 2, "label_atoms": 4, "label_runs": 2}
+
+    def test_apply_delta_mirrors_deltanet(self):
+        net = DeltaNet(width=8)
+        mirror = ForwardingIndex()
+        rng = random.Random(0xF17)
+        live = []
+        for new_rule in random_rules(rng, 40, width=8):
+            mirror.apply_delta(net.insert_rule(new_rule))
+            live.append(new_rule.rid)
+            if rng.random() < 0.4:
+                mirror.apply_delta(
+                    net.remove_rule(live.pop(rng.randrange(len(live)))))
+            assert {link: set(runs) for link, runs in mirror.by_link.items()} \
+                == {link: set(runs) for link, runs in net.label.items()}
+            mirror.check_consistency()
+
+
+class TestInsideDeltaNet:
+    def test_label_aliases_index(self):
+        net = DeltaNet(width=8)
+        assert net.label is net.findex.by_link
+        net.insert_rule(Rule.forward(0, 0, 64, 1, "s1", "s2"))
+        assert set(net.findex.out_links("s1")) == {Link("s1", "s2")}
+        net.check_invariants()
+
+    def test_index_follows_batched_updates(self):
+        net = DeltaNet(width=8)
+        rng = random.Random(0xB0B)
+        rules = random_rules(rng, 30, width=8)
+        net.apply_batch(rules[:20], ())
+        net.apply_batch(rules[20:], [rule.rid for rule in rules[:10]])
+        net.check_invariants()
+        # Per-source view agrees with a from-scratch rebuild.
+        rebuilt = ForwardingIndex.from_labels(
+            (link, list(atoms)) for link, atoms in net.label.items())
+        assert {source: {link: set(runs) for link, runs in bucket.items()}
+                for source, bucket in rebuilt.by_source.items()} == \
+               {source: {link: set(runs) for link, runs in bucket.items()}
+                for source, bucket in net.findex.by_source.items()}
+
+    def test_next_hop_matches_owner_rule(self):
+        net = DeltaNet(width=8)
+        rng = random.Random(0xCAFE)
+        for new_rule in random_rules(rng, 50, width=8):
+            net.insert_rule(new_rule)
+        for atom, (lo, _hi) in net.atoms.intervals():
+            for source in list(net.nodes):
+                owner = net.owner_rule(atom, source)
+                expected = owner.target if owner is not None else None
+                assert net.findex.next_hop(source, atom) == expected

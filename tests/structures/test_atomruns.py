@@ -1,0 +1,162 @@
+"""AtomRuns: run-length atom sets cross-checked against plain sets."""
+
+import random
+
+import pytest
+
+from repro.structures.atomruns import AtomRuns
+
+
+class TestBasics:
+    def test_empty(self):
+        runs = AtomRuns()
+        assert len(runs) == 0
+        assert not runs
+        assert runs.num_runs == 0
+        assert list(runs) == []
+        assert 0 not in runs
+        assert runs.to_bitmask() == 0
+
+    def test_single_run_from_consecutive_adds(self):
+        runs = AtomRuns()
+        for atom in range(5, 10):
+            runs.add(atom)
+        assert runs.runs() == [(5, 10)]
+        assert len(runs) == 5
+        assert list(runs) == [5, 6, 7, 8, 9]
+        assert runs.to_bitmask() == 0b1111100000
+
+    def test_add_is_idempotent(self):
+        runs = AtomRuns([3, 4, 5])
+        runs.add(4)
+        assert len(runs) == 3
+        assert runs.runs() == [(3, 6)]
+
+    def test_add_bridges_two_runs(self):
+        runs = AtomRuns([1, 2, 4, 5])
+        assert runs.num_runs == 2
+        runs.add(3)
+        assert runs.runs() == [(1, 6)]
+
+    def test_add_extends_run_start(self):
+        runs = AtomRuns([5, 6])
+        runs.add(4)
+        assert runs.runs() == [(4, 7)]
+
+    def test_negative_atom_rejected(self):
+        with pytest.raises(ValueError):
+            AtomRuns().add(-1)
+
+    def test_discard_absent_is_noop(self):
+        runs = AtomRuns([1, 2])
+        runs.discard(7)
+        runs.discard(0)
+        assert runs.runs() == [(1, 3)]
+
+    def test_discard_splits_a_run(self):
+        runs = AtomRuns([1, 2, 3, 4, 5])
+        runs.discard(3)
+        assert runs.runs() == [(1, 3), (4, 6)]
+        assert len(runs) == 4
+
+    def test_discard_trims_run_edges(self):
+        runs = AtomRuns([1, 2, 3])
+        runs.discard(1)
+        assert runs.runs() == [(2, 4)]
+        runs.discard(3)
+        assert runs.runs() == [(2, 3)]
+        runs.discard(2)
+        assert runs.runs() == []
+        assert not runs
+
+    def test_equality_with_sets_and_runs(self):
+        runs = AtomRuns([1, 2, 9])
+        assert runs == {1, 2, 9}
+        assert runs == AtomRuns([9, 1, 2])
+        assert runs != {1, 2}
+        assert runs != AtomRuns([1, 2])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(AtomRuns())
+
+    def test_copy_is_independent(self):
+        runs = AtomRuns([1, 2])
+        twin = runs.copy()
+        twin.add(3)
+        assert runs.runs() == [(1, 3)]
+        assert twin.runs() == [(1, 4)]
+
+    def test_from_runs_normalizes(self):
+        runs = AtomRuns.from_runs([(4, 6), (0, 2), (2, 4), (5, 6)])
+        assert runs.runs() == [(0, 6)]
+        assert len(runs) == 6
+
+    def test_from_runs_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            AtomRuns.from_runs([(3, 3)])
+        with pytest.raises(ValueError):
+            AtomRuns.from_runs([(-1, 2)])
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = AtomRuns([0, 1, 5])
+        b = AtomRuns([1, 2, 9])
+        assert set(a.union(b)) == {0, 1, 2, 5, 9}
+
+    def test_union_update(self):
+        a = AtomRuns([0, 1])
+        a.union_update(AtomRuns([2, 7]))
+        assert a.runs() == [(0, 3), (7, 8)]
+        assert len(a) == 4
+
+    def test_intersection(self):
+        a = AtomRuns([0, 1, 2, 3, 8])
+        b = AtomRuns([2, 3, 4, 8])
+        assert set(a.intersection(b)) == {2, 3, 8}
+
+    def test_difference(self):
+        a = AtomRuns([0, 1, 2, 3, 8])
+        b = AtomRuns([1, 2, 9])
+        assert set(a.difference(b)) == {0, 3, 8}
+
+    def test_isdisjoint(self):
+        assert AtomRuns([0, 1]).isdisjoint(AtomRuns([2, 3]))
+        assert not AtomRuns([0, 2]).isdisjoint(AtomRuns([2, 3]))
+        assert AtomRuns().isdisjoint(AtomRuns([1]))
+
+
+class TestRandomizedAgainstSets:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mutation_trace_matches_set(self, seed):
+        rng = random.Random(seed)
+        runs, model = AtomRuns(), set()
+        for _ in range(600):
+            atom = rng.randrange(64)
+            if rng.random() < 0.6:
+                runs.add(atom)
+                model.add(atom)
+            else:
+                runs.discard(atom)
+                model.discard(atom)
+            assert (atom in runs) == (atom in model)
+        assert runs == model
+        assert list(runs) == sorted(model)
+        assert len(runs) == len(model)
+        assert runs.to_bitmask() == sum(1 << a for a in model)
+        # Runs are canonical: sorted, non-empty, non-touching.
+        pairs = runs.runs()
+        for (s0, e0), (s1, e1) in zip(pairs, pairs[1:]):
+            assert s0 < e0 < s1 < e1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_algebra_matches_set_semantics(self, seed):
+        rng = random.Random(0xA1 + seed)
+        xs = {rng.randrange(80) for _ in range(rng.randrange(40))}
+        ys = {rng.randrange(80) for _ in range(rng.randrange(40))}
+        a, b = AtomRuns(xs), AtomRuns(ys)
+        assert set(a.union(b)) == xs | ys
+        assert set(a.intersection(b)) == xs & ys
+        assert set(a.difference(b)) == xs - ys
+        assert a.isdisjoint(b) == xs.isdisjoint(ys)
