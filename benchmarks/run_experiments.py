@@ -265,6 +265,64 @@ def check_latency(report: ExperimentReport) -> None:
     report.end_checks()
 
 
+def warm_start(report: ExperimentReport) -> None:
+    """Repo benchmark: snapshot restore vs replay-from-zero recovery.
+
+    Also (re)writes the machine-readable ``BENCH_warm_start.json``
+    consumed by ``perf_gate.py check --suite warm_start`` — same refresh
+    discipline as :func:`update_latency`: only a clean full-scale run
+    may re-baseline.
+    """
+    import json
+    import os.path
+
+    from benchmarks import perf_gate
+
+    full_scale = BENCH_SCALE >= 1.0
+    sizes = [10000, 50000] if full_scale else [10000]
+    document = perf_gate.run_warm_benchmark(sizes)
+    baseline_path = perf_gate.WARM_BASELINE
+    regressions = []
+    if os.path.exists(baseline_path):
+        regressions = perf_gate.compare_warm_to_baseline(
+            document, baseline_path, tolerance=0.30)
+    if full_scale and not regressions:
+        with open(baseline_path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        note = f"baseline refreshed at {baseline_path}."
+    elif regressions:
+        note = (f"REGRESSION vs committed baseline "
+                f"({', '.join(regressions)}) — baseline left untouched.")
+    else:
+        note = ("reduced REPRO_BENCH_SCALE — committed baseline left "
+                "untouched.")
+    rows = []
+    for key, entry in sorted(document["results"].items()):
+        rows.append((key, f"{entry['seconds']:.3f}",
+                     f"{entry['ops_per_sec']:,.0f}", entry["rules"],
+                     f"{entry.get('snapshot_bytes', 0) / 1024:,.0f}"))
+    report.section("Warm start — snapshot restore vs cold replay",
+                   "Recovering a 10k/50k-op session: repro.persist "
+                   f"snapshot load vs checked replay from rule zero; {note}")
+    report.table(("Recovery@rules", "Seconds", "ops/s", "Rules",
+                  "Snapshot KiB"), rows)
+    largest = max(sizes)
+    ratio = document.get("speedups", {}).get(f"warm-vs-cold@{largest}", 0)
+    # The >=5x floor is an acceptance-scale property (see
+    # perf_gate.WARM_FLOOR_SIZE); reduced-scale runs only assert that
+    # restoring beats replaying at all.
+    target = (perf_gate.TARGET_WARM_SPEEDUP
+              if largest >= perf_gate.WARM_FLOOR_SIZE else 1.0)
+    report.shape_check(
+        f"warm start >= {target}x cold replay at "
+        f"{largest} rules ({ratio}x)",
+        ratio >= target)
+    report.shape_check("no regression vs committed warm-start baseline",
+                       not regressions)
+    report.end_checks()
+
+
 def appendix_c(report: ExperimentReport) -> None:
     from repro.replay.engine import VeriflowEngine
 
@@ -294,7 +352,7 @@ def main(argv) -> int:
         "Delta-net reproduction — experiment report "
         f"(scale={BENCH_SCALE})")
     for step in (table2, table3, figure8, headline, table4, table5,
-                 appendix_c, update_latency, check_latency):
+                 appendix_c, update_latency, check_latency, warm_start):
         print(f"running {step.__name__} ...", flush=True)
         step(report)
     report.save(output)

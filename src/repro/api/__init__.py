@@ -13,8 +13,9 @@ from repro.api.registry import (
 )
 from repro.api import backends as _backends  # noqa: F401  (registers the five)
 from repro.api.properties import (
-    BlackholeProperty, Commit, IsolationProperty, LoopProperty, Property,
-    ReachabilityProperty, Violation, WaypointProperty, propagate_intervals,
+    BlackholeProperty, Commit, IsolationProperty, LoopProperty,
+    PROPERTY_TYPES, Property, ReachabilityProperty, Violation,
+    WaypointProperty, propagate_intervals,
 )
 from repro.api.session import (
     BatchTransaction, OpRecord, UpdateResult, VerificationSession,
@@ -31,5 +32,5 @@ __all__ = [
     # properties
     "Property", "Violation", "Commit", "LoopProperty", "BlackholeProperty",
     "ReachabilityProperty", "WaypointProperty", "IsolationProperty",
-    "propagate_intervals",
+    "PROPERTY_TYPES", "propagate_intervals",
 ]

@@ -162,6 +162,21 @@ class DeltaNetBackend(BackendAdapter):
     def check_invariants(self) -> None:
         self.native.check_invariants()
 
+    def snapshot_state(self):
+        return {"kind": "deltanet", "options": {"gc": self.native.gc},
+                "native": self.native.state_dict()}
+
+    def restore_state(self, state) -> None:
+        if state.get("kind") != "deltanet":
+            super().restore_state(state)
+            return
+        if self._rules:
+            raise ValueError("restore_state requires a fresh backend")
+        from repro.core.deltanet import DeltaNet
+
+        self.native = DeltaNet.from_state(state["native"])
+        self._rules = dict(self.native.rules)
+
     def stats(self):
         out = super().stats()
         out.update(atoms=self.native.num_atoms,
@@ -241,6 +256,30 @@ class ShardedBackend(BackendAdapter):
         for net in self.native.nets:
             net.check_invariants()
 
+    def snapshot_state(self):
+        return {
+            "kind": "sharded",
+            "options": {"shards": self.native.num_shards,
+                        "gc": self.native.nets[0].gc,
+                        "check_loops": self._check_loops},
+            "native": self.native.state_dict(),
+            "rules": [rule.to_state() for rule in self._rules.values()],
+        }
+
+    def restore_state(self, state) -> None:
+        if state.get("kind") != "sharded":
+            super().restore_state(state)
+            return
+        if self._rules:
+            raise ValueError("restore_state requires a fresh backend")
+        from repro.core.rules import Rule
+        from repro.libra.sharding import ShardedDeltaNet
+
+        self.native = ShardedDeltaNet.from_state(state["native"])
+        for rule_state in state["rules"]:
+            rule = Rule.from_state(rule_state)
+            self._rules[rule.rid] = rule
+
     def stats(self):
         out = super().stats()
         out.update(shards=self.native.num_shards,
@@ -316,6 +355,48 @@ class ParallelShardedBackend(BackendAdapter):
     def check_invariants(self) -> None:
         self.native.check_invariants()
 
+    def snapshot_state(self):
+        return {
+            "kind": "parallel",
+            "options": {"shards": self.native.num_shards,
+                        "check_loops": self._check_loops},
+            "native": self.native.state_dict(),
+            "rules": [rule.to_state() for rule in self._rules.values()],
+        }
+
+    def restore_state(self, state) -> None:
+        """Restore by fanning each shard's state out to its live worker.
+
+        The adapter's constructor already spawned the worker pool (or
+        its inline fallback); when the saved slice geometry matches, the
+        states are shipped straight into those workers — concurrently,
+        like any other fan-out.  A geometry mismatch rebuilds the pool.
+        """
+        if state.get("kind") != "parallel":
+            super().restore_state(state)
+            return
+        if self._rules:
+            raise ValueError("restore_state requires a fresh backend")
+        from repro.core.rules import Rule
+        from repro.libra.parallel import ParallelShardedDeltaNet
+
+        native_state = state["native"]
+        slices = [tuple(pair) for pair in native_state["slices"]]
+        if slices == list(self.native.slices):
+            self.native._restore_router(native_state)
+            for index, net_state in enumerate(native_state["nets"]):
+                self.native._workers[index].submit("restore", (net_state,))
+            for index in range(len(native_state["nets"])):
+                self.native._workers[index].result()
+        else:
+            force_inline = not self.native.parallel
+            self.native.close()
+            self.native = ParallelShardedDeltaNet.from_state(
+                native_state, force_inline=force_inline)
+        for rule_state in state["rules"]:
+            rule = Rule.from_state(rule_state)
+            self._rules[rule.rid] = rule
+
     def stats(self):
         out = super().stats()
         out.update(shards=self.native.num_shards,
@@ -334,6 +415,9 @@ class VeriflowBackend(BackendAdapter):
 
         self.native = VeriflowRI(width=width)
         self._check_loops = check_loops
+
+    def _snapshot_options(self):
+        return {"check_loops": self._check_loops}
 
     def _wrap(self, result, rule: Rule, inserted: bool) -> BackendUpdate:
         loops = None

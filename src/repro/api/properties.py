@@ -141,6 +141,19 @@ class LoopProperty:
     def __init__(self) -> None:
         self._reported: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
 
+    def spec(self) -> dict:
+        return {}
+
+    def state_dict(self) -> dict:
+        """Cycle-liveness tracking, for snapshot/restore continuity."""
+        return {"reported": sorted(
+            ((list(signature), list(cycle))
+             for signature, cycle in self._reported.items()), key=repr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._reported = {tuple(signature): tuple(cycle)
+                          for signature, cycle in state["reported"]}
+
     @staticmethod
     def _cycle_alive(backend: BackendAdapter, cycle) -> bool:
         """Does any packet still survive one full turn of ``cycle``?"""
@@ -195,6 +208,9 @@ class BlackholeProperty:
     def __init__(self, expected_sinks: Iterable[object] = ()) -> None:
         self.expected_sinks = set(expected_sinks)
 
+    def spec(self) -> dict:
+        return {"expected_sinks": sorted(self.expected_sinks, key=repr)}
+
     def check(self, backend: BackendAdapter,
               commit: Optional[Commit]) -> Iterable[Violation]:
         for node, spans in backend.find_blackholes().items():
@@ -218,6 +234,10 @@ class ReachabilityProperty:
         self.src = src
         self.dst = dst
         self.expect_reachable = expect_reachable
+
+    def spec(self) -> dict:
+        return {"src": self.src, "dst": self.dst,
+                "expect_reachable": self.expect_reachable}
 
     def check(self, backend: BackendAdapter,
               commit: Optional[Commit]) -> Iterable[Violation]:
@@ -248,6 +268,9 @@ class WaypointProperty:
         self.dst = dst
         self.waypoint = waypoint
 
+    def spec(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "waypoint": self.waypoint}
+
     def check(self, backend: BackendAdapter,
               commit: Optional[Commit]) -> Iterable[Violation]:
         reached = propagate_intervals(backend, self.src,
@@ -273,6 +296,9 @@ class IsolationProperty:
         self.slice_a = IntervalSet(slice_a)
         self.slice_b = IntervalSet(slice_b)
 
+    def spec(self) -> dict:
+        return {"slice_a": self.slice_a.spans, "slice_b": self.slice_b.spans}
+
     def check(self, backend: BackendAdapter,
               commit: Optional[Commit]) -> Iterable[Violation]:
         for link in backend.links():
@@ -286,3 +312,38 @@ class IsolationProperty:
                     f"({_fmt_spans(shared_a.spans, 2)} | "
                     f"{_fmt_spans(shared_b.spans, 2)})",
                     data=(shared_a.spans, shared_b.spans))
+
+
+# -- persistence hooks (see repro.persist.snapshot) ----------------------------
+
+#: Built-in property classes reconstructible from a saved spec, by
+#: their ``name``.  Downstream property classes can register here (or
+#: implement ``spec()`` and appear here) to make their subscriptions
+#: snapshot-restorable without caller support.
+PROPERTY_TYPES: Dict[str, type] = {
+    "loops": LoopProperty,
+    "blackholes": BlackholeProperty,
+    "reachability": ReachabilityProperty,
+    "waypoint": WaypointProperty,
+    "isolation": IsolationProperty,
+}
+
+
+def property_spec(prop: Property) -> Optional[dict]:
+    """``prop``'s constructor arguments as plain data, if it offers them."""
+    spec = getattr(prop, "spec", None)
+    return spec() if callable(spec) else None
+
+
+def property_state(prop: Property) -> Optional[dict]:
+    """``prop``'s internal state as plain data, if it has any."""
+    state = getattr(prop, "state_dict", None)
+    return state() if callable(state) else None
+
+
+def property_from_spec(name: str, spec: Optional[dict]):
+    """Rebuild a registered property from its saved spec, else ``None``."""
+    cls = PROPERTY_TYPES.get(name)
+    if cls is None or spec is None:
+        return None
+    return cls(**spec)

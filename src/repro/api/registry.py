@@ -275,6 +275,39 @@ class BackendAdapter(abc.ABC):
             return []
         return self.find_loops()
 
+    # -- persistence (see repro.persist) ---------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The backend's full state as codec-friendly plain data.
+
+        The generic form records the installed rules in insertion order
+        plus the constructor ``options`` needed to rebuild the adapter
+        (:meth:`_snapshot_options`); :meth:`restore_state` replays them
+        through the checked single-op path, which reconstructs *any*
+        backend exactly — at cold-replay cost.  Backends with native
+        snapshots (Delta-net and the sharded variants) override both
+        for warm starts.
+        """
+        return {
+            "kind": "generic",
+            "options": self._snapshot_options(),
+            "rules": [rule.to_state() for rule in self._rules.values()],
+        }
+
+    def _snapshot_options(self) -> Dict[str, Any]:
+        """Constructor keywords a restore must pass to rebuild *this*
+        adapter configuration (beyond ``width``).  Adapters with
+        behavioural knobs (``check_loops``, ...) override this; the
+        restored instance must not silently fall back to defaults."""
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild this (freshly constructed) adapter from ``state``."""
+        if self._rules:
+            raise ValueError("restore_state requires a fresh backend")
+        for rule_state in state["rules"]:
+            self.insert(Rule.from_state(rule_state))
+
     # -- diagnostics -----------------------------------------------------------
 
     def close(self) -> None:

@@ -145,6 +145,9 @@ class VerificationSession:
         self._seen: Dict[int, Set[Tuple[object, ...]]] = {}
         self._violation_log: List[Violation] = []
         self._batch: Optional[BatchTransaction] = None
+        #: Count of committed rule operations — the journal cursor a
+        #: snapshot records (see :mod:`repro.persist`).
+        self.sequence: int = 0
         for prop in properties:
             self.watch(prop)
 
@@ -182,6 +185,30 @@ class VerificationSession:
         close = getattr(self.backend, "close", None)
         if close is not None:
             close()
+
+    # -- persistence (see repro.persist) ----------------------------------------
+
+    def save(self, target) -> None:
+        """Snapshot the full session (backend state, subscriptions,
+        dedup state, violation log) to a path or binary stream."""
+        from repro.persist.snapshot import save_session
+
+        save_session(self, target)
+
+    @classmethod
+    def load(cls, source, *, properties=None, verify: bool = False,
+             **backend_overrides) -> "VerificationSession":
+        """Reconstruct a session saved with :meth:`save`.
+
+        Replaying the op stream from the saved ``sequence`` onward
+        yields exactly the results the uninterrupted session would have
+        produced.  See :func:`repro.persist.snapshot.load_session` for
+        the ``properties``/``backend_overrides`` escape hatches.
+        """
+        from repro.persist.snapshot import load_session
+
+        return load_session(source, properties=properties, verify=verify,
+                            **backend_overrides)
 
     def __enter__(self) -> "VerificationSession":
         return self
@@ -350,6 +377,7 @@ class VerificationSession:
 
     def _commit(self, updates: List[BackendUpdate], ops: List[OpRecord],
                 delta: Any = _UNSET) -> UpdateResult:
+        self.sequence += len(ops)
         if delta is _UNSET:
             delta = self._merge_deltas(updates)
         result = UpdateResult(backend=self.backend_name, ops=ops, delta=delta)

@@ -10,6 +10,8 @@ Examples::
     deltanet generate Berkeley --scale 2 -o berkeley.ops
     deltanet replay berkeley.ops --engine deltanet
     deltanet replay berkeley.ops --engine sharded
+    deltanet replay berkeley.ops --checkpoint state/ --resume
+    deltanet serve --store state/ --listen 127.0.0.1:9900
     deltanet whatif Berkeley --scale 1
     deltanet datasets
 """
@@ -65,29 +67,82 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    import os
+
     ops = load_ops(args.opsfile)
-    engine = make_engine(args.engine, check_loops=not args.no_check)
+    if (args.resume or args.stop_after) and not args.checkpoint:
+        print("--resume/--stop-after require --checkpoint DIR",
+              file=sys.stderr)
+        return 2
+    if args.resume:
+        engine, info = SessionEngine.resume(
+            args.checkpoint, check_loops=not args.no_check,
+            checkpoint_every=args.checkpoint_every)
+        if engine.backend_name != args.engine.replace("-gc", ""):
+            print(f"note: checkpoint was written by backend "
+                  f"{engine.backend_name!r}; resuming with it")
+        skip = engine.session.sequence
+        if skip > len(ops):
+            print(f"checkpoint sequence {skip} exceeds the ops file "
+                  f"({len(ops)} ops); wrong --checkpoint dir?",
+                  file=sys.stderr)
+            engine.close()
+            return 2
+        print(f"resumed at sequence {skip} "
+              f"(snapshot {info.snapshot_sequence} + {info.replayed} "
+              f"journaled ops{', torn tail truncated' if info.torn_tail else ''})")
+        ops = ops[skip:]
+    else:
+        if args.checkpoint:
+            from repro.persist import SessionStore
+
+            if SessionStore(args.checkpoint).exists():
+                print(f"{args.checkpoint!r} already holds a recoverable "
+                      f"checkpoint; pass --resume to continue it, or "
+                      f"remove the directory to start over",
+                      file=sys.stderr)
+                return 2
+        engine = make_engine(args.engine, check_loops=not args.no_check,
+                             checkpoint_dir=args.checkpoint,
+                             checkpoint_every=args.checkpoint_every)
+    crashed = False
+    if args.stop_after is not None and args.stop_after < len(ops):
+        ops = ops[:args.stop_after]
+        crashed = True
     try:
         result = replay(ops, engine, engine_name=args.engine,
                         batch_size=args.batch)
-        summary = result.summary()
         micro = 1e6
         mode = f" (batch={args.batch})" if args.batch else ""
         print(f"{args.engine}{mode}: {result.num_ops} ops, "
               f"{result.loops_found} loops found")
-        print(f"  median={summary['median'] * micro:.1f}us "
-              f"mean={summary['mean'] * micro:.1f}us "
-              f"p99={summary['p99'] * micro:.1f}us "
-              f"max={summary['max'] * micro:.1f}us "
-              f"total={summary['total']:.3f}s "
-              f"throughput={result.num_ops / max(summary['total'], 1e-12):,.0f} ops/s")
+        if result.times:
+            summary = result.summary()
+            print(f"  median={summary['median'] * micro:.1f}us "
+                  f"mean={summary['mean'] * micro:.1f}us "
+                  f"p99={summary['p99'] * micro:.1f}us "
+                  f"max={summary['max'] * micro:.1f}us "
+                  f"total={summary['total']:.3f}s "
+                  f"throughput={result.num_ops / max(summary['total'], 1e-12):,.0f} ops/s")
+        if args.checkpoint:
+            print(f"  sequence={engine.session.sequence} "
+                  f"cumulative_violations={len(engine.session.violations())}")
         if args.cdf:
             print(ascii_cdf({args.engine: result.times}))
         if engine.num_atoms is not None:
             print(f"  atoms={engine.num_atoms} "
                   f"state={format_bytes(deep_size(engine.session.native))}")
+        if crashed:
+            # Simulated crash: exit without the final checkpoint or any
+            # engine/store teardown, exactly like a kill -9.  Recovery
+            # must come from the last checkpoint + journal tail.
+            print(f"  simulated crash after {result.num_ops} ops "
+                  f"(no final checkpoint; resume with --resume)")
+            sys.stdout.flush()
+            os._exit(0)
     finally:
-        engine.close()
+        if not crashed:
+            engine.close()
     return 0
 
 
@@ -175,6 +230,35 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import StreamServer, serve_socket, serve_stdio
+
+    engine = args.engine
+    options = {}
+    if engine == "deltanet-gc":
+        engine, options = "deltanet", {"gc": True}
+    properties = tuple(name for name in args.properties.split(",") if name)
+    server = StreamServer(
+        args.store, engine=engine, width=args.width,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_interval=args.checkpoint_interval,
+        properties=properties,
+        log=lambda line: print(f"# {line}", file=sys.stderr, flush=True),
+        **options)
+    try:
+        if args.listen:
+            host, _sep, port = args.listen.rpartition(":")
+            serve_socket(server, host or "127.0.0.1", int(port),
+                         ready=lambda h, p: print(f"# listening on {h}:{p}",
+                                                  file=sys.stderr,
+                                                  flush=True))
+        else:
+            serve_stdio(server, sys.stdin, sys.stdout)
+    finally:
+        server.close()
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -211,6 +295,43 @@ def build_parser() -> argparse.ArgumentParser:
                                  "N (amortizes update + check costs)")
     replay_cmd.add_argument("--cdf", action="store_true",
                             help="print an ASCII CDF of per-op times")
+    replay_cmd.add_argument("--checkpoint", metavar="DIR", default=None,
+                            help="journal ops and snapshot every "
+                                 "--checkpoint-every ops into DIR "
+                                 "(see docs/operations.md)")
+    replay_cmd.add_argument("--checkpoint-every", type=_positive_int,
+                            default=1000, metavar="N",
+                            help="snapshot cadence in ops (default 1000)")
+    replay_cmd.add_argument("--resume", action="store_true",
+                            help="recover from --checkpoint DIR and "
+                                 "continue the ops file from the "
+                                 "recovered sequence")
+    replay_cmd.add_argument("--stop-after", type=_positive_int, default=None,
+                            metavar="N",
+                            help="simulate a crash: hard-exit after N ops "
+                                 "without a final checkpoint")
+
+    serve = sub.add_parser(
+        "serve", help="long-running streaming verification daemon "
+                      "(ndjson over stdin or TCP)")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="checkpoint/journal directory (recovers from "
+                            "it when it already holds state)")
+    serve.add_argument("--engine", default="deltanet",
+                       choices=engine_names())
+    serve.add_argument("--width", type=_positive_int, default=32)
+    serve.add_argument("--checkpoint-every", type=_positive_int,
+                       default=1000, metavar="N")
+    serve.add_argument("--checkpoint-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="also snapshot in the background every "
+                            "SECONDS (quiet-session durability)")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve ndjson over TCP instead of stdin "
+                            "(PORT 0 picks a free port)")
+    serve.add_argument("--properties", default="loops",
+                       help="comma-separated properties to watch on a "
+                            "fresh session (default: loops; '' for none)")
 
     whatif = sub.add_parser("whatif", help="link-failure query sweep")
     whatif.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
@@ -245,6 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "allpairs": _cmd_allpairs,
         "blackholes": _cmd_blackholes,
         "report": _cmd_report,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

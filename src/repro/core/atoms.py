@@ -242,6 +242,47 @@ class AtomTable:
         self._free.append(atom)
         return atom, survivor
 
+    # -- persistence (see repro.persist) ---------------------------------------
+
+    def state_dict(self) -> dict:
+        """The table's full state as deterministic plain data.
+
+        Boundaries are emitted in ascending order, the free-id stack in
+        stack order (so restored id recycling matches exactly), and the
+        priority PRNG's state rides along so future treap shapes match
+        the original instance.
+        """
+        return {
+            "width": self.width,
+            "boundaries": [(bound, atom) for bound, atom in self._map.items()],
+            "allocated": len(self._start),
+            "free": list(self._free),
+            "bound_refs": sorted(self._bound_refs.items()),
+            "rng": self._map.rng_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AtomTable":
+        """Rebuild a table; exact inverse of :meth:`state_dict`.
+
+        The boundary treap is re-inserted in sorted order (its *shape*
+        is an implementation detail; queries depend only on the ordered
+        content), then the PRNG state is restored so later shapes match.
+        """
+        table = cls(width=state["width"])
+        starts = [table.min] * state["allocated"]
+        for bound, atom in state["boundaries"]:
+            if bound == table.min or bound == table.max:
+                continue  # the constructor seeded MIN/MAX already
+            table._map.insert(bound, atom)
+            starts[atom] = bound
+        table._start = starts
+        table._free = list(state["free"])
+        table._bound_refs = {bound: count
+                             for bound, count in state["bound_refs"]}
+        table._map.set_rng_state(tuple(state["rng"]))
+        return table
+
     def __repr__(self) -> str:
         return (f"AtomTable(width={self.width}, atoms={self.num_atoms}, "
                 f"allocated={self.num_ids_allocated})")

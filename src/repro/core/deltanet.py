@@ -469,6 +469,75 @@ class DeltaNet:
         self.atoms.collect(bound)
         return dead_atom
 
+    # -- persistence (see repro.persist) -------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full verifier state as deterministic plain data.
+
+        The owner treaps are *not* serialized: their heap priorities are
+        deterministic functions of the rule keys (:func:`repro.
+        structures.ptreap.heap_prio`), which makes each treap's shape a
+        canonical function of its key set — so :meth:`from_state`
+        rebuilds them exactly from the rule store.  What is stored is
+        the compact ground truth: atom table, rules, run-length labels
+        and GC refcounts.
+        """
+        by_repr = repr  # labels/nodes sorted for byte-stable snapshots
+        labels = sorted(
+            ((link.source, link.target, runs.runs())
+             for link, runs in self.label.items() if runs),
+            key=lambda entry: (by_repr(entry[0]), by_repr(entry[1])))
+        return {
+            "width": self.width,
+            "gc": self.gc,
+            "atoms": self.atoms.state_dict(),
+            "rules": [self.rules[rid].to_state()
+                      for rid in sorted(self.rules)],
+            "labels": labels,
+            "nodes": sorted(self.nodes, key=by_repr),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DeltaNet":
+        """Rebuild a verifier; the warm-start path.
+
+        Cost: one treap insert per (rule, atom-in-interval) pair — the
+        ownership sweep of Algorithm 1 without the label churn, the
+        delta-graphs, or the per-update property checks a cold replay
+        pays.  The resulting owner structure is *identical* to the
+        original's (canonical treaps), so every later update and check
+        behaves exactly as if the process had never restarted.
+        """
+        net = cls(width=state["width"], gc=state["gc"])
+        net.atoms = AtomTable.from_state(state["atoms"])
+        net._owner = [None] * max(1, net.atoms.num_ids_allocated)
+        for _bound, atom in state["atoms"]["boundaries"]:
+            if atom >= 0:
+                net._owner[atom] = {}
+        for source, target, runs in state["labels"]:
+            net.findex.set_label(Link(source, target),
+                                 AtomRuns.from_runs(runs))
+        net.nodes = set(state["nodes"])
+        heap_prio = ptreap.heap_prio
+        node_cls = ptreap.PNode
+        pt_insert = ptreap.insert
+        atoms_in_list = net.atoms.atoms_in_list
+        owner = net._owner
+        for rule_state in state["rules"]:
+            rule = Rule.from_state(rule_state)
+            net.rules[rule.rid] = rule
+            key = rule.sort_key
+            prio = heap_prio(key)
+            source = rule.source
+            for atom in atoms_in_list(rule.lo, rule.hi):
+                owners = owner[atom]
+                root = owners.get(source)
+                if root is None:
+                    owners[source] = node_cls(key, rule, prio, None, None)
+                else:
+                    owners[source] = pt_insert(root, key, rule, prio)
+        return net
+
     # -- invariant checking (used by the test suite's oracles) --------------------
 
     def check_invariants(self) -> None:

@@ -146,6 +146,21 @@ class ForwardingIndex:
 
         return next_hop
 
+    def set_label(self, link: Link, runs: AtomRuns) -> None:
+        """Install a whole label bucket at once (snapshot restore).
+
+        Both views adopt the same ``runs`` object, preserving the
+        shared-reference invariant :meth:`check_consistency` asserts.
+        Empty buckets are rejected — emptiness is represented by absence.
+        """
+        if not runs:
+            raise ValueError(f"refusing to install empty label for {link}")
+        self.by_link[link] = runs
+        bucket = self.by_source.get(link.source)
+        if bucket is None:
+            bucket = self.by_source[link.source] = {}
+        bucket[link] = runs
+
     # -- bulk construction / diagnostics ---------------------------------------
 
     @classmethod

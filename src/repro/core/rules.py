@@ -150,6 +150,18 @@ class Rule:
             return None
         return format_prefix(self.lo, interval_plen(self.lo, self.hi, width), width)
 
+    def to_state(self) -> Tuple:
+        """Plain-data form for snapshots/journals (see ``repro.persist``)."""
+        return (self.rid, self.lo, self.hi, self.priority,
+                self.source, self.target, self.action.value)
+
+    @classmethod
+    def from_state(cls, state: Tuple) -> "Rule":
+        rid, lo, hi, priority, source, target, action = state
+        if action == Action.DROP.value:
+            return cls.drop(rid, lo, hi, priority, source)
+        return cls.forward(rid, lo, hi, priority, source, target)
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Rule) and self.rid == other.rid
 

@@ -98,6 +98,15 @@ class _ShardServer:
     def do_check_invariants(self) -> None:
         self.net.check_invariants()
 
+    # -- persistence (per-shard snapshot fan-out) --------------------------------
+
+    def do_snapshot(self) -> dict:
+        return self.net.state_dict()
+
+    def do_restore(self, state: dict) -> None:
+        self.net = DeltaNet.from_state(state)
+        self.checker = LoopChecker(self.net)
+
 
 def _shard_worker(conn, width: int, gc: bool) -> None:
     """Worker process main loop: serve commands until EOF/None."""
@@ -392,6 +401,40 @@ class ParallelShardedDeltaNet(ShardRouter):
     @property
     def total_atoms(self) -> int:
         return sum(atoms for _rules, atoms in self.shard_sizes())
+
+    # -- persistence (see repro.persist) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """Router bookkeeping plus every worker's Delta-net state.
+
+        The per-shard snapshots are gathered over the worker pipes
+        concurrently — each worker serializes its own slice while the
+        others do the same.
+        """
+        state = self.router_state()
+        state["nets"] = list(self._fan_out("snapshot"))
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict, gc: bool = False,
+                   start_method: Optional[str] = None,
+                   force_inline: bool = False) -> "ParallelShardedDeltaNet":
+        """Rebuild shards in their workers (restore fan-out).
+
+        Worker-pool shape (``start_method``/``force_inline``) is a host
+        property, not session state — callers choose it per restore.
+        """
+        slices = [tuple(pair) for pair in state["slices"]]
+        instance = cls(slices, width=state["width"], gc=gc,
+                       start_method=start_method, force_inline=force_inline)
+        instance._restore_router(state)
+        # Per-shard payloads differ: submit all restores before awaiting
+        # the first reply so the workers rebuild concurrently.
+        for index, net_state in enumerate(state["nets"]):
+            instance._workers[index].submit("restore", (net_state,))
+        for index in range(len(state["nets"])):
+            instance._workers[index].result()
+        return instance
 
     def check_invariants(self) -> None:
         self._fan_out("check_invariants")

@@ -131,6 +131,25 @@ class ShardRouter:
             self._placement[rule.rid] = placement
         return per_shard
 
+    # -- persistence (see repro.persist) ----------------------------------------
+
+    def router_state(self) -> dict:
+        """The map step's bookkeeping as deterministic plain data."""
+        return {
+            "width": self.width,
+            "slices": [list(pair) for pair in self.slices],
+            "next_clipped": self._next_clipped,
+            "placement": [(rid, [list(pair) for pair in placement])
+                          for rid, placement in
+                          sorted(self._placement.items())],
+        }
+
+    def _restore_router(self, state: dict) -> None:
+        self._next_clipped = state["next_clipped"]
+        self._placement = {
+            rid: [tuple(pair) for pair in placement]
+            for rid, placement in state["placement"]}
+
 
 class ShardedDeltaNet(ShardRouter):
     """Independent Delta-net instances over disjoint header-space slices."""
@@ -240,6 +259,26 @@ class ShardedDeltaNet(ShardRouter):
     def shard_sizes(self) -> List[Tuple[int, int]]:
         """(rules, atoms) per shard — the load-balance view."""
         return [(net.num_rules, net.num_atoms) for net in self.nets]
+
+    # -- persistence (see repro.persist) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """Router bookkeeping plus one Delta-net state per shard."""
+        state = self.router_state()
+        state["nets"] = [net.state_dict() for net in self.nets]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardedDeltaNet":
+        """Rebuild all shards; per-shard warm start, shared router."""
+        slices = [tuple(pair) for pair in state["slices"]]
+        gc = bool(state["nets"]) and state["nets"][0]["gc"]
+        sharded = cls(slices, width=state["width"], gc=gc)
+        sharded._restore_router(state)
+        sharded.nets = [DeltaNet.from_state(net_state)
+                        for net_state in state["nets"]]
+        sharded.checkers = [LoopChecker(net) for net in sharded.nets]
+        return sharded
 
     def __repr__(self) -> str:
         return (f"ShardedDeltaNet(shards={self.num_shards}, "

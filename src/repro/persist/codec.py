@@ -1,0 +1,261 @@
+"""A tagged binary codec for the verifiers' plain-data state.
+
+Snapshots and journal records are built from a deliberately small value
+vocabulary — ``None``, bools, ints, floats, strings, bytes, tuples,
+lists, dicts, sets and frozensets — which is exactly what the
+``state_dict()`` surfaces of the native verifiers emit.  The codec is:
+
+* **deterministic** — the same value always encodes to the same bytes
+  (dict entries keep insertion order; sets are sorted by their encoded
+  form), so snapshot files can be compared byte-for-byte in tests,
+* **streamed** — every value is length-delimited (varints), so readers
+  never buffer more than one value and writers append directly to a
+  file object,
+* **self-describing** — a one-byte tag per value; unknown tags raise
+  :class:`CodecError` instead of misreading newer formats,
+* **stdlib only** — no pickle (a snapshot must never execute code on
+  load) and no third-party serializers.
+
+Ints use a zigzag varint of arbitrary precision, so 128-bit header
+space boundaries (width > 64) encode fine.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, BinaryIO, Iterator, List, Tuple
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_TUPLE = 0x07
+_TAG_LIST = 0x08
+_TAG_DICT = 0x09
+_TAG_SET = 0x0A
+_TAG_FROZENSET = 0x0B
+
+
+class CodecError(ValueError):
+    """Raised on unencodable values or malformed/truncated bytes."""
+
+
+def _write_uvarint(out: List[bytes], value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(bytes((_TAG_NONE,)))
+    elif value is True:
+        out.append(bytes((_TAG_TRUE,)))
+    elif value is False:
+        out.append(bytes((_TAG_FALSE,)))
+    elif type(value) is int:
+        out.append(bytes((_TAG_INT,)))
+        _write_uvarint(out, (-value << 1) | 1 if value < 0 else value << 1)
+    elif type(value) is float:
+        out.append(bytes((_TAG_FLOAT,)))
+        out.append(struct.pack(">d", value))
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(bytes((_TAG_STR,)))
+        _write_uvarint(out, len(raw))
+        out.append(raw)
+    elif type(value) is bytes:
+        out.append(bytes((_TAG_BYTES,)))
+        _write_uvarint(out, len(value))
+        out.append(value)
+    elif isinstance(value, tuple):
+        # isinstance, not exact type: Link (and other NamedTuples) ride
+        # through as plain tuples — the state_dict layer re-tags them.
+        out.append(bytes((_TAG_TUPLE,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif type(value) is list:
+        out.append(bytes((_TAG_LIST,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif type(value) is dict:
+        out.append(bytes((_TAG_DICT,)))
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    elif type(value) in (set, frozenset):
+        tag = _TAG_SET if type(value) is set else _TAG_FROZENSET
+        encoded = sorted(encode(item) for item in value)
+        out.append(bytes((tag,)))
+        _write_uvarint(out, len(encoded))
+        out.extend(encoded)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to bytes; deterministic for equal values."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+class ByteReader:
+    """Cursor over a bytes buffer with truncation-checked reads.
+
+    The one length/varint parser shared by every framing layer
+    (snapshot sections, journal records) so corruption-detection
+    behaviour cannot drift between them.
+    """
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise CodecError("truncated value")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def read_uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise CodecError("truncated varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+
+_Reader = ByteReader
+
+
+def write_uvarint(stream: BinaryIO, value: int) -> int:
+    """Append one unsigned varint to ``stream``; returns bytes written."""
+    out: List[bytes] = []
+    _write_uvarint(out, value)
+    raw = b"".join(out)
+    stream.write(raw)
+    return len(raw)
+
+
+def read_uvarint(stream: BinaryIO) -> int:
+    """Read one unsigned varint; :class:`CodecError` on EOF/truncation."""
+    result = 0
+    shift = 0
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            raise CodecError("truncated varint")
+        result |= (byte[0] & 0x7F) << shift
+        if not byte[0] & 0x80:
+            return result
+        shift += 7
+
+
+def _decode_from(reader: _Reader) -> Any:
+    tag = reader.take(1)[0]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        raw = reader.read_uvarint()
+        return -(raw >> 1) if raw & 1 else raw >> 1
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STR:
+        return reader.take(reader.read_uvarint()).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return reader.take(reader.read_uvarint())
+    if tag == _TAG_TUPLE:
+        return tuple(_decode_from(reader)
+                     for _ in range(reader.read_uvarint()))
+    if tag == _TAG_LIST:
+        return [_decode_from(reader) for _ in range(reader.read_uvarint())]
+    if tag == _TAG_DICT:
+        count = reader.read_uvarint()
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader)
+            result[key] = _decode_from(reader)
+        return result
+    if tag == _TAG_SET:
+        return {_decode_from(reader) for _ in range(reader.read_uvarint())}
+    if tag == _TAG_FROZENSET:
+        return frozenset(_decode_from(reader)
+                         for _ in range(reader.read_uvarint()))
+    raise CodecError(f"unknown tag 0x{tag:02x} (newer snapshot format?)")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value; trailing bytes are an error."""
+    reader = _Reader(data)
+    value = _decode_from(reader)
+    if reader.pos != len(data):
+        raise CodecError(f"{len(data) - reader.pos} trailing bytes")
+    return value
+
+
+def encode_stream(stream: BinaryIO, value: Any) -> int:
+    """Append one length-prefixed value to ``stream``; returns bytes written."""
+    payload = encode(value)
+    written = write_uvarint(stream, len(payload))
+    stream.write(payload)
+    return written + len(payload)
+
+
+def _read_uvarint_io(stream: BinaryIO) -> Tuple[int, bool]:
+    """(value, at_eof_before_any_byte) — distinguishes clean EOF."""
+    result = 0
+    shift = 0
+    first = True
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            if first:
+                return 0, True
+            raise CodecError("truncated length prefix")
+        first = False
+        result |= (byte[0] & 0x7F) << shift
+        if not byte[0] & 0x80:
+            return result, False
+        shift += 7
+
+
+def decode_stream(stream: BinaryIO) -> Iterator[Any]:
+    """Yield length-prefixed values until clean EOF.
+
+    A truncated final value raises :class:`CodecError`; callers that
+    must tolerate torn tails (the journal) catch it and truncate.
+    """
+    while True:
+        length, eof = _read_uvarint_io(stream)
+        if eof:
+            return
+        payload = stream.read(length)
+        if len(payload) != length:
+            raise CodecError("truncated stream value")
+        yield decode(payload)

@@ -1,0 +1,208 @@
+"""The append-only update journal: ``snapshot + journal tail = session``.
+
+A journal file is a stream of CRC-framed records::
+
+    record := payload-len (varint)  payload (codec value)  crc32 (u32 BE)
+
+The first record is a header binding the journal to the snapshot it
+extends (``base`` — the snapshot's update sequence number); every later
+record is one rule operation tagged with its session sequence number.
+Replaying, in order, the records with ``seq > snapshot.sequence`` on top
+of the loaded snapshot reconstructs the exact pre-crash session.
+
+Crash tolerance: a process killed mid-append leaves a *torn tail* — a
+final record with a short payload or a CRC mismatch.  Readers detect it,
+deliver every complete record before it, and report the valid byte
+offset; :meth:`Journal.open` truncates the tear before appending, so one
+crash never corrupts the next run's records.  Records are flushed to the
+OS per append (surviving process kills); :meth:`Journal.sync` fsyncs for
+full power-loss durability at checkpoint boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Any, BinaryIO, Iterator, List, Optional, Tuple, Union
+
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.persist.codec import (
+    ByteReader, CodecError, decode, encode, write_uvarint,
+)
+
+JOURNAL_VERSION = 1
+
+Pathish = Union[str, "os.PathLike[str]"]
+
+
+class JournalCorruption(ValueError):
+    """Raised when a journal is unreadable beyond torn-tail truncation
+    (bad header, mid-file corruption)."""
+
+
+def op_state(op: Op) -> tuple:
+    """One operation as a codec-friendly tuple."""
+    if op.is_insert:
+        return ("+", op.rule.to_state())
+    return ("-", op.rid)
+
+
+def batch_state(ops: List[Op]) -> tuple:
+    """An aggregated batch as one journal entry.
+
+    Batches are journaled as a unit so recovery re-applies them through
+    the *batched* check path — a batch whose intermediate states would
+    alert (insert a looping rule, remove it again) must not alert during
+    recovery either, exactly as it did not alert live.
+    """
+    return ("*", [op_state(op) for op in ops])
+
+
+def op_from_state(state: tuple) -> Union[Op, List[Op]]:
+    kind, payload = state
+    if kind == "+":
+        return Op.insert(Rule.from_state(payload))
+    if kind == "-":
+        return Op.remove(payload)
+    if kind == "*":
+        return [op_from_state(tuple(item)) for item in payload]
+    raise JournalCorruption(f"unknown op kind {kind!r}")
+
+
+def _append_record(stream: BinaryIO, value: Any) -> None:
+    payload = encode(value)
+    write_uvarint(stream, len(payload))
+    stream.write(payload)
+    stream.write(struct.pack(">I", zlib.crc32(payload)))
+
+
+def _scan_records(data: bytes) -> Tuple[List[Any], int, bool]:
+    """(values, valid_offset, torn) — stops cleanly at a torn tail."""
+    values: List[Any] = []
+    reader = ByteReader(data)
+    size = len(data)
+    while reader.pos < size:
+        record_start = reader.pos
+        try:
+            payload = reader.take(reader.read_uvarint())
+            crc = struct.unpack(">I", reader.take(4))[0]
+        except CodecError:
+            return values, record_start, True
+        if zlib.crc32(payload) != crc:
+            # A mid-file CRC failure cannot be distinguished from a torn
+            # tail by position alone; treat it as the tail (everything
+            # after it is unreachable anyway).
+            return values, record_start, True
+        try:
+            values.append(decode(payload))
+        except CodecError:
+            return values, record_start, True
+    return values, reader.pos, False
+
+
+def read_journal(path: Pathish
+                 ) -> Tuple[int, List[Tuple[int, Union[Op, List[Op]]]],
+                            int, bool]:
+    """Read a journal: ``(base_sequence, [(seq, entry)...], valid_bytes,
+    torn)`` — an entry is one :class:`Op` or a list (a journaled batch);
+    ``seq`` is the session sequence *after* applying the entry.
+
+    ``valid_bytes`` is the offset of the first torn byte (== file size
+    when the journal is clean).  Raises :class:`JournalCorruption` when
+    even the header record is unreadable.
+    """
+    with open(path, "rb") as stream:
+        data = stream.read()
+    values, valid, torn = _scan_records(data)
+    if not values:
+        raise JournalCorruption(f"journal {path} has no readable header")
+    header = values[0]
+    if (not isinstance(header, dict) or header.get("journal") is None
+            or header.get("base") is None):
+        raise JournalCorruption(f"journal {path} header is malformed")
+    if header["journal"] > JOURNAL_VERSION:
+        raise JournalCorruption(
+            f"journal version {header['journal']} is newer than supported")
+    records: List[Tuple[int, Union[Op, List[Op]]]] = []
+    for value in values[1:]:
+        seq, state = value
+        records.append((seq, op_from_state(tuple(state))))
+    return header["base"], records, valid, torn
+
+
+def journal_records(path: Pathish,
+                    after_sequence: Optional[int] = None
+                    ) -> Iterator[Tuple[int, Union[Op, List[Op]]]]:
+    """The journal's entries with ``seq > after_sequence`` (default: base)."""
+    base, records, _valid, _torn = read_journal(path)
+    threshold = base if after_sequence is None else after_sequence
+    for seq, entry in records:
+        if seq > threshold:
+            yield seq, entry
+
+
+class Journal:
+    """Writer handle over one journal file."""
+
+    def __init__(self, path: Pathish, stream: BinaryIO,
+                 base_sequence: int, last_sequence: int) -> None:
+        self.path = os.fspath(path)
+        self._stream = stream
+        self.base_sequence = base_sequence
+        self.last_sequence = last_sequence
+
+    @classmethod
+    def create(cls, path: Pathish, base_sequence: int) -> "Journal":
+        """Start a fresh journal extending a snapshot at ``base_sequence``."""
+        stream = open(path, "wb")
+        _append_record(stream, {"journal": JOURNAL_VERSION,
+                                "base": base_sequence})
+        stream.flush()
+        return cls(path, stream, base_sequence, base_sequence)
+
+    @classmethod
+    def open(cls, path: Pathish) -> "Journal":
+        """Reopen for appending; truncates a torn tail first."""
+        base, records, valid, torn = read_journal(path)
+        if torn:
+            with open(path, "rb+") as stream:
+                stream.truncate(valid)
+        stream = open(path, "ab")
+        last = records[-1][0] if records else base
+        return cls(path, stream, base, last)
+
+    def append(self, op: Op, sequence: int) -> None:
+        """Record ``op`` as update number ``sequence``."""
+        if sequence <= self.last_sequence:
+            raise ValueError(
+                f"sequence {sequence} not after {self.last_sequence}")
+        _append_record(self._stream, (sequence, op_state(op)))
+        self._stream.flush()
+        self.last_sequence = sequence
+
+    def append_batch(self, ops: List[Op], sequence: int) -> None:
+        """Record an aggregated batch ending at ``sequence``."""
+        if sequence <= self.last_sequence:
+            raise ValueError(
+                f"sequence {sequence} not after {self.last_sequence}")
+        _append_record(self._stream, (sequence, batch_state(ops)))
+        self._stream.flush()
+        self.last_sequence = sequence
+
+    def sync(self) -> None:
+        """fsync appended records (power-loss durability)."""
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.flush()
+            self._stream.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,187 @@
+"""Crash-safe pairing of one snapshot with its update journal.
+
+A :class:`SessionStore` is a directory::
+
+    <dir>/snapshot.bin   last checkpoint (atomically replaced)
+    <dir>/journal.bin    ops applied since some checkpoint
+
+``checkpoint()`` writes the snapshot to a temp file, fsyncs, renames it
+over the old one, then rotates the journal — so at *every instant* the
+directory holds a loadable snapshot plus a journal whose tail (records
+with ``seq`` greater than the snapshot's sequence) reconstructs the
+session.  A kill between the two steps merely leaves journal records
+the snapshot already covers; recovery skips them by sequence number.
+
+``recover()`` loads the snapshot, replays the journal tail *through the
+session* (so property subscriptions re-observe in-flight violations
+with the dedup state they had at checkpoint time), and reports what it
+did.  This is the one recovery path shared by ``deltanet replay
+--resume`` and the ``deltanet serve`` daemon.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, NamedTuple, Optional, Tuple
+
+from repro.datasets.format import Op
+from repro.persist.journal import Journal
+from repro.persist.snapshot import save_session, snapshot_info
+
+SNAPSHOT_NAME = "snapshot.bin"
+JOURNAL_NAME = "journal.bin"
+
+
+class RecoveryInfo(NamedTuple):
+    """What :meth:`SessionStore.recover` reconstructed."""
+
+    snapshot_sequence: int   #: updates covered by the snapshot itself
+    replayed: int            #: journal-tail ops replayed on top
+    torn_tail: bool          #: a crash left a truncated final record
+    sequence: int            #: the recovered session's update sequence
+
+
+def _fsync_directory(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SessionStore:
+    """Checkpoint/journal/recover lifecycle for one session directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._journal: Optional[Journal] = None
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.directory, SNAPSHOT_NAME)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, JOURNAL_NAME)
+
+    def exists(self) -> bool:
+        """Does the directory hold a recoverable checkpoint?"""
+        return os.path.exists(self.snapshot_path)
+
+    # -- writing ---------------------------------------------------------------
+
+    def checkpoint(self, session) -> int:
+        """Atomically persist ``session``; returns its sequence number.
+
+        The snapshot lands first (write temp, fsync, rename), then the
+        journal is rotated to a fresh file based at the new sequence.
+        Crashing between the steps is safe: stale journal records are
+        filtered by sequence on recovery.
+        """
+        sequence = session.sequence
+        tmp = self.snapshot_path + ".tmp"
+        with open(tmp, "wb") as stream:
+            save_session(session, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.snapshot_path)
+        _fsync_directory(self.directory)
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        journal_tmp = self.journal_path + ".tmp"
+        fresh = Journal.create(journal_tmp, sequence)
+        fresh.sync()
+        fresh.close()
+        os.replace(journal_tmp, self.journal_path)
+        _fsync_directory(self.directory)
+        self._journal = Journal.open(self.journal_path)
+        return sequence
+
+    def _ensure_journal(self) -> Journal:
+        if self._journal is None:
+            if os.path.exists(self.journal_path):
+                self._journal = Journal.open(self.journal_path)
+            elif self.exists():
+                base = snapshot_info(self.snapshot_path)["sequence"]
+                self._journal = Journal.create(self.journal_path, base)
+            else:
+                raise RuntimeError(
+                    "record() before the first checkpoint(); the journal "
+                    "needs a snapshot to be relative to")
+        return self._journal
+
+    def record(self, op: Op, sequence: int) -> None:
+        """Journal one applied op (its session sequence number)."""
+        self._ensure_journal().append(op, sequence)
+
+    def record_batch(self, ops, sequence: int) -> None:
+        """Journal one aggregated batch (sequence after the batch)."""
+        self._ensure_journal().append_batch(list(ops), sequence)
+
+    def sync(self) -> None:
+        """fsync pending journal records (power-loss durability)."""
+        if self._journal is not None:
+            self._journal.sync()
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "SessionStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self, *, properties: Optional[Iterable] = None,
+                verify: bool = False,
+                **backend_overrides) -> Tuple[object, RecoveryInfo]:
+        """Rebuild the session: load the snapshot, replay the journal tail.
+
+        Returns ``(session, RecoveryInfo)``.  The journal tail is applied
+        through the session's checked update path, so the recovered
+        session's property/violation state matches an uninterrupted run
+        exactly.
+        """
+        from repro.persist.snapshot import load_session
+
+        session = load_session(self.snapshot_path, properties=properties,
+                               verify=verify, **backend_overrides)
+        snapshot_sequence = session.sequence
+        replayed = 0
+        torn = False
+        if os.path.exists(self.journal_path):
+            from repro.persist.journal import read_journal
+
+            _base, records, _valid, torn = read_journal(self.journal_path)
+            for seq, entry in records:
+                if seq <= snapshot_sequence:
+                    continue
+                if isinstance(entry, list):
+                    # A journaled batch replays through the batched check
+                    # path, so alert-invisible intermediate states stay
+                    # invisible during recovery too.
+                    session.apply_batch(
+                        [op.rule for op in entry if op.is_insert],
+                        [op.rid for op in entry if not op.is_insert])
+                    replayed += len(entry)
+                else:
+                    session.apply(entry)
+                    replayed += 1
+                session.sequence = seq
+        return session, RecoveryInfo(snapshot_sequence, replayed, torn,
+                                     session.sequence)
+
+    def __repr__(self) -> str:
+        return (f"SessionStore({self.directory!r}, "
+                f"checkpoint={'yes' if self.exists() else 'no'})")

@@ -38,10 +38,19 @@ class SessionEngine:
     ``process`` applies one op through the session; with
     ``check_loops=True`` a :class:`repro.api.LoopProperty` subscription
     counts the *new* loop violations each update surfaces.
+
+    With ``checkpoint_dir`` set, the engine journals every applied op
+    into a :class:`repro.persist.SessionStore` and writes a full
+    snapshot every ``checkpoint_every`` ops — a killed replay resumes
+    from ``snapshot + journal tail`` via :meth:`resume` instead of
+    rebuilding from rule zero.  A clean :meth:`close` writes a final
+    checkpoint, so a later resume has nothing to replay.
     """
 
     def __init__(self, backend: str = "deltanet", width: int = 32,
-                 check_loops: bool = True, **options) -> None:
+                 check_loops: bool = True,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 1000, **options) -> None:
         from repro.api import LoopProperty, VerificationSession
 
         properties = (LoopProperty(),) if check_loops else ()
@@ -53,9 +62,56 @@ class SessionEngine:
         self.session = VerificationSession(
             backend, width=width, properties=properties, **options)
         self.check_loops = check_loops
+        self.store = None
+        self.checkpoint_every = checkpoint_every
+        if checkpoint_dir is not None:
+            self._attach_store(checkpoint_dir, initial_checkpoint=True)
+
+    def _attach_store(self, directory: str, initial_checkpoint: bool) -> None:
+        from repro.persist import SessionStore
+
+        self.store = SessionStore(directory)
+        if initial_checkpoint:
+            self.store.checkpoint(self.session)
+        self._last_checkpoint = self.session.sequence
+
+    @classmethod
+    def resume(cls, checkpoint_dir: str, check_loops: bool = True,
+               checkpoint_every: int = 1000, **backend_overrides):
+        """Recover a checkpointed replay: ``(engine, RecoveryInfo)``.
+
+        The recovered session's ``sequence`` says how many ops of the
+        original stream are already applied — continue from there.
+        ``backend_overrides`` adjust the snapshot's saved backend
+        options (e.g. ``force_inline=True`` to restore a parallel
+        checkpoint without spawning workers).
+        """
+        from repro.persist import SessionStore
+
+        store = SessionStore(checkpoint_dir)
+        if not store.exists():
+            raise FileNotFoundError(
+                f"no checkpoint to resume in {checkpoint_dir!r}")
+        session, info = store.recover(**backend_overrides)
+        engine = cls.__new__(cls)
+        engine.session = session
+        engine.check_loops = check_loops
+        engine.store = store
+        engine.checkpoint_every = checkpoint_every
+        engine._last_checkpoint = info.snapshot_sequence
+        if info.replayed:
+            # The journal tail is now state the snapshot does not cover;
+            # fold it in so the next crash replays only fresh ops.
+            engine.checkpoint_now()
+        return engine, info
+
+    # -- the replay surface ------------------------------------------------------
 
     def process(self, op: Op) -> int:
         result = self.session.apply(op)
+        if self.store is not None:
+            self.store.record(op, self.session.sequence)
+            self._maybe_checkpoint()
         return len(result.violations)
 
     def process_batch(self, ops: Sequence[Op]) -> int:
@@ -64,9 +120,30 @@ class SessionEngine:
         result = self.session.apply_batch(
             [op.rule for op in ops if op.is_insert],
             [op.rid for op in ops if not op.is_insert])
+        if self.store is not None:
+            self.store.record_batch(ops, self.session.sequence)
+            self._maybe_checkpoint()
         return len(result.violations)
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if self.session.sequence - self._last_checkpoint >= self.checkpoint_every:
+            self.checkpoint_now()
+
+    def checkpoint_now(self) -> int:
+        """Write a snapshot and rotate the journal; returns the sequence."""
+        if self.store is None:
+            raise RuntimeError("engine has no checkpoint store attached")
+        sequence = self.store.checkpoint(self.session)
+        self._last_checkpoint = sequence
+        return sequence
+
     def close(self) -> None:
+        if self.store is not None:
+            if self.session.sequence > self._last_checkpoint:
+                self.checkpoint_now()
+            self.store.close()
         self.session.close()
 
     @property
@@ -87,6 +164,8 @@ def make_engine(name: str, check_loops: bool = True, width: int = 32,
     Accepts every :func:`repro.api.available_backends` name plus the
     ``deltanet-gc`` convenience alias (Delta-net with atom GC enabled).
     Unknown names raise :class:`repro.api.UnknownBackendError`.
+    ``checkpoint_dir``/``checkpoint_every`` pass through to
+    :class:`SessionEngine`'s snapshot/journal machinery.
     """
     if name == "deltanet-gc":
         return SessionEngine("deltanet", width=width,

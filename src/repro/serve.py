@@ -1,0 +1,408 @@
+"""``deltanet serve`` — the long-running streaming verification daemon.
+
+Turns the batch replay tool into a restartable service: a
+:class:`StreamServer` owns one checkpointed
+:class:`~repro.api.session.VerificationSession`, applies updates
+streamed to it as newline-delimited JSON (over stdin/stdout or a TCP
+socket), answers property queries, journals every update, and writes
+background snapshots — so a ``kill -9`` mid-stream loses nothing: the
+next start recovers ``snapshot + journal tail`` and continues at the
+exact sequence number it died at.
+
+Request protocol (one JSON object per line; see ``docs/operations.md``)::
+
+    {"cmd": "insert", "rule": {"rid": 1, "prefix": "10.0.0.0/8",
+     "priority": 10, "source": "s1", "target": "s2"}}
+    {"cmd": "remove", "rid": 1}
+    {"cmd": "batch", "insert": [RULE...], "remove": [RID...]}
+    {"cmd": "watch", "property": "loops", "args": {}}
+    {"cmd": "query", "what": "loops" | "blackholes" | "reachable" | "flows_on" | ...}
+    {"cmd": "violations"} | {"cmd": "stats"} | {"cmd": "checkpoint"}
+    {"cmd": "ping"} | {"cmd": "shutdown"}
+
+Every response is one JSON object: ``{"ok": true, "seq": N, ...}`` or
+``{"ok": false, "error": "..."}``.  Update responses carry the new
+violations the watched properties delivered for that update.
+
+The SDN bridge (:func:`attach_controller`) subscribes the daemon to a
+:mod:`repro.sdn` controller's committed-operation stream, so rule
+changes travelling the OpenFlow message plane are verified, journaled
+and checkpointed like any directly streamed update.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple
+
+from repro.api import PROPERTY_TYPES, VerificationSession, Violation
+from repro.core.rules import Action, Rule
+from repro.datasets.format import Op
+from repro.persist import RecoveryInfo, SessionStore
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection of protocol payloads (cycles, spans)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def _violation_payload(violation: Violation) -> Dict[str, Any]:
+    return {"property": violation.property_name,
+            "signature": _jsonable(violation.signature),
+            "detail": violation.detail}
+
+
+def rule_from_payload(session: VerificationSession,
+                      payload: Dict[str, Any]) -> Rule:
+    """Build a rule from a request dict (CIDR ``prefix`` or ``lo``/``hi``)."""
+    action = (Action.DROP if payload.get("action") == "drop"
+              else Action.FORWARD)
+    if "prefix" in payload:
+        return session.make_rule(
+            payload["rid"], payload["prefix"], payload["priority"],
+            payload["source"], payload.get("target"), action)
+    if action is Action.DROP:
+        return Rule.drop(payload["rid"], payload["lo"], payload["hi"],
+                         payload["priority"], payload["source"])
+    return Rule.forward(payload["rid"], payload["lo"], payload["hi"],
+                        payload["priority"], payload["source"],
+                        payload["target"])
+
+
+class StreamServer:
+    """One checkpointed session behind a line-oriented command surface.
+
+    Thread-safe: transports may dispatch from several connections; every
+    command takes the session lock, so updates, queries and background
+    checkpoints serialize.  ``checkpoint_every`` bounds journal-replay
+    work after a crash; ``checkpoint_interval`` (seconds) additionally
+    snapshots quiet sessions in the background.
+    """
+
+    def __init__(self, store_dir: str, engine: str = "deltanet",
+                 width: int = 32, checkpoint_every: int = 1000,
+                 checkpoint_interval: Optional[float] = None,
+                 properties: Iterable[str] = ("loops",),
+                 log: Callable[[str], None] = lambda line: None,
+                 **backend_options: Any) -> None:
+        self._lock = threading.RLock()
+        self._log = log
+        self.checkpoint_every = checkpoint_every
+        self.store = SessionStore(store_dir)
+        self.recovery: Optional[RecoveryInfo] = None
+        if self.store.exists():
+            self.session, self.recovery = self.store.recover(
+                **backend_options)
+            log(f"recovered sequence {self.recovery.sequence} "
+                f"(snapshot {self.recovery.snapshot_sequence} + "
+                f"{self.recovery.replayed} journaled ops"
+                + (", torn tail truncated)" if self.recovery.torn_tail
+                   else ")"))
+            if engine not in (self.session.backend_name, "deltanet"):
+                log(f"note: store was written by backend "
+                    f"{self.session.backend_name!r}; requested "
+                    f"--engine {engine!r} is ignored on recovery")
+            # Subscriptions live in the snapshot; requested properties
+            # the recovered session is not yet watching are added (and
+            # checkpointed) rather than silently dropped.
+            watching = {p.name for p in self.session.properties}
+            missing = [name for name in properties if name not in watching]
+            for name in missing:
+                self._watch(name, {})
+            if missing:
+                log(f"watching additionally requested properties: "
+                    f"{', '.join(missing)}")
+            if missing or self.recovery.replayed:
+                self.store.checkpoint(self.session)
+        else:
+            self.session = VerificationSession(engine, width=width,
+                                               **backend_options)
+            for name in properties:
+                self._watch(name, {})
+            self.store.checkpoint(self.session)
+            log(f"fresh session ({engine}, width={width}) in {store_dir}")
+        self._last_checkpoint = self.session.sequence
+        self._shutdown = threading.Event()
+        self._ticker: Optional[threading.Thread] = None
+        if checkpoint_interval:
+            self._ticker = threading.Thread(
+                target=self._background_checkpoints,
+                args=(checkpoint_interval,), daemon=True)
+            self._ticker.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _background_checkpoints(self, interval: float) -> None:
+        while not self._shutdown.wait(interval):
+            try:
+                with self._lock:
+                    if self.session.sequence > self._last_checkpoint:
+                        self._checkpoint()
+            except Exception as exc:
+                # A transient failure (disk full, fs hiccup) must not
+                # kill the ticker — durability degrades for one tick,
+                # loudly, instead of silently forever.
+                self._log(f"background checkpoint failed: "
+                          f"{type(exc).__name__}: {exc}")
+
+    def _checkpoint(self) -> int:
+        sequence = self.store.checkpoint(self.session)
+        self._last_checkpoint = sequence
+        self._log(f"checkpoint at sequence {sequence}")
+        return sequence
+
+    def close(self) -> None:
+        """Clean shutdown: final checkpoint, stop the ticker, reap workers."""
+        self._shutdown.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=5)
+        with self._lock:
+            if self.session.sequence > self._last_checkpoint:
+                self._checkpoint()
+            self.store.close()
+            self.session.close()
+
+    # -- command dispatch --------------------------------------------------------
+
+    def handle_line(self, line: str) -> Tuple[Dict[str, Any], bool]:
+        """Process one request line; returns ``(response, keep_going)``."""
+        line = line.strip()
+        if not line:
+            return {}, True
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}"}, True
+        try:
+            with self._lock:
+                return self._dispatch(request)
+        except Exception as exc:  # protocol errors must not kill the daemon
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}, True
+
+    def apply_op(self, op: Op) -> Dict[str, Any]:
+        """Apply one dataset op (the SDN-bridge entry point)."""
+        with self._lock:
+            result = self.session.apply(op)
+            self.store.record(op, self.session.sequence)
+            self._maybe_checkpoint()
+            return self._update_response(result)
+
+    def _maybe_checkpoint(self) -> None:
+        if self.session.sequence - self._last_checkpoint \
+                >= self.checkpoint_every:
+            self._checkpoint()
+
+    def _update_response(self, result) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "seq": self.session.sequence,
+            "violations": [_violation_payload(v) for v in result.violations],
+            "latency_us": round(result.latency * 1e6, 1),
+        }
+
+    def _watch(self, name: str, args: Dict[str, Any]) -> bool:
+        """Subscribe a property; idempotent — an identical subscription
+        (same name and spec) is not added twice, so a defensive
+        re-watch after a client reconnect cannot double every future
+        violation delivery.  Returns whether anything was added."""
+        from repro.api.properties import property_spec
+
+        cls = PROPERTY_TYPES.get(name)
+        if cls is None:
+            raise ValueError(
+                f"unknown property {name!r}; known: "
+                f"{', '.join(sorted(PROPERTY_TYPES))}")
+        candidate = cls(**args)
+        spec = property_spec(candidate)
+        for existing in self.session.properties:
+            if (getattr(existing, "name", None) == name
+                    and property_spec(existing) == spec):
+                return False
+        self.session.watch(candidate)
+        return True
+
+    def _dispatch(self, request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        cmd = request.get("cmd")
+        if cmd == "insert":
+            rule = rule_from_payload(self.session, request["rule"])
+            return self.apply_op(Op.insert(rule)), True
+        if cmd == "remove":
+            return self.apply_op(Op.remove(request["rid"])), True
+        if cmd == "batch":
+            inserts = [rule_from_payload(self.session, payload)
+                       for payload in request.get("insert", ())]
+            removals = list(request.get("remove", ()))
+            result = self.session.apply_batch(inserts, removals)
+            ops = [Op.remove(rid) for rid in removals]
+            ops += [Op.insert(rule) for rule in inserts]
+            if ops:  # an empty batch is a legal no-op, nothing to journal
+                self.store.record_batch(ops, self.session.sequence)
+                self._maybe_checkpoint()
+            return self._update_response(result), True
+        if cmd == "watch":
+            if self._watch(request["property"], request.get("args", {})):
+                # Subscriptions live in the snapshot, not the journal —
+                # checkpoint now so a crash cannot forget the watch.
+                self._checkpoint()
+            return {"ok": True, "seq": self.session.sequence,
+                    "watching": [p.name for p in self.session.properties]}, True
+        if cmd == "query":
+            return {"ok": True, "seq": self.session.sequence,
+                    "result": self._query(request)}, True
+        if cmd == "violations":
+            return {"ok": True, "seq": self.session.sequence,
+                    "violations": [_violation_payload(v)
+                                   for v in self.session.violations()]}, True
+        if cmd == "stats":
+            stats = dict(self.session.stats())
+            stats["sequence"] = self.session.sequence
+            stats["watching"] = [p.name for p in self.session.properties]
+            return {"ok": True, "stats": _jsonable(stats)}, True
+        if cmd == "checkpoint":
+            return {"ok": True, "seq": self._checkpoint()}, True
+        if cmd == "ping":
+            return {"ok": True, "seq": self.session.sequence}, True
+        if cmd == "shutdown":
+            return {"ok": True, "seq": self.session.sequence,
+                    "closing": True}, False
+        return {"ok": False, "error": f"unknown cmd {cmd!r}"}, True
+
+    def _query(self, request: Dict[str, Any]) -> Any:
+        what = request.get("what")
+        if what == "loops":
+            return [_jsonable(cycle) for cycle in self.session.find_loops()]
+        if what == "blackholes":
+            return {str(node): _jsonable(spans) for node, spans
+                    in self.session.find_blackholes().items()}
+        if what == "reachable":
+            return _jsonable(self.session.reachable(request["src"],
+                                                    request["dst"]))
+        if what == "flows_on":
+            return _jsonable(self.session.flows_on(
+                (request["source"], request["target"])))
+        if what == "what_if_link_down":
+            return _jsonable(self.session.what_if_link_down(
+                (request["source"], request["target"])))
+        if what == "links":
+            return [_jsonable(tuple(link)) for link in self.session.links()]
+        if what == "rules":
+            return sorted(self.session.rules())
+        raise ValueError(f"unknown query {what!r}")
+
+
+# -- transports ----------------------------------------------------------------
+
+
+def serve_stdio(server: StreamServer, in_stream: IO[str],
+                out_stream: IO[str]) -> int:
+    """The ndjson request/response loop over text streams; returns the
+    number of requests served."""
+    served = 0
+    for line in in_stream:
+        response, keep_going = server.handle_line(line)
+        if response:
+            out_stream.write(json.dumps(response) + "\n")
+            out_stream.flush()
+            served += 1
+        if not keep_going:
+            break
+    return served
+
+
+def serve_socket(server: StreamServer, host: str = "127.0.0.1",
+                 port: int = 0,
+                 ready: Optional[Callable[[str, int], None]] = None) -> None:
+    """Serve ndjson over TCP; one thread per connection, shared session.
+
+    Blocks until a client sends ``shutdown``.  ``ready(host, port)``
+    fires once the socket is listening (port 0 picks a free port).
+    """
+    stop = threading.Event()
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            for raw in self.rfile:
+                response, keep_going = server.handle_line(
+                    raw.decode("utf-8", "replace"))
+                if response:
+                    self.wfile.write(
+                        (json.dumps(response) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                if not keep_going:
+                    stop.set()
+                    return
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server((host, port), Handler) as tcp:
+        if ready is not None:
+            ready(*tcp.server_address[:2])
+        worker = threading.Thread(target=tcp.serve_forever, daemon=True)
+        worker.start()
+        try:
+            stop.wait()
+        finally:
+            tcp.shutdown()
+            worker.join(timeout=5)
+
+
+def request_over_socket(host: str, port: int,
+                        requests: Iterable[Dict[str, Any]],
+                        timeout: float = 10.0) -> List[Dict[str, Any]]:
+    """Small client helper: send requests, collect the responses."""
+    responses: List[Dict[str, Any]] = []
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+        for request in requests:
+            stream.write(json.dumps(request) + "\n")
+            stream.flush()
+            line = stream.readline()
+            if not line:
+                break
+            responses.append(json.loads(line))
+    return responses
+
+
+# -- the SDN bridge ------------------------------------------------------------
+
+
+def attach_controller(controller, server: StreamServer,
+                      on_violation: Optional[Callable[[Dict[str, Any]], None]]
+                      = None) -> None:
+    """Verify an SDN controller's committed operations as they land.
+
+    Works with any :mod:`repro.sdn` controller exposing
+    ``subscribe(listener)`` and emitting
+    :class:`~repro.datasets.format.Op` at commit time (both the direct
+    ``Controller`` and the barrier-confirmed
+    :class:`~repro.sdn.transport.OpenFlowController`).  Each committed
+    op flows through the daemon's journaled, checkpointed update path;
+    ``on_violation`` fires per delivered violation payload.
+    """
+
+    def _listener(op: Op) -> None:
+        response = server.apply_op(op)
+        if on_violation is not None:
+            for payload in response["violations"]:
+                on_violation(payload)
+
+    controller.subscribe(_listener)
+
+
+def wait_until_idle(server: StreamServer) -> int:
+    """Testing aid: the current sequence once in-flight commands drain."""
+    with server._lock:
+        return server.session.sequence

@@ -274,6 +274,21 @@ class TreapMap:
                     node = node.left
         return out
 
+    # -- persistence hooks (see repro.persist) --------------------------------
+
+    def rng_state(self) -> tuple:
+        """The priority PRNG's state, as plain data (ints/None/tuples).
+
+        Restoring it after a rebuild makes *future* priority draws — and
+        therefore future tree shapes — match the original instance
+        exactly, keeping snapshot/restore behaviourally transparent.
+        """
+        return self._rng.getstate()
+
+    def set_rng_state(self, state: tuple) -> None:
+        version, internal, gauss_next = state
+        self._rng.setstate((version, tuple(internal), gauss_next))
+
     def keys(self) -> Iterator[Any]:
         return self.irange()
 

@@ -1,0 +1,135 @@
+"""The tagged binary codec: roundtrip, determinism, malformed input."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.persist.codec import (
+    CodecError, decode, decode_stream, encode, encode_stream,
+)
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    1,
+    2 ** 130,            # wider than the 64-bit header space
+    -(2 ** 130),
+    3.14159,
+    float("inf"),
+    "",
+    "atoms",
+    "uniçode \U0001f40d",
+    b"",
+    b"\x00\xff" * 7,
+    (),
+    (1, ("nested", -2), None),
+    [],
+    [1, [2, [3]]],
+    {},
+    {"a": 1, ("lo", "hi"): [2, 3]},
+    set(),
+    {1, 2, 3},
+    frozenset({("loop", ("a", "b"))}),
+]
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=[repr(s)[:40] for s in SAMPLES])
+def test_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+def test_roundtrip_preserves_types():
+    assert decode(encode((1, 2))) == (1, 2)
+    assert isinstance(decode(encode((1, 2))), tuple)
+    assert isinstance(decode(encode([1, 2])), list)
+    assert isinstance(decode(encode({1})), set)
+    assert isinstance(decode(encode(frozenset({1}))), frozenset)
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1 and decode(encode(1)) is not True
+
+
+def test_dict_preserves_insertion_order():
+    value = {"z": 1, "a": 2, "m": 3}
+    assert list(decode(encode(value))) == ["z", "a", "m"]
+
+
+def test_deterministic_for_sets():
+    # Sets have no order; the codec must still emit stable bytes.
+    a = encode({"x", "y", "z", 1, 2, 3})
+    b = encode({3, "z", 2, "y", 1, "x"})
+    assert a == b
+
+
+def test_unencodable_value_raises():
+    with pytest.raises(CodecError):
+        encode(object())
+    with pytest.raises(CodecError):
+        encode({"ok": object()})
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(CodecError):
+        decode(encode(1) + b"\x00")
+
+
+def test_truncated_bytes_rejected():
+    blob = encode(("hello", [1, 2, 3]))
+    for cut in range(len(blob)):
+        with pytest.raises(CodecError):
+            decode(blob[:cut])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError, match="unknown tag"):
+        decode(b"\x7f")
+
+
+def test_stream_framing_roundtrip():
+    buffer = io.BytesIO()
+    values = ["one", {"two": 2}, (3, 3, 3)]
+    for value in values:
+        encode_stream(buffer, value)
+    buffer.seek(0)
+    assert list(decode_stream(buffer)) == values
+
+
+def test_stream_torn_tail_raises():
+    buffer = io.BytesIO()
+    encode_stream(buffer, "complete")
+    encode_stream(buffer, ["torn", "away"])
+    data = buffer.getvalue()[:-3]
+    stream = io.BytesIO(data)
+    reader = decode_stream(stream)
+    assert next(reader) == "complete"
+    with pytest.raises(CodecError):
+        next(reader)
+
+
+_leaves = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-(2 ** 80), max_value=2 ** 80),
+    st.text(max_size=12), st.binary(max_size=12),
+)
+_values = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.frozensets(st.integers(min_value=0, max_value=100), max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(_values)
+def test_roundtrip_property(value):
+    blob = encode(value)
+    assert decode(blob) == value
+    # Deterministic: re-encoding the decoded value gives the same bytes.
+    assert encode(decode(blob)) == blob

@@ -1,0 +1,117 @@
+"""The append-only journal: framing, batches, torn tails, recovery."""
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.persist.journal import (
+    Journal, JournalCorruption, journal_records, read_journal,
+)
+
+
+def ops_fixture():
+    return [
+        Op.insert(Rule.forward(1, 0, 128, 5, "a", "b")),
+        Op.insert(Rule.drop(2, 64, 128, 9, "b")),
+        Op.remove(1),
+    ]
+
+
+def test_create_append_read(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=7) as journal:
+        for offset, op in enumerate(ops_fixture(), start=8):
+            journal.append(op, offset)
+    base, records, valid, torn = read_journal(path)
+    assert base == 7
+    assert not torn
+    assert valid == path.stat().st_size
+    assert [seq for seq, _op in records] == [8, 9, 10]
+    ops = [op for _seq, op in records]
+    assert [op.kind for op in ops] == ["+", "+", "-"]
+    assert ops[0].rule.to_state() == Rule.forward(1, 0, 128, 5, "a", "b").to_state()
+    assert ops[1].rule.action.value == "drop"
+    assert ops[2].rid == 1
+
+
+def test_batch_records_roundtrip(tmp_path):
+    path = tmp_path / "journal.bin"
+    batch = ops_fixture()
+    with Journal.create(path, base_sequence=0) as journal:
+        journal.append_batch(batch, sequence=3)
+        journal.append(Op.remove(2), sequence=4)
+    _base, records, _valid, torn = read_journal(path)
+    assert not torn
+    seq, entry = records[0]
+    assert seq == 3 and isinstance(entry, list) and len(entry) == 3
+    assert records[1][1].rid == 2
+
+
+def test_journal_records_filters_by_sequence(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=0) as journal:
+        for offset, op in enumerate(ops_fixture(), start=1):
+            journal.append(op, offset)
+    assert [seq for seq, _ in journal_records(path)] == [1, 2, 3]
+    assert [seq for seq, _ in journal_records(path, after_sequence=2)] == [3]
+
+
+def test_sequence_must_advance(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=5) as journal:
+        journal.append(Op.remove(1), 6)
+        with pytest.raises(ValueError, match="not after"):
+            journal.append(Op.remove(2), 6)
+        with pytest.raises(ValueError, match="not after"):
+            journal.append(Op.remove(2), 4)
+
+
+def test_torn_tail_detected_and_prior_records_survive(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=0) as journal:
+        journal.append(ops_fixture()[0], 1)
+        journal.append(ops_fixture()[1], 2)
+    whole = path.read_bytes()
+    for cut in range(len(whole) - 1, len(whole) - 12, -1):
+        path.write_bytes(whole[:cut])
+        base, records, valid, torn = read_journal(path)
+        assert base == 0
+        assert torn
+        assert [seq for seq, _ in records] == [1]
+        assert valid <= cut
+
+
+def test_open_truncates_torn_tail_then_appends(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=0) as journal:
+        journal.append(ops_fixture()[0], 1)
+    path.write_bytes(path.read_bytes() + b"\x99torn-garbage")
+    with Journal.open(path) as journal:
+        assert journal.last_sequence == 1
+        journal.append(ops_fixture()[2], 2)
+    base, records, _valid, torn = read_journal(path)
+    assert not torn
+    assert [seq for seq, _ in records] == [1, 2]
+
+
+def test_crc_corruption_truncates_from_the_damage(tmp_path):
+    path = tmp_path / "journal.bin"
+    with Journal.create(path, base_sequence=0) as journal:
+        journal.append(ops_fixture()[0], 1)
+        journal.append(ops_fixture()[1], 2)
+    data = bytearray(path.read_bytes())
+    data[-3] ^= 0xFF  # corrupt the final record's CRC region
+    path.write_bytes(bytes(data))
+    _base, records, _valid, torn = read_journal(path)
+    assert torn
+    assert [seq for seq, _ in records] == [1]
+
+
+def test_unreadable_header_raises(tmp_path):
+    path = tmp_path / "journal.bin"
+    path.write_bytes(b"\x00")
+    with pytest.raises(JournalCorruption):
+        read_journal(path)
+    path.write_bytes(b"")
+    with pytest.raises(JournalCorruption):
+        read_journal(path)

@@ -1,0 +1,128 @@
+"""SessionStore: atomic checkpoints, journal tails, crash recovery."""
+
+import os
+
+import pytest
+
+from repro.api import LoopProperty, VerificationSession
+from repro.datasets.format import Op
+from repro.persist import SessionStore
+
+
+def looping_pair(session):
+    return (session.make_rule(1, "128/1", 5, "a", "b"),
+            session.make_rule(2, "128/1", 4, "b", "a"))
+
+
+def test_record_requires_a_checkpoint(tmp_path):
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8)
+    with pytest.raises(RuntimeError, match="checkpoint"):
+        store.record(Op.remove(1), 1)
+
+
+def test_checkpoint_then_journal_tail_recovers(tmp_path):
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8,
+                                  properties=(LoopProperty(),))
+    r1, r2 = looping_pair(session)
+    session.insert(r1)
+    store.checkpoint(session)
+    # One op beyond the checkpoint, journaled but never snapshotted.
+    op = Op.insert(r2)
+    result = session.apply(op)
+    store.record(op, session.sequence)
+    assert len(result.violations) == 1
+
+    recovered, info = SessionStore(tmp_path / "state").recover(verify=True)
+    assert info.snapshot_sequence == 1
+    assert info.replayed == 1
+    assert not info.torn_tail
+    assert recovered.sequence == 2
+    assert [v.signature for v in recovered.violations()] == \
+        [v.signature for v in session.violations()]
+    assert sorted(recovered.rules()) == [1, 2]
+
+
+def test_recovery_skips_records_the_snapshot_covers(tmp_path):
+    """A kill between snapshot rename and journal rotation is safe."""
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8)
+    r1, r2 = looping_pair(session)
+    session.insert(r1)
+    store.checkpoint(session)
+    op = Op.insert(r2)
+    session.apply(op)
+    store.record(op, session.sequence)
+    # Simulate the crash window: snapshot updated, journal NOT rotated.
+    from repro.persist.snapshot import save_session
+    save_session(session, store.snapshot_path)
+
+    recovered, info = SessionStore(tmp_path / "state").recover()
+    assert info.snapshot_sequence == 2
+    assert info.replayed == 0  # the tail record was already covered
+    assert sorted(recovered.rules()) == [1, 2]
+
+
+def test_checkpoint_rotates_journal(tmp_path):
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8)
+    r1, r2 = looping_pair(session)
+    session.insert(r1)
+    store.checkpoint(session)
+    op = Op.insert(r2)
+    session.apply(op)
+    store.record(op, session.sequence)
+    size_before = os.path.getsize(store.journal_path)
+    store.checkpoint(session)
+    assert os.path.getsize(store.journal_path) < size_before
+    _recovered, info = SessionStore(tmp_path / "state").recover()
+    assert info.snapshot_sequence == 2 and info.replayed == 0
+
+
+def test_batch_records_recover_through_batched_path(tmp_path):
+    """A journaled batch whose intermediate state loops must not alert
+    during recovery — exactly as it did not alert live."""
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8,
+                                  properties=(LoopProperty(),))
+    r1, r2 = looping_pair(session)
+    session.insert(r1)
+    store.checkpoint(session)
+    # Batch: complete the loop AND break it again, atomically.
+    result = session.apply_batch([r2], [1])
+    assert result.violations == []
+    ops = [Op.remove(1), Op.insert(r2)]
+    store.record_batch(ops, session.sequence)
+
+    recovered, info = SessionStore(tmp_path / "state").recover()
+    assert info.replayed == 2
+    assert recovered.violations() == []
+    assert sorted(recovered.rules()) == [2]
+
+
+def test_torn_journal_tail_is_reported_and_survivable(tmp_path):
+    store = SessionStore(tmp_path / "state")
+    session = VerificationSession("deltanet", width=8)
+    r1, r2 = looping_pair(session)
+    session.insert(r1)
+    store.checkpoint(session)
+    op = Op.insert(r2)
+    session.apply(op)
+    store.record(op, session.sequence)
+    with open(store.journal_path, "ab") as handle:
+        handle.write(b"\xfftorn")
+    recovered, info = SessionStore(tmp_path / "state").recover()
+    assert info.torn_tail
+    assert info.replayed == 1
+    assert sorted(recovered.rules()) == [1, 2]
+
+
+def test_exists_and_repr(tmp_path):
+    store = SessionStore(tmp_path / "state")
+    assert not store.exists()
+    assert "checkpoint=no" in repr(store)
+    session = VerificationSession("deltanet", width=8)
+    store.checkpoint(session)
+    assert store.exists()
+    assert "checkpoint=yes" in repr(store)

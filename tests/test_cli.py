@@ -46,6 +46,77 @@ class TestCommands:
         assert main(["replay", path, "--cdf"]) == 0
         assert "CDF" in capsys.readouterr().out
 
+    def test_replay_checkpoint_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        state = str(tmp_path / "ckpt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--checkpoint", state,
+                     "--checkpoint-every", "50"]) == 0
+        first = capsys.readouterr().out
+        assert "cumulative_violations=" in first
+        # Resume after a clean run: everything is already applied.
+        assert main(["replay", path, "--checkpoint", state,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at sequence" in out
+        assert "0 ops" in out
+
+    def test_replay_crash_resume_matches_uninterrupted(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "ops.txt")
+        state = str(tmp_path / "ckpt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+
+        def run_cli(*argv):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro"] + list(argv),
+                capture_output=True, text=True,
+                env={**os.environ, "PYTHONPATH": src_dir})
+            assert proc.returncode == 0, proc.stderr
+            return proc.stdout
+
+        uninterrupted = run_cli("replay", path)
+        total = re.search(r"(\d+) loops found", uninterrupted).group(1)
+        crash = run_cli("replay", path, "--checkpoint", state,
+                        "--checkpoint-every", "40", "--stop-after", "90")
+        assert "simulated crash" in crash
+        resumed = run_cli("replay", path, "--checkpoint", state, "--resume")
+        assert f"cumulative_violations={total}" in resumed
+
+    def test_replay_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--resume"]) == 2
+
+    def test_replay_refuses_to_clobber_existing_checkpoint(
+            self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        state = str(tmp_path / "ckpt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--checkpoint", state]) == 0
+        capsys.readouterr()
+        assert main(["replay", path, "--checkpoint", state]) == 2
+        assert "pass --resume" in capsys.readouterr().err
+
+    def test_serve_parser(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "/tmp/x", "--checkpoint-every", "5",
+             "--listen", "127.0.0.1:0"])
+        assert args.store == "/tmp/x"
+        assert args.checkpoint_every == 5
+        assert args.listen == "127.0.0.1:0"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])  # --store is required
+
     def test_whatif(self, capsys):
         assert main(["whatif", "4Switch", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""The streaming verification daemon: protocol, recovery, transports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    StreamServer, attach_controller, request_over_socket, serve_socket,
+    serve_stdio,
+)
+
+
+def rule_payload(rid, prefix, priority, source, target=None, action=None):
+    payload = {"rid": rid, "prefix": prefix, "priority": priority,
+               "source": source}
+    if target is not None:
+        payload["target"] = target
+    if action is not None:
+        payload["action"] = action
+    return payload
+
+
+def send(server, request):
+    response, keep_going = server.handle_line(json.dumps(request))
+    return response, keep_going
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = StreamServer(str(tmp_path / "state"), width=8,
+                            checkpoint_every=100)
+    yield instance
+    instance.close()
+
+
+def test_insert_remove_and_violation_stream(server):
+    response, _ = send(server, {
+        "cmd": "insert",
+        "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    assert response["ok"] and response["seq"] == 1
+    assert response["violations"] == []
+    response, _ = send(server, {
+        "cmd": "insert",
+        "rule": rule_payload(2, "128/1", 4, "b", "a")})
+    assert response["seq"] == 2
+    assert response["violations"][0]["property"] == "loops"
+    response, _ = send(server, {"cmd": "remove", "rid": 2})
+    assert response["ok"] and response["seq"] == 3
+    response, _ = send(server, {"cmd": "query", "what": "loops"})
+    assert response["result"] == []
+
+
+def test_batch_and_queries(server):
+    response, _ = send(server, {"cmd": "batch", "insert": [
+        rule_payload(1, "0/1", 5, "a", "b"),
+        rule_payload(2, "0/1", 4, "b", "c"),
+        rule_payload(3, "0/2", 9, "c", None, action="drop"),
+    ]})
+    assert response["ok"] and response["seq"] == 3
+    response, _ = send(server, {"cmd": "query", "what": "reachable",
+                                "src": "a", "dst": "c"})
+    assert response["result"] == [[0, 128]]
+    response, _ = send(server, {"cmd": "query", "what": "flows_on",
+                                "source": "a", "target": "b"})
+    assert response["result"] == [[0, 128]]
+    response, _ = send(server, {"cmd": "query", "what": "rules"})
+    assert response["result"] == [1, 2, 3]
+    response, _ = send(server, {"cmd": "stats"})
+    assert response["stats"]["rules"] == 3
+    assert response["stats"]["sequence"] == 3
+
+
+def test_watch_checkpoint_shutdown_and_errors(server):
+    response, _ = send(server, {"cmd": "watch", "property": "reachability",
+                                "args": {"src": "a", "dst": "b"}})
+    assert response["ok"]
+    assert "reachability" in response["watching"]
+    response, _ = send(server, {"cmd": "watch", "property": "nope"})
+    assert not response["ok"] and "unknown property" in response["error"]
+    response, _ = send(server, {"cmd": "checkpoint"})
+    assert response["ok"]
+    response, _ = send(server, {"cmd": "nonsense"})
+    assert not response["ok"]
+    response, keep_going = send(server, {"cmd": "shutdown"})
+    assert response["ok"] and not keep_going
+
+
+def test_rewatch_is_idempotent(server):
+    response, _ = send(server, {"cmd": "watch", "property": "loops"})
+    assert response["watching"] == ["loops"]  # not doubled
+    send(server, {"cmd": "insert",
+                  "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    response, _ = send(server, {"cmd": "insert",
+                                "rule": rule_payload(2, "128/1", 4, "b", "a")})
+    assert len(response["violations"]) == 1  # delivered once, not twice
+    # A *different* spec of the same property class is a new subscription.
+    response, _ = send(server, {"cmd": "watch", "property": "reachability",
+                                "args": {"src": "a", "dst": "b"}})
+    response, _ = send(server, {"cmd": "watch", "property": "reachability",
+                                "args": {"src": "b", "dst": "a"}})
+    assert response["watching"].count("reachability") == 2
+
+
+def test_empty_batch_is_a_legal_noop(server):
+    response, keep_going = send(server, {"cmd": "batch"})
+    assert response["ok"] and keep_going
+    assert response["seq"] == 0 and response["violations"] == []
+    response, _ = send(server, {"cmd": "ping"})
+    assert response["seq"] == 0
+
+
+def test_malformed_and_failing_requests_do_not_kill_the_daemon(server):
+    response, keep_going = server.handle_line("{not json")
+    assert not response["ok"] and keep_going
+    response, keep_going = send(server, {"cmd": "remove", "rid": 999})
+    assert not response["ok"] and "KeyError" in response["error"]
+    assert keep_going
+    response, _ = send(server, {"cmd": "ping"})
+    assert response["ok"]
+
+
+def test_recovery_after_hard_kill(tmp_path):
+    state = str(tmp_path / "state")
+    first = StreamServer(state, width=8, checkpoint_every=1)
+    send(first, {"cmd": "insert",
+                 "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    send(first, {"cmd": "insert",
+                 "rule": rule_payload(2, "128/1", 4, "b", "a")})
+    # No close(): the daemon dies here.  checkpoint_every=1 means the
+    # journal/snapshot already cover both ops.
+    second = StreamServer(state, width=8)
+    assert second.recovery is not None
+    assert second.recovery.sequence == 2
+    response, _ = send(second, {"cmd": "query", "what": "loops"})
+    assert response["result"] == [["a", "b"]]
+    response, _ = send(second, {"cmd": "violations"})
+    assert [v["property"] for v in response["violations"]] == ["loops"]
+    second.close()
+
+
+def test_recovery_adds_missing_requested_properties(tmp_path):
+    state = str(tmp_path / "state")
+    first = StreamServer(state, width=8, properties=("loops",))
+    send(first, {"cmd": "insert",
+                 "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    first.close()
+    second = StreamServer(state, width=8,
+                          properties=("loops", "blackholes"))
+    names = [p.name for p in second.session.properties]
+    assert names == ["loops", "blackholes"]
+    # ... and the addition was checkpointed: a third start still has it.
+    second.close()
+    third = StreamServer(state, width=8)
+    assert [p.name for p in third.session.properties] == \
+        ["loops", "blackholes"]
+    third.close()
+
+
+def test_recovery_replays_journal_tail(tmp_path):
+    state = str(tmp_path / "state")
+    first = StreamServer(state, width=8, checkpoint_every=1000)
+    send(first, {"cmd": "insert",
+                 "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    send(first, {"cmd": "insert",
+                 "rule": rule_payload(2, "128/1", 4, "b", "a")})
+    # cadence 1000 -> both ops live only in the journal tail
+    second = StreamServer(state, width=8)
+    assert second.recovery.replayed == 2
+    response, _ = send(second, {"cmd": "stats"})
+    assert response["stats"]["sequence"] == 2
+    assert response["stats"]["rules"] == 2
+    second.close()
+
+
+def test_serve_stdio_loop(tmp_path):
+    import io
+
+    server = StreamServer(str(tmp_path / "state"), width=8)
+    requests = "\n".join(json.dumps(r) for r in [
+        {"cmd": "insert", "rule": rule_payload(1, "0/1", 5, "a", "b")},
+        {"cmd": "ping"},
+        {"cmd": "shutdown"},
+        {"cmd": "never-reached"},
+    ])
+    out = io.StringIO()
+    served = serve_stdio(server, io.StringIO(requests + "\n"), out)
+    server.close()
+    lines = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert served == 3
+    assert [line["ok"] for line in lines] == [True, True, True]
+
+
+def test_serve_socket_roundtrip(tmp_path):
+    server = StreamServer(str(tmp_path / "state"), width=8)
+    address = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        address["host"], address["port"] = host, port
+        ready.set()
+
+    thread = threading.Thread(target=serve_socket, args=(server,),
+                              kwargs=dict(port=0, ready=on_ready),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    responses = request_over_socket(address["host"], address["port"], [
+        {"cmd": "insert", "rule": rule_payload(1, "0/1", 5, "a", "b")},
+        {"cmd": "query", "what": "links"},
+        {"cmd": "shutdown"},
+    ])
+    thread.join(10)
+    server.close()
+    assert [r["ok"] for r in responses] == [True, True, True]
+    assert responses[1]["result"] == [["a", "b"]]
+
+
+def test_sdn_controller_bridge(tmp_path):
+    from repro.sdn.controller import Controller
+    from repro.topology.graph import Topology
+
+    topology = Topology()
+    for pair in (("a", "b"), ("b", "a")):
+        topology.add_link(*pair)
+    controller = Controller(topology)
+    server = StreamServer(str(tmp_path / "state"), width=8,
+                          checkpoint_every=1)
+    alerts = []
+    attach_controller(controller, server, on_violation=alerts.append)
+    controller.install_forward("a", "b", 128, 256, 5)
+    controller.install_forward("b", "a", 128, 256, 4)
+    assert server.session.num_rules == 2
+    assert [a["property"] for a in alerts] == ["loops"]
+    server.close()
+    # The bridged ops were journaled: a restart still knows them.
+    recovered = StreamServer(str(tmp_path / "state"), width=8)
+    assert recovered.session.num_rules == 2
+    recovered.close()
