@@ -19,6 +19,14 @@ Three suites, selected with ``--suite``:
   replay; ``cold-batched`` recorded for reference); baseline
   ``BENCH_warm_start.json``, with a machine-independent >=
   :data:`TARGET_WARM_SPEEDUP` x floor on cold/warm at every size.
+* ``scenario_latency`` — per-update verification throughput of each
+  :mod:`repro.scenarios` family replayed through a Delta-net session
+  with the family's own property subscriptions; "size" is the scenario
+  scale in percent (``100`` = scale 1.0).  Baseline
+  ``BENCH_scenario_latency.json``.  This is the standing latency record
+  for the lifecycles the differential fuzzer replays, so a slowdown in
+  any property fast path shows up here per event pattern, not just on
+  the synthetic stream.
 
 Each suite writes machine-readable results at the repo root.  The
 committed copies are the performance baselines; the ``check`` subcommand
@@ -64,6 +72,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_update_latency.json")
 CHECK_BASELINE = os.path.join(REPO_ROOT, "BENCH_check_latency.json")
 WARM_BASELINE = os.path.join(REPO_ROOT, "BENCH_warm_start.json")
+SCENARIO_BASELINE = os.path.join(REPO_ROOT, "BENCH_scenario_latency.json")
 WORKLOAD_SEED = 0xD31A
 SCHEMA_VERSION = 1
 
@@ -130,6 +139,18 @@ WARM_BUILD_BATCH = 1000
 #: about.
 TARGET_WARM_SPEEDUP = 5.0
 WARM_FLOOR_SIZE = 50000
+
+#: scenario_latency suite — one variant per scenario family; the seed is
+#: fixed so the measured trace is identical across runs and machines.
+SCENARIO_SEED = 11
+
+#: Scenario "sizes" are the scenario scale in percent (100 = 1.0).
+#: Variants come from the family registry, so a new family is measured
+#: (and gains a baseline on the next `run`) without touching this file.
+def _scenario_variants():
+    from repro.scenarios import scenario_families
+
+    return scenario_families()
 
 
 def synthetic_update_workload(size: int, seed: int = WORKLOAD_SEED,
@@ -364,6 +385,49 @@ def measure_warm_variant(variant: str, size: int) -> dict:
     return entry
 
 
+def measure_scenario_variant(family: str, size: int) -> dict:
+    """One scenario_latency measurement; runs inside its own process.
+
+    Builds the family's trace at scale ``size``/100 (untimed), then
+    replays it through a Delta-net session watching the scenario's own
+    properties, timing each committed update end-to-end (backend apply
+    + every subscription check).
+    """
+    from repro.analysis.stats import percentile
+    from repro.api import VerificationSession
+    from repro.scenarios import build_scenario
+
+    scenario = build_scenario(family, seed=SCENARIO_SEED,
+                              scale=size / 100.0)
+    times: List[float] = []
+    violations = 0
+    clock = time.perf_counter
+    with VerificationSession("deltanet", width=scenario.width,
+                             properties=scenario.make_properties()) as session:
+        for op in scenario.ops:
+            start = clock()
+            result = session.apply(op)
+            times.append(clock() - start)
+            violations += len(result.violations)
+        atoms = getattr(session.native, "num_atoms", None)
+    elapsed = sum(times)
+    return {
+        "variant": family,
+        "suite": "scenario_latency",
+        "size": size,
+        "ops": len(times),
+        "seconds": round(elapsed, 4),
+        "ops_per_sec": round(len(times) / elapsed, 1),
+        "p50_us": round(percentile(times, 50) * 1e6, 2),
+        "p95_us": round(percentile(times, 95) * 1e6, 2),
+        "p99_us": round(percentile(times, 99) * 1e6, 2),
+        "violations": violations,
+        "properties": [spec.name for spec in scenario.property_specs],
+        "atoms": atoms,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
 def _measure_in_subprocess(variant: str, size: int,
                            suite: str = "update_latency") -> dict:
     """Fork a fresh interpreter so peak RSS is this measurement's own."""
@@ -493,6 +557,66 @@ def run_warm_benchmark(sizes, echo=print) -> dict:
                 speedups[f"warm-vs-{reference}@{size}"] = round(
                     entry["seconds"] / warm["seconds"], 2)
     return document
+
+
+def run_scenario_benchmark(sizes, echo=print) -> dict:
+    """The scenario_latency matrix, as the JSON-serializable document."""
+    results: Dict[str, dict] = {}
+    for size in sizes:
+        for family in _scenario_variants():
+            echo(f"  measuring scenario:{family} @ scale {size}% ...")
+            entry = _measure_in_subprocess(family, size,
+                                           suite="scenario_latency")
+            results[f"{family}@{size}"] = entry
+            echo(f"    {entry['ops']} ops  "
+                 f"{entry['ops_per_sec']:,.0f} verified ops/s  "
+                 f"p50={entry['p50_us']}us p99={entry['p99_us']}us  "
+                 f"violations={entry['violations']}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "name": "scenario-latency",
+            "seed": SCENARIO_SEED,
+            "sizes": list(sizes),
+            "description": "each repro.scenarios family replayed "
+                           "through a deltanet VerificationSession "
+                           "watching the family's own properties; "
+                           "sizes are scenario scale in percent",
+        },
+        "calibration_score": round(calibration_score(), 1),
+        "results": results,
+    }
+
+
+def compare_scenario_to_baseline(current: dict, baseline_path: str,
+                                 tolerance: float, echo=print) -> List[str]:
+    """Regressed keys of a scenario_latency run vs the baseline.
+
+    Every family is gated on calibration-normalized per-update verify
+    throughput; there is no cross-variant ratio floor (the families are
+    workloads, not competing implementations).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    factor = current["calibration_score"] / baseline["calibration_score"]
+    echo(f"calibration: baseline={baseline['calibration_score']:,.0f} "
+         f"current={current['calibration_score']:,.0f} "
+         f"(machine factor {factor:.2f}x)")
+    failures = []
+    for key, entry in current["results"].items():
+        reference = baseline["results"].get(key)
+        if reference is None:
+            echo(f"  {key}: no baseline entry, skipping")
+            continue
+        expected = reference["ops_per_sec"] * factor
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if entry["ops_per_sec"] >= floor else "REGRESSION"
+        echo(f"  {key}: {entry['ops_per_sec']:,.0f} verified ops/s "
+             f"(baseline-normalized {expected:,.0f}, floor {floor:,.0f}) "
+             f"{status}")
+        if status != "ok":
+            failures.append(key)
+    return failures
 
 
 def compare_warm_to_baseline(current: dict, baseline_path: str,
@@ -647,6 +771,10 @@ def check_regressions(baseline_path: str, sizes, tolerance: float,
         current = run_check_benchmark(sizes, echo=echo)
         failures = compare_check_to_baseline(current, baseline_path,
                                              tolerance, echo=echo)
+    elif suite == "scenario_latency":
+        current = run_scenario_benchmark(sizes, echo=echo)
+        failures = compare_scenario_to_baseline(current, baseline_path,
+                                                tolerance, echo=echo)
     else:
         current = run_benchmark(sizes, variants=GATED_VARIANTS, echo=echo)
         failures = compare_to_baseline(current, baseline_path, tolerance,
@@ -669,6 +797,8 @@ _SUITES = {
     "update_latency": (DEFAULT_BASELINE, [10000, 50000], [10000]),
     "check_latency": (CHECK_BASELINE, [10000, 50000], [10000]),
     "warm_start": (WARM_BASELINE, [10000, 50000], [50000]),
+    # scenario sizes are scale percent; the PR gate re-checks 50%.
+    "scenario_latency": (SCENARIO_BASELINE, [50, 100], [50]),
 }
 
 
@@ -714,6 +844,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error(f"--variant must be one of {CHECK_VARIANTS} "
                              f"for the check_latency suite")
             entry = measure_check_variant(args.variant, args.size)
+        elif args.suite == "scenario_latency":
+            if args.variant not in _scenario_variants():
+                parser.error(f"--variant must be one of "
+                             f"{_scenario_variants()} for the "
+                             f"scenario_latency suite")
+            entry = measure_scenario_variant(args.variant, args.size)
         else:
             if args.variant not in VARIANTS:
                 parser.error(f"--variant must be one of "
@@ -729,6 +865,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             document = run_warm_benchmark(sizes)
         elif args.suite == "check_latency":
             document = run_check_benchmark(sizes)
+        elif args.suite == "scenario_latency":
+            document = run_scenario_benchmark(sizes)
         else:
             document = run_benchmark(sizes)
         with open(output, "w") as handle:

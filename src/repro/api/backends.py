@@ -508,8 +508,9 @@ class VeriflowBackend(BackendAdapter):
         bounds = self._boundaries()
         for lo, hi in zip(bounds, bounds[1:]):
             graph = self.native._forwarding_graph((lo, hi))
-            loop = graph.find_loop()
-            if loop is not None:
+            # All cycles, not just the first: one EC graph can hold
+            # several node-disjoint loops at once.
+            for loop in graph.find_loops():
                 seen.setdefault(canonical_cycle(loop))
         return list(seen)
 
@@ -598,10 +599,11 @@ class NetPlumberBackend(BackendAdapter):
     def _cycle_flow(self, rid_cycle: List[int]):
         """Packet space surviving one full turn of a plumbing cycle.
 
-        ``NetPlumber.find_loops`` checks pipes pairwise, which
-        over-approximates: each hop may carry flow while no single packet
-        survives the whole cycle.  Intersecting around the loop makes the
-        verdict exact at this single-field granularity.
+        ``NetPlumber.find_loops`` is already exact (its flow-propagating
+        DFS only reports cycles a packet survives end-to-end); this
+        re-intersection is a cheap independent guard so a future native
+        regression surfaces as a dropped infeasible cycle here rather
+        than as a false loop alert.
         """
         from repro.core.intervals import IntervalSet
 

@@ -11,9 +11,14 @@ Examples::
     deltanet replay berkeley.ops --engine deltanet
     deltanet replay berkeley.ops --engine sharded
     deltanet replay berkeley.ops --checkpoint state/ --resume
+    deltanet replay berkeley.ops --diff-oracle
     deltanet serve --store state/ --listen 127.0.0.1:9900
     deltanet whatif Berkeley --scale 1
     deltanet datasets
+    deltanet scenario list
+    deltanet scenario run link-flaps --seed 7 --backend sharded
+    deltanet fuzz --budget 200
+    deltanet fuzz --replay artifacts/repro-link-flaps-seed99.repro
 """
 
 from __future__ import annotations
@@ -26,7 +31,9 @@ from typing import List, Optional
 from repro.analysis.cdf import ascii_cdf
 from repro.analysis.memory import deep_size, format_bytes
 from repro.analysis.tables import render_table
-from repro.api import available_backends, backend_description
+from repro.api import (
+    UnknownBackendError, available_backends, backend_description,
+)
 from repro.checkers.whatif import link_failure_impact
 from repro.datasets import (
     DATASET_BUILDERS, PAPER_TABLE2, build_dataset, load_ops, save_ops,
@@ -34,6 +41,10 @@ from repro.datasets import (
 from repro.replay import (
     ReplayResult, SessionEngine, engine_names, make_engine, replay,
 )
+from repro.scenarios import ScenarioError
+
+#: Exceptions `main` turns into a message + exit 2 (no bare tracebacks).
+_READABLE_ERRORS = (ScenarioError, UnknownBackendError)
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -66,6 +77,43 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_diff_oracle(args: argparse.Namespace, ops) -> int:
+    """Replay vs. the sweep oracle: readable diff + exit 1 on mismatch."""
+    from repro.scenarios import (
+        PropertySpec, Scenario, diff_streams, replay_signatures, SweepOracle,
+    )
+
+    engine, options = args.engine, {}
+    if engine == "deltanet-gc":
+        engine, options = "deltanet", {"gc": True}
+    scenario = Scenario(
+        family="opsfile", name=args.opsfile, seed=0, scale=1.0,
+        topology=None, ops=list(ops),
+        property_specs=[PropertySpec.of("loops")])
+    scenario.validate()
+    oracle = SweepOracle(scenario.property_specs, width=scenario.width)
+    oracle_stream = oracle.stream(scenario.ops)
+    run = replay_signatures(scenario, engine, **options)
+    if run.error is not None:
+        print(f"{args.engine}: backend error during replay: {run.error}",
+              file=sys.stderr)
+        return 1
+    divergences = diff_streams(engine, scenario.ops, oracle_stream,
+                               run.delivered)
+    oracle_total = sum(len(batch) for batch in oracle_stream)
+    print(f"{args.engine} vs sweep oracle: {len(ops)} ops, "
+          f"{oracle_total} oracle violations, "
+          f"{run.num_violations} backend violations")
+    if not divergences:
+        print("OK: the backend's alert stream matches the oracle")
+        return 0
+    for divergence in divergences:
+        print(divergence.describe())
+    print("FAIL: backend/oracle disagreement (see diff above)",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import os
 
@@ -74,6 +122,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print("--resume/--stop-after require --checkpoint DIR",
               file=sys.stderr)
         return 2
+    if args.diff_oracle:
+        incompatible = [flag for flag, value in (
+            ("--batch", args.batch), ("--checkpoint", args.checkpoint),
+            ("--resume", args.resume), ("--no-check", args.no_check),
+            ("--stop-after", args.stop_after)) if value]
+        if incompatible:
+            print(f"--diff-oracle is incompatible with "
+                  f"{', '.join(incompatible)} (it re-checks every single "
+                  f"op against the sweep oracle)", file=sys.stderr)
+            return 2
+        return _replay_diff_oracle(args, ops)
     if args.resume:
         engine, info = SessionEngine.resume(
             args.checkpoint, check_loops=not args.no_check,
@@ -230,6 +289,93 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_backends(text: str) -> List[str]:
+    from repro.api import backend_factory
+
+    if text == "all":
+        return list(available_backends())
+    names = [name for name in text.split(",") if name]
+    for name in names:
+        backend_factory(name)  # readable UnknownBackendError on typos
+    return names
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        build_scenario, family_info, run_scenario, scenario_families,
+    )
+
+    if args.action == "list":
+        rows = []
+        for name in scenario_families():
+            family = family_info(name)
+            rows.append((name, family.description, family.knobs))
+        print(render_table(("Family", "Description", "Seed/scale knobs"),
+                           rows, title="Scenario families "
+                                       "(`scenario run <family>`)"))
+        return 0
+
+    backends = _split_backends(args.backends)
+    # The family builders generate 32-bit prefixes; width is not a
+    # user knob here.
+    scenario = build_scenario(args.family, seed=args.seed,
+                              scale=args.scale)
+    print(scenario.describe())
+    for aspect, note in sorted(scenario.expectations.items()):
+        print(f"  expect[{aspect}]: {note}")
+    if args.save:
+        count = save_ops(scenario.ops, args.save)
+        print(f"wrote {count} ops to {args.save}")
+    report = run_scenario(scenario, backends)
+    print(report.describe())
+    if report.ok:
+        print(f"OK: {len(backends)} backend(s) agree with the sweep "
+              f"oracle on all {scenario.num_ops} updates")
+        return 0
+    # A divergence is the whole point of this command existing: report
+    # it readably (the describe() above already printed the diff) and
+    # leave a minimized repro behind instead of a traceback.
+    if args.artifacts:
+        from repro.fuzz import minimize_failure, save_failure_artifacts
+
+        failure = minimize_failure(scenario, report,
+                                   max_probes=args.shrink_probes)
+        save_failure_artifacts(failure, report, backends, args.artifacts)
+        print(f"minimized repro ({len(failure.shrunk_ops)} ops): "
+              f"{failure.repro_path} (text twin: {failure.ops_path})")
+    print("FAIL: backend/oracle disagreement (see diff above)",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import fuzz, replay_repro
+
+    if args.replay:
+        # Without --backends, replay what the file recorded; an
+        # explicit --backends (including 'all') overrides it.
+        backends = (_split_backends(args.backends)
+                    if args.backends is not None else None)
+        report = replay_repro(args.replay, backends=backends)
+        print(report.describe())
+        if report.ok:
+            print("OK: the saved repro no longer diverges")
+            return 0
+        print("FAIL: the saved repro still diverges (see diff above)",
+              file=sys.stderr)
+        return 1
+    backends = _split_backends(args.backends or "all")
+    families = ([name for name in args.families.split(",") if name]
+                if args.families else None)
+    report = fuzz(args.budget, seed=args.seed, backends=backends,
+                  families=families, artifacts_dir=args.artifacts,
+                  time_budget=args.time_budget,
+                  shrink_probes=args.shrink_probes,
+                  log=None if args.quiet else print)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import StreamServer, serve_socket, serve_stdio
 
@@ -310,6 +456,62 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="simulate a crash: hard-exit after N ops "
                                  "without a final checkpoint")
+    replay_cmd.add_argument("--diff-oracle", action="store_true",
+                            help="diff the engine's per-op loop alerts "
+                                 "against the sweep oracle; exit 1 with a "
+                                 "readable diff on disagreement")
+
+    scenario = sub.add_parser(
+        "scenario", help="build and differentially run scenario traces")
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+    scenario_sub.add_parser("list", help="catalogue the scenario families")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario through backend(s) + the sweep oracle")
+    scenario_run.add_argument("family",
+                              help="scenario family (see `scenario list`)")
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument("--scale", type=float, default=1.0)
+    scenario_run.add_argument("--backends", default="deltanet",
+                              metavar="A,B|all",
+                              help="comma-separated backends, or 'all' "
+                                   "(default: deltanet)")
+    scenario_run.add_argument("--save", metavar="FILE", default=None,
+                              help="also write the trace as a replayable "
+                                   ".ops text file")
+    scenario_run.add_argument("--artifacts", metavar="DIR", default=None,
+                              help="on divergence, write a minimized repro "
+                                   "file + .ops twin into DIR")
+    scenario_run.add_argument("--shrink-probes", type=_positive_int,
+                              default=150, metavar="N",
+                              help="shrinker replay budget (default 150)")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="differential fuzzer: random scenarios through every "
+                     "backend vs the sweep oracle")
+    fuzz_cmd.add_argument("--budget", type=_positive_int, default=100,
+                          metavar="N",
+                          help="number of random traces (default 100)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default 0)")
+    fuzz_cmd.add_argument("--backends", default=None, metavar="A,B|all",
+                          help="comma-separated backends, or 'all' for "
+                               "every registered one (campaign default: "
+                               "all; --replay default: the file's "
+                               "recorded list)")
+    fuzz_cmd.add_argument("--families", default=None, metavar="A,B",
+                          help="restrict to these scenario families")
+    fuzz_cmd.add_argument("--artifacts", metavar="DIR", default=None,
+                          help="write minimized repro files here on failure")
+    fuzz_cmd.add_argument("--time-budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="stop early once SECONDS elapsed (CI smoke)")
+    fuzz_cmd.add_argument("--shrink-probes", type=_positive_int, default=150,
+                          metavar="N")
+    fuzz_cmd.add_argument("--replay", metavar="FILE", default=None,
+                          help="re-run a saved .repro file instead of "
+                               "fuzzing (exit 1 if it still diverges)")
+    fuzz_cmd.add_argument("-q", "--quiet", action="store_true",
+                          help="suppress per-trace progress lines")
 
     serve = sub.add_parser(
         "serve", help="long-running streaming verification daemon "
@@ -367,9 +569,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "blackholes": _cmd_blackholes,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "scenario": _cmd_scenario,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)
+    except _READABLE_ERRORS as exc:
+        # Bad family names, malformed traces/repro files, unknown
+        # backends: a message and exit 2, never a bare traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         try:

@@ -1,0 +1,30 @@
+"""`repro.fuzz` — the cross-backend differential fuzzer.
+
+Random scenarios (:mod:`repro.scenarios`) replayed through every
+registered backend and the sweep oracle; per-update violation streams
+diffed; failing traces shrunk to 1-minimal repro files.  CLI:
+``deltanet fuzz --budget N`` / ``deltanet fuzz --replay FILE``.
+"""
+
+from repro.fuzz.differential import (
+    FuzzFailure, FuzzReport, fuzz, minimize_failure, replay_repro,
+    save_failure_artifacts,
+)
+from repro.fuzz.reprofile import (
+    REPRO_VERSION, ReproFile, load_repro, save_repro,
+)
+from repro.fuzz.shrink import shrink_trace
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "REPRO_VERSION",
+    "ReproFile",
+    "fuzz",
+    "load_repro",
+    "minimize_failure",
+    "replay_repro",
+    "save_failure_artifacts",
+    "save_repro",
+    "shrink_trace",
+]

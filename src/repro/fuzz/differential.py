@@ -1,0 +1,204 @@
+"""The cross-backend differential fuzzer.
+
+Each iteration draws a random scenario (family × topology × routing ×
+event script, all from one seed), replays it through every requested
+backend and the sweep oracle, and diffs the per-update violation
+streams.  On a mismatch the trace is shrunk to a 1-minimal failing
+subsequence against the first diverging backend and written out as a
+:mod:`repro.fuzz.reprofile` artifact (codec document + ``.ops`` text
+twin), so the failure replays anywhere with ``deltanet fuzz --replay``.
+
+The fuzzer treats a backend *crash* the same as a stream divergence —
+an exception mid-trace is minimized and reported, not propagated.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.datasets.format import Op
+from repro.scenarios.engine import random_scenario
+from repro.scenarios.oracle import SweepOracle
+from repro.scenarios.runner import (
+    ScenarioReport, diff_streams, replay_signatures, run_scenario,
+)
+from repro.scenarios.spec import Scenario
+from repro.fuzz.reprofile import save_repro
+from repro.fuzz.shrink import shrink_trace
+
+Log = Callable[[str], None]
+
+
+@dataclass
+class FuzzFailure:
+    """One minimized cross-backend disagreement."""
+
+    scenario: Scenario
+    report: ScenarioReport
+    diverging: List[str]
+    shrunk_ops: List[Op]
+    repro_path: Optional[str] = None
+    ops_path: Optional[str] = None
+
+    def describe(self) -> str:
+        lines = [f"FAILURE {self.scenario.name}: "
+                 f"{', '.join(self.diverging)} disagree with the oracle "
+                 f"(trace {self.scenario.num_ops} ops, minimized to "
+                 f"{len(self.shrunk_ops)})"]
+        if self.repro_path:
+            lines.append(f"  repro: {self.repro_path} "
+                         f"(text twin: {self.ops_path})")
+        lines.append(self.report.describe())
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    budget: int
+    attempted: int = 0
+    passed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        early = " (time budget hit)" if self.stopped_early else ""
+        return (f"fuzz: {self.attempted}/{self.budget} traces{early}, "
+                f"{self.passed} agreed, {status}, {self.elapsed:.1f}s")
+
+
+def _still_fails(scenario: Scenario, backend: str) -> Callable:
+    """The shrinker predicate: does a candidate trace still diverge
+    (or crash) on ``backend`` vs a fresh oracle?"""
+
+    def predicate(candidate: List[Op]) -> bool:
+        oracle = SweepOracle(scenario.property_specs, width=scenario.width)
+        try:
+            oracle_stream = oracle.stream(candidate)
+        except Exception:
+            # The repaired candidate broke the oracle itself — not a
+            # backend failure; reject the candidate.
+            return False
+        run = replay_signatures(scenario, backend, ops=candidate)
+        if run.error is not None:
+            return True
+        return bool(diff_streams(backend, candidate, oracle_stream,
+                                 run.delivered))
+
+    return predicate
+
+
+def minimize_failure(scenario: Scenario, report: ScenarioReport,
+                     max_probes: int = 150) -> FuzzFailure:
+    """Shrink a failing scenario against its first diverging backend."""
+    diverging = sorted({d.backend for d in report.divergences} |
+                       {run.backend for run in report.runs
+                        if run.error is not None})
+    target = diverging[0]
+    shrunk = shrink_trace(scenario.ops, _still_fails(scenario, target),
+                          width=scenario.width, max_probes=max_probes)
+    return FuzzFailure(scenario=scenario, report=report,
+                       diverging=diverging, shrunk_ops=shrunk)
+
+
+def save_failure_artifacts(failure: FuzzFailure, report: ScenarioReport,
+                           backends: Sequence[str],
+                           artifacts_dir: str) -> None:
+    """Write a failure's minimized repro file + ``.ops`` twin.
+
+    The single artifact-format authority: the fuzz campaign loop and
+    ``deltanet scenario run --artifacts`` both route through here, so
+    stem naming and the divergence notes stay identical everywhere.
+    """
+    os.makedirs(artifacts_dir, exist_ok=True)
+    scenario = failure.scenario
+    stem = os.path.join(artifacts_dir,
+                        f"repro-{scenario.family}-seed{scenario.seed}")
+    if report.divergences:
+        notes = report.divergences[0].describe()
+    else:
+        notes = "; ".join(f"{run.backend}: {run.error}"
+                          for run in report.runs
+                          if run.error is not None)
+    failure.repro_path, failure.ops_path = save_repro(
+        stem + ".repro", scenario, backends, failure.diverging,
+        notes=notes, ops=failure.shrunk_ops)
+
+
+def fuzz(budget: int, seed: int = 0,
+         backends: Optional[Iterable[str]] = None,
+         families: Optional[Iterable[str]] = None,
+         width: int = 32,
+         artifacts_dir: Optional[str] = None,
+         time_budget: Optional[float] = None,
+         shrink_probes: int = 150,
+         log: Optional[Log] = None) -> FuzzReport:
+    """Run a differential fuzzing campaign of ``budget`` random traces.
+
+    ``backends`` defaults to every registered backend.  With
+    ``time_budget`` (seconds) the campaign stops early once exceeded —
+    the CI smoke knob.  Failures are minimized and, when
+    ``artifacts_dir`` is set, written there as repro files.
+    """
+    from repro.api import available_backends
+
+    chosen = sorted(backends) if backends is not None \
+        else list(available_backends())
+    rng = random.Random(seed)
+    report = FuzzReport(budget=budget)
+    emit = log or (lambda line: None)
+    start = time.perf_counter()
+    if artifacts_dir:
+        os.makedirs(artifacts_dir, exist_ok=True)
+    for index in range(budget):
+        if time_budget is not None \
+                and time.perf_counter() - start > time_budget:
+            report.stopped_early = True
+            emit(f"time budget {time_budget:.0f}s hit after "
+                 f"{report.attempted} traces")
+            break
+        scenario = random_scenario(rng, families=families, width=width)
+        report.attempted += 1
+        scenario_report = run_scenario(scenario, chosen)
+        if scenario_report.ok:
+            report.passed += 1
+            emit(f"[{index + 1}/{budget}] {scenario.name}: "
+                 f"{scenario.num_ops} ops, "
+                 f"{scenario_report.oracle_violations} violations, "
+                 f"all backends agree")
+            continue
+        emit(f"[{index + 1}/{budget}] {scenario.name}: DIVERGENCE — "
+             f"minimizing...")
+        failure = minimize_failure(scenario, scenario_report,
+                                   max_probes=shrink_probes)
+        if artifacts_dir:
+            save_failure_artifacts(failure, scenario_report, chosen,
+                                   artifacts_dir)
+        report.failures.append(failure)
+        emit(failure.describe())
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def replay_repro(path: str,
+                 backends: Optional[Iterable[str]] = None) -> ScenarioReport:
+    """Re-run a saved repro file's differential check.
+
+    ``backends`` defaults to the file's recorded backend list.
+    """
+    from repro.fuzz.reprofile import load_repro
+
+    repro = load_repro(path)
+    chosen = sorted(backends) if backends is not None else repro.backends
+    return run_scenario(repro.scenario(), chosen)

@@ -1,0 +1,114 @@
+"""Fuzzer repro files: minimal failing traces as durable artifacts.
+
+A repro file is one :mod:`repro.persist.codec` document (no pickle, no
+JSON type loss — node ids and interval bounds round-trip exactly)
+holding everything needed to re-run a differential failure on another
+machine: the trace, the property subscriptions, the provenance
+(family/seed/scale) and the divergence summary.  ``save_repro`` also
+writes the sibling ``<stem>.ops`` text file in the §4.2 dataset format,
+so the trace replays through plain ``deltanet replay`` too.
+
+Re-run a saved failure with::
+
+    deltanet fuzz --replay failure.repro
+
+or inspect the raw trace with ``deltanet replay failure.ops``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datasets.format import Op, save_ops
+from repro.persist.codec import decode, encode
+from repro.scenarios.spec import (
+    PropertySpec, Scenario, ScenarioError, ops_from_state, ops_to_state,
+)
+
+#: Bump on incompatible layout changes; readers reject newer majors.
+REPRO_VERSION = 1
+
+_MAGIC = b"DNREPRO1"
+
+
+@dataclass
+class ReproFile:
+    """A decoded repro document."""
+
+    family: str
+    seed: int
+    scale: float
+    width: int
+    property_specs: List[PropertySpec]
+    ops: List[Op]
+    backends: List[str]
+    #: Which backends diverged, and a human summary of the first diff.
+    diverging: List[str] = field(default_factory=list)
+    notes: str = ""
+
+    def scenario(self) -> Scenario:
+        """The trace as a replayable scenario (topology-free)."""
+        return Scenario(
+            family=self.family,
+            name=f"repro:{self.family}/seed{self.seed}/x{self.scale:g}",
+            seed=self.seed, scale=self.scale, topology=None,
+            ops=list(self.ops),
+            property_specs=list(self.property_specs),
+            width=self.width)
+
+
+def save_repro(path: str, scenario: Scenario, backends: Sequence[str],
+               diverging: Sequence[str], notes: str = "",
+               ops: Optional[Sequence[Op]] = None) -> Tuple[str, str]:
+    """Write ``path`` (codec) plus the sibling ``.ops`` text trace.
+
+    ``ops`` overrides the scenario's trace (the shrunk version);
+    returns ``(repro_path, ops_path)``.
+    """
+    trace = list(scenario.ops if ops is None else ops)
+    document = {
+        "version": REPRO_VERSION,
+        "family": scenario.family,
+        "seed": scenario.seed,
+        "scale": scenario.scale,
+        "width": scenario.width,
+        "property_specs": [spec.to_state()
+                           for spec in scenario.property_specs],
+        "ops": ops_to_state(trace),
+        "backends": list(backends),
+        "diverging": list(diverging),
+        "notes": notes,
+    }
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(encode(document))
+    ops_path = os.path.splitext(path)[0] + ".ops"
+    save_ops(trace, ops_path)
+    return path, ops_path
+
+
+def load_repro(path: str) -> ReproFile:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if not raw.startswith(_MAGIC):
+        raise ScenarioError(f"{path!r} is not a deltanet repro file")
+    document = decode(raw[len(_MAGIC):])
+    version = document.get("version")
+    if version != REPRO_VERSION:
+        raise ScenarioError(
+            f"{path!r} has repro version {version!r}; this build reads "
+            f"{REPRO_VERSION}")
+    return ReproFile(
+        family=document["family"],
+        seed=document["seed"],
+        scale=document["scale"],
+        width=document["width"],
+        property_specs=[PropertySpec.from_state(state)
+                        for state in document["property_specs"]],
+        ops=ops_from_state(document["ops"]),
+        backends=list(document["backends"]),
+        diverging=list(document["diverging"]),
+        notes=document["notes"],
+    )

@@ -1,0 +1,62 @@
+"""Trace shrinking: minimize a failing trace while it still fails.
+
+Classic ddmin-style greedy chunk removal over the operation list, with
+one twist the dataset format needs: deleting ops from a valid trace can
+orphan others (a removal whose insert is gone, a re-insert whose removal
+is gone), so every candidate subsequence is first repaired with
+:func:`repro.scenarios.spec.repair_trace` — the predicate only ever sees
+replayable traces.
+
+The predicate is expensive (each call replays the candidate through the
+diverging backend *and* the sweep oracle), so the shrinker is budgeted:
+it stops after ``max_probes`` predicate calls and returns the best
+1-minimal-so-far trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.datasets.format import Op
+from repro.scenarios.spec import repair_trace
+
+Predicate = Callable[[List[Op]], bool]
+
+
+def shrink_trace(ops: Sequence[Op], still_fails: Predicate,
+                 width: int = 32, max_probes: int = 200) -> List[Op]:
+    """Greedy minimization of ``ops`` under ``still_fails``.
+
+    ``still_fails(candidate)`` must return True when the (already
+    repaired, replayable) candidate still reproduces the failure.  The
+    input trace is assumed failing; the result is a subsequence of it
+    that still fails, usually orders of magnitude shorter.
+    """
+    current = repair_trace(ops, width=width)
+    probes = 0
+
+    def probe(candidate: List[Op]) -> bool:
+        nonlocal probes
+        probes += 1
+        return still_fails(candidate)
+
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and probes < max_probes:
+        index = 0
+        shrunk_this_pass = False
+        while index < len(current) and probes < max_probes:
+            candidate = repair_trace(
+                current[:index] + current[index + chunk:], width=width)
+            if candidate and len(candidate) < len(current) \
+                    and probe(candidate):
+                current = candidate
+                shrunk_this_pass = True
+                # Do not advance: the same index now covers new ops.
+            else:
+                index += chunk
+        if chunk == 1:
+            if not shrunk_this_pass:
+                break  # 1-minimal: no single op can be dropped
+        else:
+            chunk //= 2
+    return current

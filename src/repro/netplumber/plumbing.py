@@ -24,6 +24,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.core.intervals import IntervalSet
 from repro.core.rules import DROP, Rule
 
+#: Shared empty set for the flow-subsumption lookups (never mutated).
+_EMPTY = IntervalSet()
+
 
 class Pipe:
     """A directed overlap edge between two rules."""
@@ -145,31 +148,83 @@ class NetPlumber:
         return arrived
 
     def find_loops(self) -> List[List[int]]:
-        """Cycles in the plumbing graph that carry a non-empty flow."""
+        """Cycles in the plumbing graph that carry a non-empty flow.
+
+        Flow-propagating DFS, the way NetPlumber's own loop check rides
+        its flow computation: a path is extended only while some packet
+        survives every pipe and effective match along it, and a cycle
+        is recorded when the surviving flow returns to a rule already
+        on the path — which proves a packet completes a full turn, so
+        every reported cycle is feasible (no pairwise-pipe
+        over-approximation).  Rooting the search at *every* rule makes
+        the enumeration complete: a back-edge-only DFS reports at most
+        one cycle per "done" node, so a rule sitting on two
+        flow-disjoint cycles hid the second one behind whichever the
+        traversal met first (a differential-fuzzer find).
+
+        Flow subsumption (as in :meth:`reachable`) keeps the sweep
+        near-linear: re-entering a rule with flow already explored
+        through it is skipped, which is sound because exploring a rule
+        with flow F already records every cycle a packet of F completes
+        — each (rule, packet-class) pair is walked at most once overall
+        instead of once per root.
+        """
         loops: List[List[int]] = []
-        state: Dict[int, int] = {}  # 0 unseen / 1 on stack / 2 done
+        seen: Set[Tuple[int, ...]] = set()
         path: List[int] = []
+        on_path: Dict[int, int] = {}
+        explored: Dict[int, IntervalSet] = {}
 
-        def visit(rid: int) -> None:
-            state[rid] = 1
-            path.append(rid)
-            for pipe in self.pipes_out[rid].values():
-                succ = pipe.to_rid
-                carried = pipe.carries & self.effective_match(succ) & \
-                    self.effective_match(rid)
-                if not carried:
-                    continue
-                if state.get(succ, 0) == 1:
-                    cycle = path[path.index(succ):]
-                    loops.append(list(cycle))
-                elif state.get(succ, 0) == 0:
-                    visit(succ)
-            path.pop()
-            state[rid] = 2
+        def canonical(cycle: List[int]) -> Tuple[int, ...]:
+            pivot = cycle.index(min(cycle))
+            return tuple(cycle[pivot:] + cycle[:pivot])
 
-        for rid in list(self.rules):
-            if state.get(rid, 0) == 0:
-                visit(rid)
+        # Explicit-stack DFS: plumbing paths can be as long as the rule
+        # count (a forwarding chain), far past the recursion limit.
+        # Each frame holds its remaining-pipes iterator, so a frame is
+        # resumed exactly where it left off after its child pops.
+        for root in list(self.rules):
+            root_fresh = self.effective_match(root) - \
+                explored.get(root, _EMPTY)
+            if not root_fresh:
+                continue
+            explored[root] = explored.get(root, _EMPTY) | root_fresh
+            on_path[root] = 0
+            path.append(root)
+            stack = [(root, root_fresh,
+                      iter(self.pipes_out[root].values()))]
+            while stack:
+                rid, flow, pipes = stack[-1]
+                descended = False
+                for pipe in pipes:
+                    succ = pipe.to_rid
+                    carried = flow & pipe.carries & \
+                        self.effective_match(succ)
+                    if not carried:
+                        continue
+                    at = on_path.get(succ)
+                    if at is not None:
+                        # Closing a cycle needs no fresh flow: the
+                        # path's flow just survived a full turn.
+                        key = canonical(path[at:])
+                        if key not in seen:
+                            seen.add(key)
+                            loops.append(list(key))
+                        continue
+                    fresh = carried - explored.get(succ, _EMPTY)
+                    if not fresh:
+                        continue
+                    explored[succ] = explored.get(succ, _EMPTY) | fresh
+                    on_path[succ] = len(path)
+                    path.append(succ)
+                    stack.append((succ, fresh,
+                                  iter(self.pipes_out[succ].values())))
+                    descended = True
+                    break
+                if not descended:
+                    stack.pop()
+                    path.pop()
+                    del on_path[rid]
         return loops
 
     def __repr__(self) -> str:

@@ -23,6 +23,11 @@ class ShortestPathRuleGenerator:
     """Generates forwarding rules for prefixes over a topology."""
 
     def __init__(self, topology: Topology, seed: int = 3) -> None:
+        if not topology.nodes:
+            # An empty Topology is vacuously connected; without this
+            # guard the first rules_for_prefix would die choosing a
+            # destination from an empty node list.
+            raise ValueError(f"{topology.name} has no nodes")
         if not topology.is_connected():
             raise ValueError(f"{topology.name} is not connected")
         self.topology = topology

@@ -1,0 +1,48 @@
+"""`repro.scenarios` — declarative, seed-reproducible network lifecycles.
+
+A scenario composes a topology generator, a routing behavior and a timed
+event script into a named update trace with expected-property
+annotations; the differential runner replays traces through the
+registered backends and the pre-index sweep oracle and diffs the alert
+streams.  See ``docs/scenarios.md`` for the family catalogue and
+``deltanet scenario run``/``deltanet fuzz`` for the CLI.
+"""
+
+from repro.scenarios.engine import (
+    build_scenario, family_info, random_scenario, scenario_families,
+)
+from repro.scenarios.families import FAMILIES, Family
+from repro.scenarios.oracle import Signature, SweepOracle
+from repro.scenarios.runner import (
+    BackendRun, Divergence, ScenarioReport, diff_streams, format_signature,
+    replay_signatures, run_scenario,
+)
+from repro.scenarios.spec import (
+    PropertySpec, Scenario, ScenarioError, ops_from_state, ops_to_state,
+    repair_trace, validate_trace,
+)
+
+__all__ = [
+    "FAMILIES",
+    "BackendRun",
+    "Divergence",
+    "Family",
+    "PropertySpec",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioReport",
+    "Signature",
+    "SweepOracle",
+    "build_scenario",
+    "diff_streams",
+    "family_info",
+    "format_signature",
+    "ops_from_state",
+    "ops_to_state",
+    "random_scenario",
+    "repair_trace",
+    "replay_signatures",
+    "run_scenario",
+    "scenario_families",
+    "validate_trace",
+]

@@ -1,0 +1,79 @@
+"""The scenario engine: resolve a family, derive a trace, validate it.
+
+``build_scenario`` is the single constructor every consumer uses — the
+CLI (``deltanet scenario run``), the differential fuzzer
+(:mod:`repro.fuzz`), the CI scenario matrix and the benchmarks — so a
+``(family, seed, scale)`` triple names exactly one trace everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterable, Optional, Tuple
+
+from repro.scenarios.families import FAMILIES, Family
+from repro.scenarios.spec import Scenario, ScenarioError
+
+
+def scenario_families() -> Tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def family_info(name: str) -> Family:
+    family = FAMILIES.get(name)
+    if family is None:
+        raise ScenarioError(
+            f"unknown scenario family {name!r}; available: "
+            f"{', '.join(scenario_families())}")
+    return family
+
+
+def _family_rng(family: str, seed: int) -> random.Random:
+    # crc32, not hash(): str hashing is per-process randomized and the
+    # same (family, seed) must rebuild the same trace in any process.
+    return random.Random((seed << 32) ^ zlib.crc32(family.encode()))
+
+
+def build_scenario(family: str, seed: int = 0, scale: float = 1.0,
+                   width: int = 32) -> Scenario:
+    """Build (and validate) one scenario trace.
+
+    Deterministic: the same arguments produce the identical operation
+    list, byte-for-byte in the text dataset format, in every process.
+    """
+    info = family_info(family)
+    if scale <= 0:
+        raise ScenarioError(f"scale must be positive, got {scale}")
+    built = info.builder(_family_rng(family, seed), scale)
+    scenario = Scenario(
+        family=family,
+        name=f"{family}/seed{seed}/x{scale:g}",
+        seed=seed, scale=scale,
+        topology=built.topology,
+        ops=built.ops,
+        property_specs=built.property_specs,
+        expectations=built.expectations,
+        events=built.events,
+        width=width,
+    )
+    scenario.validate()
+    if not scenario.ops:
+        raise ScenarioError(
+            f"family {family!r} built an empty trace at scale {scale}")
+    return scenario
+
+
+def random_scenario(rng: random.Random,
+                    families: Optional[Iterable[str]] = None,
+                    scales: Tuple[float, ...] = (0.2, 0.35, 0.5),
+                    width: int = 32) -> Scenario:
+    """A random scenario for the fuzzer: random family, fresh seed,
+    small scale (the oracle re-sweeps every property after every op, so
+    fuzz traces stay in the hundreds of ops)."""
+    pool = sorted(families) if families is not None else scenario_families()
+    for name in pool:
+        family_info(name)  # fail fast on typos before burning budget
+    return build_scenario(rng.choice(pool), seed=rng.getrandbits(24),
+                          scale=rng.choice(scales), width=width)

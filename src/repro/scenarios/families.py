@@ -1,0 +1,446 @@
+"""The scenario families: composable network lifecycles.
+
+Each family composes three existing layers into one seed-reproducible
+operation trace:
+
+* a **topology** from :mod:`repro.topology.generators` (picked
+  deterministically from the scenario seed),
+* a **routing behavior** — Libra-style shortest-path rule generation
+  (:mod:`repro.routing.rulegen`) or the SDN-IP emulation
+  (:mod:`repro.sdn`) fed by BGP update streams (:mod:`repro.bgp`),
+* a **timed event script** — link flaps, failover storms, rolling
+  router maintenance, BGP session resets, ACL injection, prefix
+  de-aggregation waves — driven through
+  :class:`repro.sdn.events.EventInjector` or applied directly to the
+  rule stream.
+
+A family builder receives ``(rng, scale)`` and returns a
+:class:`_Built`; :func:`repro.scenarios.engine.build_scenario` wraps it
+into a validated :class:`~repro.scenarios.spec.Scenario`.  ``scale``
+stretches trace sizes smoothly (0.2 is fuzzer/smoke scale, 1.0 the
+default); every random choice must come from ``rng`` so the same
+``(family, seed, scale)`` triple rebuilds the identical trace in any
+process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bgp.prefixes import Prefix, PrefixPool
+from repro.bgp.updates import BgpUpdate, UpdateStream
+from repro.core.prefix import make_interval
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.routing.rulegen import ShortestPathRuleGenerator, generate_ops
+from repro.scenarios.spec import PropertySpec
+from repro.sdn.controller import Controller
+from repro.sdn.events import EventInjector
+from repro.sdn.sdnip import SdnIp
+from repro.topology import generators
+from repro.topology.graph import Topology
+
+
+@dataclass
+class _Built:
+    """What a family builder hands back to the engine."""
+
+    topology: Topology
+    ops: List[Op]
+    property_specs: List[PropertySpec]
+    expectations: Dict[str, str] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+
+
+Builder = Callable[[random.Random, float], _Built]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One named scenario family (see ``deltanet scenario list``)."""
+
+    name: str
+    description: str
+    knobs: str
+    builder: Builder
+
+
+def _scaled(base: int, scale: float, floor: int = 1) -> int:
+    return max(floor, int(round(base * scale)))
+
+
+def _pick_topology(rng: random.Random, scale: float) -> Topology:
+    """A modest topology, varied by seed (kept small: the sweep oracle
+    re-checks every property after every op)."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        return generators.campus(seed=rng.randrange(1 << 16))
+    if choice == 1:
+        return generators.airtel()
+    if choice == 2:
+        return generators.ring(rng.randint(5, 8))
+    if choice == 3:
+        return generators.fat_tree(4)
+    return generators.isp_like(rng.randint(10, 14 + int(6 * scale)),
+                               extra_links=rng.randint(4, 10),
+                               seed=rng.randrange(1 << 16))
+
+
+def _nodes(topology: Topology) -> List[object]:
+    return sorted(topology.nodes, key=repr)
+
+
+# -- SDN-IP worlds --------------------------------------------------------------
+
+
+@dataclass
+class _SdnWorld:
+    controller: Controller
+    sdnip: SdnIp
+    injector: EventInjector
+    stream: UpdateStream
+    ops: List[Op]
+    peers: List[str]
+
+
+def _sdn_world(rng: random.Random, scale: float,
+               topology: Optional[Topology] = None,
+               n_peers: int = 3,
+               prefixes_per_peer: Optional[int] = None) -> _SdnWorld:
+    """An SDN-IP deployment with its rule churn captured as ops."""
+    topology = topology or _pick_topology(rng, scale)
+    controller = Controller(topology)
+    ops: List[Op] = []
+    controller.subscribe(ops.append)
+    switches = _nodes(topology)
+    n_peers = min(n_peers, len(switches))
+    attach = rng.sample(switches, n_peers)
+    peers = [f"p{i}" for i in range(n_peers)]
+    peer_attachments = dict(zip(peers, attach))
+    for peer in peers:
+        controller.topology.add_node(peer)
+    sdnip = SdnIp(controller, peer_attachments)
+    if prefixes_per_peer is None:
+        prefixes_per_peer = _scaled(3, scale)
+    stream = UpdateStream(peers, PrefixPool(seed=rng.randrange(1 << 16)),
+                          prefixes_per_peer=prefixes_per_peer,
+                          seed=rng.randrange(1 << 16))
+    sdnip.handle_updates(stream.initial_announcements())
+    return _SdnWorld(controller, sdnip, EventInjector(sdnip), stream, ops,
+                     peers)
+
+
+def _sdn_base_specs(world: _SdnWorld) -> List[PropertySpec]:
+    """Loops + blackholes with the border routers as expected sinks."""
+    return [
+        PropertySpec.of("loops"),
+        PropertySpec.of("blackholes",
+                        expected_sinks=tuple(sorted(world.peers))),
+    ]
+
+
+def _event_counts(injector: EventInjector) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for kind, _edge in injector.events:
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+# -- the eight families ---------------------------------------------------------
+
+
+def _build_table_fill(rng: random.Random, scale: float) -> _Built:
+    topology = _pick_topology(rng, scale)
+    pool = PrefixPool(seed=rng.randrange(1 << 16))
+    prefixes = pool.sample(_scaled(8, scale, floor=2))
+    priority_mode = rng.choice(("random", "plen"))
+    ops = generate_ops(topology, prefixes, seed=rng.randrange(1 << 16),
+                       with_removals=True, priority_mode=priority_mode)
+    nodes = _nodes(topology)
+    src, dst = rng.sample(nodes, 2)
+    specs = [
+        PropertySpec.of("loops"),
+        PropertySpec.of("blackholes"),
+        PropertySpec.of("reachability", src=src, dst=dst,
+                        expect_reachable=True),
+    ]
+    return _Built(
+        topology, ops, specs,
+        expectations={
+            "loops": ("none while a single shortest-path tree per prefix "
+                      "is installed with plen priorities; random "
+                      "priorities may interleave trees into cycles"),
+            "blackholes": "fire at each prefix's destination router",
+            "reachability": f"{src}->{dst} violated until rules land",
+        },
+        events={"insert": sum(op.is_insert for op in ops),
+                "remove": sum(not op.is_insert for op in ops),
+                "priority_mode_plen": int(priority_mode == "plen")})
+
+
+def _build_link_flaps(rng: random.Random, scale: float) -> _Built:
+    world = _sdn_world(rng, scale)
+    world.injector.random_flaps(_scaled(6, scale, floor=2), rng)
+    specs = _sdn_base_specs(world)
+    internal = [node for node in _nodes(world.controller.topology)
+                if node not in world.peers]
+    src = rng.choice(internal)
+    dst = rng.choice(world.peers)
+    specs.append(PropertySpec.of("reachability", src=src, dst=dst,
+                                 expect_reachable=True))
+    return _Built(
+        world.controller.topology, world.ops, specs,
+        expectations={
+            "loops": "transient loops possible while SDN-IP re-diffs "
+                     "per-prefix trees during a flap",
+            "blackholes": "transient holes while a reprogram is mid-diff",
+        },
+        events=_event_counts(world.injector))
+
+
+def _build_failover_storm(rng: random.Random, scale: float) -> _Built:
+    world = _sdn_world(rng, scale)
+    waves = _scaled(2, scale)
+    for _wave in range(waves):
+        world.injector.failure_storm(rng.randint(2, 4), rng)
+    return _Built(
+        world.controller.topology, world.ops, _sdn_base_specs(world),
+        expectations={
+            "blackholes": "switches cut off mid-storm blackhole traffic "
+                          "until recovery restores a path",
+        },
+        events=dict(_event_counts(world.injector), waves=waves))
+
+
+def _build_rolling_upgrade(rng: random.Random, scale: float) -> _Built:
+    # A small ring keeps every-op waypoint propagation affordable.
+    topology = generators.ring(rng.randint(5, 7))
+    world = _sdn_world(rng, scale, topology=topology, n_peers=2)
+    switches = [node for node in _nodes(topology)
+                if node not in world.peers]
+    n_drained = min(_scaled(3, scale, floor=2), len(switches))
+    drained = world.injector.rolling_maintenance(
+        iter(rng.sample(switches, n_drained)))
+    specs = _sdn_base_specs(world)
+    egress = world.sdnip.peer_attachments[world.peers[0]]
+    candidates = [node for node in switches if node != egress]
+    src = rng.choice(candidates)
+    waypoints = [node for node in candidates if node != src]
+    if waypoints:
+        specs.append(PropertySpec.of("waypoint", src=src,
+                                     dst=world.peers[0],
+                                     waypoint=rng.choice(waypoints)))
+    return _Built(
+        topology, world.ops, specs,
+        expectations={
+            "waypoint": "violated whenever re-routing finds a path "
+                        "around the nominated waypoint",
+        },
+        events=dict(_event_counts(world.injector), drained=drained))
+
+
+def _build_bgp_reset(rng: random.Random, scale: float) -> _Built:
+    world = _sdn_world(rng, scale, prefixes_per_peer=_scaled(4, scale))
+    resets = _scaled(2, scale)
+    for _reset in range(resets):
+        peer = rng.choice(world.peers)
+        mine = [(pfx, plen) for p, pfx, plen in world.stream.advertisements
+                if p == peer]
+        # Session down: the RIB loses every route learned from the peer.
+        for prefix, path_len in mine:
+            world.sdnip.handle_update(
+                BgpUpdate("withdraw", prefix, peer, path_len))
+        # Session up: re-learn with fresh AS-path lengths — best routes
+        # may land on different egresses than before (RIB churn).
+        for prefix, _old in mine:
+            world.sdnip.handle_update(
+                BgpUpdate("announce", prefix, peer, rng.randint(1, 6)))
+    return _Built(
+        world.controller.topology, world.ops, _sdn_base_specs(world),
+        expectations={
+            "blackholes": "prefixes routed solely via the reset peer "
+                          "lose their egress until re-announcement",
+        },
+        events={"resets": resets})
+
+
+def _build_churn_mix(rng: random.Random, scale: float) -> _Built:
+    world = _sdn_world(rng, scale)
+    churn = _scaled(20, scale, floor=5)
+    flap_every = 7
+    for index, update in enumerate(world.stream.churn(churn)):
+        world.sdnip.handle_update(update)
+        if (index + 1) % flap_every == 0:
+            world.injector.random_flaps(1, rng)
+    return _Built(
+        world.controller.topology, world.ops, _sdn_base_specs(world),
+        expectations={
+            "loops": "the kitchen sink: route churn interleaved with "
+                     "flaps is the likeliest transient-loop source",
+        },
+        events=dict(_event_counts(world.injector), churn=churn))
+
+
+#: Manual rule-id space for injected ACL rules, far above anything the
+#: shortest-path generator allocates.
+_ACL_RID_BASE = 1_000_000
+
+
+def _build_acl_injection(rng: random.Random, scale: float) -> _Built:
+    topology = _pick_topology(rng, scale)
+    pool = PrefixPool(seed=rng.randrange(1 << 16))
+    prefixes = pool.sample(_scaled(6, scale, floor=2))
+    ops = generate_ops(topology, prefixes, seed=rng.randrange(1 << 16),
+                       with_removals=False, priority_mode="plen")
+    nodes = _nodes(topology)
+    injected: List[int] = []
+    n_drops = _scaled(8, scale, floor=3)
+    for index in range(n_drops):
+        lo, hi = PrefixPool.to_interval(rng.choice(prefixes))
+        rid = _ACL_RID_BASE + index
+        # Outrank every forwarding rule so the ACL actually captures
+        # traffic (plen priorities top out at 32).
+        ops.append(Op.insert(Rule.drop(rid, lo, hi,
+                                       64 + rng.randint(0, 64),
+                                       rng.choice(nodes))))
+        injected.append(rid)
+        if injected and rng.random() < 0.4:
+            ops.append(Op.remove(injected.pop(rng.randrange(len(injected)))))
+    lifted = sum(1 for op in ops
+                 if not op.is_insert and op.rid >= _ACL_RID_BASE)
+    half = 1 << 31
+    specs = [
+        PropertySpec.of("loops"),
+        PropertySpec.of("blackholes"),
+        PropertySpec.of("isolation",
+                        slice_a=((0, half),),
+                        slice_b=((half, 1 << 32),)),
+    ]
+    return _Built(
+        topology, ops, specs,
+        expectations={
+            "isolation": "links carrying prefixes from both address "
+                         "halves violate the slice split",
+            "blackholes": "never caused by the ACLs themselves — drops "
+                          "are explicit, not silent",
+        },
+        events={"acl_inserted": n_drops, "acl_lifted": lifted})
+
+
+def _sub_prefix(rng: random.Random, parent: Prefix, plen: int) -> Prefix:
+    parent_lo, parent_plen = parent
+    offset_bits = plen - parent_plen
+    offset = rng.getrandbits(offset_bits) if offset_bits else 0
+    return (parent_lo | (offset << (32 - plen)), plen)
+
+
+def _build_deaggregation(rng: random.Random, scale: float) -> _Built:
+    topology = _pick_topology(rng, scale)
+    generator = ShortestPathRuleGenerator(topology,
+                                         seed=rng.randrange(1 << 16))
+    nodes = _nodes(topology)
+    ops: List[Op] = []
+    aggregates: List[Prefix] = []
+    for _ in range(_scaled(3, scale, floor=2)):
+        plen = rng.randint(12, 16)
+        lo, _hi = make_interval(rng.getrandbits(32), plen)
+        aggregates.append((lo, plen))
+    agg_dest = rng.choice(nodes)
+    for aggregate in aggregates:
+        for rule in generator.rules_for_prefix(aggregate,
+                                               destination=agg_dest,
+                                               priority=aggregate[1]):
+            ops.append(Op.insert(rule))
+    waves = 2
+    specific_rules: List[Rule] = []
+    for _wave in range(waves):
+        for aggregate in aggregates:
+            # A de-aggregation wave: more-specifics split off to a
+            # different egress, winning by longest-prefix-match.
+            dest = rng.choice(nodes)
+            for _ in range(_scaled(2, scale)):
+                specific = _sub_prefix(
+                    rng, aggregate, rng.randint(max(aggregate[1] + 1, 20), 24))
+                for rule in generator.rules_for_prefix(
+                        specific, destination=dest, priority=specific[1]):
+                    ops.append(Op.insert(rule))
+                    specific_rules.append(rule)
+        # Partial re-aggregation: withdraw a random half of the
+        # specifics announced so far before the next wave lands.
+        rng.shuffle(specific_rules)
+        for rule in specific_rules[:len(specific_rules) // 2]:
+            ops.append(Op.remove(rule.rid))
+        del specific_rules[:len(specific_rules) // 2]
+    src, dst = rng.sample(nodes, 2)
+    specs = [
+        PropertySpec.of("loops"),
+        PropertySpec.of("blackholes"),
+        PropertySpec.of("reachability", src=src, dst=dst,
+                        expect_reachable=True),
+    ]
+    return _Built(
+        topology, ops, specs,
+        expectations={
+            "loops": "none: plen priorities keep each packet on exactly "
+                     "one shortest-path tree at a time",
+            "blackholes": "fire at the aggregate and specific egresses",
+        },
+        events={"aggregates": len(aggregates), "waves": waves})
+
+
+FAMILIES: Dict[str, Family] = {
+    family.name: family for family in (
+        Family(
+            "table-fill",
+            "Route-Views prefixes along shortest paths: bulk insert, "
+            "then random-order removal (the §4.2.1 recipe).",
+            "scale ~ prefix count; seed picks topology + priority mode",
+            _build_table_fill),
+        Family(
+            "link-flaps",
+            "SDN-IP re-routing under seeded random single-link "
+            "fail/recover cycles.",
+            "scale ~ flap count and prefixes/peer; seed picks topology "
+            "and flap order",
+            _build_link_flaps),
+        Family(
+            "failover-storm",
+            "Correlated multi-link outages held down together, then "
+            "staggered random-order recovery.",
+            "scale ~ storm waves; seed picks storm membership",
+            _build_failover_storm),
+        Family(
+            "rolling-upgrade",
+            "Per-router maintenance over a ring: drain every incident "
+            "link, restore, move to the next router.",
+            "scale ~ routers drained; seed picks ring size and order",
+            _build_rolling_upgrade),
+        Family(
+            "bgp-reset",
+            "BGP session resets: withdraw a peer's full RIB "
+            "contribution, re-announce with fresh AS-path lengths.",
+            "scale ~ resets and prefixes/peer; seed picks the peers",
+            _build_bgp_reset),
+        Family(
+            "churn-mix",
+            "Random announce/withdraw BGP churn interleaved with link "
+            "flaps — the kitchen-sink lifecycle.",
+            "scale ~ churn length; seed drives every choice",
+            _build_churn_mix),
+        Family(
+            "acl-injection",
+            "High-priority drop rules injected (and lifted) over a "
+            "steady shortest-path plane, with slice isolation watched.",
+            "scale ~ base prefixes and ACL count; seed picks placement",
+            _build_acl_injection),
+        Family(
+            "deaggregation",
+            "Prefix de-aggregation waves: /20-/24 more-specifics split "
+            "traffic away from /12-/16 aggregates, then re-aggregate.",
+            "scale ~ aggregates and specifics per wave; seed picks "
+            "egresses",
+            _build_deaggregation),
+    )
+}

@@ -1,0 +1,188 @@
+"""Scenario specifications: named, seed-reproducible update traces.
+
+A :class:`Scenario` is the unit the differential machinery exchanges: a
+flat operation trace (the paper's replayable ``+r``/``-r`` stream), the
+topology it runs over, the *expected-property annotations* — which
+:mod:`repro.api` property subscriptions the trace is meant to exercise,
+plus free-text expectations for humans — and enough provenance (family,
+seed, scale, event summary) to rebuild or shrink it.
+
+Everything in a scenario is plain data on purpose:
+
+* ``property_specs`` name registered property types
+  (:data:`repro.api.properties.PROPERTY_TYPES`) with plain-data
+  constructor keywords, so every consumer (one session per backend, the
+  sweep oracle, a repro file) instantiates its *own* property objects —
+  subscriptions are stateful and must never be shared across sessions,
+* ``ops`` round-trip through both the text dataset format
+  (:mod:`repro.datasets.format`, for ``deltanet replay``) and the
+  :mod:`repro.persist` codec (for fuzzer repro files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.properties import PROPERTY_TYPES, Property
+from repro.datasets.format import Op
+from repro.core.rules import Rule
+from repro.topology.graph import Topology
+
+
+class ScenarioError(ValueError):
+    """A scenario request or trace is malformed."""
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """A property subscription as plain data: registry name + kwargs."""
+
+    name: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **options: object) -> "PropertySpec":
+        if name not in PROPERTY_TYPES:
+            raise ScenarioError(
+                f"unknown property {name!r}; registered: "
+                f"{', '.join(sorted(PROPERTY_TYPES))}")
+        return cls(name, tuple(sorted(options.items())))
+
+    def make(self) -> Property:
+        """A fresh property instance (never share one across sessions)."""
+        return PROPERTY_TYPES[self.name](**dict(self.options))
+
+    def to_state(self) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+        return (self.name, self.options)
+
+    @classmethod
+    def from_state(cls, state: Sequence) -> "PropertySpec":
+        name, options = state
+        return cls(name, tuple((key, value) for key, value in options))
+
+    def __repr__(self) -> str:
+        opts = ", ".join(f"{k}={v!r}" for k, v in self.options)
+        return f"{self.name}({opts})"
+
+
+@dataclass
+class Scenario:
+    """One named, reproducible network lifecycle."""
+
+    family: str
+    name: str
+    seed: int
+    scale: float
+    topology: Optional[Topology]
+    ops: List[Op]
+    property_specs: List[PropertySpec] = field(default_factory=list)
+    #: Free-text expectation notes per property / aspect, for humans and
+    #: ``deltanet scenario list`` — the *checked* invariant is
+    #: cross-backend agreement, not these notes.
+    expectations: Dict[str, str] = field(default_factory=dict)
+    #: Event-script summary (e.g. ``{"fail": 12, "recover": 12}``).
+    events: Dict[str, int] = field(default_factory=dict)
+    width: int = 32
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for op in self.ops if op.is_insert)
+
+    def make_properties(self) -> List[Property]:
+        return [spec.make() for spec in self.property_specs]
+
+    def describe(self) -> str:
+        props = ", ".join(spec.name for spec in self.property_specs)
+        return (f"{self.name}: {self.num_ops} ops "
+                f"({self.num_inserts} inserts) over "
+                f"{self.topology.name if self.topology else '?'}; "
+                f"watching [{props}]")
+
+    def validate(self) -> None:
+        """Reject traces no backend could replay (see
+        :func:`validate_trace`)."""
+        validate_trace(self.ops, width=self.width)
+
+    def __repr__(self) -> str:
+        return (f"Scenario({self.name!r}, seed={self.seed}, "
+                f"ops={self.num_ops})")
+
+
+def validate_trace(ops: Sequence[Op], width: int = 32) -> None:
+    """Check a trace is sequentially applicable on a fresh verifier.
+
+    Every insert must use a fresh rule id (re-use is fine after the id
+    was removed), every removal must name an installed id, and every
+    rule interval must fit the header space.  Raises
+    :class:`ScenarioError` naming the first offending op index.
+    """
+    space = 1 << width
+    installed: Set[int] = set()
+    for index, op in enumerate(ops):
+        if op.is_insert:
+            rule = op.rule
+            if rule is None:
+                raise ScenarioError(f"op {index}: insert without a rule")
+            if rule.rid in installed:
+                raise ScenarioError(
+                    f"op {index}: duplicate insert of rule id {rule.rid}")
+            if not 0 <= rule.lo < rule.hi <= space:
+                raise ScenarioError(
+                    f"op {index}: rule {rule.rid} interval "
+                    f"[{rule.lo}:{rule.hi}) outside the {width}-bit space")
+            installed.add(rule.rid)
+        else:
+            if op.rid not in installed:
+                raise ScenarioError(
+                    f"op {index}: removal of unknown rule id {op.rid}")
+            installed.discard(op.rid)
+
+
+def repair_trace(ops: Sequence[Op], width: int = 32) -> List[Op]:
+    """Drop the ops that make a subsequence invalid (shrinker support).
+
+    Deleting ops from a valid trace can orphan others (a removal whose
+    insert was dropped, a re-insert whose removal was dropped).  The
+    repair keeps exactly the ops that stay valid under the same
+    simulation :func:`validate_trace` runs, preserving order — so any
+    subset of a trace becomes replayable again.
+    """
+    space = 1 << width
+    installed: Set[int] = set()
+    kept: List[Op] = []
+    for op in ops:
+        if op.is_insert:
+            rule = op.rule
+            if (rule is None or rule.rid in installed
+                    or not 0 <= rule.lo < rule.hi <= space):
+                continue
+            installed.add(rule.rid)
+        else:
+            if op.rid not in installed:
+                continue
+            installed.discard(op.rid)
+        kept.append(op)
+    return kept
+
+
+def ops_to_state(ops: Sequence[Op]) -> List[Tuple]:
+    """Codec-friendly plain-data form of a trace (see ``repro.persist``)."""
+    return [("+", op.rule.to_state()) if op.is_insert else ("-", op.rid)
+            for op in ops]
+
+
+def ops_from_state(state: Sequence[Sequence]) -> List[Op]:
+    ops: List[Op] = []
+    for kind, payload in state:
+        if kind == "+":
+            ops.append(Op.insert(Rule.from_state(payload)))
+        elif kind == "-":
+            ops.append(Op.remove(payload))
+        else:
+            raise ScenarioError(f"bad op kind {kind!r} in trace state")
+    return ops

@@ -6,13 +6,22 @@
   and then the second one), including their recovery."
 
 Each failure/recovery triggers SDN-IP re-routing, whose rule churn the
-controller's listeners record.
+controller's listeners record.  Beyond the two systematic sweeps, the
+injector drives the seeded campaigns of :mod:`repro.scenarios`: random
+link flaps, correlated failure storms with staggered recovery, and
+rolling per-router maintenance (fail every incident link, then restore).
+
+Failing an already-failed link (or recovering a healthy one) is
+idempotent on the data plane — SDN-IP tracks failures as a set — but
+every call is still appended to ``events``, so campaign logs faithfully
+record duplicate injections.
 """
 
 from __future__ import annotations
 
+import random
 from itertools import combinations
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sdn.sdnip import SdnIp
 from repro.topology.graph import Edge
@@ -36,6 +45,61 @@ class EventInjector:
     def recover(self, u: object, v: object) -> None:
         self.events.append(("recover", (u, v)))
         self.sdnip.handle_link_recovery(u, v)
+
+    def flap(self, u: object, v: object) -> None:
+        """One fail-then-recover cycle of a single link."""
+        self.fail(u, v)
+        self.recover(u, v)
+
+    def random_flaps(self, count: int,
+                     rng: Optional[random.Random] = None) -> int:
+        """``count`` seeded random single-link flaps (scenario fuel)."""
+        rng = rng or random.Random(0)
+        links = self._inter_switch_links()
+        if not links:
+            return 0
+        for _ in range(count):
+            self.flap(*rng.choice(links))
+        return count
+
+    def failure_storm(self, size: int,
+                      rng: Optional[random.Random] = None) -> int:
+        """A correlated outage: fail ``size`` distinct links at once,
+        then recover them in a random (staggered) order.
+
+        Unlike :meth:`pair_failure_sweep`, the links stay down
+        *together*, so re-routing must survive the degraded topology,
+        and recovery arrives link by link — the failover-storm pattern.
+        Returns the number of links actually failed (capped by the
+        topology's link count).
+        """
+        rng = rng or random.Random(0)
+        links = self._inter_switch_links()
+        storm = rng.sample(links, min(size, len(links)))
+        for u, v in storm:
+            self.fail(u, v)
+        recovery = list(storm)
+        rng.shuffle(recovery)
+        for u, v in recovery:
+            self.recover(u, v)
+        return len(storm)
+
+    def rolling_maintenance(self, nodes: Iterator[object]) -> int:
+        """Rolling per-router upgrades: for each node in turn, fail all
+        its incident inter-switch links (drain), then recover them
+        (return to service).  Returns the number of nodes drained."""
+        drained = 0
+        links = self._inter_switch_links()
+        for node in nodes:
+            incident = [(u, v) for u, v in links if node in (u, v)]
+            if not incident:
+                continue
+            for u, v in incident:
+                self.fail(u, v)
+            for u, v in incident:
+                self.recover(u, v)
+            drained += 1
+        return drained
 
     def single_failure_sweep(self) -> int:
         """Airtel 1: fail and recover every link, one at a time."""

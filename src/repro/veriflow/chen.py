@@ -68,8 +68,7 @@ class VeriflowChen:
             graph = self._forwarding_graph(ec)
             result.ec_graphs.append(graph)
             if check_loops:
-                loop = graph.find_loop()
-                if loop is not None:
+                for loop in graph.find_loops():
                     result.loops.append((graph.interval, loop))
         return result
 

@@ -33,24 +33,40 @@ class ECGraph:
     interval: Tuple[int, int]
     edges: Dict[object, object]  # source switch -> next hop
 
-    def find_loop(self) -> Optional[List[object]]:
-        """Cycle in the (functional) forwarding graph, if any."""
-        unvisited = set(self.edges)
-        while unvisited:
+    def find_loops(self) -> List[List[object]]:
+        """Every cycle in the (functional) forwarding graph.
+
+        One EC graph can hold several node-disjoint cycles at once
+        (each node has at most one out-edge, so cycles never share a
+        node); an update check must surface *all* of them — returning
+        an arbitrary one made the reported loop depend on set iteration
+        order, i.e. on hash randomization (a differential-fuzzer find).
+        Iteration follows ``edges``'s insertion order, so the result is
+        deterministic across processes.
+        """
+        loops: List[List[object]] = []
+        visited: Set[object] = set()
+        for start in self.edges:
+            if start in visited:
+                continue
             path_index: Dict[object, int] = {}
             path: List[object] = []
-            node: Optional[object] = unvisited.pop()
-            while node is not None and node != DROP:
+            node: Optional[object] = start
+            while node is not None and node != DROP and node not in visited:
                 if node in path_index:
-                    return path[path_index[node]:]
+                    loops.append(path[path_index[node]:])
+                    break
                 path_index[node] = len(path)
                 path.append(node)
-                next_node = self.edges.get(node)
-                if next_node in path_index or next_node in unvisited or next_node is None:
-                    unvisited.discard(node)
-                node = next_node
-            unvisited -= set(path)
-        return None
+                node = self.edges.get(node)
+            visited.update(path)
+        return loops
+
+    def find_loop(self) -> Optional[List[object]]:
+        """First cycle in deterministic order, or None (see
+        :meth:`find_loops` for why checkers must not stop at one)."""
+        loops = self.find_loops()
+        return loops[0] if loops else None
 
 
 @dataclass
@@ -120,8 +136,7 @@ class VeriflowRI:
             graph = self._forwarding_graph((ec_lo, ec_hi))
             result.ec_graphs.append(graph)
             if check_loops:
-                loop = graph.find_loop()
-                if loop is not None:
+                for loop in graph.find_loops():
                     result.loops.append((graph.interval, loop))
         return result
 

@@ -1,0 +1,77 @@
+"""Tests for codec-backed fuzzer repro files."""
+
+import pytest
+
+from repro.datasets.format import load_ops
+from repro.fuzz import REPRO_VERSION, load_repro, save_repro
+from repro.scenarios import PropertySpec, Scenario, ScenarioError, build_scenario
+
+
+def _scenario():
+    return build_scenario("acl-injection", seed=8, scale=0.25)
+
+
+class TestReproRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        scenario = _scenario()
+        path = str(tmp_path / "case.repro")
+        repro_path, ops_path = save_repro(
+            path, scenario, backends=["deltanet", "veriflow"],
+            diverging=["veriflow"], notes="first diff at op 3")
+        loaded = load_repro(repro_path)
+        assert loaded.family == scenario.family
+        assert loaded.seed == scenario.seed
+        assert loaded.scale == scenario.scale
+        assert loaded.width == scenario.width
+        assert loaded.backends == ["deltanet", "veriflow"]
+        assert loaded.diverging == ["veriflow"]
+        assert loaded.notes == "first diff at op 3"
+        assert loaded.property_specs == scenario.property_specs
+        assert [op.to_line() for op in loaded.ops] == \
+               [op.to_line() for op in scenario.ops]
+
+    def test_ops_twin_matches_text_format(self, tmp_path):
+        scenario = _scenario()
+        _repro, ops_path = save_repro(str(tmp_path / "case.repro"),
+                                      scenario, ["deltanet"], [])
+        twin = load_ops(ops_path)
+        assert [op.to_line() for op in twin] == \
+               [op.to_line() for op in scenario.ops]
+
+    def test_shrunk_ops_override(self, tmp_path):
+        scenario = _scenario()
+        shrunk = scenario.ops[:2]
+        repro_path, _ops = save_repro(str(tmp_path / "case.repro"),
+                                      scenario, ["deltanet"], [],
+                                      ops=shrunk)
+        assert len(load_repro(repro_path).ops) == 2
+
+    def test_scenario_rebuild_is_replayable(self, tmp_path):
+        scenario = _scenario()
+        repro_path, _ops = save_repro(str(tmp_path / "case.repro"),
+                                      scenario, ["deltanet"], [])
+        rebuilt = load_repro(repro_path).scenario()
+        rebuilt.validate()
+        assert rebuilt.topology is None
+        assert rebuilt.name.startswith("repro:")
+
+
+class TestReproErrors:
+    def test_not_a_repro_file(self, tmp_path):
+        path = tmp_path / "junk.repro"
+        path.write_bytes(b"hello world")
+        with pytest.raises(ScenarioError, match="not a deltanet repro"):
+            load_repro(str(path))
+
+    def test_version_mismatch_rejected(self, tmp_path, monkeypatch):
+        import repro.fuzz.reprofile as reprofile
+
+        scenario = Scenario(family="f", name="f/0", seed=0, scale=1.0,
+                            topology=None, ops=_scenario().ops[:1],
+                            property_specs=[PropertySpec.of("loops")])
+        path = str(tmp_path / "case.repro")
+        monkeypatch.setattr(reprofile, "REPRO_VERSION", REPRO_VERSION + 1)
+        save_repro(path, scenario, ["deltanet"], [])
+        monkeypatch.undo()
+        with pytest.raises(ScenarioError, match="repro version"):
+            load_repro(path)

@@ -1,0 +1,74 @@
+"""Tests for ddmin-style trace shrinking."""
+
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.fuzz import shrink_trace
+from repro.scenarios import validate_trace
+
+
+def _insert(rid, source="a", target="b"):
+    return Op.insert(Rule.forward(rid, 0, 16, rid, source, target))
+
+
+def _trace(n=40):
+    ops = [_insert(rid) for rid in range(n)]
+    # Interleave some removals/re-inserts for repair coverage.
+    ops += [Op.remove(0), Op.remove(1), _insert(0, source="c")]
+    return ops
+
+
+class TestShrinkTrace:
+    def test_shrinks_to_single_essential_op(self):
+        trace = _trace()
+
+        def needs_rid_7(candidate):
+            return any(op.is_insert and op.rid == 7 for op in candidate)
+
+        shrunk = shrink_trace(trace, needs_rid_7)
+        assert len(shrunk) == 1
+        assert shrunk[0].rid == 7
+
+    def test_keeps_dependencies_via_repair(self):
+        trace = _trace()
+
+        def needs_removal_of_0(candidate):
+            return any(not op.is_insert and op.rid == 0
+                       for op in candidate)
+
+        shrunk = shrink_trace(trace, needs_removal_of_0)
+        validate_trace(shrunk)  # the insert of rid 0 must survive
+        assert any(not op.is_insert and op.rid == 0 for op in shrunk)
+        assert len(shrunk) == 2
+
+    def test_every_probe_sees_a_valid_trace(self):
+        trace = _trace()
+        probed = []
+
+        def predicate(candidate):
+            validate_trace(candidate)
+            probed.append(len(candidate))
+            return any(op.is_insert and op.rid == 3 for op in candidate)
+
+        shrink_trace(trace, predicate)
+        assert probed
+
+    def test_probe_budget_respected(self):
+        trace = _trace(200)
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return any(op.is_insert and op.rid == 199 for op in candidate)
+
+        shrink_trace(trace, predicate, max_probes=10)
+        assert len(calls) <= 10
+
+    def test_unshrinkable_pair_stays(self):
+        trace = _trace()
+
+        def needs_two(candidate):
+            rids = {op.rid for op in candidate if op.is_insert}
+            return {2, 9} <= rids
+
+        shrunk = shrink_trace(trace, needs_two)
+        assert sorted(op.rid for op in shrunk) == [2, 9]

@@ -140,3 +140,55 @@ class TestAgreementWithDeltaNet:
             atoms = reachable_atoms(net, src, dst)
             expected = IntervalSet(net.atoms.atom_interval(a) for a in atoms)
             assert np_graph.reachable(src, dst) == expected
+
+
+class TestMultiCycleEnumeration:
+    """Regression: a rule can sit on several flow-disjoint cycles; the
+    old back-edge DFS reported only the one met first (fuzzer find)."""
+
+    def _net(self):
+        net = NetPlumber(width=32)
+        # Two 2-cycles through switch "c", flow-disjoint, plus an
+        # infeasible 4-cycle woven through both (empty when intersected
+        # around the full turn).
+        net.insert_rule(Rule.forward(19, 1101266944, 1101529088, 14,
+                                     "a0", "c"))
+        net.insert_rule(Rule.forward(22, 1101266944, 1101529088, 14,
+                                     "a3", "c"))
+        net.insert_rule(Rule.forward(57, 1101281280, 1101282304, 22,
+                                     "c", "a3"))
+        net.insert_rule(Rule.forward(95, 1101414400, 1101418496, 20,
+                                     "c", "a0"))
+        return net
+
+    def test_both_disjoint_cycles_found(self):
+        cycles = {frozenset(cycle) for cycle in self._net().find_loops()}
+        assert frozenset((19, 95)) in cycles
+        assert frozenset((22, 57)) in cycles
+
+    def test_no_infeasible_cycle_reported(self):
+        net = self._net()
+        for cycle in net.find_loops():
+            # Every reported cycle must carry flow around a full turn.
+            flow = net.effective_match(cycle[0])
+            for index, rid in enumerate(cycle):
+                succ = cycle[(index + 1) % len(cycle)]
+                pipe = net.pipes_out[rid].get(succ)
+                assert pipe is not None
+                flow = flow & pipe.carries & net.effective_match(succ)
+            assert flow, f"cycle {cycle} carries no packet a full turn"
+
+    def test_backend_reports_both_switch_cycles(self):
+        from repro.api import create_backend
+
+        backend = create_backend("netplumber")
+        backend.insert(Rule.forward(19, 1101266944, 1101529088, 14,
+                                    "a0", "c"))
+        backend.insert(Rule.forward(22, 1101266944, 1101529088, 14,
+                                    "a3", "c"))
+        backend.insert(Rule.forward(57, 1101281280, 1101282304, 22,
+                                    "c", "a3"))
+        backend.insert(Rule.forward(95, 1101414400, 1101418496, 20,
+                                    "c", "a0"))
+        cycles = {frozenset(cycle) for cycle in backend.find_loops()}
+        assert cycles == {frozenset(("a0", "c")), frozenset(("a3", "c"))}

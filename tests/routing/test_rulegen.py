@@ -100,3 +100,37 @@ class TestGenerateOps:
         a = generate_ops(topo, prefixes, seed=9)
         b = generate_ops(ring(5), prefixes, seed=9)
         assert [op.to_line() for op in a] == [op.to_line() for op in b]
+
+
+class TestEdgeCases:
+    """Degenerate inputs surfaced while building the scenario engine."""
+
+    def test_empty_topology_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            ShortestPathRuleGenerator(Topology("empty"))
+
+    def test_generate_ops_empty_topology_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            generate_ops(Topology("empty"), [(0, 8)])
+
+    def test_single_node_topology_yields_no_rules(self):
+        topo = Topology("solo")
+        topo.add_node("only")
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        assert generator.rules_for_prefix((0, 8)) == []
+
+    def test_generate_ops_single_node_is_empty(self):
+        topo = Topology("solo")
+        topo.add_node("only")
+        assert generate_ops(topo, PrefixPool(seed=1).sample(3), seed=1) == []
+
+    def test_duplicate_prefixes_get_distinct_rids(self):
+        topo = ring(4)
+        generator = ShortestPathRuleGenerator(topo, seed=1)
+        first = generator.rules_for_prefix((0, 8), destination=0)
+        second = generator.rules_for_prefix((0, 8), destination=0)
+        rids = [rule.rid for rule in first + second]
+        assert len(rids) == len(set(rids))
+        ops = generate_ops(ring(4), [(0, 8), (0, 8)], seed=2)
+        insert_rids = [op.rid for op in ops if op.is_insert]
+        assert len(insert_rids) == len(set(insert_rids))

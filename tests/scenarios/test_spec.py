@@ -1,0 +1,122 @@
+"""Tests for scenario specs: property specs, trace validation, repair."""
+
+import pytest
+
+from repro.api.properties import LoopProperty
+from repro.core.rules import Rule
+from repro.datasets.format import Op
+from repro.scenarios import (
+    PropertySpec, Scenario, ScenarioError, ops_from_state, ops_to_state,
+    repair_trace, validate_trace,
+)
+
+
+def _insert(rid, source="a", target="b", lo=0, hi=16, priority=1):
+    return Op.insert(Rule.forward(rid, lo, hi, priority, source, target))
+
+
+class TestPropertySpec:
+    def test_of_and_make(self):
+        spec = PropertySpec.of("loops")
+        assert isinstance(spec.make(), LoopProperty)
+
+    def test_make_returns_fresh_instances(self):
+        spec = PropertySpec.of("loops")
+        assert spec.make() is not spec.make()
+
+    def test_options_forwarded(self):
+        spec = PropertySpec.of("reachability", src="a", dst="b",
+                               expect_reachable=False)
+        prop = spec.make()
+        assert (prop.src, prop.dst, prop.expect_reachable) == ("a", "b",
+                                                               False)
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(ScenarioError):
+            PropertySpec.of("telepathy")
+
+    def test_state_round_trip(self):
+        spec = PropertySpec.of("blackholes", expected_sinks=("p0", "p1"))
+        assert PropertySpec.from_state(spec.to_state()) == spec
+
+
+class TestValidateTrace:
+    def test_valid_trace_accepted(self):
+        validate_trace([_insert(1), _insert(2), Op.remove(1), _insert(1)])
+
+    def test_duplicate_insert_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate insert"):
+            validate_trace([_insert(1), _insert(1)])
+
+    def test_unknown_removal_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown rule id"):
+            validate_trace([Op.remove(7)])
+
+    def test_double_removal_rejected(self):
+        with pytest.raises(ScenarioError, match="op 2"):
+            validate_trace([_insert(1), Op.remove(1), Op.remove(1)])
+
+    def test_interval_outside_width_rejected(self):
+        with pytest.raises(ScenarioError, match="outside"):
+            validate_trace([_insert(1, hi=1 << 40)], width=32)
+        validate_trace([_insert(1, hi=1 << 40)], width=64)
+
+
+class TestRepairTrace:
+    def test_valid_trace_unchanged(self):
+        ops = [_insert(1), Op.remove(1), _insert(1)]
+        assert repair_trace(ops) == ops
+
+    def test_orphan_removal_dropped(self):
+        ops = [Op.remove(5), _insert(1)]
+        assert repair_trace(ops) == [ops[1]]
+
+    def test_orphan_reinsert_dropped(self):
+        # Without the removal in between, the second insert of rid 1
+        # must go.
+        ops = [_insert(1), _insert(1, source="c")]
+        assert repair_trace(ops) == [ops[0]]
+
+    def test_any_subsequence_becomes_valid(self):
+        ops = [_insert(1), _insert(2), Op.remove(1), _insert(1),
+               Op.remove(2), Op.remove(1)]
+        for mask in range(1 << len(ops)):
+            subset = [op for i, op in enumerate(ops) if mask >> i & 1]
+            validate_trace(repair_trace(subset))
+
+
+class TestOpsState:
+    def test_round_trip(self):
+        ops = [_insert(3, source="s1", target="s2", lo=5, hi=9),
+               Op.remove(3),
+               Op.insert(Rule.drop(4, 0, 8, 2, "s1"))]
+        restored = ops_from_state(ops_to_state(ops))
+        assert [op.to_line() for op in restored] == \
+               [op.to_line() for op in ops]
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            ops_from_state([("?", 1)])
+
+
+class TestScenario:
+    def _scenario(self, ops):
+        return Scenario(family="f", name="f/0", seed=0, scale=1.0,
+                        topology=None, ops=ops,
+                        property_specs=[PropertySpec.of("loops")])
+
+    def test_counts_and_describe(self):
+        scenario = self._scenario([_insert(1), Op.remove(1)])
+        assert scenario.num_ops == 2
+        assert scenario.num_inserts == 1
+        assert "loops" in scenario.describe()
+
+    def test_validate_delegates(self):
+        with pytest.raises(ScenarioError):
+            self._scenario([Op.remove(9)]).validate()
+
+    def test_make_properties_fresh_per_call(self):
+        scenario = self._scenario([_insert(1)])
+        first = scenario.make_properties()
+        second = scenario.make_properties()
+        assert first[0] is not second[0]

@@ -77,3 +77,99 @@ class TestEventInjector:
         controller, sdnip, _ops = make_setup()
         EventInjector(sdnip).pair_failure_sweep(limit=3)
         assert sdnip.failed_links == set()
+
+
+class TestScenarioCampaigns:
+    """The seeded campaigns repro.scenarios drives (flaps/storms/drains)."""
+
+    def test_flap_is_fail_then_recover(self):
+        controller, sdnip, _ops = make_setup()
+        injector = EventInjector(sdnip)
+        injector.flap(0, 1)
+        assert [kind for kind, _edge in injector.events] == \
+            ["fail", "recover"]
+        assert sdnip.failed_links == set()
+
+    def test_random_flaps_deterministic_and_counted(self):
+        import random
+
+        _c1, sdnip1, ops1 = make_setup()
+        _c2, sdnip2, ops2 = make_setup()
+        assert EventInjector(sdnip1).random_flaps(
+            5, random.Random(3)) == 5
+        assert EventInjector(sdnip2).random_flaps(
+            5, random.Random(3)) == 5
+        assert [op.to_line() for op in ops1] == \
+            [op.to_line() for op in ops2]
+
+    def test_storm_holds_links_down_together(self):
+        controller, sdnip, _ops = make_setup(n=6)
+        injector = EventInjector(sdnip)
+        import random
+
+        failed = injector.failure_storm(3, random.Random(1))
+        assert failed == 3
+        kinds = [kind for kind, _edge in injector.events]
+        # All failures land before any recovery (the storm shape).
+        assert kinds == ["fail"] * 3 + ["recover"] * 3
+        assert sdnip.failed_links == set()
+
+    def test_storm_capped_by_link_count(self):
+        controller, sdnip, _ops = make_setup(n=4)
+        import random
+
+        assert EventInjector(sdnip).failure_storm(
+            99, random.Random(1)) == 4  # ring(4): 4 undirected links
+
+    def test_rolling_maintenance_restores_state(self):
+        controller, sdnip, _ops = make_setup(n=5)
+        injector = EventInjector(sdnip)
+        before = controller.num_installed
+        assert injector.rolling_maintenance(iter([0, 2])) == 2
+        assert sdnip.failed_links == set()
+        assert controller.num_installed == before
+        # Node 0 touches its 2 ring links, node 2 its 2: 4 fails total.
+        fails = [edge for kind, edge in injector.events if kind == "fail"]
+        assert len(fails) == 4
+
+    def test_rolling_maintenance_skips_linkless_nodes(self):
+        controller, sdnip, _ops = make_setup()
+        controller.topology.add_node("lonely")
+        injector = EventInjector(sdnip)
+        assert injector.rolling_maintenance(iter(["lonely"])) == 0
+        assert injector.events == []
+
+    def test_duplicate_fail_is_idempotent_but_logged(self):
+        """Duplicate link ops: the data plane converges, the log keeps
+        every injection (surfaced while building scenarios)."""
+        controller, sdnip, _ops = make_setup()
+        injector = EventInjector(sdnip)
+        injector.fail(0, 1)
+        state_after_first = {rule.rid for rule in
+                            controller.installed_rules()}
+        injector.fail(0, 1)
+        assert {rule.rid for rule in controller.installed_rules()} == \
+            state_after_first
+        assert sdnip.failed_links == {frozenset((0, 1))}
+        injector.recover(0, 1)
+        assert sdnip.failed_links == set()
+        injector.recover(0, 1)  # recovering a healthy link: no-op
+        assert sdnip.failed_links == set()
+        assert [kind for kind, _e in injector.events] == \
+            ["fail", "fail", "recover", "recover"]
+
+    def test_single_switch_domain_has_no_links_to_fail(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology("one")
+        topo.add_node(0)
+        controller = Controller(topo)
+        sdnip = SdnIp(controller, {"bgp0": 0})
+        injector = EventInjector(sdnip)
+        import random
+
+        assert injector.single_failure_sweep() == 0
+        assert injector.pair_failure_sweep() == 0
+        assert injector.random_flaps(3, random.Random(1)) == 0
+        assert injector.rolling_maintenance(iter([0])) == 0
+        assert injector.events == []

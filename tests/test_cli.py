@@ -134,3 +134,120 @@ class TestCommands:
     def test_report_parser(self):
         args = build_parser().parse_args(["report", "-o", "x.md"])
         assert args.output == "x.md"
+
+
+class TestScenarioCommands:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("link-flaps", "failover-storm", "bgp-reset",
+                       "deaggregation", "acl-injection"):
+            assert family in out
+
+    def test_scenario_run_agreeing_backends(self, tmp_path, capsys):
+        save = str(tmp_path / "trace.ops")
+        assert main(["scenario", "run", "table-fill", "--seed", "4",
+                     "--scale", "0.25", "--backends", "deltanet,sharded",
+                     "--save", save]) == 0
+        out = capsys.readouterr().out
+        assert "agree with the sweep oracle" in out
+        # The saved trace replays through the plain replay command.
+        assert main(["replay", save, "--engine", "deltanet"]) == 0
+
+    def test_scenario_run_unknown_family_readable(self, capsys):
+        assert main(["scenario", "run", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario family" in err
+        assert "Traceback" not in err
+
+    def test_scenario_run_unknown_backend_readable(self, capsys):
+        assert main(["scenario", "run", "table-fill", "--backends",
+                     "warpdrive"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+
+    def test_scenario_run_divergence_exits_nonzero(self, tmp_path,
+                                                   capsys):
+        from repro.api import register_backend, unregister_backend
+        from repro.api.backends import DeltaNetBackend
+
+        class Lossy(DeltaNetBackend):
+            def loops_for_commit(self, updates, delta):
+                return super().loops_for_commit(updates, delta)[:-1]
+
+        register_backend("lossy-cli", Lossy, replace=True)
+        try:
+            artifacts = str(tmp_path / "artifacts")
+            code = main(["scenario", "run", "deaggregation", "--seed",
+                         "3", "--scale", "0.3", "--backends",
+                         "deltanet,lossy-cli", "--artifacts", artifacts,
+                         "--shrink-probes", "40"])
+            captured = capsys.readouterr()
+            assert code == 1
+            assert "diverges from the sweep oracle" in captured.out
+            assert "minimized repro" in captured.out
+            assert "FAIL" in captured.err
+            import os
+
+            assert any(name.endswith(".repro")
+                       for name in os.listdir(artifacts))
+        finally:
+            unregister_backend("lossy-cli")
+
+    def test_replay_diff_oracle_ok(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--diff-oracle"]) == 0
+        assert "matches the oracle" in capsys.readouterr().out
+
+    def test_replay_diff_oracle_flag_conflicts(self, tmp_path, capsys):
+        path = str(tmp_path / "ops.txt")
+        main(["generate", "4Switch", "-o", path, "--scale", "0.1"])
+        assert main(["replay", path, "--diff-oracle", "--batch",
+                     "16"]) == 2
+        assert "--diff-oracle is incompatible" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fuzz_small_budget(self, capsys):
+        assert main(["fuzz", "--budget", "2", "--seed", "9",
+                     "--backends", "deltanet,sharded", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 traces" in out and "OK" in out
+
+    def test_fuzz_replay_missing_file_readable(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent.repro"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_fuzz_finds_and_replays_lossy_backend(self, tmp_path,
+                                                  capsys):
+        from repro.api import register_backend, unregister_backend
+        from repro.api.backends import DeltaNetBackend
+
+        class Lossy(DeltaNetBackend):
+            def loops_for_commit(self, updates, delta):
+                return super().loops_for_commit(updates, delta)[:-1]
+
+        register_backend("lossy-fuzz", Lossy, replace=True)
+        try:
+            artifacts = str(tmp_path / "artifacts")
+            code = main(["fuzz", "--budget", "6", "--seed", "5",
+                         "--families", "deaggregation,table-fill",
+                         "--backends", "deltanet,lossy-fuzz",
+                         "--artifacts", artifacts,
+                         "--shrink-probes", "40", "-q"])
+            assert code == 1
+            out = capsys.readouterr().out
+            assert "FAILURE" in out
+            import os
+
+            repro_files = [name for name in os.listdir(artifacts)
+                           if name.endswith(".repro")]
+            assert repro_files
+            # With the lossy backend gone the repro no longer diverges.
+            path = os.path.join(artifacts, repro_files[0])
+            assert main(["fuzz", "--replay", path, "--backends",
+                         "deltanet"]) == 0
+        finally:
+            unregister_backend("lossy-fuzz")

@@ -103,3 +103,32 @@ class TestAgreementWithDeltaNet:
             oracle.insert(rule)
             any_loop_reported |= bool(result.loops)
         assert any_loop_reported == bool(oracle.loop_points())
+
+
+class TestECGraphFindLoops:
+    """Regression: one EC graph can hold several node-disjoint cycles
+    (differential-fuzzer find — returning an arbitrary single loop made
+    the report depend on hash randomization)."""
+
+    def test_all_disjoint_cycles_reported(self):
+        graph = ECGraph(interval=(0, 8), edges={
+            "a": "b", "b": "a", "c": "d", "d": "c", "e": "f"})
+        loops = graph.find_loops()
+        assert len(loops) == 2
+        assert {frozenset(loop) for loop in loops} == \
+            {frozenset(("a", "b")), frozenset(("c", "d"))}
+
+    def test_order_is_deterministic_insertion_order(self):
+        graph = ECGraph(interval=(0, 8), edges={
+            "c": "d", "d": "c", "a": "b", "b": "a"})
+        assert [frozenset(loop) for loop in graph.find_loops()] == \
+            [frozenset(("c", "d")), frozenset(("a", "b"))]
+
+    def test_update_reports_every_new_loop_in_one_ec(self):
+        verifier = VeriflowRI(width=32)
+        verifier.insert_rule(Rule.forward(1, 0, 16, 1, "a", "b"))
+        verifier.insert_rule(Rule.forward(2, 0, 16, 1, "c", "d"))
+        verifier.insert_rule(Rule.forward(3, 0, 16, 1, "b", "a"))
+        result = verifier.insert_rule(Rule.forward(4, 0, 16, 1, "d", "c"))
+        cycles = {frozenset(loop) for _interval, loop in result.loops}
+        assert frozenset(("c", "d")) in cycles
