@@ -295,14 +295,22 @@ class ParallelShardedBackend(BackendAdapter):
     def __init__(self, width: int = 32, shards: int = 4, gc: bool = False,
                  check_loops: bool = True,
                  start_method: Optional[str] = None,
-                 force_inline: bool = False) -> None:
+                 force_inline: bool = False,
+                 deadline: Optional[float] = 60.0,
+                 max_restarts: int = 3,
+                 restart_backoff: float = 0.05,
+                 reseed_every: int = 256,
+                 log=None) -> None:
         super().__init__(width=width)
         from repro.libra.parallel import ParallelShardedDeltaNet
         from repro.libra.sharding import even_shards
 
         self.native = ParallelShardedDeltaNet(
             even_shards(shards, width), width=width, gc=gc,
-            start_method=start_method, force_inline=force_inline)
+            start_method=start_method, force_inline=force_inline,
+            deadline=deadline, max_restarts=max_restarts,
+            restart_backoff=restart_backoff, reseed_every=reseed_every,
+            log=log)
         self._check_loops = check_loops
 
     def close(self) -> None:
@@ -384,15 +392,18 @@ class ParallelShardedBackend(BackendAdapter):
         slices = [tuple(pair) for pair in native_state["slices"]]
         if slices == list(self.native.slices):
             self.native._restore_router(native_state)
-            for index, net_state in enumerate(native_state["nets"]):
-                self.native._workers[index].submit("restore", (net_state,))
-            for index in range(len(native_state["nets"])):
-                self.native._workers[index].result()
+            # The supervised restore path also installs the states as
+            # the shards' recovery seeds.
+            self.native._seed_shards(list(native_state["nets"]))
         else:
             force_inline = not self.native.parallel
-            self.native.close()
+            old = self.native
             self.native = ParallelShardedDeltaNet.from_state(
-                native_state, force_inline=force_inline)
+                native_state, force_inline=force_inline,
+                deadline=old.deadline, max_restarts=old.max_restarts,
+                restart_backoff=old.restart_backoff,
+                reseed_every=old.reseed_every, log=old._log)
+            old.close()
         for rule_state in state["rules"]:
             rule = Rule.from_state(rule_state)
             self._rules[rule.rid] = rule
@@ -401,8 +412,33 @@ class ParallelShardedBackend(BackendAdapter):
         out = super().stats()
         out.update(shards=self.native.num_shards,
                    parallel=self.native.parallel,
+                   degraded=self.native.degraded,
+                   degraded_shards=list(self.native.degraded_shards),
+                   restarts=self.native.restarts,
                    shard_sizes=self.native.shard_sizes())
         return out
+
+    def health(self):
+        """Cheap liveness/degradation view — parent-side state only.
+
+        Unlike :meth:`stats` this never touches the worker pipes, so
+        the daemon's ``health`` verb can answer while an update holds
+        the session lock (or while a worker is wedged).
+        """
+        native = self.native
+        workers_alive = sum(
+            1 for endpoint in native._workers
+            if getattr(endpoint, "process", None) is not None
+            and endpoint.process.is_alive())
+        return {
+            "parallel": native.parallel,
+            "degraded": native.degraded,
+            "degraded_shards": list(native.degraded_shards),
+            "restarts": native.restarts,
+            "workers_alive": workers_alive,
+            "shards": native.num_shards,
+            "events": len(native.events),
+        }
 
 
 @register_backend("veriflow")

@@ -18,6 +18,7 @@ Examples::
     deltanet scenario list
     deltanet scenario run link-flaps --seed 7 --backend sharded
     deltanet fuzz --budget 200
+    deltanet fuzz --budget 50 --chaos --backends deltanet,sharded,parallel
     deltanet fuzz --replay artifacts/repro-link-flaps-seed99.repro
 """
 
@@ -351,6 +352,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import fuzz, replay_repro
 
+    if args.replay and args.chaos:
+        print("--replay re-runs a saved repro fault-free; it is "
+              "incompatible with --chaos", file=sys.stderr)
+        return 2
     if args.replay:
         # Without --backends, replay what the file recorded; an
         # explicit --backends (including 'all') overrides it.
@@ -371,26 +376,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   families=families, artifacts_dir=args.artifacts,
                   time_budget=args.time_budget,
                   shrink_probes=args.shrink_probes,
+                  chaos=args.chaos, chaos_faults=args.chaos_faults,
                   log=None if args.quiet else print)
     print(report.describe())
     return 0 if report.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import StreamServer, serve_socket, serve_stdio
+    from repro.serve import (
+        DrainRequested, StreamServer, install_sigterm_drain, serve_socket,
+        serve_stdio,
+    )
 
     engine = args.engine
     options = {}
     if engine == "deltanet-gc":
         engine, options = "deltanet", {"gc": True}
     properties = tuple(name for name in args.properties.split(",") if name)
+    log = lambda line: print(f"# {line}", file=sys.stderr, flush=True)
     server = StreamServer(
         args.store, engine=engine, width=args.width,
         checkpoint_every=args.checkpoint_every,
         checkpoint_interval=args.checkpoint_interval,
         properties=properties,
-        log=lambda line: print(f"# {line}", file=sys.stderr, flush=True),
+        request_timeout=args.request_timeout,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        log=log,
         **options)
+    install_sigterm_drain(server)
     try:
         if args.listen:
             host, _sep, port = args.listen.rpartition(":")
@@ -400,6 +414,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                                   flush=True))
         else:
             serve_stdio(server, sys.stdin, sys.stdout)
+    except DrainRequested:
+        # SIGTERM mid-wait: fall through to the same final-checkpoint
+        # close() a protocol `shutdown` takes.
+        log("SIGTERM: draining, writing final checkpoint")
     finally:
         server.close()
     return 0
@@ -507,6 +525,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stop early once SECONDS elapsed (CI smoke)")
     fuzz_cmd.add_argument("--shrink-probes", type=_positive_int, default=150,
                           metavar="N")
+    fuzz_cmd.add_argument("--chaos", action="store_true",
+                          help="replay every trace under a seed-derived "
+                               "fault plan (worker kills, torn journals, "
+                               "checkpoint crashes) and require the "
+                               "recovered stream to still match the "
+                               "fault-free oracle")
+    fuzz_cmd.add_argument("--chaos-faults", type=_positive_int, default=4,
+                          metavar="N",
+                          help="fault events injected per trace in "
+                               "--chaos mode (default 4)")
     fuzz_cmd.add_argument("--replay", metavar="FILE", default=None,
                           help="re-run a saved .repro file instead of "
                                "fuzzing (exit 1 if it still diverges)")
@@ -534,6 +562,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--properties", default="loops",
                        help="comma-separated properties to watch on a "
                             "fresh session (default: loops; '' for none)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="max seconds a request may wait for the "
+                            "session before an immediate 'busy' + "
+                            "retry_after response (default: wait forever)")
+    serve.add_argument("--max-queue", type=_positive_int, default=64,
+                       metavar="N",
+                       help="max requests waiting for the session before "
+                            "'overloaded' backpressure (default 64)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="retry_after hint in backpressure responses "
+                            "(default 1.0)")
 
     whatif = sub.add_parser("whatif", help="link-failure query sweep")
     whatif.add_argument("dataset", choices=sorted(DATASET_BUILDERS))

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for chaos-testing the verifier stack.
+
+:mod:`repro.faults.injector` is the mechanism: named fault points wired
+into production code (`fire()` is a no-op until an injector is
+installed), armed faults that crash / delay / drop at the n-th hit, and
+the :class:`InjectedCrash` signal that simulates process death.
+
+:mod:`repro.faults.chaos` is the policy: seed-derived
+:class:`ChaosPlan`\\ s of fault events and a replay harness that drives a
+checkpointed session through a scenario while killing workers, tearing
+journal tails and crashing checkpoints — then proves the delivered
+violation stream still matches the sweep oracle byte-for-byte.
+"""
+
+from repro.faults.injector import (
+    DropMessage, Fault, FaultInjector, InjectedCrash, crash, delay, drop,
+    fire, installed, kill_endpoint,
+)
+from repro.faults.chaos import (
+    CHAOS_KINDS, ChaosPlan, FaultEvent, chaos_replay,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosPlan",
+    "DropMessage",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "InjectedCrash",
+    "chaos_replay",
+    "crash",
+    "delay",
+    "drop",
+    "fire",
+    "installed",
+    "kill_endpoint",
+]

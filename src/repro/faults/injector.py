@@ -1,0 +1,174 @@
+"""Named fault points and the injector that arms them.
+
+Production code declares *fault points* by calling :func:`fire` at the
+spots where real systems fail — just before a pipe send, inside the
+checkpoint tmp+rename window, around a journal append.  With no
+injector installed (the normal case, including all production use)
+``fire`` is a single global read and returns immediately.
+
+A test or chaos campaign installs a :class:`FaultInjector` armed with
+:class:`Fault` descriptions: *at the n-th hit of point P (optionally
+restricted to shard S), run this action*.  Stock actions cover the
+failure menagerie:
+
+``crash``
+    raise :class:`InjectedCrash` — simulated process death.  It derives
+    from ``BaseException`` so ordinary ``except Exception`` recovery
+    code cannot swallow it, exactly as no handler survives a real
+    ``kill -9``.
+``delay(seconds)``
+    sleep before letting the operation proceed (slow worker / slow
+    disk); with a per-request deadline armed this manufactures a hung
+    worker.
+``drop``
+    raise :class:`DropMessage`, which pipe-send fault points interpret
+    as "the message vanished" — the send is skipped, the caller sees
+    success, and the reply never comes (a blackholed pipe).
+``kill_endpoint``
+    hard-kill the worker process behind the endpoint in the fire
+    context — a genuine ``SIGKILL`` mid-protocol.
+
+Every trigger is recorded on ``injector.fired`` so tests can assert a
+fault actually happened (a chaos campaign that silently never injects
+proves nothing).
+
+The installed injector is module-global state: chaos runs are
+single-threaded harnesses, and the one global keeps ``fire`` cheap on
+the hot path.  Do not install an injector from concurrent tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at a fault point.
+
+    Deliberately a ``BaseException``: recovery code under test catches
+    ``Exception``, and a fault that such code could swallow would test
+    the injector, not the recovery.
+    """
+
+
+class DropMessage(Exception):
+    """Raised by a pipe-send fault point to blackhole the message.
+
+    The sender catches this, skips the send, and reports success —
+    the receiver simply never hears anything.
+    """
+
+
+def crash(context: dict) -> None:
+    """Stock action: die here (see :class:`InjectedCrash`)."""
+    raise InjectedCrash(f"injected crash at {context.get('point')!r}")
+
+
+def drop(context: dict) -> None:
+    """Stock action: blackhole this pipe message."""
+    raise DropMessage(f"injected blackhole at {context.get('point')!r}")
+
+
+def delay(seconds: float) -> Callable[[dict], None]:
+    """Stock action factory: stall the operation for ``seconds``."""
+
+    def action(context: dict) -> None:
+        time.sleep(seconds)
+
+    return action
+
+
+def kill_endpoint(context: dict) -> None:
+    """Stock action: SIGKILL the worker process behind this fault point.
+
+    Only meaningful at fault points that pass ``endpoint=`` in their
+    context (the parallel backend's pipe points); elsewhere it is a
+    no-op, so plans stay portable across backends.
+    """
+    endpoint = context.get("endpoint")
+    process = getattr(endpoint, "process", None)
+    if process is not None and process.is_alive():
+        process.kill()
+        process.join(timeout=5)
+
+
+@dataclass
+class Fault:
+    """One armed fault: fire ``action`` on the n-th hit of ``point``."""
+
+    point: str
+    action: Callable[[dict], None]
+    #: trigger on the ``at``-th matching hit (1-based)
+    at: int = 1
+    #: when set, only hits whose context carries this shard index match
+    shard: Optional[int] = None
+    #: disarm after the first trigger (set False for every-hit faults)
+    once: bool = True
+    hits: int = field(default=0, init=False)
+    triggered: int = field(default=0, init=False)
+
+    def matches(self, point: str, context: dict) -> bool:
+        if point != self.point:
+            return False
+        if self.shard is not None and context.get("shard") != self.shard:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Holds armed faults and a log of everything that triggered."""
+
+    def __init__(self, faults: Optional[List[Fault]] = None) -> None:
+        self.faults: List[Fault] = list(faults or ())
+        #: (point, context-sans-objects) per trigger, in order
+        self.fired: List[Tuple[str, dict]] = []
+
+    def arm(self, fault: Fault) -> Fault:
+        self.faults.append(fault)
+        return fault
+
+    def fire(self, point: str, **context) -> None:
+        context["point"] = point
+        for fault in self.faults:
+            if not fault.matches(point, context):
+                continue
+            fault.hits += 1
+            live = (fault.hits == fault.at if fault.once
+                    else fault.hits >= fault.at)
+            if not live:
+                continue
+            fault.triggered += 1
+            self.fired.append((point, {
+                key: value for key, value in context.items()
+                if isinstance(value, (str, int, float, bool, type(None)))}))
+            fault.action(context)
+
+
+_active: Optional[FaultInjector] = None
+
+
+def fire(point: str, **context) -> None:
+    """Hit a fault point; free when no injector is installed."""
+    injector = _active
+    if injector is not None:
+        injector.fire(point, **context)
+
+
+class installed:
+    """Context manager installing ``injector`` as the active one."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+        self._previous: Optional[FaultInjector] = None
+
+    def __enter__(self) -> FaultInjector:
+        global _active
+        self._previous = _active
+        _active = self.injector
+        return self.injector
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active
+        _active = self._previous

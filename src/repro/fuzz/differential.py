@@ -10,6 +10,15 @@ twin), so the failure replays anywhere with ``deltanet fuzz --replay``.
 
 The fuzzer treats a backend *crash* the same as a stream divergence —
 an exception mid-trace is minimized and reported, not propagated.
+
+With ``chaos=True`` every trace additionally replays under a
+seed-derived :class:`~repro.faults.chaos.ChaosPlan` — worker kills,
+blackholed pipes, torn journal tails, crashed checkpoints — and the
+recovered stream is still diffed against the *fault-free* sweep
+oracle.  A chaos failure is reported un-shrunk: the fault schedule is
+keyed to op indices, so removing ops would change which faults fire;
+the ``(scenario seed, chaos seed)`` pair in the artifact reproduces it
+exactly instead.
 """
 
 from __future__ import annotations
@@ -43,12 +52,23 @@ class FuzzFailure:
     shrunk_ops: List[Op]
     repro_path: Optional[str] = None
     ops_path: Optional[str] = None
+    #: The fault schedule the trace ran under (chaos mode); None for
+    #: plain differential failures.
+    chaos_plan: Optional[object] = None
 
     def describe(self) -> str:
-        lines = [f"FAILURE {self.scenario.name}: "
-                 f"{', '.join(self.diverging)} disagree with the oracle "
-                 f"(trace {self.scenario.num_ops} ops, minimized to "
-                 f"{len(self.shrunk_ops)})"]
+        if self.chaos_plan is not None:
+            lines = [f"FAILURE {self.scenario.name}: "
+                     f"{', '.join(self.diverging)} disagree with the "
+                     f"fault-free oracle under injected faults "
+                     f"(trace {self.scenario.num_ops} ops, not shrunk — "
+                     f"the fault schedule is index-keyed)",
+                     "  " + self.chaos_plan.describe().replace("\n", "\n  ")]
+        else:
+            lines = [f"FAILURE {self.scenario.name}: "
+                     f"{', '.join(self.diverging)} disagree with the oracle "
+                     f"(trace {self.scenario.num_ops} ops, minimized to "
+                     f"{len(self.shrunk_ops)})"]
         if self.repro_path:
             lines.append(f"  repro: {self.repro_path} "
                          f"(text twin: {self.ops_path})")
@@ -66,6 +86,7 @@ class FuzzReport:
     failures: List[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
     stopped_early: bool = False
+    chaos: bool = False
 
     @property
     def ok(self) -> bool:
@@ -74,7 +95,8 @@ class FuzzReport:
     def describe(self) -> str:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
         early = " (time budget hit)" if self.stopped_early else ""
-        return (f"fuzz: {self.attempted}/{self.budget} traces{early}, "
+        mode = "chaos fuzz" if self.chaos else "fuzz"
+        return (f"{mode}: {self.attempted}/{self.budget} traces{early}, "
                 f"{self.passed} agreed, {status}, {self.elapsed:.1f}s")
 
 
@@ -131,6 +153,8 @@ def save_failure_artifacts(failure: FuzzFailure, report: ScenarioReport,
         notes = "; ".join(f"{run.backend}: {run.error}"
                           for run in report.runs
                           if run.error is not None)
+    if failure.chaos_plan is not None:
+        notes = failure.chaos_plan.describe() + "\n" + notes
     failure.repro_path, failure.ops_path = save_repro(
         stem + ".repro", scenario, backends, failure.diverging,
         notes=notes, ops=failure.shrunk_ops)
@@ -143,6 +167,8 @@ def fuzz(budget: int, seed: int = 0,
          artifacts_dir: Optional[str] = None,
          time_budget: Optional[float] = None,
          shrink_probes: int = 150,
+         chaos: bool = False,
+         chaos_faults: int = 4,
          log: Optional[Log] = None) -> FuzzReport:
     """Run a differential fuzzing campaign of ``budget`` random traces.
 
@@ -150,13 +176,26 @@ def fuzz(budget: int, seed: int = 0,
     ``time_budget`` (seconds) the campaign stops early once exceeded —
     the CI smoke knob.  Failures are minimized and, when
     ``artifacts_dir`` is set, written there as repro files.
+
+    With ``chaos=True`` each trace replays under an injected fault plan
+    of ``chaos_faults`` events (plan seed = the scenario's own seed, so
+    the campaign seed reproduces both the trace *and* its faults).  The
+    oracle stays fault-free; the diff proves recovery preserved the
+    delivered stream exactly.  Chaos failures skip shrinking.
     """
+    import shutil
+    import tempfile
+
     from repro.api import available_backends
+
+    if chaos:
+        from repro.faults.chaos import ChaosPlan
+        from repro.scenarios.runner import run_chaos_scenario
 
     chosen = sorted(backends) if backends is not None \
         else list(available_backends())
     rng = random.Random(seed)
-    report = FuzzReport(budget=budget)
+    report = FuzzReport(budget=budget, chaos=chaos)
     emit = log or (lambda line: None)
     start = time.perf_counter()
     if artifacts_dir:
@@ -170,18 +209,53 @@ def fuzz(budget: int, seed: int = 0,
             break
         scenario = random_scenario(rng, families=families, width=width)
         report.attempted += 1
-        scenario_report = run_scenario(scenario, chosen)
+        plan = None
+        if chaos:
+            plan = ChaosPlan.random(scenario.seed, scenario.num_ops,
+                                    faults=chaos_faults)
+            work_dir = tempfile.mkdtemp(prefix="deltanet-chaos-")
+            try:
+                scenario_report = run_chaos_scenario(scenario, chosen,
+                                                     plan, work_dir)
+            finally:
+                shutil.rmtree(work_dir, ignore_errors=True)
+        else:
+            scenario_report = run_scenario(scenario, chosen)
         if scenario_report.ok:
             report.passed += 1
-            emit(f"[{index + 1}/{budget}] {scenario.name}: "
-                 f"{scenario.num_ops} ops, "
-                 f"{scenario_report.oracle_violations} violations, "
-                 f"all backends agree")
+            if plan is not None:
+                recoveries = sum((run.chaos or {}).get("recoveries", 0)
+                                 for run in scenario_report.runs)
+                emit(f"[{index + 1}/{budget}] {scenario.name}: "
+                     f"{scenario.num_ops} ops, "
+                     f"{scenario_report.oracle_violations} violations, "
+                     f"all backends agree under {len(plan.events)} "
+                     f"fault(s) ({recoveries} recoveries)")
+            else:
+                emit(f"[{index + 1}/{budget}] {scenario.name}: "
+                     f"{scenario.num_ops} ops, "
+                     f"{scenario_report.oracle_violations} violations, "
+                     f"all backends agree")
             continue
-        emit(f"[{index + 1}/{budget}] {scenario.name}: DIVERGENCE — "
-             f"minimizing...")
-        failure = minimize_failure(scenario, scenario_report,
-                                   max_probes=shrink_probes)
+        if plan is not None:
+            # The fault schedule is keyed to op indices; shrinking the
+            # trace would change which faults fire where.  Report the
+            # full trace — the seed pair reproduces it exactly.
+            emit(f"[{index + 1}/{budget}] {scenario.name}: DIVERGENCE "
+                 f"under chaos plan seed={plan.seed}")
+            diverging = sorted(
+                {d.backend for d in scenario_report.divergences} |
+                {run.backend for run in scenario_report.runs
+                 if run.error is not None})
+            failure = FuzzFailure(scenario=scenario, report=scenario_report,
+                                  diverging=diverging,
+                                  shrunk_ops=list(scenario.ops),
+                                  chaos_plan=plan)
+        else:
+            emit(f"[{index + 1}/{budget}] {scenario.name}: DIVERGENCE — "
+                 f"minimizing...")
+            failure = minimize_failure(scenario, scenario_report,
+                                       max_probes=shrink_probes)
         if artifacts_dir:
             save_failure_artifacts(failure, scenario_report, chosen,
                                    artifacts_dir)

@@ -15,17 +15,33 @@ own persistent forwarding index, which lives and dies with the worker);
 workers therefore return canonical loop cycles, not delta-graphs,
 keeping the pipe traffic small.
 
-When worker processes cannot be spawned (restricted sandboxes, platforms
-without a working ``multiprocessing``), the class degrades transparently
-to in-process shard servers with identical semantics — ``.parallel``
-reports which mode is live.  Always :meth:`close` (or use as a context
+Shard workers are *supervised*.  The parent detects dead and hung
+workers (pipe EOF, broken pipe, or a per-request ``deadline``) and
+recovers them transparently: the worker is restarted with exponential
+backoff, re-seeded from the last per-shard snapshot plus a bounded
+in-memory replay buffer of post-snapshot sub-batches, and the in-flight
+command is re-issued.  Re-seeding reconstructs the shard's
+*pre-command* state, so a command lost with the worker's memory applies
+exactly once.  After ``max_restarts`` consecutive failures the shard
+degrades to a re-seeded in-process endpoint — an observable state
+(:attr:`~ParallelShardedDeltaNet.degraded`, :attr:`events`, the ``log``
+callback), never a silent one.  Only application-level errors the
+worker *reports* (a desynchronized sub-batch) still poison the update
+surface, as before: those mean divergent state, not a dead process.
+
+When worker processes cannot be spawned at all (restricted sandboxes,
+platforms without a working ``multiprocessing``), the class falls back
+to in-process shard servers with identical semantics — and records that
+too: ``.parallel`` reports which mode is live and ``.degraded`` is True
+for an unrequested fallback.  Always :meth:`close` (or use as a context
 manager) to reap the workers.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.checkers.blackholes import find_blackholes as _shard_blackholes
 from repro.checkers.loops import LoopChecker, find_forwarding_loops
@@ -34,10 +50,26 @@ from repro.core.atomset import atoms_to_interval_set
 from repro.core.deltanet import DeltaNet
 from repro.core.intervals import IntervalSet, normalize
 from repro.core.rules import Link, Rule
+from repro.faults.injector import DropMessage, fire
 from repro.libra.sharding import ShardRouter
 
 #: A forwarding cycle as a canonical tuple of nodes (see Loop.canonical).
 Cycle = Tuple[object, ...]
+
+
+class WorkerCrash(RuntimeError):
+    """A shard worker process died or blew its per-request deadline.
+
+    Distinct from application errors a live worker *reports* over the
+    pipe: a crash says nothing about shard-state validity, so the
+    supervisor recovers it; a reported error means divergent state and
+    keeps its poisoning semantics.
+    """
+
+    def __init__(self, message: str, hung: bool = False) -> None:
+        super().__init__(message)
+        #: True when the worker missed its deadline (vs. a dead pipe).
+        self.hung = hung
 
 
 class _ShardServer:
@@ -131,7 +163,8 @@ def _shard_worker(conn, width: int, gc: bool) -> None:
 class _ProcessEndpoint:
     """Parent-side handle of one worker: submit now, collect later."""
 
-    def __init__(self, ctx, width: int, gc: bool) -> None:
+    def __init__(self, ctx, width: int, gc: bool, index: int = 0) -> None:
+        self.index = index
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=_shard_worker, args=(child_conn, width, gc), daemon=True)
@@ -139,18 +172,55 @@ class _ProcessEndpoint:
         child_conn.close()
 
     def submit(self, method: str, args: tuple) -> None:
-        self.conn.send((method, args))
+        try:
+            fire("parallel.pipe.send", shard=self.index, method=method,
+                 endpoint=self)
+        except DropMessage:
+            # Blackholed: the caller sees a successful send and the
+            # reply never comes; the deadline turns this into a hung
+            # worker for the supervisor to reap.
+            return
+        try:
+            self.conn.send((method, args))
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerCrash(
+                f"shard {self.index} worker is gone at send: {exc}") from exc
+        fire("parallel.pipe.sent", shard=self.index, method=method,
+             endpoint=self)
 
-    def result(self):
-        ok, value = self.conn.recv()
+    def result(self, deadline: Optional[float] = None):
+        try:
+            if deadline is not None and not self.conn.poll(deadline):
+                raise WorkerCrash(
+                    f"shard {self.index} worker missed its {deadline}s "
+                    f"deadline", hung=True)
+            ok, value = self.conn.recv()
+        except WorkerCrash:
+            raise
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(
+                f"shard {self.index} worker is gone at recv: {exc}") from exc
         if not ok:
             raise value
         return value
 
+    def kill(self) -> None:
+        """Hard-stop a crashed/hung worker: no protocol goodbye."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5)
+        except Exception:
+            pass
+
     def close(self) -> None:
         try:
             self.conn.send(None)
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError, ValueError):
             pass
         try:
             self.conn.close()
@@ -160,13 +230,18 @@ class _ProcessEndpoint:
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5)
 
 
 class _InlineEndpoint:
     """Same submit/result surface, served in-process (fallback mode)."""
 
-    def __init__(self, width: int, gc: bool) -> None:
-        self.server = _ShardServer(width, gc)
+    def __init__(self, width: int, gc: bool, index: int = 0,
+                 server: Optional[_ShardServer] = None) -> None:
+        self.index = index
+        self.server = server if server is not None else _ShardServer(width, gc)
         self._pending: Optional[tuple] = None
 
     def submit(self, method: str, args: tuple) -> None:
@@ -175,7 +250,7 @@ class _InlineEndpoint:
         except Exception as exc:
             self._pending = (False, exc)
 
-    def result(self):
+    def result(self, deadline: Optional[float] = None):
         ok, value = self._pending
         self._pending = None
         if not ok:
@@ -199,44 +274,226 @@ class ParallelShardedDeltaNet(ShardRouter):
     ``start_method`` picks the :mod:`multiprocessing` context (``fork``
     where available is fastest); ``force_inline=True`` skips processes
     entirely and serves every shard in-process.
+
+    Supervision knobs (see the module docstring for the protocol):
+
+    ``deadline``
+        seconds a worker may take to answer one command before it is
+        declared hung and restarted (``None`` disables — a hung worker
+        then blocks forever, as before supervision existed).
+    ``max_restarts``
+        consecutive recovery failures per shard before it degrades to
+        an in-process endpoint.
+    ``restart_backoff``
+        base seconds of the exponential restart backoff (doubles per
+        consecutive failure — the restart-storm brake).
+    ``reseed_every``
+        bound, in rule operations, on the per-shard replay buffer; when
+        exceeded the shard is re-snapshotted and the buffer cleared, so
+        recovery cost stays bounded.
+    ``log``
+        optional callable receiving one line per supervision event
+        (restarts, degradations, the inline fallback); events are
+        always recorded on :attr:`events` regardless.
     """
 
     def __init__(self, shards: Optional[Iterable[Tuple[int, int]]] = None,
                  width: int = 32, gc: bool = False,
                  start_method: Optional[str] = None,
-                 force_inline: bool = False) -> None:
+                 force_inline: bool = False,
+                 deadline: Optional[float] = 60.0,
+                 max_restarts: int = 3,
+                 restart_backoff: float = 0.05,
+                 reseed_every: int = 256,
+                 log: Optional[Callable[[str], None]] = None) -> None:
         super().__init__(shards, width)
         self._closed = False
         self._poisoned = False
         self.parallel = False
+        self.deadline = deadline
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.reseed_every = reseed_every
+        self._log = log
+        self._gc = gc
+        self._ctx = None
+        #: Supervision event records ({"kind": ..., "shard": ...}, ...).
+        self.events: List[dict] = []
+        #: Completed worker restarts across the instance's lifetime.
+        self.restarts = 0
         workers: List[object] = []
         if not force_inline:
             try:
                 ctx = (multiprocessing.get_context(start_method)
                        if start_method else multiprocessing.get_context())
-                for _ in self.slices:
+                for index in range(len(self.slices)):
                     # Append as we go: a partial spawn failure (fd or
                     # process limits) must reap the workers already
                     # started, not leak them.
-                    workers.append(_ProcessEndpoint(ctx, width, gc))
+                    workers.append(_ProcessEndpoint(ctx, width, gc, index))
                 self.parallel = True
-            except Exception:
+                self._ctx = ctx
+            except Exception as exc:
                 for endpoint in workers:
                     endpoint.close()
                 workers = []
+                self._note("inline-fallback",
+                           cause=f"{type(exc).__name__}: {exc}")
+        self._fallback = bool(not force_inline and not workers)
         if not workers:
-            workers = [_InlineEndpoint(width, gc) for _ in self.slices]
+            workers = [_InlineEndpoint(width, gc, index)
+                       for index in range(len(self.slices))]
         self._workers = workers
+        count = len(workers)
+        # Per-shard recovery state: the last snapshot (None = the empty
+        # shard), the post-snapshot sub-batches, the op count bounding
+        # that buffer, and the consecutive-crash streak.
+        self._seeds: List[Optional[dict]] = [None] * count
+        self._replay: List[List[Tuple[List[Rule], List[int]]]] = \
+            [[] for _ in range(count)]
+        self._replay_ops: List[int] = [0] * count
+        self._streaks: List[int] = [0] * count
+        self._degraded_shards: Set[int] = set()
+
+    # -- supervision -------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard runs in-process although worker
+        processes were requested (constructor fallback or a shard that
+        exhausted its restart budget)."""
+        return self._fallback or bool(self._degraded_shards)
+
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._degraded_shards))
+
+    def _note(self, kind: str, **fields) -> None:
+        event = {"kind": kind}
+        event.update(fields)
+        self.events.append(event)
+        if self._log is not None:
+            try:
+                detail = ", ".join(f"{key}={value}" for key, value
+                                   in fields.items())
+                self._log(f"parallel: {kind} ({detail})")
+            except Exception:
+                pass
+
+    def _rebuild_server(self, index: int) -> _ShardServer:
+        """The shard's current state, reconstructed in-process."""
+        server = _ShardServer(self.width, self._gc)
+        if self._seeds[index] is not None:
+            server.do_restore(self._seeds[index])
+        for shard_inserts, shard_removals in self._replay[index]:
+            server.do_apply_batch(shard_inserts, shard_removals, False)
+        return server
+
+    def _degrade(self, index: int, cause: str) -> None:
+        self._workers[index] = _InlineEndpoint(
+            self.width, self._gc, index, server=self._rebuild_server(index))
+        self._degraded_shards.add(index)
+        self._note("degraded", shard=index, cause=cause,
+                   failures=self._streaks[index])
+
+    def _recover(self, index: int, crash: BaseException) -> None:
+        """Replace shard ``index``'s dead/hung worker.
+
+        Restarts with exponential backoff and re-seeds from the last
+        per-shard snapshot plus the replay buffer — reconstructing the
+        shard's state *before* the in-flight command, so the caller can
+        re-issue it exactly once.  After ``max_restarts`` consecutive
+        failures the shard degrades to an in-process endpoint.
+        """
+        old = self._workers[index]
+        if isinstance(old, _ProcessEndpoint):
+            old.kill()
+        cause = f"{type(crash).__name__}: {crash}"
+        while True:
+            self._streaks[index] += 1
+            if self._streaks[index] > self.max_restarts or self._ctx is None:
+                self._degrade(index, cause)
+                return
+            backoff = self.restart_backoff * (2 ** (self._streaks[index] - 1))
+            if backoff > 0:
+                time.sleep(backoff)
+            endpoint = None
+            try:
+                endpoint = _ProcessEndpoint(self._ctx, self.width, self._gc,
+                                            index)
+                if self._seeds[index] is not None:
+                    endpoint.submit("restore", (self._seeds[index],))
+                    endpoint.result(self.deadline)
+                for shard_inserts, shard_removals in self._replay[index]:
+                    endpoint.submit(
+                        "apply_batch", (shard_inserts, shard_removals, False))
+                    endpoint.result(self.deadline)
+            except Exception as exc:
+                if endpoint is not None:
+                    endpoint.kill()
+                cause = f"{type(exc).__name__}: {exc}"
+                continue
+            self._workers[index] = endpoint
+            self.restarts += 1
+            self._note("restart", shard=index, cause=cause,
+                       attempt=self._streaks[index],
+                       replayed=len(self._replay[index]))
+            return
+
+    def _call(self, index: int, method: str, args: tuple):
+        """One supervised round-trip to shard ``index``.
+
+        Worker crashes are recovered (restart, re-seed, re-issue)
+        transparently; errors the shard *reports* propagate unchanged.
+        """
+        while True:
+            endpoint = self._workers[index]
+            try:
+                endpoint.submit(method, args)
+                value = endpoint.result(self.deadline)
+            except WorkerCrash as crash:
+                self._recover(index, crash)
+                continue
+            self._streaks[index] = 0
+            return value
+
+    def _record_applied(self, index: int,
+                        payload: Tuple[List[Rule], List[int]]) -> None:
+        """Track a successfully applied sub-batch for recovery replay.
+
+        When the buffer outgrows ``reseed_every`` ops the shard is
+        re-snapshotted over its pipe and the buffer cleared — recovery
+        work stays bounded no matter how long the instance runs.
+        """
+        if not isinstance(self._workers[index], _ProcessEndpoint):
+            return
+        shard_inserts, shard_removals = payload
+        self._replay[index].append((list(shard_inserts),
+                                    list(shard_removals)))
+        self._replay_ops[index] += len(shard_inserts) + len(shard_removals)
+        if self._replay_ops[index] > self.reseed_every:
+            self._seeds[index] = self._call(index, "snapshot", ())
+            self._replay[index] = []
+            self._replay_ops[index] = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the workers down; idempotent."""
+        """Shut the workers down; idempotent, and safe to call after a
+        worker already died mid-request (the dead endpoint is reaped,
+        not re-awaited)."""
         if self._closed:
             return
         self._closed = True
         for endpoint in self._workers:
-            endpoint.close()
+            try:
+                endpoint.close()
+            except Exception:
+                # A worker that died mid-request may leave a broken
+                # pipe; closing must still reap the rest.
+                pass
+        self._seeds = [None] * len(self._workers)
+        self._replay = [[] for _ in self._workers]
 
     def __enter__(self) -> "ParallelShardedDeltaNet":
         return self
@@ -260,29 +517,45 @@ class ParallelShardedDeltaNet(ShardRouter):
         process workers the shards genuinely execute concurrently.
         Every reply is drained even when one worker errors (an undrained
         pipe would pair the *next* command with this command's stale
-        reply); the first error is re-raised after the sweep.
+        reply); a crashed worker is recovered and the command re-issued
+        through the fresh endpoint, while the first *reported* error is
+        re-raised after the sweep.
         """
         chosen = (list(indices) if indices is not None
-                  else range(len(self._workers)))
+                  else list(range(len(self._workers))))
         submitted: List[int] = []
+        deferred: List[int] = []
         first_error: Optional[Exception] = None
         for index in chosen:
             try:
                 self._workers[index].submit(method, args)
                 submitted.append(index)
-            except Exception as exc:  # dead worker / broken pipe
+            except WorkerCrash as crash:
+                self._recover(index, crash)
+                deferred.append(index)
+            except Exception as exc:
                 if first_error is None:
                     first_error = exc
-        results: List[object] = []
+        results: Dict[int, object] = {}
         for index in submitted:
             try:
-                results.append(self._workers[index].result())
+                results[index] = self._workers[index].result(self.deadline)
+                self._streaks[index] = 0
+            except WorkerCrash as crash:
+                self._recover(index, crash)
+                deferred.append(index)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        for index in deferred:
+            try:
+                results[index] = self._call(index, method, args)
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
         if first_error is not None:
             raise first_error
-        return results
+        return [results[index] for index in chosen]
 
     # -- updates (map: clip; reduce: merge worker loop reports) --------------------
 
@@ -296,6 +569,14 @@ class ParallelShardedDeltaNet(ShardRouter):
         :meth:`~repro.libra.sharding.ShardRouter.route_batch`) before
         anything is sent, so a rejected batch leaves every shard
         untouched.
+
+        A worker that crashes mid-batch is recovered and its sub-batch
+        re-issued against the reconstructed pre-batch shard state —
+        exactly-once, whether the crash hit before or after the worker
+        applied it.  Only an error a live worker reports (divergent
+        shard state) poisons further updates, as without two-phase
+        commit the instance cannot be reconciled; queries on the
+        partial state stay available.
         """
         if self._poisoned:
             raise RuntimeError(
@@ -308,10 +589,10 @@ class ParallelShardedDeltaNet(ShardRouter):
                    if ins or rem]
         # Per-shard payloads differ, so submit individually (all sends
         # before the first await — the workers run concurrently), then
-        # drain every successfully submitted reply before raising any
-        # error, as in _fan_out.  A failed submit (dead worker) gets no
-        # drain — it owes no reply.
+        # drain every successfully submitted reply, recovering crashed
+        # workers, before raising any reported error.
         submitted: List[int] = []
+        deferred: List[int] = []
         first_error: Optional[Exception] = None
         for index in touched:
             shard_inserts, shard_removals = per_shard[index]
@@ -319,17 +600,45 @@ class ParallelShardedDeltaNet(ShardRouter):
                 self._workers[index].submit(
                     "apply_batch", (shard_inserts, shard_removals, check))
                 submitted.append(index)
+            except WorkerCrash as crash:
+                self._recover(index, crash)
+                deferred.append(index)
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
         loops: Dict[Cycle, None] = {}
+        applied: List[int] = []
         for index in submitted:
+            shard_inserts, shard_removals = per_shard[index]
             try:
-                for cycle in self._workers[index].result():
-                    loops.setdefault(cycle)
+                cycles = self._workers[index].result(self.deadline)
+                self._streaks[index] = 0
+            except WorkerCrash as crash:
+                # The crash took the sub-batch with the worker's memory
+                # (recovery re-seeds the pre-batch state), so re-issue.
+                self._recover(index, crash)
+                deferred.append(index)
+                continue
             except Exception as exc:
                 if first_error is None:
                     first_error = exc
+                continue
+            applied.append(index)
+            for cycle in cycles:
+                loops.setdefault(cycle)
+        for index in deferred:
+            shard_inserts, shard_removals = per_shard[index]
+            try:
+                cycles = self._call(
+                    index, "apply_batch",
+                    (shard_inserts, shard_removals, check))
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            applied.append(index)
+            for cycle in cycles:
+                loops.setdefault(cycle)
         if first_error is not None:
             # Some shards may have applied their sub-batch while others
             # did not — without two-phase commit the instance cannot be
@@ -338,6 +647,8 @@ class ParallelShardedDeltaNet(ShardRouter):
             # inspecting the partial state.
             self._poisoned = True
             raise first_error
+        for index in applied:
+            self._record_applied(index, per_shard[index])
         return list(loops)
 
     def insert_rule(self, rule: Rule, check: bool = True) -> List[Cycle]:
@@ -415,25 +726,54 @@ class ParallelShardedDeltaNet(ShardRouter):
         state["nets"] = list(self._fan_out("snapshot"))
         return state
 
+    def _seed_shards(self, states: List[dict]) -> None:
+        """Restore every shard from ``states`` (concurrent fan-out).
+
+        The states double as recovery seeds *before* the restores are
+        issued: a worker that crashes mid-restore is recovered by
+        :meth:`_recover`, whose seed replay performs the very restore
+        that was in flight — so a crash here self-heals.
+        """
+        process_mode = self.parallel
+        for index, net_state in enumerate(states):
+            if process_mode:
+                self._seeds[index] = net_state
+            self._replay[index] = []
+            self._replay_ops[index] = 0
+        submitted: List[int] = []
+        deferred: List[int] = []
+        for index, net_state in enumerate(states):
+            try:
+                self._workers[index].submit("restore", (net_state,))
+                submitted.append(index)
+            except WorkerCrash as crash:
+                self._recover(index, crash)
+                deferred.append(index)
+        for index in submitted:
+            try:
+                self._workers[index].result(self.deadline)
+                self._streaks[index] = 0
+            except WorkerCrash as crash:
+                # Recovery replays the seed — the restore still lands.
+                self._recover(index, crash)
+
     @classmethod
     def from_state(cls, state: dict, gc: bool = False,
                    start_method: Optional[str] = None,
-                   force_inline: bool = False) -> "ParallelShardedDeltaNet":
+                   force_inline: bool = False,
+                   **supervision) -> "ParallelShardedDeltaNet":
         """Rebuild shards in their workers (restore fan-out).
 
-        Worker-pool shape (``start_method``/``force_inline``) is a host
-        property, not session state — callers choose it per restore.
+        Worker-pool shape (``start_method``/``force_inline``) and the
+        supervision knobs are host properties, not session state —
+        callers choose them per restore.
         """
         slices = [tuple(pair) for pair in state["slices"]]
         instance = cls(slices, width=state["width"], gc=gc,
-                       start_method=start_method, force_inline=force_inline)
+                       start_method=start_method, force_inline=force_inline,
+                       **supervision)
         instance._restore_router(state)
-        # Per-shard payloads differ: submit all restores before awaiting
-        # the first reply so the workers rebuild concurrently.
-        for index, net_state in enumerate(state["nets"]):
-            instance._workers[index].submit("restore", (net_state,))
-        for index in range(len(state["nets"])):
-            instance._workers[index].result()
+        instance._seed_shards(list(state["nets"]))
         return instance
 
     def check_invariants(self) -> None:
@@ -441,5 +781,7 @@ class ParallelShardedDeltaNet(ShardRouter):
 
     def __repr__(self) -> str:
         mode = "processes" if self.parallel else "inline"
+        if self.degraded:
+            mode += " (degraded)"
         return (f"ParallelShardedDeltaNet(shards={self.num_shards}, "
                 f"rules={self.num_rules}, mode={mode})")

@@ -25,6 +25,7 @@ import os
 from typing import Iterable, NamedTuple, Optional, Tuple
 
 from repro.datasets.format import Op
+from repro.faults.injector import fire
 from repro.persist.journal import Journal
 from repro.persist.snapshot import save_session, snapshot_info
 
@@ -90,8 +91,14 @@ class SessionStore:
             save_session(session, stream)
             stream.flush()
             os.fsync(stream.fileno())
+        # Fault points (no-ops unless a chaos injector is installed)
+        # marking the crash windows whose recovery the chaos tests pin:
+        # tmp written but not yet renamed, snapshot renamed but journal
+        # not yet rotated, and fresh journal staged but not yet in place.
+        fire("store.checkpoint.tmp-written", sequence=sequence)
         os.replace(tmp, self.snapshot_path)
         _fsync_directory(self.directory)
+        fire("store.checkpoint.snapshot-renamed", sequence=sequence)
         if self._journal is not None:
             self._journal.close()
             self._journal = None
@@ -99,6 +106,7 @@ class SessionStore:
         fresh = Journal.create(journal_tmp, sequence)
         fresh.sync()
         fresh.close()
+        fire("store.checkpoint.journal-tmp", sequence=sequence)
         os.replace(journal_tmp, self.journal_path)
         _fsync_directory(self.directory)
         self._journal = Journal.open(self.journal_path)

@@ -72,6 +72,9 @@ class BackendRun:
     delivered: List[FrozenSet[Signature]] = field(default_factory=list)
     seconds: float = 0.0
     error: Optional[str] = None
+    #: Chaos-mode annotations (plan, injected/skipped faults, recovery
+    #: count) when the replay ran under a fault plan; None otherwise.
+    chaos: Optional[Dict] = None
 
     @property
     def num_violations(self) -> int:
@@ -172,6 +175,45 @@ def run_scenario(scenario: Scenario, backends: Iterable[str],
     for backend in backends:
         run = replay_signatures(scenario, backend,
                                 **options.get(backend, {}))
+        runs.append(run)
+        if run.error is None:
+            divergences.extend(diff_streams(
+                backend, scenario.ops, oracle_stream, run.delivered,
+                max_divergences=max_divergences))
+    return ScenarioReport(scenario=scenario, oracle_stream=oracle_stream,
+                          runs=runs, divergences=divergences)
+
+
+def run_chaos_scenario(scenario: Scenario, backends: Iterable[str],
+                       plan, work_dir: str,
+                       backend_options: Optional[Dict[str, Dict]] = None,
+                       max_divergences: int = 1,
+                       checkpoint_every: int = 20) -> ScenarioReport:
+    """Replay ``scenario`` through every backend *under injected
+    faults*, then diff against the (fault-free) sweep oracle.
+
+    The oracle never sees the faults — that is the point: a worker
+    kill, a torn journal tail or a crashed checkpoint may cost recovery
+    time, but the per-op violation stream each backend delivers (with
+    recovered ops re-delivered in place) must still match the oracle
+    byte-for-byte.  Each backend replays in its own ``SessionStore``
+    directory under ``work_dir``; chaos annotations land on each run's
+    ``chaos`` field.
+    """
+    import os
+
+    from repro.faults.chaos import chaos_replay
+
+    oracle = SweepOracle(scenario.property_specs, width=scenario.width)
+    oracle_stream = oracle.stream(scenario.ops)
+    runs: List[BackendRun] = []
+    divergences: List[Divergence] = []
+    options = backend_options or {}
+    for backend in backends:
+        store_dir = os.path.join(work_dir, f"chaos-{backend}")
+        run = chaos_replay(scenario, backend, plan, store_dir,
+                           checkpoint_every=checkpoint_every,
+                           **options.get(backend, {}))
         runs.append(run)
         if run.error is None:
             divergences.extend(diff_streams(

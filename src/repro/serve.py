@@ -18,11 +18,23 @@ Request protocol (one JSON object per line; see ``docs/operations.md``)::
     {"cmd": "watch", "property": "loops", "args": {}}
     {"cmd": "query", "what": "loops" | "blackholes" | "reachable" | "flows_on" | ...}
     {"cmd": "violations"} | {"cmd": "stats"} | {"cmd": "checkpoint"}
-    {"cmd": "ping"} | {"cmd": "shutdown"}
+    {"cmd": "ping"} | {"cmd": "health"} | {"cmd": "shutdown"}
 
 Every response is one JSON object: ``{"ok": true, "seq": N, ...}`` or
 ``{"ok": false, "error": "..."}``.  Update responses carry the new
 violations the watched properties delivered for that update.
+
+Admission is bounded: at most ``max_queue`` requests may wait for the
+session at once and each waits at most ``request_timeout`` seconds;
+beyond either limit the daemon answers immediately with ``{"ok":
+false, "error": "overloaded"|"busy", "retry_after": seconds}`` instead
+of queueing without bound.  ``health`` answers without taking the
+session lock, so it stays responsive while an update runs (or a shard
+worker is wedged).  ``SIGTERM`` (see :func:`install_sigterm_drain`)
+drains the daemon: the in-flight request finishes, new requests are
+refused with ``"draining"``, and the process exits through the same
+final-checkpoint path as a clean ``shutdown`` — on both the stdio and
+the socket transport.
 
 The SDN bridge (:func:`attach_controller`) subscribes the daemon to a
 :mod:`repro.sdn` controller's committed-operation stream, so rule
@@ -42,6 +54,10 @@ from repro.api import PROPERTY_TYPES, VerificationSession, Violation
 from repro.core.rules import Action, Rule
 from repro.datasets.format import Op
 from repro.persist import RecoveryInfo, SessionStore
+
+
+class DrainRequested(Exception):
+    """Raised in the transport loop when SIGTERM asks for a drain."""
 
 
 def _jsonable(value: Any) -> Any:
@@ -88,6 +104,14 @@ class StreamServer:
     checkpoints serialize.  ``checkpoint_every`` bounds journal-replay
     work after a crash; ``checkpoint_interval`` (seconds) additionally
     snapshots quiet sessions in the background.
+
+    Backpressure: ``max_queue`` bounds how many requests may wait for
+    the session lock at once and ``request_timeout`` how long one may
+    wait; breaching either yields an immediate ``retry_after`` error
+    response instead of an unbounded queue.  (The timeout bounds time
+    *waiting to start* — Python cannot abort a dispatch already running;
+    runaway worker commands are bounded separately by the parallel
+    backend's per-request ``deadline``.)
     """
 
     def __init__(self, store_dir: str, engine: str = "deltanet",
@@ -95,10 +119,21 @@ class StreamServer:
                  checkpoint_interval: Optional[float] = None,
                  properties: Iterable[str] = ("loops",),
                  log: Callable[[str], None] = lambda line: None,
+                 request_timeout: Optional[float] = None,
+                 max_queue: int = 64,
+                 retry_after: float = 1.0,
                  **backend_options: Any) -> None:
         self._lock = threading.RLock()
         self._log = log
         self.checkpoint_every = checkpoint_every
+        self.request_timeout = request_timeout
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._admission = threading.Lock()
+        self._waiters = 0
+        self._draining = False
+        self._busy = False
+        self._closed = False
         self.store = SessionStore(store_dir)
         self.recovery: Optional[RecoveryInfo] = None
         if self.store.exists():
@@ -163,7 +198,12 @@ class StreamServer:
         return sequence
 
     def close(self) -> None:
-        """Clean shutdown: final checkpoint, stop the ticker, reap workers."""
+        """Clean shutdown: final checkpoint, stop the ticker, reap
+        workers.  Idempotent — the drain path and a ``finally`` may both
+        reach it."""
+        if self._closed:
+            return
+        self._closed = True
         self._shutdown.set()
         if self._ticker is not None:
             self._ticker.join(timeout=5)
@@ -172,6 +212,16 @@ class StreamServer:
                 self._checkpoint()
             self.store.close()
             self.session.close()
+
+    def request_drain(self) -> None:
+        """Stop admitting work; the transport loop exits after the
+        in-flight request and the caller's ``close()`` writes the final
+        checkpoint.  Safe from a signal handler."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # -- command dispatch --------------------------------------------------------
 
@@ -184,11 +234,73 @@ class StreamServer:
             request = json.loads(line)
         except ValueError as exc:
             return {"ok": False, "error": f"bad JSON: {exc}"}, True
+        cmd = request.get("cmd") if isinstance(request, dict) else None
+        if cmd == "health":
+            # Deliberately lock-free: health must answer while an
+            # update holds the session (or a worker is wedged).  The
+            # fields are snapshots, racy by design.
+            return self._health(), not self._draining
+        if self._draining:
+            return {"ok": False, "error": "draining",
+                    "retry_after": self.retry_after}, False
+        with self._admission:
+            if self._waiters >= self.max_queue:
+                return {"ok": False, "error": "overloaded",
+                        "queue_depth": self._waiters,
+                        "retry_after": self.retry_after}, True
+            self._waiters += 1
+        acquired = False
         try:
-            with self._lock:
-                return self._dispatch(request)
+            if self.request_timeout is None:
+                acquired = self._lock.acquire()
+            else:
+                acquired = self._lock.acquire(timeout=self.request_timeout)
+            if not acquired:
+                return {"ok": False,
+                        "error": f"busy: session held longer than "
+                                 f"{self.request_timeout}s",
+                        "retry_after": self.retry_after}, True
+            self._busy = True
+            try:
+                response, keep_going = self._dispatch(request)
+            finally:
+                self._busy = False
+            # A drain that arrived mid-dispatch still gets this
+            # request's real response; the transport exits afterwards.
+            return response, keep_going and not self._draining
         except Exception as exc:  # protocol errors must not kill the daemon
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}, True
+        finally:
+            if acquired:
+                self._lock.release()
+            with self._admission:
+                self._waiters -= 1
+
+    def _health(self) -> Dict[str, Any]:
+        backend_health: Dict[str, Any] = {}
+        getter = getattr(self.session.backend, "health", None)
+        if callable(getter):
+            try:
+                backend_health = dict(getter())
+            except Exception as exc:
+                backend_health = {"error": f"{type(exc).__name__}: {exc}"}
+        status = "ok"
+        if backend_health.get("degraded"):
+            status = "degraded"
+        if self._draining:
+            status = "draining"
+        return {
+            "ok": True,
+            "status": status,
+            "seq": self.session.sequence,
+            "backend": self.session.backend_name,
+            "draining": self._draining,
+            "queue_depth": self._waiters,
+            "max_queue": self.max_queue,
+            "request_timeout": self.request_timeout,
+            "last_checkpoint": self._last_checkpoint,
+            "workers": _jsonable(backend_health),
+        }
 
     def apply_op(self, op: Op) -> Dict[str, Any]:
         """Apply one dataset op (the SDN-bridge entry point)."""
@@ -307,16 +419,25 @@ class StreamServer:
 def serve_stdio(server: StreamServer, in_stream: IO[str],
                 out_stream: IO[str]) -> int:
     """The ndjson request/response loop over text streams; returns the
-    number of requests served."""
+    number of requests served.
+
+    A :class:`DrainRequested` raised by the SIGTERM handler (while the
+    loop is blocked reading) exits the loop cleanly; the caller's
+    ``server.close()`` then writes the final checkpoint exactly as a
+    protocol ``shutdown`` would.
+    """
     served = 0
-    for line in in_stream:
-        response, keep_going = server.handle_line(line)
-        if response:
-            out_stream.write(json.dumps(response) + "\n")
-            out_stream.flush()
-            served += 1
-        if not keep_going:
-            break
+    try:
+        for line in in_stream:
+            response, keep_going = server.handle_line(line)
+            if response:
+                out_stream.write(json.dumps(response) + "\n")
+                out_stream.flush()
+                served += 1
+            if not keep_going:
+                break
+    except DrainRequested:
+        pass
     return served
 
 
@@ -325,23 +446,35 @@ def serve_socket(server: StreamServer, host: str = "127.0.0.1",
                  ready: Optional[Callable[[str, int], None]] = None) -> None:
     """Serve ndjson over TCP; one thread per connection, shared session.
 
-    Blocks until a client sends ``shutdown``.  ``ready(host, port)``
+    Blocks until a client sends ``shutdown`` (or SIGTERM drains the
+    daemon — see :func:`install_sigterm_drain`).  ``ready(host, port)``
     fires once the socket is listening (port 0 picks a free port).
+
+    A client that disconnects mid-request (reset, broken pipe) costs
+    its own connection thread nothing but a log line — never a
+    traceback, never the daemon.
     """
     stop = threading.Event()
 
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:
-            for raw in self.rfile:
-                response, keep_going = server.handle_line(
-                    raw.decode("utf-8", "replace"))
-                if response:
-                    self.wfile.write(
-                        (json.dumps(response) + "\n").encode("utf-8"))
-                    self.wfile.flush()
-                if not keep_going:
-                    stop.set()
-                    return
+            try:
+                for raw in self.rfile:
+                    response, keep_going = server.handle_line(
+                        raw.decode("utf-8", "replace"))
+                    if response:
+                        self.wfile.write(
+                            (json.dumps(response) + "\n").encode("utf-8"))
+                        self.wfile.flush()
+                    if not keep_going:
+                        stop.set()
+                        return
+            except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+                # The client vanished mid-request; the update (if any)
+                # is already applied and journaled — only the response
+                # was lost, and only this connection is affected.
+                server._log(f"client disconnected mid-request: "
+                            f"{type(exc).__name__}: {exc}")
 
     class Server(socketserver.ThreadingTCPServer):
         allow_reuse_address = True
@@ -355,8 +488,40 @@ def serve_socket(server: StreamServer, host: str = "127.0.0.1",
         try:
             stop.wait()
         finally:
+            # Runs on clean shutdown AND when DrainRequested unwinds
+            # stop.wait(): either way the listener closes, in-flight
+            # handlers finish, and the caller's close() checkpoints.
             tcp.shutdown()
             worker.join(timeout=5)
+
+
+def install_sigterm_drain(server: StreamServer):
+    """Route SIGTERM into a graceful drain; returns the prior handler.
+
+    The handler marks the server draining; if the main thread is idle
+    (blocked reading stdin or in ``stop.wait()``) it additionally
+    raises :class:`DrainRequested` there to break the block.  If a
+    dispatch is running, nothing is raised — interrupting it could
+    leave the session half-updated — and the transport loop exits right
+    after it completes.  Repeated SIGTERMs while already draining are
+    no-ops: supervisors (systemd, timeout) commonly re-signal, and a
+    second raise would land inside the final checkpoint and abort it.
+    Returns ``None`` when signals cannot be installed (not the main
+    thread, e.g. under a test runner).
+    """
+    import signal
+
+    def handler(signum, frame):
+        if server.draining:
+            return
+        server.request_drain()
+        if not server._busy:
+            raise DrainRequested()
+
+    try:
+        return signal.signal(signal.SIGTERM, handler)
+    except ValueError:
+        return None
 
 
 def request_over_socket(host: str, port: int,

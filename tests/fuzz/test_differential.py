@@ -76,3 +76,29 @@ class TestFailingCampaign:
         text = report.failures[0].describe()
         assert "FAILURE" in text and "minimized" in text
         assert "oracle" in text
+
+
+class TestChaosCampaign:
+    def test_chaos_traces_survive_and_annotate(self):
+        report = fuzz(budget=2, seed=21, backends=["deltanet"],
+                      families=["deaggregation"], chaos=True,
+                      chaos_faults=2)
+        assert report.ok, [f.describe() for f in report.failures]
+        assert report.chaos
+        assert "chaos fuzz" in report.describe()
+
+    def test_chaos_failures_skip_shrinking_and_carry_the_plan(
+            self, tmp_path, lossy_backend):
+        artifacts = str(tmp_path / "artifacts")
+        report = fuzz(budget=6, seed=5, backends=[lossy_backend],
+                      families=["deaggregation", "table-fill"],
+                      chaos=True, chaos_faults=1, artifacts_dir=artifacts)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.chaos_plan is not None
+        # Un-shrunk: the fault schedule is keyed to op indices.
+        assert len(failure.shrunk_ops) == failure.scenario.num_ops
+        assert "chaos plan" in failure.describe()
+        assert failure.repro_path and os.path.exists(failure.repro_path)
+        saved = load_repro(failure.repro_path)
+        assert "chaos plan" in saved.notes

@@ -1,0 +1,187 @@
+"""Shard-worker supervision: crashes cost restarts, never answers.
+
+Each test drives a process-mode :class:`ParallelShardedDeltaNet` and a
+monolithic :class:`DeltaNet` through the same rule history, injures the
+workers mid-way (SIGKILL, blackholed pipes, spawn failure), and
+requires the parallel verdicts to stay bit-identical to the
+monolith's — with the injury observable on ``events`` / ``degraded``,
+never silent.
+"""
+
+import random
+
+import pytest
+
+from repro.core.deltanet import DeltaNet
+from repro.faults.injector import (
+    Fault, FaultInjector, drop, installed, kill_endpoint,
+)
+from repro.libra.parallel import (
+    ParallelShardedDeltaNet, _InlineEndpoint, _ProcessEndpoint,
+)
+from repro.libra.sharding import even_shards
+
+from tests.conftest import deltanet_label_intervals, random_rules
+
+#: Tight supervision knobs: fast restarts, short (but not flaky-short)
+#: hang deadlines, tiny replay buffers so re-seeding actually happens.
+KNOBS = dict(deadline=15.0, max_restarts=3, restart_backoff=0.01,
+             reseed_every=8)
+
+
+def mono_flows(net):
+    return {link: spans for link, spans in
+            deltanet_label_intervals(net).items() if spans}
+
+
+def make_pair(seed=0, n_shards=2, **overrides):
+    knobs = dict(KNOBS, **overrides)
+    par = ParallelShardedDeltaNet(even_shards(n_shards, 8), width=8,
+                                  **knobs)
+    if not par.parallel:  # sandbox without multiprocessing
+        par.close()
+        pytest.skip("worker processes unavailable on this platform")
+    return par, DeltaNet(width=8)
+
+
+def drive_both(par, mono, rules, batch=4):
+    for start in range(0, len(rules), batch):
+        chunk = rules[start:start + batch]
+        par.apply_batch(chunk, ())
+        mono.apply(chunk, ())
+
+
+class TestCrashRecovery:
+    def test_sigkill_between_batches_recovers(self):
+        par, mono = make_pair()
+        with par:
+            rules = random_rules(random.Random(1), 30, width=8, switches=4)
+            drive_both(par, mono, rules[:15])
+            par._workers[0].process.kill()
+            drive_both(par, mono, rules[15:])
+            assert par.dump_flows() == mono_flows(mono)
+            par.check_invariants()
+            assert par.restarts >= 1
+            assert not par.degraded
+            assert any(e["kind"] == "restart" for e in par.events)
+
+    def test_sigkill_mid_batch_applies_exactly_once(self):
+        # Kill the worker right after the batch was sent: the supervisor
+        # must re-seed the pre-batch state and re-issue, so the batch
+        # lands exactly once (a double apply would raise on duplicate
+        # rids; a lost one would diverge from the monolith).
+        par, mono = make_pair()
+        with par:
+            rules = random_rules(random.Random(2), 30, width=8, switches=4)
+            drive_both(par, mono, rules[:12])
+            injector = FaultInjector([Fault(
+                "parallel.pipe.sent", kill_endpoint, shard=0)])
+            with installed(injector):
+                drive_both(par, mono, rules[12:20])
+            assert injector.fired, "the kill never landed"
+            drive_both(par, mono, rules[20:])
+            assert par.dump_flows() == mono_flows(mono)
+            assert par.restarts >= 1
+
+    def test_blackholed_pipe_becomes_a_hung_worker(self):
+        # A dropped message never errors at send; only the deadline can
+        # notice.  Short deadline => fast detection => restart.
+        par, mono = make_pair(deadline=0.5)
+        with par:
+            rules = random_rules(random.Random(3), 24, width=8, switches=4)
+            drive_both(par, mono, rules[:12])
+            injector = FaultInjector([Fault("parallel.pipe.send", drop,
+                                            shard=1)])
+            with installed(injector):
+                drive_both(par, mono, rules[12:16])
+            assert injector.fired
+            drive_both(par, mono, rules[16:])
+            assert par.dump_flows() == mono_flows(mono)
+            assert par.restarts >= 1
+            assert any(e["kind"] == "restart" for e in par.events)
+
+    def test_recovery_replays_from_snapshot_seed(self):
+        # reseed_every=8 forces mid-run re-snapshots; a later crash must
+        # recover from snapshot + replay buffer, not from genesis.
+        par, mono = make_pair(reseed_every=8)
+        with par:
+            rules = random_rules(random.Random(4), 40, width=8, switches=4)
+            drive_both(par, mono, rules[:32])
+            assert any(seed is not None for seed in par._seeds), \
+                "test premise broken: no shard ever re-seeded"
+            for endpoint in par._workers:
+                endpoint.process.kill()
+            drive_both(par, mono, rules[32:])
+            assert par.dump_flows() == mono_flows(mono)
+            par.check_invariants()
+
+
+class TestDegradedMode:
+    def test_restart_storm_degrades_observably(self):
+        par, mono = make_pair(max_restarts=0)
+        with par:
+            rules = random_rules(random.Random(5), 24, width=8, switches=4)
+            drive_both(par, mono, rules[:12])
+            par._workers[1].process.kill()
+            drive_both(par, mono, rules[12:])
+            # max_restarts=0: the first crash exhausts the budget.
+            assert par.degraded
+            assert 1 in par.degraded_shards
+            assert isinstance(par._workers[1], _InlineEndpoint)
+            assert any(e["kind"] == "degraded" for e in par.events)
+            # ...and the degraded shard still answers correctly.
+            assert par.dump_flows() == mono_flows(mono)
+            assert "(degraded)" in repr(par)
+
+    def test_healthy_instance_reports_nothing(self):
+        par, mono = make_pair()
+        with par:
+            rules = random_rules(random.Random(6), 12, width=8, switches=4)
+            drive_both(par, mono, rules)
+            assert not par.degraded
+            assert par.degraded_shards == ()
+            assert par.events == []
+
+    def test_log_callback_sees_supervision_events(self):
+        lines = []
+        par, mono = make_pair(max_restarts=0, log=lines.append)
+        with par:
+            rules = random_rules(random.Random(7), 12, width=8, switches=4)
+            drive_both(par, mono, rules[:6])
+            par._workers[0].process.kill()
+            drive_both(par, mono, rules[6:])
+            assert any("degraded" in line for line in lines)
+
+
+class TestFallbackAndClose:
+    def test_spawn_failure_falls_back_observably(self, monkeypatch):
+        # Satellite fix: the constructor's inline fallback used to be
+        # silent; now it must be recorded and flip `degraded`.
+        import repro.libra.parallel as parallel_module
+
+        def broken_get_context(method=None):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel_module.multiprocessing, "get_context",
+                            broken_get_context)
+        with ParallelShardedDeltaNet(even_shards(2, 8), width=8) as par:
+            assert not par.parallel
+            assert par.degraded
+            events = [e for e in par.events if e["kind"] == "inline-fallback"]
+            assert events and "no processes" in events[0]["cause"]
+
+    def test_forced_inline_is_not_degraded(self):
+        with ParallelShardedDeltaNet(even_shards(2, 8), width=8,
+                                     force_inline=True) as par:
+            assert not par.degraded  # the caller asked for inline
+
+    def test_close_is_idempotent_after_worker_death(self):
+        par, _mono = make_pair()
+        for endpoint in par._workers:
+            endpoint.process.kill()
+            endpoint.process.join(timeout=5)
+        par.close()
+        par.close()  # second close: no raise, nothing to reap twice
+        assert all(not endpoint.process.is_alive()
+                   for endpoint in par._workers
+                   if isinstance(endpoint, _ProcessEndpoint))
