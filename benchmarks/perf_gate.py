@@ -27,6 +27,11 @@ Three suites, selected with ``--suite``:
   for the lifecycles the differential fuzzer replays, so a slowdown in
   any property fast path shows up here per event pattern, not just on
   the synthetic stream.
+* ``audit_overhead`` — the :mod:`repro.integrity` online-digest tax on
+  the per-update path: the checked per-op replay with digest
+  maintenance on (``digest``) vs ``DELTANET_DIGESTS=0`` (``nodigest``);
+  baseline ``BENCH_audit_overhead.json``, with a machine-independent
+  cap of :data:`MAX_AUDIT_OVERHEAD` on the throughput lost to digests.
 * ``recovery_latency`` — the parallel backend's supervised worker
   recovery: SIGKILL one shard worker of a ``size``-rule instance and
   time restart + snapshot re-seed + replay to the next correct answer
@@ -83,6 +88,7 @@ CHECK_BASELINE = os.path.join(REPO_ROOT, "BENCH_check_latency.json")
 WARM_BASELINE = os.path.join(REPO_ROOT, "BENCH_warm_start.json")
 SCENARIO_BASELINE = os.path.join(REPO_ROOT, "BENCH_scenario_latency.json")
 RECOVERY_BASELINE = os.path.join(REPO_ROOT, "BENCH_recovery_latency.json")
+AUDIT_BASELINE = os.path.join(REPO_ROOT, "BENCH_audit_overhead.json")
 WORKLOAD_SEED = 0xD31A
 SCHEMA_VERSION = 1
 
@@ -164,6 +170,19 @@ RECOVERY_ROUNDS = 5
 #: RECOVERY_FLOOR_SIZE for the same reason warm_start gates at 50k.
 TARGET_RECOVERY_SPEEDUP = 3.0
 RECOVERY_FLOOR_SIZE = 20000
+
+#: audit_overhead suite — the online-digest tax on the per-update path:
+#: the same checked per-op replay as ``update_latency``'s ``deltanet``
+#: variant, once with digest maintenance on (``digest``, the default)
+#: and once with ``DELTANET_DIGESTS=0`` (``nodigest``).  Both run on the
+#: same host back to back, so the digest/nodigest throughput ratio is
+#: machine-independent.
+AUDIT_VARIANTS = ("digest", "nodigest")
+
+#: The audit_overhead acceptance cap: digest maintenance may cost at
+#: most this fraction of nodigest throughput on the per-update path
+#: (digest >= (1 - cap) x nodigest, ops/sec, every measured size).
+MAX_AUDIT_OVERHEAD = 0.10
 
 #: scenario_latency suite — one variant per scenario family; the seed is
 #: fixed so the measured trace is identical across runs and machines.
@@ -408,6 +427,53 @@ def measure_warm_variant(variant: str, size: int) -> dict:
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     })
     return entry
+
+
+def measure_audit_variant(variant: str, size: int) -> dict:
+    """One audit_overhead measurement; runs inside its own process.
+
+    The environment knob must be set before :mod:`repro` constructs the
+    engine — digest maintenance is chosen per structure at creation —
+    which is exactly why each measurement gets a fresh interpreter.
+    """
+    if variant == "nodigest":
+        os.environ["DELTANET_DIGESTS"] = "0"
+    else:
+        os.environ.pop("DELTANET_DIGESTS", None)
+    from repro.analysis.stats import percentile
+    from repro.replay.engine import make_engine, replay
+
+    ops = synthetic_update_workload(size)
+    engine = make_engine("deltanet", check_loops=True)
+    try:
+        start = time.perf_counter()
+        result = replay(ops, engine, engine_name=variant, batch_size=None)
+        elapsed = time.perf_counter() - start
+        times = result.times
+        digest = engine.session.state_digest()
+        # Guard the measurement itself: a digest run that silently lost
+        # its accumulators would measure the nodigest path twice and
+        # the overhead cap would pass vacuously.
+        if variant == "digest" and digest is None:
+            raise RuntimeError("digest variant ran without digests")
+        if variant == "nodigest" and digest is not None:
+            raise RuntimeError("nodigest variant still maintained digests")
+        return {
+            "variant": variant,
+            "suite": "audit_overhead",
+            "size": size,
+            "digests_enabled": digest is not None,
+            "ops": result.num_ops,
+            "seconds": round(elapsed, 4),
+            "ops_per_sec": round(result.num_ops / elapsed, 1),
+            "p50_us": round(percentile(times, 50) * 1e6, 2),
+            "p95_us": round(percentile(times, 95) * 1e6, 2),
+            "p99_us": round(percentile(times, 99) * 1e6, 2),
+            "loops_found": result.loops_found,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+    finally:
+        engine.close()
 
 
 def _recovery_apply_all(par, ops, batch: int = 1000) -> None:
@@ -741,6 +807,87 @@ def run_recovery_benchmark(sizes, echo=print) -> dict:
     return document
 
 
+def run_audit_benchmark(sizes, echo=print) -> dict:
+    """The audit_overhead matrix, as the JSON-serializable document."""
+    results: Dict[str, dict] = {}
+    for size in sizes:
+        for variant in AUDIT_VARIANTS:
+            echo(f"  measuring audit:{variant} @ {size} rules ...")
+            entry = _measure_in_subprocess(variant, size,
+                                           suite="audit_overhead")
+            results[f"{variant}@{size}"] = entry
+            echo(f"    {entry['ops_per_sec']:,.0f} ops/s  "
+                 f"p50={entry['p50_us']}us p99={entry['p99_us']}us")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "name": "audit-overhead",
+            "seed": WORKLOAD_SEED,
+            "sizes": list(sizes),
+            "description": "per-op checked replay of the synthetic "
+                           "prefix-pool stream with online digest "
+                           "maintenance on (digest) vs "
+                           "DELTANET_DIGESTS=0 (nodigest); the ratio "
+                           "is the integrity tax on the update path",
+        },
+        "calibration_score": round(calibration_score(), 1),
+        "results": results,
+    }
+    for size in sizes:
+        on = results.get(f"digest@{size}")
+        off = results.get(f"nodigest@{size}")
+        if on and off:
+            document.setdefault("overheads", {})[f"digest-tax@{size}"] = (
+                round(1.0 - on["ops_per_sec"] / off["ops_per_sec"], 4))
+    return document
+
+
+def compare_audit_to_baseline(current: dict, baseline_path: str,
+                              tolerance: float, echo=print) -> List[str]:
+    """Regressed keys of an audit_overhead run vs the baseline.
+
+    Gates the ``digest`` variant's calibration-normalized throughput
+    and the machine-independent overhead cap: digest maintenance may
+    cost at most :data:`MAX_AUDIT_OVERHEAD` of nodigest throughput at
+    every measured size.  The nodigest variant is recorded for the
+    ratio but not gated — update_latency already owns the raw path.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    factor = current["calibration_score"] / baseline["calibration_score"]
+    echo(f"calibration: baseline={baseline['calibration_score']:,.0f} "
+         f"current={current['calibration_score']:,.0f} "
+         f"(machine factor {factor:.2f}x)")
+    failures = []
+    for key, entry in current["results"].items():
+        if not key.startswith("digest@"):
+            continue
+        reference = baseline["results"].get(key)
+        if reference is None:
+            echo(f"  {key}: no baseline entry, skipping")
+            continue
+        expected = reference["ops_per_sec"] * factor
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if entry["ops_per_sec"] >= floor else "REGRESSION"
+        echo(f"  {key}: {entry['ops_per_sec']:,.0f} ops/s "
+             f"(baseline-normalized {expected:,.0f}, floor {floor:,.0f}) "
+             f"{status}")
+        if status != "ok":
+            failures.append(key)
+    for size in current["workload"]["sizes"]:
+        on = current["results"].get(f"digest@{size}")
+        off = current["results"].get(f"nodigest@{size}")
+        if on and off:
+            overhead = 1.0 - on["ops_per_sec"] / off["ops_per_sec"]
+            status = ("ok" if overhead <= MAX_AUDIT_OVERHEAD
+                      else "REGRESSION")
+            echo(f"  digest overhead @ {size}: {overhead:.1%} "
+                 f"(cap {MAX_AUDIT_OVERHEAD:.0%}) {status}")
+            if status != "ok":
+                failures.append(f"audit-overhead@{size}")
+    return failures
+
+
 def run_scenario_benchmark(sizes, echo=print) -> dict:
     """The scenario_latency matrix, as the JSON-serializable document."""
     results: Dict[str, dict] = {}
@@ -1013,6 +1160,10 @@ def check_regressions(baseline_path: str, sizes, tolerance: float,
         current = run_recovery_benchmark(sizes, echo=echo)
         failures = compare_recovery_to_baseline(current, baseline_path,
                                                 tolerance, echo=echo)
+    elif suite == "audit_overhead":
+        current = run_audit_benchmark(sizes, echo=echo)
+        failures = compare_audit_to_baseline(current, baseline_path,
+                                             tolerance, echo=echo)
     else:
         current = run_benchmark(sizes, variants=GATED_VARIANTS, echo=echo)
         failures = compare_to_baseline(current, baseline_path, tolerance,
@@ -1038,6 +1189,9 @@ _SUITES = {
     # scenario sizes are scale percent; the PR gate re-checks 50%.
     "scenario_latency": (SCENARIO_BASELINE, [50, 100], [50]),
     "recovery_latency": (RECOVERY_BASELINE, [5000, 20000], [20000]),
+    # the PR gate re-checks the digest tax at 10k; the committed
+    # baseline demonstrates it at the 50k acceptance scale too.
+    "audit_overhead": (AUDIT_BASELINE, [10000, 50000], [10000]),
 }
 
 
@@ -1095,6 +1249,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"{RECOVERY_VARIANTS} for the "
                              f"recovery_latency suite")
             entry = measure_recovery_variant(args.variant, args.size)
+        elif args.suite == "audit_overhead":
+            if args.variant not in AUDIT_VARIANTS:
+                parser.error(f"--variant must be one of {AUDIT_VARIANTS} "
+                             f"for the audit_overhead suite")
+            entry = measure_audit_variant(args.variant, args.size)
         else:
             if args.variant not in VARIANTS:
                 parser.error(f"--variant must be one of "
@@ -1114,6 +1273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             document = run_scenario_benchmark(sizes)
         elif args.suite == "recovery_latency":
             document = run_recovery_benchmark(sizes)
+        elif args.suite == "audit_overhead":
+            document = run_audit_benchmark(sizes)
         else:
             document = run_benchmark(sizes)
         with open(output, "w") as handle:

@@ -162,6 +162,9 @@ class DeltaNetBackend(BackendAdapter):
     def check_invariants(self) -> None:
         self.native.check_invariants()
 
+    def state_digest(self):
+        return self.native.state_digest()
+
     def snapshot_state(self):
         return {"kind": "deltanet", "options": {"gc": self.native.gc},
                 "native": self.native.state_dict()}
@@ -251,6 +254,9 @@ class ShardedBackend(BackendAdapter):
         for loop in self.native.find_loops():
             seen.setdefault(canonical_cycle(loop.cycle))
         return list(seen)
+
+    def state_digest(self):
+        return self.native.state_digest()
 
     def check_invariants(self) -> None:
         for net in self.native.nets:
@@ -438,7 +444,14 @@ class ParallelShardedBackend(BackendAdapter):
             "workers_alive": workers_alive,
             "shards": native.num_shards,
             "events": len(native.events),
+            "audits": native.audits,
+            "audit_mismatches": native.audit_mismatches,
+            "audit_repairs": native.audit_repairs,
+            "audit_escalations": native.audit_escalations,
         }
+
+    def state_digest(self):
+        return self.native.state_digest()
 
 
 @register_backend("veriflow")

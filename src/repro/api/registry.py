@@ -308,6 +308,22 @@ class BackendAdapter(abc.ABC):
         for rule_state in state["rules"]:
             self.insert(Rule.from_state(rule_state))
 
+    # -- integrity (see repro.integrity) ----------------------------------------
+
+    def state_digest(self) -> Optional[str]:
+        """An order-independent digest of the backend's verifier state.
+
+        The generic form fingerprints the canonical encoding of every
+        installed rule — self-consistent across save/restore because
+        restore replays the identical rule set.  Backends with native
+        incremental digests (Delta-net and the sharded variants)
+        override this with their O(1)-maintained label/boundary digest.
+        Returns ``None`` when digests are disabled.
+        """
+        from repro.integrity.digest import rules_digest
+
+        return rules_digest(rule.to_state() for rule in self._rules.values())
+
     # -- diagnostics -----------------------------------------------------------
 
     def close(self) -> None:

@@ -180,6 +180,17 @@ class VerificationSession:
     def check_invariants(self) -> None:
         self.backend.check_invariants()
 
+    def state_digest(self) -> Optional[str]:
+        """An order-independent digest of the backend's verifier state.
+
+        Equal across any two sessions holding the same rule state —
+        whether built by replay, batch, or snapshot restore — and cheap
+        to read: incremental backends maintain it in O(changed entries)
+        per update.  ``None`` when digests are disabled
+        (``DELTANET_DIGESTS=0``).  See :mod:`repro.integrity`.
+        """
+        return self.backend.state_digest()
+
     def close(self) -> None:
         """Release backend resources (e.g. parallel shard workers)."""
         close = getattr(self.backend, "close", None)

@@ -352,9 +352,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import fuzz, replay_repro
 
-    if args.replay and args.chaos:
+    if args.chaos and args.corrupt:
+        print("--chaos (process faults) and --corrupt (state corruption) "
+              "are separate campaigns; pick one", file=sys.stderr)
+        return 2
+    if args.replay and (args.chaos or args.corrupt):
         print("--replay re-runs a saved repro fault-free; it is "
-              "incompatible with --chaos", file=sys.stderr)
+              "incompatible with --chaos/--corrupt", file=sys.stderr)
         return 2
     if args.replay:
         # Without --backends, replay what the file recorded; an
@@ -377,6 +381,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   time_budget=args.time_budget,
                   shrink_probes=args.shrink_probes,
                   chaos=args.chaos, chaos_faults=args.chaos_faults,
+                  corrupt=args.corrupt,
                   log=None if args.quiet else print)
     print(report.describe())
     return 0 if report.ok else 1
@@ -402,6 +407,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         max_queue=args.max_queue,
         retry_after=args.retry_after,
+        max_line_bytes=args.max_line_bytes,
+        scrub_interval=args.scrub_interval,
+        scrub_budget=args.scrub_budget,
         log=log,
         **options)
     install_sigterm_drain(server)
@@ -535,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="fault events injected per trace in "
                                "--chaos mode (default 4)")
+    fuzz_cmd.add_argument("--corrupt", action="store_true",
+                          help="corrupt state instead of killing "
+                               "processes: snapshot byte flips, journal "
+                               "payload mutations, shard desyncs, and "
+                               "daemon frame mutation — failures must be "
+                               "loud or answers correct, never silently "
+                               "wrong")
     fuzz_cmd.add_argument("--replay", metavar="FILE", default=None,
                           help="re-run a saved .repro file instead of "
                                "fuzzing (exit 1 if it still diverges)")
@@ -575,6 +590,20 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="retry_after hint in backpressure responses "
                             "(default 1.0)")
+    serve.add_argument("--max-line-bytes", type=_positive_int,
+                       default=1 << 20, metavar="N",
+                       help="max request frame size; longer lines are "
+                            "drained and answered with 'frame too "
+                            "large' (default 1 MiB)")
+    serve.add_argument("--scrub-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="run one budgeted state-integrity scrub "
+                            "step every SECONDS in the background "
+                            "(default: off; see 'audit' for on-demand)")
+    serve.add_argument("--scrub-budget", type=_positive_int, default=4096,
+                       metavar="ENTRIES",
+                       help="max digest entries re-verified per scrub "
+                            "step (default 4096)")
 
     whatif = sub.add_parser("whatif", help="link-failure query sweep")
     whatif.add_argument("dataset", choices=sorted(DATASET_BUILDERS))

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
+from repro.integrity.digest import BoundaryDigest, digests_enabled
 from repro.structures.treap import TreapMap
 
 #: Sentinel identifier for the greatest atom (paper's alpha-infinity).
@@ -44,6 +45,12 @@ class AtomTable:
         self._map = TreapMap(seed=seed)
         self._map.insert(self.min, 0)
         self._map.insert(self.max, ATOM_INF)
+        #: Incremental ``(boundary, atom)`` digest over ``M`` (sentinels
+        #: included); ``None`` when ``DELTANET_DIGESTS=0``.
+        self.digest = BoundaryDigest() if digests_enabled() else None
+        if self.digest is not None:
+            self.digest.add(self.min, 0)
+            self.digest.add(self.max, ATOM_INF)
         self._start: List[int] = [self.min]  # atom id -> start boundary
         self._free: List[int] = []           # recycled ids (GC mode)
         self._bound_refs: Dict[int, int] = {}  # boundary -> #rules using it
@@ -151,6 +158,8 @@ class AtomTable:
                 continue
             new_atom = self._alloc(bound)
             self._map.insert(bound, new_atom)
+            if self.digest is not None:
+                self.digest.add(bound, new_atom)
             delta.append((old_atom, new_atom))
         return delta
 
@@ -174,6 +183,7 @@ class AtomTable:
         table = self._map
         floor_item = table.floor_item
         table_insert = table.insert
+        digest = self.digest
         delta: List[Tuple[int, int]] = []
         seen = set()
         for lo, hi in intervals:
@@ -189,6 +199,8 @@ class AtomTable:
                     continue
                 new_atom = self._alloc(bound)
                 table_insert(bound, new_atom)
+                if digest is not None:
+                    digest.add(bound, new_atom)
                 delta.append((old_atom, new_atom))
         return delta
 
@@ -239,8 +251,18 @@ class AtomTable:
         prev_key = self._map.floor_key(bound - 1)
         survivor = self._map[prev_key]
         self._map.remove(bound)
+        if self.digest is not None:
+            self.digest.remove(bound, atom)
         self._free.append(atom)
         return atom, survivor
+
+    def recompute_digest(self) -> BoundaryDigest:
+        """A from-scratch :class:`BoundaryDigest` of ``M`` (scrub
+        reference), independent of the incremental :attr:`digest`."""
+        fresh = BoundaryDigest()
+        for bound, atom in self._map.items():
+            fresh.add(bound, atom)
+        return fresh
 
     # -- persistence (see repro.persist) ---------------------------------------
 
@@ -275,6 +297,8 @@ class AtomTable:
             if bound == table.min or bound == table.max:
                 continue  # the constructor seeded MIN/MAX already
             table._map.insert(bound, atom)
+            if table.digest is not None:
+                table.digest.add(bound, atom)
             starts[atom] = bound
         table._start = starts
         table._free = list(state["free"])

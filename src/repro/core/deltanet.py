@@ -469,6 +469,37 @@ class DeltaNet:
         self.atoms.collect(bound)
         return dead_atom
 
+    # -- integrity (see repro.integrity) --------------------------------------------
+
+    def state_digest(self):
+        """The live incremental digest of the verifier's mirror state.
+
+        An order-independent fingerprint over every ``(link, atom)``
+        label entry and every ``(boundary, atom)`` map entry — equal
+        across any two instances holding the same state, however it was
+        reached (cold replay, batch replay, snapshot restore).  Returns
+        ``None`` when digests are disabled (``DELTANET_DIGESTS=0``).
+        """
+        from repro.integrity.digest import XORSUM_SCHEME, format_digest
+
+        label = self.findex.digest
+        bounds = self.atoms.digest
+        if label is None or bounds is None:
+            return None
+        return format_digest(
+            XORSUM_SCHEME, [label.as_tuple(), bounds.as_tuple()])
+
+    def recompute_state_digest(self) -> str:
+        """:meth:`state_digest` rebuilt from scratch by full iteration —
+        the scrubber's reference value, available even when incremental
+        digests are disabled."""
+        from repro.integrity.digest import XORSUM_SCHEME, format_digest
+
+        return format_digest(XORSUM_SCHEME, [
+            self.findex.recompute_digest().as_tuple(),
+            self.atoms.recompute_digest().as_tuple(),
+        ])
+
     # -- persistence (see repro.persist) -------------------------------------------
 
     def state_dict(self) -> dict:
@@ -564,6 +595,9 @@ class DeltaNet:
         assert actual == expected, "label map out of sync with owner structure"
         # The per-source chase view must mirror the labels exactly.
         self.findex.check_consistency()
+        live = self.state_digest()
+        assert live is None or live == self.recompute_state_digest(), (
+            "incremental state digest diverged from recomputation")
 
     def __repr__(self) -> str:
         return (f"DeltaNet(rules={self.num_rules}, atoms={self.num_atoms}, "

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.core.rules import Link
+from repro.integrity.digest import LabelDigest, digests_enabled
 from repro.structures.atomruns import AtomRuns
 
 #: The memoized ``(node, atom) -> next node`` chase function handed to
@@ -38,7 +39,7 @@ _MISS = object()
 class ForwardingIndex:
     """Edge labels plus their per-source arrangement, maintained together."""
 
-    __slots__ = ("by_link", "by_source")
+    __slots__ = ("by_link", "by_source", "digest")
 
     def __init__(self) -> None:
         #: ``link -> AtomRuns`` — THE label table (links with empty
@@ -47,6 +48,10 @@ class ForwardingIndex:
         #: ``source -> {link: AtomRuns}`` — same AtomRuns objects,
         #: grouped by the node the traffic leaves.
         self.by_source: Dict[object, Dict[Link, AtomRuns]] = {}
+        #: Incremental ``(link, atom)`` membership digest, maintained by
+        #: every writer below in O(changed entries); ``None`` when
+        #: ``DELTANET_DIGESTS=0`` (the digest-free perf baseline).
+        self.digest = LabelDigest() if digests_enabled() else None
 
     # -- label mutation (the only writers) -------------------------------------
 
@@ -59,14 +64,16 @@ class ForwardingIndex:
             if bucket is None:
                 bucket = self.by_source[link.source] = {}
             bucket[link] = runs
-        runs.add(atom)
+        if runs.add(atom) and self.digest is not None:
+            self.digest.add(link, atom)
 
     def discard(self, link: Link, atom: int) -> None:
         """``atom`` stops flowing along ``link``; drops emptied entries."""
         runs = self.by_link.get(link)
         if runs is None:
             return
-        runs.discard(atom)
+        if runs.discard(atom) and self.digest is not None:
+            self.digest.remove(link, atom)
         if not runs:
             del self.by_link[link]
             bucket = self.by_source[link.source]
@@ -87,10 +94,12 @@ class ForwardingIndex:
         granularity; a hand-``merge``-d multi-op aggregate may interleave
         splits and GC in ways a linear replay cannot reconstruct.
         """
+        digest = self.digest
         for old_atom, new_atom in delta_graph.splits:
-            for runs in self.by_link.values():
-                if old_atom in runs:
-                    runs.add(new_atom)
+            for link, runs in self.by_link.items():
+                if old_atom in runs and runs.add(new_atom) and \
+                        digest is not None:
+                    digest.add(link, new_atom)
         for link, atoms in delta_graph.removed.items():
             for atom in atoms:
                 self.discard(link, atom)
@@ -155,6 +164,13 @@ class ForwardingIndex:
         """
         if not runs:
             raise ValueError(f"refusing to install empty label for {link}")
+        if self.digest is not None:
+            old = self.by_link.get(link)
+            if old is not None:
+                for start, end in old.runs():
+                    for atom in range(start, end):
+                        self.digest.remove(link, atom)
+            self.digest.add_runs(link, runs.runs())
         self.by_link[link] = runs
         bucket = self.by_source.get(link.source)
         if bucket is None:
@@ -172,6 +188,18 @@ class ForwardingIndex:
             for atom in atoms:
                 index.add(link, atom)
         return index
+
+    def recompute_digest(self) -> LabelDigest:
+        """A from-scratch :class:`LabelDigest` of the current labels.
+
+        The scrubber's reference value: iterates every ``(link, atom)``
+        membership entry into a fresh accumulator, independent of the
+        incrementally maintained :attr:`digest`.
+        """
+        fresh = LabelDigest()
+        for link, runs in self.by_link.items():
+            fresh.add_runs(link, runs.runs())
+        return fresh
 
     def label_stats(self) -> Dict[str, int]:
         """Size counters for the memory table: links, atoms, runs."""

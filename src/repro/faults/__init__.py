@@ -10,6 +10,10 @@ the :class:`InjectedCrash` signal that simulates process death.
 checkpointed session through a scenario while killing workers, tearing
 journal tails and crashing checkpoints — then proves the delivered
 violation stream still matches the sweep oracle byte-for-byte.
+
+:mod:`repro.faults.corruption` damages *state itself*: snapshot byte
+flips, journal payload mutations, silently desynced shards — and proves
+the stack fails loudly or answers correctly, never silently wrong.
 """
 
 from repro.faults.injector import (
@@ -19,10 +23,16 @@ from repro.faults.injector import (
 from repro.faults.chaos import (
     CHAOS_KINDS, ChaosPlan, FaultEvent, chaos_replay,
 )
+from repro.faults.corruption import (
+    CORRUPTION_KINDS, corruption_plan, corruption_replay,
+)
 
 __all__ = [
     "CHAOS_KINDS",
+    "CORRUPTION_KINDS",
     "ChaosPlan",
+    "corruption_plan",
+    "corruption_replay",
     "DropMessage",
     "Fault",
     "FaultEvent",

@@ -130,11 +130,11 @@ def _tear_journal(path: str) -> bool:
 
     if not os.path.exists(path):
         return False
-    _base, records, valid, _torn = read_journal(path)
-    if not records:
+    data = read_journal(path)
+    if not data.records:
         return False
     with open(path, "rb+") as stream:
-        stream.truncate(max(0, valid - 2))
+        stream.truncate(max(0, data.valid - 2))
     return True
 
 

@@ -87,17 +87,31 @@ class FuzzReport:
     elapsed: float = 0.0
     stopped_early: bool = False
     chaos: bool = False
+    corrupt: bool = False
+    #: Corruption mode only: daemon frame-mutation trials run and the
+    #: protocol problems they surfaced (accepted mutants, sequence
+    #: drift, oracle divergence).
+    frame_trials: int = 0
+    frame_problems: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.frame_problems
 
     def describe(self) -> str:
-        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        status = "OK" if self.ok else (
+            f"{len(self.failures)} FAILURE(S), "
+            f"{len(self.frame_problems)} frame problem(s)")
         early = " (time budget hit)" if self.stopped_early else ""
-        mode = "chaos fuzz" if self.chaos else "fuzz"
-        return (f"{mode}: {self.attempted}/{self.budget} traces{early}, "
-                f"{self.passed} agreed, {status}, {self.elapsed:.1f}s")
+        mode = ("corruption fuzz" if self.corrupt
+                else "chaos fuzz" if self.chaos else "fuzz")
+        out = (f"{mode}: {self.attempted}/{self.budget} traces{early}, "
+               f"{self.passed} agreed, {status}, {self.elapsed:.1f}s")
+        if self.corrupt:
+            out += f" ({self.frame_trials} frame trials)"
+        for problem in self.frame_problems:
+            out += f"\n  frame problem: {problem}"
+        return out
 
 
 def _still_fails(scenario: Scenario, backend: str) -> Callable:
@@ -169,6 +183,7 @@ def fuzz(budget: int, seed: int = 0,
          shrink_probes: int = 150,
          chaos: bool = False,
          chaos_faults: int = 4,
+         corrupt: bool = False,
          log: Optional[Log] = None) -> FuzzReport:
     """Run a differential fuzzing campaign of ``budget`` random traces.
 
@@ -182,20 +197,34 @@ def fuzz(budget: int, seed: int = 0,
     the campaign seed reproduces both the trace *and* its faults).  The
     oracle stays fault-free; the diff proves recovery preserved the
     delivered stream exactly.  Chaos failures skip shrinking.
+
+    With ``corrupt=True`` the fault plan draws from
+    :data:`~repro.faults.corruption.CORRUPTION_KINDS` instead —
+    snapshot byte flips, journal payload mutations, shard desyncs — and
+    each trace additionally runs a daemon frame-mutation trial
+    (:mod:`repro.fuzz.frames`).  The invariant tightens to "loud
+    failure or correct answers, never silently wrong".  Like chaos
+    failures, corruption failures skip shrinking.
     """
     import shutil
     import tempfile
 
     from repro.api import available_backends
 
+    if chaos and corrupt:
+        raise ValueError("chaos and corrupt modes are mutually exclusive")
     if chaos:
         from repro.faults.chaos import ChaosPlan
         from repro.scenarios.runner import run_chaos_scenario
+    if corrupt:
+        from repro.faults.corruption import corruption_plan
+        from repro.fuzz.frames import frame_mutation_trial
+        from repro.scenarios.runner import run_corruption_scenario
 
     chosen = sorted(backends) if backends is not None \
         else list(available_backends())
     rng = random.Random(seed)
-    report = FuzzReport(budget=budget, chaos=chaos)
+    report = FuzzReport(budget=budget, chaos=chaos, corrupt=corrupt)
     emit = log or (lambda line: None)
     start = time.perf_counter()
     if artifacts_dir:
@@ -217,6 +246,29 @@ def fuzz(budget: int, seed: int = 0,
             try:
                 scenario_report = run_chaos_scenario(scenario, chosen,
                                                      plan, work_dir)
+            finally:
+                shutil.rmtree(work_dir, ignore_errors=True)
+        elif corrupt:
+            plan = corruption_plan(scenario.seed, scenario.num_ops,
+                                   faults=chaos_faults)
+            work_dir = tempfile.mkdtemp(prefix="deltanet-corrupt-")
+            try:
+                scenario_report = run_corruption_scenario(
+                    scenario, chosen, plan, work_dir)
+                # The third corruption surface: the daemon's own wire
+                # protocol, driven in-process against one backend.
+                frame_backend = ("deltanet" if "deltanet" in chosen
+                                 else chosen[0])
+                frame_dir = os.path.join(work_dir, "frames")
+                report.frame_trials += 1
+                problems = frame_mutation_trial(
+                    scenario, frame_backend, frame_dir,
+                    random.Random(scenario.seed ^ 0xF5A3E5))
+                for problem in problems:
+                    report.frame_problems.append(
+                        f"{scenario.name} [{frame_backend}]: {problem}")
+                    emit(f"[{index + 1}/{budget}] {scenario.name}: "
+                         f"FRAME PROBLEM {problem}")
             finally:
                 shutil.rmtree(work_dir, ignore_errors=True)
         else:

@@ -1,0 +1,144 @@
+"""ndjson frame mutation against the streaming daemon's protocol.
+
+The corruption fuzzer's third surface (after snapshot and journal
+bytes): the daemon's own wire protocol.  A trace is driven through a
+:class:`~repro.serve.StreamServer` line by line, with *guaranteed
+invalid* frames interleaved — truncated JSON, byte-mutated requests that
+no longer parse, unknown commands, requests missing required fields,
+frames past ``max_line_bytes``.  Every mutant must be refused with an
+``{"ok": false, ...}`` response and must not advance the session
+sequence; every genuine frame must apply; and the violation stream the
+genuine frames deliver must match the fault-free sweep oracle.
+
+Mutants are *pre-validated*: a byte-mutated frame that still parses as
+JSON might be a perfectly legal (but different) request, whose effects
+would legitimately diverge from the oracle — only mutants proven
+unparseable (or structurally invalid by construction) are sent, so any
+accepted mutant or sequence drift is a real protocol bug, not fuzzer
+noise.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import List
+
+#: Per-trial cap on one request line — small, so the oversized-frame
+#: path is cheap to exercise every trial.
+TRIAL_MAX_LINE_BYTES = 65536
+
+
+def _op_frame(op) -> str:
+    """One trace op as its protocol request line."""
+    if op.is_insert:
+        rule = op.rule
+        payload = {"rid": rule.rid, "lo": rule.lo, "hi": rule.hi,
+                   "priority": rule.priority, "source": rule.source,
+                   "action": rule.action.value}
+        if rule.target is not None:
+            payload["target"] = rule.target
+        return json.dumps({"cmd": "insert", "rule": payload})
+    return json.dumps({"cmd": "remove", "rid": op.rid})
+
+
+def _mutate_unparseable(frame: str, rng: random.Random) -> str:
+    """Byte-mutate ``frame`` until ``json.loads`` provably fails.
+
+    Falls back to a truncation (always unparseable for object frames)
+    if random mutation keeps accidentally producing valid JSON.
+    """
+    for _ in range(16):
+        chars = list(frame)
+        for _ in range(rng.randrange(1, 4)):
+            position = rng.randrange(len(chars))
+            chars[position] = chr(rng.randrange(32, 127))
+        candidate = "".join(chars)
+        try:
+            json.loads(candidate)
+        except ValueError:
+            return candidate
+    return frame[:max(1, len(frame) // 2)]
+
+
+def _invalid_frames(frame: str, rng: random.Random) -> List[str]:
+    """A sample of guaranteed-invalid variants of one genuine frame."""
+    pool = [
+        _mutate_unparseable(frame, rng),
+        frame[:-1] if frame.endswith("}") else frame + "}",
+        json.dumps({"cmd": f"bogus-{rng.randrange(1 << 16)}"}),
+        json.dumps({"cmd": "insert", "rule": {"rid": 0}}),
+        json.dumps({"cmd": "query", "what": "no-such-query"}),
+        "x" * (TRIAL_MAX_LINE_BYTES + 64),
+    ]
+    return [pool[rng.randrange(len(pool))]]
+
+
+def frame_mutation_trial(scenario, backend: str, work_dir: str,
+                         rng: random.Random,
+                         mutation_rate: float = 0.2) -> List[str]:
+    """Drive ``scenario`` through a daemon over its line protocol with
+    invalid frames interleaved; returns the list of problems found
+    (empty = the protocol surface held).
+    """
+    from repro.scenarios.oracle import SweepOracle
+    from repro.serve import StreamServer, _jsonable
+
+    def canon(signature) -> str:
+        # Protocol responses carry the JSON projection of a signature;
+        # push the oracle's native signatures through the same
+        # projection so both sides compare in one representation.
+        return json.dumps(_jsonable(tuple(signature)), sort_keys=True)
+
+    oracle = SweepOracle(scenario.property_specs, width=scenario.width)
+    oracle_stream = [frozenset(canon(sig) for sig in batch)
+                     for batch in oracle.stream(scenario.ops)]
+    problems: List[str] = []
+    server = StreamServer(work_dir, engine=backend, width=scenario.width,
+                          properties=(), checkpoint_every=1 << 30,
+                          max_line_bytes=TRIAL_MAX_LINE_BYTES)
+    try:
+        for spec in scenario.property_specs:
+            response, _ = server.handle_line(json.dumps(
+                {"cmd": "watch", "property": spec.name,
+                 "args": dict(spec.options)}))
+            if not response.get("ok"):
+                problems.append(f"watch {spec.name} refused: {response}")
+                return problems
+        for index, op in enumerate(scenario.ops):
+            frame = _op_frame(op)
+            if rng.random() < mutation_rate:
+                for mutant in _invalid_frames(frame, rng):
+                    before = server.session.sequence
+                    response, keep_going = server.handle_line(mutant)
+                    if response.get("ok") is not False:
+                        problems.append(
+                            f"op {index}: invalid frame accepted: "
+                            f"{mutant[:80]!r} -> {response}")
+                    if server.session.sequence != before:
+                        problems.append(
+                            f"op {index}: invalid frame advanced the "
+                            f"sequence {before} -> "
+                            f"{server.session.sequence}")
+                    if not keep_going:
+                        problems.append(
+                            f"op {index}: invalid frame closed the "
+                            f"connection: {mutant[:80]!r}")
+            response, _ = server.handle_line(frame)
+            if not response.get("ok"):
+                problems.append(f"op {index}: genuine frame refused: "
+                                f"{response}")
+                return problems
+            delivered = frozenset(
+                canon(item["signature"])
+                for item in response.get("violations", ()))
+            expected = oracle_stream[index]
+            if delivered != expected:
+                problems.append(
+                    f"op {index}: delivered violations diverge from the "
+                    f"oracle (missing {sorted(expected - delivered)}, "
+                    f"unexpected {sorted(delivered - expected)})")
+                return problems
+    finally:
+        server.close()
+    return problems

@@ -130,6 +130,32 @@ class _ShardServer:
     def do_check_invariants(self) -> None:
         self.net.check_invariants()
 
+    # -- integrity (per-shard audit; see repro.integrity) ------------------------
+
+    def do_digest(self, recompute: bool = False):
+        """The shard's reported (live, incrementally maintained) digest
+        and, when ``recompute``, an independent from-scratch one."""
+        live = self.net.state_digest()
+        recomputed = self.net.recompute_state_digest() if recompute else None
+        return live, recomputed
+
+    def do_desync(self) -> bool:
+        """Corrupt one label entry *bypassing* digest maintenance — the
+        chaos/test stand-in for a buggy delta path or in-memory bit rot.
+        Toggles atom 0's membership directly on an ``AtomRuns`` bucket,
+        so the shard answers queries silently wrong until audited.
+        Returns whether any entry could be corrupted (empty shards
+        cannot desynchronize)."""
+        for runs in self.net.findex.by_link.values():
+            if 0 not in runs:
+                runs.add(0)
+                return True
+        for runs in self.net.findex.by_link.values():
+            if len(runs) > 1 and 0 in runs:
+                runs.discard(0)
+                return True
+        return False
+
     # -- persistence (per-shard snapshot fan-out) --------------------------------
 
     def do_snapshot(self) -> dict:
@@ -321,6 +347,11 @@ class ParallelShardedDeltaNet(ShardRouter):
         self.events: List[dict] = []
         #: Completed worker restarts across the instance's lifetime.
         self.restarts = 0
+        #: Integrity-audit counters (see :meth:`audit_shard`).
+        self.audits = 0
+        self.audit_mismatches = 0
+        self.audit_repairs = 0
+        self.audit_escalations = 0
         workers: List[object] = []
         if not force_inline:
             try:
@@ -464,9 +495,12 @@ class ParallelShardedDeltaNet(ShardRouter):
         When the buffer outgrows ``reseed_every`` ops the shard is
         re-snapshotted over its pipe and the buffer cleared — recovery
         work stays bounded no matter how long the instance runs.
+
+        Tracked for inline endpoints too: crash recovery never needs it
+        there, but quarantine *repair* (:meth:`audit_shard`) rebuilds a
+        desynchronized shard from the same seed + replay buffer in
+        either mode.
         """
-        if not isinstance(self._workers[index], _ProcessEndpoint):
-            return
         shard_inserts, shard_removals = payload
         self._replay[index].append((list(shard_inserts),
                                     list(shard_removals)))
@@ -713,6 +747,82 @@ class ParallelShardedDeltaNet(ShardRouter):
     def total_atoms(self) -> int:
         return sum(atoms for _rules, atoms in self.shard_sizes())
 
+    # -- integrity audit (see repro.integrity) -----------------------------------
+
+    def state_digest(self):
+        """The fleet-wide digest: componentwise combination of every
+        worker's reported live digest (``None`` if digests are off)."""
+        from repro.integrity.digest import combine_digests
+
+        return combine_digests(
+            live for live, _recomputed in self._fan_out("digest", (False,)))
+
+    def audit_shard(self, index: int, repair: bool = True) -> dict:
+        """Audit one worker's reported digest against an independent
+        from-scratch recomputation of its shard state.
+
+        The worker's *live* digest is maintained incrementally by the
+        same delta paths that mutate the state — the value it would
+        report into snapshots and health checks.  The recomputation
+        hashes the actual structures entry by entry, so any divergence
+        (bit rot, a buggy delta path, a desynchronized replica) between
+        what the shard claims and what it holds surfaces here.
+
+        On mismatch the shard is **quarantined** and, when ``repair``,
+        rebuilt through the existing re-seed machinery (last per-shard
+        snapshot + replay buffer — state reconstructed through
+        digest-maintaining code), then re-audited.  A repair whose
+        digests still disagree **escalates**: the shard degrades to the
+        inline fallback and stays flagged.  Every transition lands in
+        :attr:`events`.
+        """
+        from repro.integrity.digest import parse_digest
+
+        self.audits += 1
+        live, recomputed = self._call(index, "digest", (True,))
+        entries = sum(part[0] for part in parse_digest(recomputed)[1])
+        result = {"shard": index, "clean": live == recomputed,
+                  "entries": entries, "repaired": False, "escalated": False}
+        if live is None:
+            result["clean"] = True
+            result["skipped"] = "digests-disabled"
+            return result
+        if result["clean"]:
+            return result
+        self.audit_mismatches += 1
+        self._note("quarantine", shard=index, live=live,
+                   recomputed=recomputed)
+        if not repair:
+            return result
+        endpoint = self._workers[index]
+        if isinstance(endpoint, _ProcessEndpoint):
+            self._recover(index, WorkerCrash("state digest mismatch"))
+        else:
+            self._workers[index] = _InlineEndpoint(
+                self.width, self._gc, index,
+                server=self._rebuild_server(index))
+        live, recomputed = self._call(index, "digest", (True,))
+        if live == recomputed:
+            self.audit_repairs += 1
+            result["repaired"] = True
+            self._note("repair", shard=index, digest=live)
+        else:
+            self.audit_escalations += 1
+            result["escalated"] = True
+            self._degrade(index, "digest mismatch persists after re-seed")
+        return result
+
+    def audit(self, repair: bool = True) -> List[dict]:
+        """One full audit cycle: every shard, in order."""
+        return [self.audit_shard(index, repair=repair)
+                for index in range(self.num_shards)]
+
+    def desync_shard(self, index: int) -> bool:
+        """Inject silent corruption into shard ``index`` (chaos/tests):
+        flips a label entry behind the digest's back, exactly what
+        :meth:`audit_shard` exists to catch."""
+        return bool(self._call(index, "desync", ()))
+
     # -- persistence (see repro.persist) ----------------------------------------
 
     def state_dict(self) -> dict:
@@ -734,10 +844,8 @@ class ParallelShardedDeltaNet(ShardRouter):
         :meth:`_recover`, whose seed replay performs the very restore
         that was in flight — so a crash here self-heals.
         """
-        process_mode = self.parallel
         for index, net_state in enumerate(states):
-            if process_mode:
-                self._seeds[index] = net_state
+            self._seeds[index] = net_state
             self._replay[index] = []
             self._replay_ops[index] = 0
         submitted: List[int] = []

@@ -260,6 +260,14 @@ class ShardedDeltaNet(ShardRouter):
         """(rules, atoms) per shard — the load-balance view."""
         return [(net.num_rules, net.num_atoms) for net in self.nets]
 
+    def state_digest(self):
+        """Componentwise combination of the per-shard digests — equal to
+        the digest an unsharded net over the same state would report per
+        component set (see :mod:`repro.integrity.digest`)."""
+        from repro.integrity.digest import combine_digests
+
+        return combine_digests(net.state_digest() for net in self.nets)
+
     # -- persistence (see repro.persist) ----------------------------------------
 
     def state_dict(self) -> dict:

@@ -17,6 +17,14 @@ offset; :meth:`Journal.open` truncates the tear before appending, so one
 crash never corrupts the next run's records.  Records are flushed to the
 OS per append (surviving process kills); :meth:`Journal.sync` fsyncs for
 full power-loss durability at checkpoint boundaries.
+
+A bad frame *followed by intact records* is not a tear — it is mid-file
+corruption (bit rot, a partial overwrite) that destroyed an op later
+records depend on.  Readers scan ahead to make the distinction: recovery
+still truncates to the valid prefix (replaying past a lost op would
+silently build wrong state) but reports the stranded record count
+(:attr:`JournalData.corrupt_records`) instead of discarding them without
+a trace.
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import Any, BinaryIO, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any, BinaryIO, Iterator, List, NamedTuple, Optional, Tuple, Union,
+)
 
 from repro.core.rules import Rule
 from repro.datasets.format import Op
@@ -78,8 +88,51 @@ def _append_record(stream: BinaryIO, value: Any) -> None:
     stream.write(struct.pack(">I", zlib.crc32(payload)))
 
 
-def _scan_records(data: bytes) -> Tuple[List[Any], int, bool]:
-    """(values, valid_offset, torn) — stops cleanly at a torn tail."""
+def _try_record(data: bytes, pos: int) -> Optional[int]:
+    """The end offset of a complete, CRC-valid, decodable record at
+    ``pos`` — or ``None`` if ``pos`` does not start one."""
+    reader = ByteReader(data, pos)
+    try:
+        payload = reader.take(reader.read_uvarint())
+        crc = struct.unpack(">I", reader.take(4))[0]
+    except CodecError:
+        return None
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        decode(payload)
+    except CodecError:
+        return None
+    return reader.pos
+
+
+def _count_stranded(data: bytes, start: int) -> int:
+    """Intact records parseable *after* a bad frame at ``start``.
+
+    A torn tail (the crash-truncation case) leaves nothing valid beyond
+    the tear; mid-file corruption strands whole intact records behind
+    the damaged one.  Scanning byte-by-byte for the next frame whose
+    CRC verifies distinguishes the two — a chance CRC32 match on
+    non-record bytes is a 2**-32 event, negligible against real
+    stranded frames.
+    """
+    stranded = 0
+    pos = start + 1
+    size = len(data)
+    while pos < size:
+        end = _try_record(data, pos)
+        if end is None:
+            pos += 1
+        else:
+            stranded += 1
+            pos = end
+    return stranded
+
+
+def _scan_records(data: bytes) -> Tuple[List[Any], int, bool, int]:
+    """(values, valid_offset, torn, stranded) — stops at the first bad
+    frame, then scans ahead to classify it (see :func:`_count_stranded`).
+    """
     values: List[Any] = []
     reader = ByteReader(data)
     size = len(data)
@@ -89,33 +142,51 @@ def _scan_records(data: bytes) -> Tuple[List[Any], int, bool]:
             payload = reader.take(reader.read_uvarint())
             crc = struct.unpack(">I", reader.take(4))[0]
         except CodecError:
-            return values, record_start, True
+            return (values, record_start, True,
+                    _count_stranded(data, record_start))
         if zlib.crc32(payload) != crc:
-            # A mid-file CRC failure cannot be distinguished from a torn
-            # tail by position alone; treat it as the tail (everything
-            # after it is unreachable anyway).
-            return values, record_start, True
+            return (values, record_start, True,
+                    _count_stranded(data, record_start))
         try:
             values.append(decode(payload))
         except CodecError:
-            return values, record_start, True
-    return values, reader.pos, False
+            return (values, record_start, True,
+                    _count_stranded(data, record_start))
+    return values, reader.pos, False, 0
 
 
-def read_journal(path: Pathish
-                 ) -> Tuple[int, List[Tuple[int, Union[Op, List[Op]]]],
-                            int, bool]:
-    """Read a journal: ``(base_sequence, [(seq, entry)...], valid_bytes,
-    torn)`` — an entry is one :class:`Op` or a list (a journaled batch);
-    ``seq`` is the session sequence *after* applying the entry.
+class JournalData(NamedTuple):
+    """Everything a recovery needs to know about one journal file."""
 
-    ``valid_bytes`` is the offset of the first torn byte (== file size
-    when the journal is clean).  Raises :class:`JournalCorruption` when
-    even the header record is unreadable.
+    #: The snapshot sequence this journal extends.
+    base: int
+    #: ``(seq, entry)`` pairs — an entry is one :class:`Op` or a list
+    #: (a journaled batch); ``seq`` is the session sequence *after*
+    #: applying the entry.
+    records: List[Tuple[int, Union[Op, List[Op]]]]
+    #: Offset of the first bad byte (== file size when clean).
+    valid: int
+    #: Whether the file ends in a bad frame (tear or corruption).
+    torn: bool
+    #: Intact records stranded *beyond* the first bad frame.  Zero for a
+    #: clean file or a genuine torn tail; positive means mid-file
+    #: corruption destroyed a record that later, still-valid records
+    #: depended on — recovery truncates to the valid prefix (replaying
+    #: past a lost op would build wrong state) but must report it.
+    corrupt_records: int
+    #: The decoded header record (version, base, checkpoint digest).
+    header: dict
+
+
+def read_journal(path: Pathish) -> JournalData:
+    """Read a journal file (see :class:`JournalData`).
+
+    Raises :class:`JournalCorruption` when even the header record is
+    unreadable.
     """
     with open(path, "rb") as stream:
         data = stream.read()
-    values, valid, torn = _scan_records(data)
+    values, valid, torn, stranded = _scan_records(data)
     if not values:
         raise JournalCorruption(f"journal {path} has no readable header")
     header = values[0]
@@ -129,16 +200,17 @@ def read_journal(path: Pathish
     for value in values[1:]:
         seq, state = value
         records.append((seq, op_from_state(tuple(state))))
-    return header["base"], records, valid, torn
+    return JournalData(header["base"], records, valid, torn, stranded,
+                       header)
 
 
 def journal_records(path: Pathish,
                     after_sequence: Optional[int] = None
                     ) -> Iterator[Tuple[int, Union[Op, List[Op]]]]:
     """The journal's entries with ``seq > after_sequence`` (default: base)."""
-    base, records, _valid, _torn = read_journal(path)
-    threshold = base if after_sequence is None else after_sequence
-    for seq, entry in records:
+    data = read_journal(path)
+    threshold = data.base if after_sequence is None else after_sequence
+    for seq, entry in data.records:
         if seq > threshold:
             yield seq, entry
 
@@ -154,24 +226,35 @@ class Journal:
         self.last_sequence = last_sequence
 
     @classmethod
-    def create(cls, path: Pathish, base_sequence: int) -> "Journal":
-        """Start a fresh journal extending a snapshot at ``base_sequence``."""
+    def create(cls, path: Pathish, base_sequence: int,
+               digest: Optional[str] = None) -> "Journal":
+        """Start a fresh journal extending a snapshot at ``base_sequence``.
+
+        ``digest`` is the checkpointed session's state digest
+        (:mod:`repro.integrity`): recovery cross-checks it against the
+        digest of the snapshot actually loaded, catching a snapshot and
+        journal that were paired up wrongly (restored from different
+        backups, half-synced, ...) even when both files are internally
+        intact.
+        """
         stream = open(path, "wb")
-        _append_record(stream, {"journal": JOURNAL_VERSION,
-                                "base": base_sequence})
+        header = {"journal": JOURNAL_VERSION, "base": base_sequence}
+        if digest is not None:
+            header["digest"] = digest
+        _append_record(stream, header)
         stream.flush()
         return cls(path, stream, base_sequence, base_sequence)
 
     @classmethod
     def open(cls, path: Pathish) -> "Journal":
         """Reopen for appending; truncates a torn tail first."""
-        base, records, valid, torn = read_journal(path)
-        if torn:
+        data = read_journal(path)
+        if data.torn:
             with open(path, "rb+") as stream:
-                stream.truncate(valid)
+                stream.truncate(data.valid)
         stream = open(path, "ab")
-        last = records[-1][0] if records else base
-        return cls(path, stream, base, last)
+        last = data.records[-1][0] if data.records else data.base
+        return cls(path, stream, data.base, last)
 
     def append(self, op: Op, sequence: int) -> None:
         """Record ``op`` as update number ``sequence``."""

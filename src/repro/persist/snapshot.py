@@ -9,7 +9,13 @@ Container layout (all integers varint unless noted)::
 
 Sections are streamed — a reader never holds more than one section's
 payload — and individually CRC-checked, so a corrupted file fails loudly
-instead of reconstructing a subtly wrong verifier.  Payloads are
+instead of reconstructing a subtly wrong verifier.  Since version 2 the
+CRC covers the section *name* as well as the payload: with a
+payload-only CRC, one flipped bit in a name could turn a known section
+into a valid unknown one ("qroperties"), which readers would then
+silently skip — a session restored without its subscriptions answers
+from subtly wrong state, exactly what the CRC exists to prevent.  The
+corruption fuzzer (``deltanet fuzz --corrupt``) found this gap.  Payloads are
 :mod:`repro.persist.codec` values; no pickle is involved anywhere, so
 loading a snapshot can never execute code.
 
@@ -26,6 +32,11 @@ A *session* snapshot has sections:
   re-alert old violations nor miss re-introduced ones,
 * ``violations`` — the session's delivery log, so
   ``session.violations()`` is continuous across a restart.
+* ``integrity`` — the saving session's state digest
+  (:mod:`repro.integrity`); ``load_session`` re-derives the restored
+  backend's digest and rejects a mismatch, closing the gap the
+  per-section CRCs cannot: a snapshot that decodes fine but rebuilds
+  different verifier state.
 
 Compatibility: the version is bumped on breaking layout changes and
 readers reject newer versions; unknown *sections* are ignored, so older
@@ -46,7 +57,8 @@ from repro.persist.codec import (
 
 MAGIC = b"DNETSNAP"
 #: Bumped on breaking changes to the container or section layouts.
-SNAPSHOT_VERSION = 1
+#: v2: the section CRC covers the name bytes, not just the payload.
+SNAPSHOT_VERSION = 2
 
 Pathish = Union[str, "os.PathLike[str]"]
 
@@ -79,7 +91,7 @@ def write_snapshot(stream: BinaryIO,
         stream.write(raw_name)
         _write_uvarint(stream, len(payload))
         stream.write(payload)
-        stream.write(struct.pack(">I", zlib.crc32(payload)))
+        stream.write(struct.pack(">I", zlib.crc32(payload, zlib.crc32(raw_name))))
     _write_uvarint(stream, 0)
 
 
@@ -105,10 +117,19 @@ def iter_snapshot(stream: BinaryIO) -> Iterable[Tuple[str, Any]]:
         crc_raw = stream.read(4)
         if len(payload) != payload_len or len(crc_raw) != 4:
             raise SnapshotError("truncated section payload")
-        if zlib.crc32(payload) != struct.unpack(">I", crc_raw)[0]:
+        # v1 files carry a payload-only CRC; since v2 the name is
+        # covered too, so a flipped name byte fails here instead of
+        # demoting a known section to a silently-skipped unknown one.
+        seed = zlib.crc32(name) if version >= 2 else 0
+        if zlib.crc32(payload, seed) != struct.unpack(">I", crc_raw)[0]:
             raise SnapshotError(f"CRC mismatch in section {name!r}")
         try:
-            yield name.decode("utf-8"), decode(payload)
+            decoded_name = name.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(f"malformed section name {name!r}: "
+                                f"{exc}") from exc
+        try:
+            yield decoded_name, decode(payload)
         except CodecError as exc:
             raise SnapshotError(f"malformed section {name!r}: {exc}") from exc
 
@@ -165,8 +186,16 @@ def session_sections(session) -> List[Tuple[str, Any]]:
         })
     violations = [(v.property_name, tuple(v.signature), v.detail, v.data)
                   for v in session.violations()]
-    return [("meta", meta), ("backend", state),
-            ("properties", properties), ("violations", violations)]
+    sections = [("meta", meta), ("backend", state),
+                ("properties", properties), ("violations", violations)]
+    digest = getattr(session, "state_digest", lambda: None)()
+    if digest is not None:
+        # The integrity trailer: load_session re-derives the restored
+        # backend's digest and refuses a snapshot whose state does not
+        # hash to what the saving session held.  Additive — readers
+        # ignore unknown sections.
+        sections.append(("integrity", {"digest": digest}))
+    return sections
 
 
 def save_session(session, target: Union[Pathish, BinaryIO]) -> None:
@@ -212,6 +241,14 @@ def load_session(source: Union[Pathish, BinaryIO], *,
     options.update(backend_overrides)
     backend = create_backend(meta["backend"], width=meta["width"], **options)
     backend.restore_state(backend_state)
+    integrity = sections.get("integrity")
+    if integrity is not None and integrity.get("digest") is not None:
+        restored = getattr(backend, "state_digest", lambda: None)()
+        if restored is not None and restored != integrity["digest"]:
+            raise SnapshotError(
+                "state digest mismatch: snapshot trailer recorded "
+                f"{integrity['digest']!r} but the restored backend digests "
+                f"to {restored!r} — refusing a silently diverged restore")
     if verify:
         backend.check_invariants()
 

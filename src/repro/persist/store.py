@@ -40,6 +40,11 @@ class RecoveryInfo(NamedTuple):
     replayed: int            #: journal-tail ops replayed on top
     torn_tail: bool          #: a crash left a truncated final record
     sequence: int            #: the recovered session's update sequence
+    #: Intact journal records stranded beyond mid-file corruption and
+    #: therefore *not* replayed (0 for a clean file or plain torn tail)
+    #: — surfaced so operators know replay stopped early, instead of
+    #: the loss being silent.
+    corrupt_records: int = 0
 
 
 def _fsync_directory(path: str) -> None:
@@ -103,7 +108,8 @@ class SessionStore:
             self._journal.close()
             self._journal = None
         journal_tmp = self.journal_path + ".tmp"
-        fresh = Journal.create(journal_tmp, sequence)
+        digest = getattr(session, "state_digest", lambda: None)()
+        fresh = Journal.create(journal_tmp, sequence, digest=digest)
         fresh.sync()
         fresh.close()
         fire("store.checkpoint.journal-tmp", sequence=sequence)
@@ -168,11 +174,28 @@ class SessionStore:
         snapshot_sequence = session.sequence
         replayed = 0
         torn = False
+        corrupt = 0
         if os.path.exists(self.journal_path):
-            from repro.persist.journal import read_journal
+            from repro.persist.journal import JournalCorruption, read_journal
 
-            _base, records, _valid, torn = read_journal(self.journal_path)
-            for seq, entry in records:
+            journal = read_journal(self.journal_path)
+            torn = journal.torn
+            corrupt = journal.corrupt_records
+            if journal.base == snapshot_sequence:
+                # The journal was rotated against this very snapshot, so
+                # its header carries the checkpointed session's digest —
+                # a mismatch means the pair was assembled from different
+                # checkpoints (mixed backups, half-synced directories).
+                expected = journal.header.get("digest")
+                actual = getattr(session, "state_digest", lambda: None)()
+                if (expected is not None and actual is not None
+                        and expected != actual):
+                    raise JournalCorruption(
+                        f"journal {self.journal_path} was checkpointed "
+                        f"against state digest {expected!r} but the loaded "
+                        f"snapshot digests to {actual!r}: snapshot and "
+                        f"journal are from different checkpoints")
+            for seq, entry in journal.records:
                 if seq <= snapshot_sequence:
                     continue
                 if isinstance(entry, list):
@@ -188,7 +211,7 @@ class SessionStore:
                     replayed += 1
                 session.sequence = seq
         return session, RecoveryInfo(snapshot_sequence, replayed, torn,
-                                     session.sequence)
+                                     session.sequence, corrupt)
 
     def __repr__(self) -> str:
         return (f"SessionStore({self.directory!r}, "

@@ -221,3 +221,41 @@ def run_chaos_scenario(scenario: Scenario, backends: Iterable[str],
                 max_divergences=max_divergences))
     return ScenarioReport(scenario=scenario, oracle_stream=oracle_stream,
                           runs=runs, divergences=divergences)
+
+
+def run_corruption_scenario(scenario: Scenario, backends: Iterable[str],
+                            plan, work_dir: str,
+                            backend_options: Optional[Dict[str, Dict]] = None,
+                            max_divergences: int = 1,
+                            checkpoint_every: int = 20) -> ScenarioReport:
+    """Replay ``scenario`` through every backend while *corrupting its
+    persisted and in-memory state*, then diff against the oracle.
+
+    The structure-aware twin of :func:`run_chaos_scenario`: snapshot
+    byte flips, journal payload mutations and shard desyncs
+    (:mod:`repro.faults.corruption`) instead of process faults.  The
+    invariant is "loud failure or correct answers": recovery may refuse
+    a damaged store (the harness rebuilds from rule zero), but the
+    delivered stream must never silently diverge from the oracle.
+    """
+    import os
+
+    from repro.faults.corruption import corruption_replay
+
+    oracle = SweepOracle(scenario.property_specs, width=scenario.width)
+    oracle_stream = oracle.stream(scenario.ops)
+    runs: List[BackendRun] = []
+    divergences: List[Divergence] = []
+    options = backend_options or {}
+    for backend in backends:
+        store_dir = os.path.join(work_dir, f"corrupt-{backend}")
+        run = corruption_replay(scenario, backend, plan, store_dir,
+                                checkpoint_every=checkpoint_every,
+                                **options.get(backend, {}))
+        runs.append(run)
+        if run.error is None:
+            divergences.extend(diff_streams(
+                backend, scenario.ops, oracle_stream, run.delivered,
+                max_divergences=max_divergences))
+    return ScenarioReport(scenario=scenario, oracle_stream=oracle_stream,
+                          runs=runs, divergences=divergences)

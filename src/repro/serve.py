@@ -18,7 +18,7 @@ Request protocol (one JSON object per line; see ``docs/operations.md``)::
     {"cmd": "watch", "property": "loops", "args": {}}
     {"cmd": "query", "what": "loops" | "blackholes" | "reachable" | "flows_on" | ...}
     {"cmd": "violations"} | {"cmd": "stats"} | {"cmd": "checkpoint"}
-    {"cmd": "ping"} | {"cmd": "health"} | {"cmd": "shutdown"}
+    {"cmd": "audit"} | {"cmd": "ping"} | {"cmd": "health"} | {"cmd": "shutdown"}
 
 Every response is one JSON object: ``{"ok": true, "seq": N, ...}`` or
 ``{"ok": false, "error": "..."}``.  Update responses carry the new
@@ -53,7 +53,14 @@ from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple
 from repro.api import PROPERTY_TYPES, VerificationSession, Violation
 from repro.core.rules import Action, Rule
 from repro.datasets.format import Op
+from repro.integrity import Scrubber
 from repro.persist import RecoveryInfo, SessionStore
+
+#: Default cap on one request frame.  A line longer than this is
+#: answered with ``{"ok": false, "error": "frame too large"}`` and
+#: drained without ever being buffered whole — a runaway (or hostile)
+#: client cannot balloon the daemon's memory with one giant line.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
 
 
 class DrainRequested(Exception):
@@ -122,6 +129,9 @@ class StreamServer:
                  request_timeout: Optional[float] = None,
                  max_queue: int = 64,
                  retry_after: float = 1.0,
+                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+                 scrub_interval: Optional[float] = None,
+                 scrub_budget: int = 4096,
                  **backend_options: Any) -> None:
         self._lock = threading.RLock()
         self._log = log
@@ -129,6 +139,7 @@ class StreamServer:
         self.request_timeout = request_timeout
         self.max_queue = max_queue
         self.retry_after = retry_after
+        self.max_line_bytes = max_line_bytes
         self._admission = threading.Lock()
         self._waiters = 0
         self._draining = False
@@ -168,6 +179,7 @@ class StreamServer:
             self.store.checkpoint(self.session)
             log(f"fresh session ({engine}, width={width}) in {store_dir}")
         self._last_checkpoint = self.session.sequence
+        self.scrubber = Scrubber(self.session, entries_per_step=scrub_budget)
         self._shutdown = threading.Event()
         self._ticker: Optional[threading.Thread] = None
         if checkpoint_interval:
@@ -175,6 +187,12 @@ class StreamServer:
                 target=self._background_checkpoints,
                 args=(checkpoint_interval,), daemon=True)
             self._ticker.start()
+        self._scrub_ticker: Optional[threading.Thread] = None
+        if scrub_interval:
+            self._scrub_ticker = threading.Thread(
+                target=self._background_scrub,
+                args=(scrub_interval,), daemon=True)
+            self._scrub_ticker.start()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -189,6 +207,31 @@ class StreamServer:
                 # kill the ticker — durability degrades for one tick,
                 # loudly, instead of silently forever.
                 self._log(f"background checkpoint failed: "
+                          f"{type(exc).__name__}: {exc}")
+
+    def _background_scrub(self, interval: float) -> None:
+        """One budgeted scrub step per tick, interleaving with requests.
+
+        Each step verifies at most ``scrub_budget`` digest entries under
+        the session lock, so the audit shares the session fairly with
+        traffic instead of stalling it for a whole pass.  A pass that
+        ends unclean (mismatch detected, repair or escalation recorded
+        in the scrubber's counters) is logged; the counters themselves
+        surface through ``health``.
+        """
+        while not self._shutdown.wait(interval):
+            try:
+                with self._lock:
+                    progress = self.scrubber.step()
+                if progress.get("pass_complete"):
+                    report = self.scrubber.last_report
+                    if report is not None and not report.ok:
+                        self._log(f"background scrub found problems: "
+                                  f"{dict(report)}")
+            except Exception as exc:
+                # Same contract as the checkpoint ticker: a failing
+                # scrub step degrades auditing for one tick, loudly.
+                self._log(f"background scrub failed: "
                           f"{type(exc).__name__}: {exc}")
 
     def _checkpoint(self) -> int:
@@ -207,6 +250,8 @@ class StreamServer:
         self._shutdown.set()
         if self._ticker is not None:
             self._ticker.join(timeout=5)
+        if self._scrub_ticker is not None:
+            self._scrub_ticker.join(timeout=5)
         with self._lock:
             if self.session.sequence > self._last_checkpoint:
                 self._checkpoint()
@@ -225,8 +270,15 @@ class StreamServer:
 
     # -- command dispatch --------------------------------------------------------
 
+    def oversized_response(self) -> Dict[str, Any]:
+        """The answer for a frame longer than ``max_line_bytes``."""
+        return {"ok": False, "error": "frame too large",
+                "max_line_bytes": self.max_line_bytes}
+
     def handle_line(self, line: str) -> Tuple[Dict[str, Any], bool]:
         """Process one request line; returns ``(response, keep_going)``."""
+        if len(line) > self.max_line_bytes + 1:  # +1 for the newline
+            return self.oversized_response(), True
         line = line.strip()
         if not line:
             return {}, True
@@ -299,6 +351,7 @@ class StreamServer:
             "max_queue": self.max_queue,
             "request_timeout": self.request_timeout,
             "last_checkpoint": self._last_checkpoint,
+            "scrub": _jsonable(self.scrubber.status()),
             "workers": _jsonable(backend_health),
         }
 
@@ -383,6 +436,16 @@ class StreamServer:
             return {"ok": True, "stats": _jsonable(stats)}, True
         if cmd == "checkpoint":
             return {"ok": True, "seq": self._checkpoint()}, True
+        if cmd == "audit":
+            # One full scrub pass, synchronously, under the session
+            # lock the dispatcher already holds — the response reports
+            # exactly the state the pass verified.
+            report = self.scrubber.run_full()
+            return {"ok": True, "seq": self.session.sequence,
+                    "clean": report.ok,
+                    "digest": self.session.state_digest(),
+                    "report": _jsonable(dict(report)),
+                    "scrub": _jsonable(self.scrubber.status())}, True
         if cmd == "ping":
             return {"ok": True, "seq": self.session.sequence}, True
         if cmd == "shutdown":
@@ -416,6 +479,24 @@ class StreamServer:
 # -- transports ----------------------------------------------------------------
 
 
+def _read_capped(readline: Callable[[int], Any], limit: int,
+                 newline: Any) -> Tuple[Any, bool]:
+    """Read one line of at most ``limit`` bytes/chars via ``readline``.
+
+    Returns ``(line, oversized)``.  An oversized line is *drained* —
+    read and discarded chunk by chunk up to its terminating newline —
+    so the daemon never holds more than ``limit`` of it in memory and
+    the stream stays framed for the next request.
+    """
+    line = readline(limit + 1)
+    if len(line) <= limit or line.endswith(newline):
+        return line, False
+    while True:
+        chunk = readline(limit)
+        if not chunk or chunk.endswith(newline):
+            return line, True
+
+
 def serve_stdio(server: StreamServer, in_stream: IO[str],
                 out_stream: IO[str]) -> int:
     """The ndjson request/response loop over text streams; returns the
@@ -428,8 +509,15 @@ def serve_stdio(server: StreamServer, in_stream: IO[str],
     """
     served = 0
     try:
-        for line in in_stream:
-            response, keep_going = server.handle_line(line)
+        while True:
+            line, oversized = _read_capped(
+                in_stream.readline, server.max_line_bytes, "\n")
+            if not line:
+                break
+            if oversized:
+                response, keep_going = server.oversized_response(), True
+            else:
+                response, keep_going = server.handle_line(line)
             if response:
                 out_stream.write(json.dumps(response) + "\n")
                 out_stream.flush()
@@ -459,9 +547,17 @@ def serve_socket(server: StreamServer, host: str = "127.0.0.1",
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:
             try:
-                for raw in self.rfile:
-                    response, keep_going = server.handle_line(
-                        raw.decode("utf-8", "replace"))
+                while True:
+                    raw, oversized = _read_capped(
+                        self.rfile.readline, server.max_line_bytes, b"\n")
+                    if not raw:
+                        return
+                    if oversized:
+                        response, keep_going = (server.oversized_response(),
+                                                True)
+                    else:
+                        response, keep_going = server.handle_line(
+                            raw.decode("utf-8", "replace"))
                     if response:
                         self.wfile.write(
                             (json.dumps(response) + "\n").encode("utf-8"))

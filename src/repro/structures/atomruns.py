@@ -126,14 +126,16 @@ class AtomRuns:
 
     # -- single-atom updates (the Algorithms 1/2 hot path) ---------------------
 
-    def add(self, atom: int) -> None:
-        """Insert ``atom``; no-op when already present."""
+    def add(self, atom: int) -> bool:
+        """Insert ``atom``; returns whether membership actually changed
+        (``False`` when already present) so callers maintaining derived
+        state — the integrity digests — toggle only on real mutations."""
         if atom < 0:
             raise ValueError(f"negative atom id {atom}")
         starts, ends = self._starts, self._ends
         index = bisect_right(starts, atom) - 1
         if index >= 0 and atom < ends[index]:
-            return  # already inside run ``index``
+            return False  # already inside run ``index``
         self._count += 1
         grows_left = index >= 0 and atom == ends[index]
         nxt = index + 1
@@ -149,13 +151,15 @@ class AtomRuns:
         else:
             starts.insert(nxt, atom)
             ends.insert(nxt, atom + 1)
+        return True
 
-    def discard(self, atom: int) -> None:
-        """Remove ``atom``; no-op when absent."""
+    def discard(self, atom: int) -> bool:
+        """Remove ``atom``; returns whether it was present (see
+        :meth:`add` for why the membership delta is reported)."""
         starts, ends = self._starts, self._ends
         index = bisect_right(starts, atom) - 1
         if index < 0 or atom >= ends[index]:
-            return
+            return False
         self._count -= 1
         start, end = starts[index], ends[index]
         if end - start == 1:
@@ -170,6 +174,7 @@ class AtomRuns:
             ends[index] = atom
             starts.insert(index + 1, atom + 1)
             ends.insert(index + 1, end)
+        return True
 
     # -- O(runs) bulk algebra ---------------------------------------------------
 

@@ -69,9 +69,9 @@ class TestTearJournal:
                 index, 0, 16, 1, "a", "b")), index + 1)
         journal.close()
         assert _tear_journal(path)
-        _base, records, _valid, torn = read_journal(path)
-        assert torn
-        assert [seq for seq, _ in records] == [1, 2]
+        data = read_journal(path)
+        assert data.torn
+        assert [seq for seq, _ in data.records] == [1, 2]
 
 
 class TestChaosReplay:

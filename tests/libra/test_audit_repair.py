@@ -1,0 +1,163 @@
+"""Cross-shard integrity audits: detection, re-seed repair, escalation.
+
+A desynchronized shard answers queries silently wrong — no crash, no
+exception, just bad state.  These tests inject exactly that
+(:meth:`desync_shard` toggles a label entry behind the digest's back)
+and require the audit machinery to quarantine the shard, rebuild it
+through the re-seed path, and leave the fleet byte-identical to a
+monolithic :class:`DeltaNet` that saw the same history.
+"""
+
+import random
+
+import pytest
+
+from repro.core.deltanet import DeltaNet
+from repro.integrity import Scrubber
+from repro.libra.parallel import ParallelShardedDeltaNet
+from repro.libra.sharding import even_shards
+
+from tests.conftest import deltanet_label_intervals, random_rules
+
+KNOBS = dict(deadline=15.0, max_restarts=3, restart_backoff=0.01,
+             reseed_every=8)
+
+
+def mono_flows(net):
+    return {link: spans for link, spans in
+            deltanet_label_intervals(net).items() if spans}
+
+
+def make_pair(force_inline, seed=31, count=24):
+    par = ParallelShardedDeltaNet(even_shards(2, 8), width=8,
+                                  force_inline=force_inline, **KNOBS)
+    if not force_inline and not par.parallel:
+        par.close()
+        pytest.skip("worker processes unavailable on this platform")
+    mono = DeltaNet(width=8)
+    rules = random_rules(random.Random(seed), count, width=8, switches=4)
+    for start in range(0, len(rules), 4):
+        chunk = rules[start:start + 4]
+        par.apply_batch(chunk, ())
+        mono.apply(chunk, ())
+    return par, mono
+
+
+def desync_some_shard(par) -> int:
+    for index in range(par.num_shards):
+        if par.desync_shard(index):
+            return index
+    pytest.fail("no shard accepted the desync injection")
+
+
+class TestAuditCycle:
+    def test_clean_fleet_audits_clean(self):
+        par, _mono = make_pair(force_inline=True)
+        with par:
+            results = par.audit()
+            assert all(r["clean"] for r in results)
+            assert par.audits == par.num_shards
+            assert par.audit_mismatches == 0
+
+    @pytest.mark.parametrize("force_inline", [True, False],
+                             ids=["inline", "process"])
+    def test_desync_is_detected_and_repaired(self, force_inline):
+        par, mono = make_pair(force_inline)
+        with par:
+            victim = desync_some_shard(par)
+            results = par.audit()
+            bad = results[victim]
+            assert not bad["clean"]
+            assert bad["repaired"] and not bad["escalated"]
+            assert par.audit_mismatches == 1
+            assert par.audit_repairs == 1
+            assert par.audit_escalations == 0
+            kinds = [event["kind"] for event in par.events]
+            assert "quarantine" in kinds and "repair" in kinds
+            # The repaired fleet must be byte-identical to the monolith.
+            assert par.dump_flows() == mono_flows(mono)
+            par.check_invariants()
+            assert all(r["clean"] for r in par.audit())
+
+    def test_audit_without_repair_only_quarantines(self):
+        par, _mono = make_pair(force_inline=True)
+        with par:
+            victim = desync_some_shard(par)
+            results = par.audit(repair=False)
+            assert not results[victim]["clean"]
+            assert not results[victim]["repaired"]
+            assert par.audit_repairs == 0
+            # The damage is still there for a later repairing audit.
+            assert not par.audit_shard(victim, repair=False)["clean"]
+
+    def test_failed_repair_escalates_to_degraded(self, monkeypatch):
+        par, _mono = make_pair(force_inline=True)
+        with par:
+            victim = desync_some_shard(par)
+            rebuild = par._rebuild_server
+
+            def sabotaged(index):
+                server = rebuild(index)
+                server.do_desync()
+                return server
+
+            monkeypatch.setattr(par, "_rebuild_server", sabotaged)
+            result = par.audit_shard(victim)
+            assert result["escalated"] and not result["repaired"]
+            assert par.audit_escalations == 1
+            assert victim in par.degraded_shards
+            assert any(event["kind"] == "degraded" for event in par.events)
+
+    def test_disabled_digests_skip_the_audit(self, monkeypatch):
+        monkeypatch.setenv("DELTANET_DIGESTS", "0")
+        par, _mono = make_pair(force_inline=True)
+        with par:
+            results = par.audit()
+            assert all(r.get("skipped") == "digests-disabled"
+                       for r in results)
+            assert par.audit_mismatches == 0
+
+
+class TestScrubberIntegration:
+    def make_session(self):
+        from repro.api.session import VerificationSession
+
+        session = VerificationSession("parallel", width=8, shards=2,
+                                      force_inline=True, **KNOBS)
+        for rule in random_rules(random.Random(33), 24, width=8,
+                                 switches=4):
+            session.insert(rule)
+        return session
+
+    def test_scrub_pass_detects_and_repairs_desync(self):
+        session = self.make_session()
+        try:
+            native = session.backend.native
+            victim = desync_some_shard(native)
+            scrubber = Scrubber(session)
+            report = scrubber.run_full()
+            assert report["mode"] == "parallel"
+            assert victim in report["repaired"]
+            assert not report["escalated"]
+            # Repaired within the pass, so the pass verdict is clean.
+            assert report.ok
+            assert scrubber.counters["mismatches"] == 1
+            assert scrubber.counters["repairs"] == 1
+            follow_up = scrubber.run_full()
+            assert follow_up.ok and not follow_up["mismatches"]
+        finally:
+            session.close()
+
+    def test_health_surfaces_audit_counters(self):
+        session = self.make_session()
+        try:
+            native = session.backend.native
+            desync_some_shard(native)
+            Scrubber(session).run_full()
+            health = session.backend.health()
+            assert health["audits"] >= native.num_shards
+            assert health["audit_mismatches"] == 1
+            assert health["audit_repairs"] == 1
+            assert health["audit_escalations"] == 0
+        finally:
+            session.close()

@@ -22,12 +22,13 @@ def test_create_append_read(tmp_path):
     with Journal.create(path, base_sequence=7) as journal:
         for offset, op in enumerate(ops_fixture(), start=8):
             journal.append(op, offset)
-    base, records, valid, torn = read_journal(path)
-    assert base == 7
-    assert not torn
-    assert valid == path.stat().st_size
-    assert [seq for seq, _op in records] == [8, 9, 10]
-    ops = [op for _seq, op in records]
+    data = read_journal(path)
+    assert data.base == 7
+    assert not data.torn
+    assert data.corrupt_records == 0
+    assert data.valid == path.stat().st_size
+    assert [seq for seq, _op in data.records] == [8, 9, 10]
+    ops = [op for _seq, op in data.records]
     assert [op.kind for op in ops] == ["+", "+", "-"]
     assert ops[0].rule.to_state() == Rule.forward(1, 0, 128, 5, "a", "b").to_state()
     assert ops[1].rule.action.value == "drop"
@@ -40,11 +41,11 @@ def test_batch_records_roundtrip(tmp_path):
     with Journal.create(path, base_sequence=0) as journal:
         journal.append_batch(batch, sequence=3)
         journal.append(Op.remove(2), sequence=4)
-    _base, records, _valid, torn = read_journal(path)
-    assert not torn
-    seq, entry = records[0]
+    data = read_journal(path)
+    assert not data.torn
+    seq, entry = data.records[0]
     assert seq == 3 and isinstance(entry, list) and len(entry) == 3
-    assert records[1][1].rid == 2
+    assert data.records[1][1].rid == 2
 
 
 def test_journal_records_filters_by_sequence(tmp_path):
@@ -74,11 +75,12 @@ def test_torn_tail_detected_and_prior_records_survive(tmp_path):
     whole = path.read_bytes()
     for cut in range(len(whole) - 1, len(whole) - 12, -1):
         path.write_bytes(whole[:cut])
-        base, records, valid, torn = read_journal(path)
-        assert base == 0
-        assert torn
-        assert [seq for seq, _ in records] == [1]
-        assert valid <= cut
+        data = read_journal(path)
+        assert data.base == 0
+        assert data.torn
+        assert data.corrupt_records == 0
+        assert [seq for seq, _ in data.records] == [1]
+        assert data.valid <= cut
 
 
 def test_open_truncates_torn_tail_then_appends(tmp_path):
@@ -89,9 +91,9 @@ def test_open_truncates_torn_tail_then_appends(tmp_path):
     with Journal.open(path) as journal:
         assert journal.last_sequence == 1
         journal.append(ops_fixture()[2], 2)
-    base, records, _valid, torn = read_journal(path)
-    assert not torn
-    assert [seq for seq, _ in records] == [1, 2]
+    data = read_journal(path)
+    assert not data.torn
+    assert [seq for seq, _ in data.records] == [1, 2]
 
 
 def test_crc_corruption_truncates_from_the_damage(tmp_path):
@@ -102,9 +104,9 @@ def test_crc_corruption_truncates_from_the_damage(tmp_path):
     data = bytearray(path.read_bytes())
     data[-3] ^= 0xFF  # corrupt the final record's CRC region
     path.write_bytes(bytes(data))
-    _base, records, _valid, torn = read_journal(path)
-    assert torn
-    assert [seq for seq, _ in records] == [1]
+    data = read_journal(path)
+    assert data.torn
+    assert [seq for seq, _ in data.records] == [1]
 
 
 def test_unreadable_header_raises(tmp_path):

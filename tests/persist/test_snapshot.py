@@ -206,6 +206,36 @@ def test_corrupted_payload_rejected():
         read_snapshot(io.BytesIO(bytes(data)))
 
 
+def test_corrupted_section_name_rejected():
+    # The v2 CRC covers the name: a flipped bit that turns "meta" into
+    # the *valid* unknown name "eeta" must fail the CRC, not demote the
+    # section to an ignorable unknown one (which load_session would
+    # then silently skip — the exact hole the corruption fuzzer found).
+    buffer = io.BytesIO()
+    write_snapshot(buffer, [("meta", {"x": 1})])
+    data = bytearray(buffer.getvalue())
+    name_at = data.index(b"meta")
+    data[name_at] ^= 0x08  # "m" -> "e": still valid UTF-8
+    with pytest.raises(SnapshotError, match="CRC mismatch"):
+        read_snapshot(io.BytesIO(bytes(data)))
+
+
+def test_version1_payload_only_crc_still_reads():
+    import struct
+    import zlib
+
+    from repro.persist.codec import encode
+
+    payload = encode({"a": 1})
+    buffer = io.BytesIO()
+    buffer.write(b"DNETSNAP" + struct.pack(">H", 1))
+    buffer.write(bytes([4]) + b"meta")
+    buffer.write(bytes([len(payload)]) + payload)
+    buffer.write(struct.pack(">I", zlib.crc32(payload)))
+    buffer.write(bytes([0]))
+    assert read_snapshot(io.BytesIO(buffer.getvalue())) == {"meta": {"a": 1}}
+
+
 def test_truncated_snapshot_rejected():
     buffer = io.BytesIO()
     write_snapshot(buffer, [("meta", {"key": list(range(50))})])

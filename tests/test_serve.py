@@ -237,3 +237,108 @@ def test_sdn_controller_bridge(tmp_path):
     recovered = StreamServer(str(tmp_path / "state"), width=8)
     assert recovered.session.num_rules == 2
     recovered.close()
+
+def test_oversized_frame_is_refused_not_buffered(tmp_path):
+    server = StreamServer(str(tmp_path / "state"), width=8,
+                          max_line_bytes=256)
+    try:
+        response, keep_going = server.handle_line("x" * 300)
+        assert keep_going
+        assert response == {"ok": False, "error": "frame too large",
+                            "max_line_bytes": 256}
+        # The daemon is still fully functional afterwards.
+        response, _ = send(server, {"cmd": "ping"})
+        assert response["ok"]
+    finally:
+        server.close()
+
+
+def test_serve_stdio_survives_a_giant_line(tmp_path):
+    import io
+
+    server = StreamServer(str(tmp_path / "state"), width=8,
+                          max_line_bytes=256)
+    requests = "\n".join([
+        "y" * 4096,
+        json.dumps({"cmd": "insert",
+                    "rule": rule_payload(1, "0/1", 5, "a", "b")}),
+        json.dumps({"cmd": "shutdown"}),
+    ])
+    out = io.StringIO()
+    served = serve_stdio(server, io.StringIO(requests + "\n"), out)
+    server.close()
+    lines = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert served == 3
+    assert [line["ok"] for line in lines] == [False, True, True]
+    assert lines[0]["error"] == "frame too large"
+
+
+def test_serve_socket_survives_a_giant_line(tmp_path):
+    import socket
+
+    server = StreamServer(str(tmp_path / "state"), width=8,
+                          max_line_bytes=256)
+    address = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        address["host"], address["port"] = host, port
+        ready.set()
+
+    thread = threading.Thread(target=serve_socket, args=(server,),
+                              kwargs=dict(port=0, ready=on_ready),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    with socket.create_connection(
+            (address["host"], address["port"]), timeout=10) as conn:
+        stream = conn.makefile("rwb")
+        stream.write(b"z" * 4096 + b"\n")
+        stream.write(json.dumps({"cmd": "ping"}).encode() + b"\n")
+        stream.write(json.dumps({"cmd": "shutdown"}).encode() + b"\n")
+        stream.flush()
+        responses = [json.loads(stream.readline()) for _ in range(3)]
+    thread.join(10)
+    server.close()
+    assert [r["ok"] for r in responses] == [False, True, True]
+    assert responses[0]["error"] == "frame too large"
+
+
+def test_audit_verb_and_health_scrub_counters(server):
+    response, _ = send(server, {
+        "cmd": "insert", "rule": rule_payload(1, "128/1", 5, "a", "b")})
+    assert response["ok"]
+    response, _ = send(server, {"cmd": "audit"})
+    assert response["ok"]
+    assert response["clean"] is True
+    assert isinstance(response["digest"], str)
+    assert response["report"]["pass_complete"]
+    assert response["scrub"]["passes"] >= 1
+    health, _ = send(server, {"cmd": "health"})
+    assert health["ok"]
+    assert health["scrub"]["passes"] >= 1
+    assert health["scrub"]["mismatches"] == 0
+    assert health["scrub"]["last_pass_clean"] is True
+
+
+def test_background_scrub_ticker(tmp_path):
+    import time
+
+    server = StreamServer(str(tmp_path / "state"), width=8,
+                          scrub_interval=0.02)
+    try:
+        response, _ = send(server, {
+            "cmd": "insert", "rule": rule_payload(1, "0/1", 5, "a", "b")})
+        assert response["ok"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if server.scrubber.counters["steps"] > 0:
+                break
+            time.sleep(0.02)
+        assert server.scrubber.counters["steps"] > 0
+        # Serving continues while the scrubber ticks in the background.
+        response, _ = send(server, {"cmd": "ping"})
+        assert response["ok"]
+    finally:
+        server.close()
+    assert not server._scrub_ticker.is_alive()

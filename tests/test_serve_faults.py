@@ -155,16 +155,13 @@ class TestDrain:
                 self.lines = lines
                 self.count = 0
 
-            def __iter__(self):
-                return self
-
-            def __next__(self):
+            def readline(self, size=-1):
                 if self.count == 2:
                     server.request_drain()
                     raise DrainRequested()
                 line = self.lines[self.count]
                 self.count += 1
-                return line
+                return line + "\n"
 
         out = io.StringIO()
         served = serve_stdio(server, DrainingStream(requests.splitlines()),
