@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Update/check-latency benchmarks and performance-regression gate.
 
-Three suites, selected with ``--suite``:
+Suites, selected with ``--suite``:
 
 * ``update_latency`` (default) — the full per-update verification
   pipeline (apply the rule operation + incremental loop check, Table 3's
@@ -32,6 +32,13 @@ Three suites, selected with ``--suite``:
   maintenance on (``digest``) vs ``DELTANET_DIGESTS=0`` (``nodigest``);
   baseline ``BENCH_audit_overhead.json``, with a machine-independent
   cap of :data:`MAX_AUDIT_OVERHEAD` on the throughput lost to digests.
+* ``serve_throughput`` — the multi-tenant serving layer end to end:
+  hundreds of concurrent ndjson controllers over asyncio TCP,
+  interleaving rule updates with property queries against one
+  (``single``) or eight (``multi``) named sessions; baseline
+  ``BENCH_serve_throughput.json``.  This gates the daemon's request
+  path — framing, hub routing, per-session writer queues, locking —
+  not the verifier underneath (update_latency owns that).
 * ``recovery_latency`` — the parallel backend's supervised worker
   recovery: SIGKILL one shard worker of a ``size``-rule instance and
   time restart + snapshot re-seed + replay to the next correct answer
@@ -89,6 +96,7 @@ WARM_BASELINE = os.path.join(REPO_ROOT, "BENCH_warm_start.json")
 SCENARIO_BASELINE = os.path.join(REPO_ROOT, "BENCH_scenario_latency.json")
 RECOVERY_BASELINE = os.path.join(REPO_ROOT, "BENCH_recovery_latency.json")
 AUDIT_BASELINE = os.path.join(REPO_ROOT, "BENCH_audit_overhead.json")
+SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve_throughput.json")
 WORKLOAD_SEED = 0xD31A
 SCHEMA_VERSION = 1
 
@@ -1141,6 +1149,203 @@ def compare_to_baseline(current: dict, baseline_path: str,
     return failures
 
 
+#: serve_throughput suite — multi-tenant daemon request-path throughput.
+#: ``multi`` spreads the controllers over eight named sessions (each
+#: with its own writer task and write lock), ``single`` funnels them
+#: all into one; the contrast is recorded but not gated (it is a
+#: scheduling property, not a machine-independent ratio).
+SERVE_VARIANTS = ("multi", "single")
+SERVE_SESSIONS = {"multi": 8, "single": 1}
+
+#: Every Nth controller request is a ``query what=loops`` read; the
+#: rest are inserts, so the stream exercises both the writer-queue
+#: path and the concurrent-reader path.
+SERVE_QUERY_EVERY = 10
+
+
+def _serve_clients(size: int) -> int:
+    """Concurrent controllers for a serve_throughput run of ``size``."""
+    return 100 if size <= 5000 else 200
+
+
+def measure_serve_variant(variant: str, size: int) -> dict:
+    """One serve_throughput measurement; runs inside its own process.
+
+    Boots an :class:`~repro.serve.AsyncSessionHub` on an ephemeral TCP
+    port and drives it with hundreds of lockstep ndjson controllers
+    (asyncio coroutines sharing the daemon's event loop, like the real
+    transport), each attached to one of the hub's pre-opened sessions.
+    ``size`` is the total request count across all controllers; every
+    :data:`SERVE_QUERY_EVERY`-th request is a loop query, the rest are
+    inserts with controller-unique rule ids.  Timed end to end from
+    the first request to the last reply, so ops/sec includes framing,
+    hub routing, writer queues and locking — the serving layer's own
+    tax on top of the verifier the other suites gate.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.analysis.stats import percentile
+    from repro.serve import AsyncSessionHub, SessionManager, serve_hub_tcp
+
+    sessions = SERVE_SESSIONS[variant]
+    clients = _serve_clients(size)
+    per_client = size // clients
+    root = tempfile.mkdtemp(prefix="perf-serve-")
+    clock = time.perf_counter
+    times: List[float] = []
+
+    async def controller(index: int, host: str, port: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def call(request: dict) -> None:
+            start = clock()
+            writer.write((json.dumps(request) + "\n").encode("utf-8"))
+            await writer.drain()
+            line = await reader.readline()
+            times.append(clock() - start)
+            reply = json.loads(line)
+            if not reply.get("ok", False):
+                raise RuntimeError(f"controller {index}: {reply!r}")
+
+        try:
+            await call({"cmd": "attach",
+                        "session": f"tenant-{index % sessions}"})
+            base = (index + 1) * 1_000_000
+            for n in range(per_client):
+                if n % SERVE_QUERY_EVERY == SERVE_QUERY_EVERY - 1:
+                    await call({"cmd": "query", "what": "loops"})
+                else:
+                    lo = (n % 64) << 20
+                    await call({"cmd": "insert", "rule": {
+                        "rid": base + n, "priority": base + n,
+                        "lo": lo, "hi": lo + (1 << 20) - 1,
+                        "source": f"s{index % 16}", "target": "sink"}})
+        finally:
+            writer.close()
+
+    async def drive() -> float:
+        # Big checkpoint_every: snapshot cadence belongs to the
+        # warm_start suite, not this one.  Big max_queue: lockstep
+        # controllers cannot legitimately overflow the writer queues,
+        # so an "overloaded" here would be a bug, not backpressure.
+        manager = SessionManager(root, defaults=dict(
+            width=32, properties=("loops",), checkpoint_every=1 << 30,
+            max_queue=4096))
+        for number in range(sessions):
+            manager.open(f"tenant-{number}")
+        hub = AsyncSessionHub(manager)
+        bound: Dict[str, tuple] = {}
+        ready = asyncio.Event()
+
+        def on_ready(host: str, port: int) -> None:
+            bound["address"] = (host, port)
+            ready.set()
+
+        server = asyncio.ensure_future(serve_hub_tcp(hub, ready=on_ready))
+        await ready.wait()
+        host, port = bound["address"]
+        start = clock()
+        await asyncio.gather(*[controller(i, host, port)
+                               for i in range(clients)])
+        elapsed = clock() - start
+        hub.request_stop()
+        await server
+        return elapsed
+
+    elapsed = asyncio.run(drive())
+    ops = len(times)
+    return {
+        "variant": variant,
+        "suite": "serve_throughput",
+        "size": size,
+        "sessions": sessions,
+        "clients": clients,
+        "ops": ops,
+        "seconds": round(elapsed, 4),
+        "ops_per_sec": round(ops / elapsed, 1),
+        "p50_us": round(percentile(times, 50) * 1e6, 2),
+        "p95_us": round(percentile(times, 95) * 1e6, 2),
+        "p99_us": round(percentile(times, 99) * 1e6, 2),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def run_serve_benchmark(sizes, echo=print) -> dict:
+    """The serve_throughput matrix, as the JSON-serializable document."""
+    results: Dict[str, dict] = {}
+    for size in sizes:
+        for variant in SERVE_VARIANTS:
+            echo(f"  measuring serve:{variant} @ {size} requests ...")
+            entry = _measure_in_subprocess(variant, size,
+                                           suite="serve_throughput")
+            results[f"{variant}@{size}"] = entry
+            echo(f"    {entry['ops_per_sec']:,.0f} requests/s over "
+                 f"{entry['clients']} controllers x "
+                 f"{entry['sessions']} sessions  "
+                 f"p50={entry['p50_us']}us p99={entry['p99_us']}us "
+                 f"rss={entry['peak_rss_kb']}KiB")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "name": "serve-throughput",
+            "seed": WORKLOAD_SEED,
+            "sizes": list(sizes),
+            "query_every": SERVE_QUERY_EVERY,
+            "description": "lockstep ndjson controllers over asyncio "
+                           "TCP against the multi-tenant hub; inserts "
+                           "with per-controller rule ids, every "
+                           f"{SERVE_QUERY_EVERY}th request a loop "
+                           "query; multi = 8 sessions, single = 1",
+        },
+        "calibration_score": round(calibration_score(), 1),
+        "results": results,
+    }
+    for size in sizes:
+        multi = results.get(f"multi@{size}")
+        single = results.get(f"single@{size}")
+        if multi and single:
+            document.setdefault("speedups", {})[f"multi@{size}"] = round(
+                multi["ops_per_sec"] / single["ops_per_sec"], 2)
+    return document
+
+
+def compare_serve_to_baseline(current: dict, baseline_path: str,
+                              tolerance: float, echo=print) -> List[str]:
+    """Regressed keys of a serve_throughput run vs the baseline.
+
+    Gates the ``multi`` variant's calibration-normalized request
+    throughput — the tentpole configuration.  ``single`` and the
+    multi/single contrast are recorded but not gated: under the GIL
+    the contrast is a scheduling artifact of the host, and the
+    single-session request path is already covered transitively
+    (same code minus the routing fan-out).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    factor = current["calibration_score"] / baseline["calibration_score"]
+    echo(f"calibration: baseline={baseline['calibration_score']:,.0f} "
+         f"current={current['calibration_score']:,.0f} "
+         f"(machine factor {factor:.2f}x)")
+    failures = []
+    for key, entry in current["results"].items():
+        if not key.startswith("multi@"):
+            continue
+        reference = baseline["results"].get(key)
+        if reference is None:
+            echo(f"  {key}: no baseline entry, skipping")
+            continue
+        expected = reference["ops_per_sec"] * factor
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if entry["ops_per_sec"] >= floor else "REGRESSION"
+        echo(f"  {key}: {entry['ops_per_sec']:,.0f} requests/s "
+             f"(baseline-normalized {expected:,.0f}, floor {floor:,.0f}) "
+             f"{status}")
+        if status != "ok":
+            failures.append(key)
+    return failures
+
+
 def check_regressions(baseline_path: str, sizes, tolerance: float,
                       suite: str = "update_latency", echo=print) -> int:
     """Re-measure the gated variants and compare against the baseline."""
@@ -1163,6 +1368,10 @@ def check_regressions(baseline_path: str, sizes, tolerance: float,
     elif suite == "audit_overhead":
         current = run_audit_benchmark(sizes, echo=echo)
         failures = compare_audit_to_baseline(current, baseline_path,
+                                             tolerance, echo=echo)
+    elif suite == "serve_throughput":
+        current = run_serve_benchmark(sizes, echo=echo)
+        failures = compare_serve_to_baseline(current, baseline_path,
                                              tolerance, echo=echo)
     else:
         current = run_benchmark(sizes, variants=GATED_VARIANTS, echo=echo)
@@ -1192,6 +1401,9 @@ _SUITES = {
     # the PR gate re-checks the digest tax at 10k; the committed
     # baseline demonstrates it at the 50k acceptance scale too.
     "audit_overhead": (AUDIT_BASELINE, [10000, 50000], [10000]),
+    # serve sizes are total requests across all controllers; the PR
+    # gate re-checks the 100-controller point, nightly runs both.
+    "serve_throughput": (SERVE_BASELINE, [5000, 20000], [5000]),
 }
 
 
@@ -1254,6 +1466,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error(f"--variant must be one of {AUDIT_VARIANTS} "
                              f"for the audit_overhead suite")
             entry = measure_audit_variant(args.variant, args.size)
+        elif args.suite == "serve_throughput":
+            if args.variant not in SERVE_VARIANTS:
+                parser.error(f"--variant must be one of {SERVE_VARIANTS} "
+                             f"for the serve_throughput suite")
+            entry = measure_serve_variant(args.variant, args.size)
         else:
             if args.variant not in VARIANTS:
                 parser.error(f"--variant must be one of "
@@ -1275,6 +1492,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             document = run_recovery_benchmark(sizes)
         elif args.suite == "audit_overhead":
             document = run_audit_benchmark(sizes)
+        elif args.suite == "serve_throughput":
+            document = run_serve_benchmark(sizes)
         else:
             document = run_benchmark(sizes)
         with open(output, "w") as handle:

@@ -96,6 +96,10 @@ def _label_loops(label: Dict[Link, Set[int]]) -> List[Cycle]:
 class DeltaNetBackend(BackendAdapter):
     """Delta-net: incremental atoms + edge-labelled graph (the paper's verifier)."""
 
+    #: Queries are pure in-process traversals: safe for the
+    #: serving layer to run from concurrent reader threads.
+    concurrent_read_safe = True
+
     def __init__(self, width: int = 32, gc: bool = False,
                  seed: int = 0x5EED) -> None:
         super().__init__(width=width)
@@ -190,6 +194,10 @@ class DeltaNetBackend(BackendAdapter):
 @register_backend("sharded")
 class ShardedBackend(BackendAdapter):
     """Libra-style sharded Delta-net: disjoint header-space slices, fan-out queries."""
+
+    #: Queries are pure in-process traversals: safe for the
+    #: serving layer to run from concurrent reader threads.
+    concurrent_read_safe = True
 
     def __init__(self, width: int = 32, shards: int = 4, gc: bool = False,
                  check_loops: bool = True) -> None:
@@ -458,6 +466,10 @@ class ParallelShardedBackend(BackendAdapter):
 class VeriflowBackend(BackendAdapter):
     """Veriflow-RI: per-update equivalence classes and forwarding graphs."""
 
+    #: Queries are pure in-process traversals: safe for the
+    #: serving layer to run from concurrent reader threads.
+    concurrent_read_safe = True
+
     def __init__(self, width: int = 32, check_loops: bool = True) -> None:
         super().__init__(width=width)
         from repro.veriflow.verifier import VeriflowRI
@@ -573,6 +585,10 @@ class VeriflowBackend(BackendAdapter):
 class APVBackend(BackendAdapter):
     """Atomic-predicates verifier: full partition recompute on every update."""
 
+    #: Queries are pure in-process traversals: safe for the
+    #: serving layer to run from concurrent reader threads.
+    concurrent_read_safe = True
+
     def __init__(self, width: int = 32) -> None:
         super().__init__(width=width)
         from repro.apv.verifier import APVerifier
@@ -609,6 +625,10 @@ class APVBackend(BackendAdapter):
 @register_backend("netplumber")
 class NetPlumberBackend(BackendAdapter):
     """NetPlumber: rules-as-nodes plumbing graph with overlap pipes."""
+
+    #: Queries are pure in-process traversals: safe for the
+    #: serving layer to run from concurrent reader threads.
+    concurrent_read_safe = True
 
     def __init__(self, width: int = 32) -> None:
         super().__init__(width=width)

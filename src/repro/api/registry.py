@@ -104,13 +104,36 @@ class BackendAdapter(abc.ABC):
     #: Registry name, set by :func:`register_backend`.
     name: str = "?"
 
+    #: Whether query methods (``find_loops``, ``reachable``, ...) are
+    #: pure in-process reads that many threads may run concurrently.
+    #: Backends whose queries fan out over worker pipes (the parallel
+    #: backend) must leave this False; the serving layer then keeps
+    #: reads exclusive instead of sharing the read lock.
+    concurrent_read_safe: bool = False
+
     def __init__(self, width: int = 32) -> None:
+        """Initialize the uniform rule table.
+
+        Args:
+            width: packet header width in bits.
+        """
         self.width = width
         self._rules: Dict[int, Rule] = {}
 
     # -- update API (the checked operations) ---------------------------------
 
     def insert(self, rule: Rule) -> BackendUpdate:
+        """Insert ``rule`` into the native verifier.
+
+        Args:
+            rule: the rule to install; its ``rid`` must be new.
+
+        Returns:
+            The backend's :class:`BackendUpdate` for the operation.
+
+        Raises:
+            ValueError: a rule with the same id is already installed.
+        """
         if rule.rid in self._rules:
             raise ValueError(f"duplicate rule id {rule.rid}")
         update = self._do_insert(rule)
@@ -118,6 +141,17 @@ class BackendAdapter(abc.ABC):
         return update
 
     def remove(self, rid: int) -> BackendUpdate:
+        """Remove the rule with id ``rid`` from the native verifier.
+
+        Args:
+            rid: the id of an installed rule.
+
+        Returns:
+            The backend's :class:`BackendUpdate` for the operation.
+
+        Raises:
+            KeyError: no rule with that id is installed.
+        """
         rule = self._rules.get(rid)
         if rule is None:
             raise KeyError(f"unknown rule id {rid}")
@@ -184,6 +218,7 @@ class BackendAdapter(abc.ABC):
 
     @property
     def num_rules(self) -> int:
+        """The number of currently installed rules."""
         return len(self._rules)
 
     def rules(self) -> Dict[int, Rule]:

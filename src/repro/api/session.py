@@ -71,6 +71,7 @@ class OpRecord:
 
     @property
     def is_insert(self) -> bool:
+        """Whether this record is an insertion (``kind == "+"``)."""
         return self.kind == "+"
 
 
@@ -89,6 +90,7 @@ class UpdateResult:
 
     @property
     def num_ops(self) -> int:
+        """The number of operations this result aggregates."""
         return len(self.ops)
 
     @property
@@ -106,16 +108,19 @@ class BatchTransaction:
     """Context manager collecting a batch's updates into one result."""
 
     def __init__(self, session: "VerificationSession") -> None:
+        """Bind the transaction to ``session`` (entered via ``with``)."""
         self._session = session
         self.updates: List[BackendUpdate] = []
         self.ops: List[OpRecord] = []
         self.result: Optional[UpdateResult] = None
 
     def __enter__(self) -> "BatchTransaction":
+        """Begin collecting the session's updates into this batch."""
         self._session._begin_batch(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        """Commit: check the collected updates once, set ``result``."""
         self._session._end_batch(self, failed=exc_type is not None)
 
 
@@ -155,10 +160,12 @@ class VerificationSession:
 
     @property
     def backend_name(self) -> str:
+        """The backend's registry name (``"deltanet"``, ``"veriflow"``...)."""
         return self.backend.name
 
     @property
     def width(self) -> int:
+        """Packet header width in bits (the interval space is ``2**width``)."""
         return self.backend.width
 
     @property
@@ -169,15 +176,28 @@ class VerificationSession:
 
     @property
     def num_rules(self) -> int:
+        """The number of rules currently installed in the data plane."""
         return self.backend.num_rules
 
     def rules(self) -> Dict[int, Rule]:
+        """Return the installed rules by rule id (a defensive copy)."""
         return self.backend.rules()
 
     def stats(self) -> Dict[str, Any]:
+        """Return backend statistics (atom/rule/link counts and friends).
+
+        The exact keys are backend-specific; every backend reports at
+        least ``rules``.
+        """
         return self.backend.stats()
 
     def check_invariants(self) -> None:
+        """Run the backend's internal self-checks.
+
+        Raises:
+            AssertionError: an internal invariant is broken (a
+                verifier bug, or corrupted state).
+        """
         self.backend.check_invariants()
 
     def state_digest(self) -> Optional[str]:
@@ -238,10 +258,12 @@ class VerificationSession:
         return prop
 
     def unwatch(self, prop: Property) -> None:
+        """Drop the subscription for ``prop`` (no-op if not watched)."""
         self._properties = [p for p in self._properties if p is not prop]
 
     @property
     def properties(self) -> Tuple[Property, ...]:
+        """The currently watched properties, in subscription order."""
         return tuple(self._properties)
 
     def check(self, prop: Property) -> List[Violation]:
@@ -258,6 +280,24 @@ class VerificationSession:
     def make_rule(self, rid: int, prefix: str, priority: int, source: object,
                   target: object = None,
                   action: Action = Action.FORWARD) -> Rule:
+        """Build a rule from CIDR text at this session's width.
+
+        Args:
+            rid: unique rule id.
+            prefix: CIDR prefix text (e.g. ``"10.0.0.0/8"``).
+            priority: match priority (higher wins).
+            source: node the rule is installed on.
+            target: next-hop node; required for forward rules.
+            action: ``Action.FORWARD`` (default) or ``Action.DROP``.
+
+        Returns:
+            The constructed :class:`~repro.core.rules.Rule` (not yet
+            inserted).
+
+        Raises:
+            ValueError: the prefix does not parse, is out of range for
+                the width, or a forward rule lacks a target.
+        """
         return self.backend.make_rule(rid, prefix, priority, source,
                                       target, action)
 
@@ -336,22 +376,30 @@ class VerificationSession:
     # -- queries (fan out on sharded backends) ---------------------------------
 
     def flows_on(self, link: Union[Link, Tuple[object, object]]) -> Spans:
+        """Return the header intervals currently forwarded over ``link``."""
         return self.backend.flows_on(link)
 
     def reachable(self, src: object, dst: object) -> Spans:
+        """Return the header intervals that can travel ``src`` → ``dst``."""
         return self.backend.reachable(src, dst)
 
     def what_if_link_down(self,
                           link: Union[Link, Tuple[object, object]]) -> Spans:
+        """Return the header intervals that would lose their path if
+        ``link`` failed (a hypothetical — nothing is mutated).
+        """
         return self.backend.what_if_link_down(link)
 
     def find_loops(self) -> List[Cycle]:
+        """Return every forwarding loop as a canonical node cycle."""
         return self.backend.find_loops()
 
     def find_blackholes(self) -> Dict[object, Spans]:
+        """Return, per node, the header intervals it silently drops."""
         return self.backend.find_blackholes()
 
     def links(self) -> List[Link]:
+        """Return every link referenced by at least one installed rule."""
         return self.backend.links()
 
     # -- internals --------------------------------------------------------------

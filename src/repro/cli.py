@@ -399,6 +399,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine, options = "deltanet", {"gc": True}
     properties = tuple(name for name in args.properties.split(",") if name)
     log = lambda line: print(f"# {line}", file=sys.stderr, flush=True)
+    if args.multi:
+        return _serve_multi(args, engine, properties, options, log)
     server = StreamServer(
         args.store, engine=engine, width=args.width,
         checkpoint_every=args.checkpoint_every,
@@ -428,6 +430,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log("SIGTERM: draining, writing final checkpoint")
     finally:
         server.close()
+    return 0
+
+
+def _serve_multi(args: argparse.Namespace, engine: str, properties, options,
+                 log) -> int:
+    """Multi-tenant mode: --store is a sessions root served by the hub."""
+    import asyncio
+
+    from repro.serve import (
+        AsyncSessionHub, DrainRequested, SessionManager, install_sigterm_drain,
+        serve_hub_stdio, serve_hub_tcp,
+    )
+
+    defaults = dict(
+        engine=engine, width=args.width,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_interval=args.checkpoint_interval,
+        properties=properties,
+        request_timeout=args.request_timeout,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        max_line_bytes=args.max_line_bytes,
+        scrub_interval=args.scrub_interval,
+        scrub_budget=args.scrub_budget,
+        **options)
+    manager = SessionManager(args.store, log=log, defaults=defaults)
+    hub = AsyncSessionHub(manager, retry_after=args.retry_after,
+                          max_line_bytes=args.max_line_bytes, log=log)
+
+    def boot() -> None:
+        for name in (n for n in (args.open or "").split(",") if n):
+            manager.open(name)
+            log(f"pre-opened session {name!r}")
+
+    if args.listen:
+        host, _sep, port = args.listen.rpartition(":")
+
+        async def main() -> None:
+            boot()
+            await serve_hub_tcp(
+                hub, host or "127.0.0.1", int(port),
+                ready=lambda h, p: print(f"# listening on {h}:{p}",
+                                         file=sys.stderr, flush=True),
+                install_signals=True)
+
+        asyncio.run(main())
+        return 0
+
+    # stdio compatibility mode: the main thread blocks on readline, so
+    # SIGTERM can break the read with DrainRequested like single mode.
+    class _DrainShim:
+        draining = False
+        _busy = False
+
+        def request_drain(self) -> None:
+            self.draining = True
+            hub.request_stop()
+
+    install_sigterm_drain(_DrainShim())
+    boot()
+    try:
+        serve_hub_stdio(hub, sys.stdin, sys.stdout)
+    except DrainRequested:
+        log("SIGTERM: draining, writing final checkpoints")
     return 0
 
 
@@ -604,6 +670,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="ENTRIES",
                        help="max digest entries re-verified per scrub "
                             "step (default 4096)")
+    serve.add_argument("--multi", action="store_true",
+                       help="multi-tenant mode: --store is a root "
+                            "directory of named sessions served by the "
+                            "asyncio hub (verbs open/attach/detach/"
+                            "sessions; see docs/protocol.md)")
+    serve.add_argument("--open", metavar="NAME[,NAME...]", default=None,
+                       help="with --multi: sessions to open (create or "
+                            "recover) at boot")
 
     whatif = sub.add_parser("whatif", help="link-failure query sweep")
     whatif.add_argument("dataset", choices=sorted(DATASET_BUILDERS))

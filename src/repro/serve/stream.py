@@ -1,45 +1,30 @@
-"""``deltanet serve`` — the long-running streaming verification daemon.
+"""One checkpointed verification session behind a line protocol.
 
-Turns the batch replay tool into a restartable service: a
-:class:`StreamServer` owns one checkpointed
+:class:`StreamServer` is the single-tenant core of ``deltanet
+serve``: it owns one checkpointed
 :class:`~repro.api.session.VerificationSession`, applies updates
-streamed to it as newline-delimited JSON (over stdin/stdout or a TCP
-socket), answers property queries, journals every update, and writes
-background snapshots — so a ``kill -9`` mid-stream loses nothing: the
-next start recovers ``snapshot + journal tail`` and continues at the
-exact sequence number it died at.
+streamed to it as newline-delimited JSON, answers property queries,
+journals every update, and writes background snapshots — so a ``kill
+-9`` mid-stream loses nothing: the next start recovers ``snapshot +
+journal tail`` and continues at the exact sequence number it died at.
+The multi-tenant layers (:mod:`repro.serve.sessions`,
+:mod:`repro.serve.aio`) compose many of these, one per named session.
 
-Request protocol (one JSON object per line; see ``docs/operations.md``)::
+See ``docs/protocol.md`` for the complete wire protocol: framing
+rules, every verb's request/response schema, and the error envelopes
+(``busy`` / ``overloaded`` / ``frame too large`` / ``draining``, all
+carrying ``retry_after``).
 
-    {"cmd": "insert", "rule": {"rid": 1, "prefix": "10.0.0.0/8",
-     "priority": 10, "source": "s1", "target": "s2"}}
-    {"cmd": "remove", "rid": 1}
-    {"cmd": "batch", "insert": [RULE...], "remove": [RID...]}
-    {"cmd": "watch", "property": "loops", "args": {}}
-    {"cmd": "query", "what": "loops" | "blackholes" | "reachable" | "flows_on" | ...}
-    {"cmd": "violations"} | {"cmd": "stats"} | {"cmd": "checkpoint"}
-    {"cmd": "audit"} | {"cmd": "ping"} | {"cmd": "health"} | {"cmd": "shutdown"}
-
-Every response is one JSON object: ``{"ok": true, "seq": N, ...}`` or
-``{"ok": false, "error": "..."}``.  Update responses carry the new
-violations the watched properties delivered for that update.
-
-Admission is bounded: at most ``max_queue`` requests may wait for the
-session at once and each waits at most ``request_timeout`` seconds;
-beyond either limit the daemon answers immediately with ``{"ok":
-false, "error": "overloaded"|"busy", "retry_after": seconds}`` instead
-of queueing without bound.  ``health`` answers without taking the
-session lock, so it stays responsive while an update runs (or a shard
-worker is wedged).  ``SIGTERM`` (see :func:`install_sigterm_drain`)
-drains the daemon: the in-flight request finishes, new requests are
-refused with ``"draining"``, and the process exits through the same
-final-checkpoint path as a clean ``shutdown`` — on both the stdio and
-the socket transport.
-
-The SDN bridge (:func:`attach_controller`) subscribes the daemon to a
-:mod:`repro.sdn` controller's committed-operation stream, so rule
-changes travelling the OpenFlow message plane are verified, journaled
-and checkpointed like any directly streamed update.
+Concurrency model: commands that mutate the session (``insert``,
+``remove``, ``batch``, ``watch``, ``checkpoint``, ``audit``) take the
+session's *write* lock, so updates, checkpoints and scrub steps
+serialize.  Read-only commands (``query``, ``violations``, ``stats``,
+``ping``) take the *read* side and run concurrently with each other —
+on backends that declare ``concurrent_read_safe`` (pure in-process
+traversals); backends whose queries fan out over worker pipes fall
+back to exclusive access.  ``health`` and ``metrics`` take no session
+lock at all, so the daemon stays observable while an update runs (or
+a shard worker is wedged).
 """
 
 from __future__ import annotations
@@ -48,6 +33,7 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple
 
 from repro.api import PROPERTY_TYPES, VerificationSession, Violation
@@ -55,6 +41,7 @@ from repro.core.rules import Action, Rule
 from repro.datasets.format import Op
 from repro.integrity import Scrubber
 from repro.persist import RecoveryInfo, SessionStore
+from repro.serve.metrics import MetricsRegistry
 
 #: Default cap on one request frame.  A line longer than this is
 #: answered with ``{"ok": false, "error": "frame too large"}`` and
@@ -62,9 +49,132 @@ from repro.persist import RecoveryInfo, SessionStore
 #: client cannot balloon the daemon's memory with one giant line.
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 
+#: Commands that mutate session state and therefore need the write
+#: (exclusive) side of the session lock.  Everything else is a read.
+WRITE_CMDS = frozenset({
+    "insert", "remove", "batch", "watch", "checkpoint", "audit",
+    "shutdown",
+})
+
+#: Commands answered without taking the session lock at all.
+LOCK_FREE_CMDS = frozenset({"health", "metrics"})
+
 
 class DrainRequested(Exception):
     """Raised in the transport loop when SIGTERM asks for a drain."""
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock with timeouts.
+
+    Many readers may hold the lock together; a writer holds it alone.
+    Waiting writers block *new* readers (writer preference), so a
+    steady query stream cannot starve updates.  The write side is
+    reentrant per-thread, and a thread holding the write lock may take
+    the read side without deadlocking (it is counted as nested write
+    depth) — mirroring the RLock semantics the single-lock server had.
+    """
+
+    def __init__(self) -> None:
+        """Create an unheld lock."""
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer: Optional[threading.Thread] = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Acquire shared access; returns False on timeout."""
+        me = threading.current_thread()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            if self._writer is me:
+                self._writer_depth += 1
+                return True
+            while self._writer is not None or self._writers_waiting:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release shared access (or one nested write-side hold)."""
+        me = threading.current_thread()
+        with self._cond:
+            if self._writer is me:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Acquire exclusive access; returns False on timeout."""
+        me = threading.current_thread()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            if self._writer is me:
+                self._writer_depth += 1
+                return True
+            self._writers_waiting += 1
+            try:
+                while self._readers or self._writer is not None:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+            return True
+
+    def release_write(self) -> None:
+        """Release exclusive access (one level of reentrancy)."""
+        with self._cond:
+            if self._writer is not threading.current_thread():
+                raise RuntimeError("release_write by a non-owning thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+
+class _WriteLockFacade:
+    """``server._lock`` compatibility: the exclusive side as a plain lock.
+
+    Pre-package code (and the fault-injection tests) wedge the daemon
+    with ``with server._lock: ...`` and expect lock-free ``health`` to
+    keep answering; this object preserves that surface over the
+    reader/writer lock.
+    """
+
+    def __init__(self, rw: ReadWriteLock) -> None:
+        self._rw = rw
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Acquire the write side; returns False on timeout."""
+        return self._rw.acquire_write(timeout)
+
+    def release(self) -> None:
+        """Release the write side."""
+        self._rw.release_write()
+
+    def __enter__(self) -> "_WriteLockFacade":
+        self._rw.acquire_write()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._rw.release_write()
 
 
 def _jsonable(value: Any) -> Any:
@@ -88,7 +198,22 @@ def _violation_payload(violation: Violation) -> Dict[str, Any]:
 
 def rule_from_payload(session: VerificationSession,
                       payload: Dict[str, Any]) -> Rule:
-    """Build a rule from a request dict (CIDR ``prefix`` or ``lo``/``hi``)."""
+    """Build a rule from a request dict (CIDR ``prefix`` or ``lo``/``hi``).
+
+    Args:
+        session: the session whose width validates a ``prefix`` form.
+        payload: the wire ``rule`` object — ``rid``, ``priority``,
+            ``source``, either ``prefix`` or ``lo``/``hi``, optional
+            ``target`` and ``action`` (``"forward"`` default,
+            ``"drop"``).
+
+    Returns:
+        The constructed :class:`~repro.core.rules.Rule`.
+
+    Raises:
+        KeyError: a required field is missing.
+        ValueError: the prefix does not parse or is out of range.
+    """
     action = (Action.DROP if payload.get("action") == "drop"
               else Action.FORWARD)
     if "prefix" in payload:
@@ -106,19 +231,25 @@ def rule_from_payload(session: VerificationSession,
 class StreamServer:
     """One checkpointed session behind a line-oriented command surface.
 
-    Thread-safe: transports may dispatch from several connections; every
-    command takes the session lock, so updates, queries and background
-    checkpoints serialize.  ``checkpoint_every`` bounds journal-replay
-    work after a crash; ``checkpoint_interval`` (seconds) additionally
+    Thread-safe: transports may dispatch from several connections.
+    Mutating commands serialize on the session's write lock; read-only
+    commands share the read side (see the module docstring for the
+    exact split).  ``checkpoint_every`` bounds journal-replay work
+    after a crash; ``checkpoint_interval`` (seconds) additionally
     snapshots quiet sessions in the background.
 
     Backpressure: ``max_queue`` bounds how many requests may wait for
     the session lock at once and ``request_timeout`` how long one may
     wait; breaching either yields an immediate ``retry_after`` error
     response instead of an unbounded queue.  (The timeout bounds time
-    *waiting to start* — Python cannot abort a dispatch already running;
-    runaway worker commands are bounded separately by the parallel
-    backend's per-request ``deadline``.)
+    *waiting to start* — Python cannot abort a dispatch already
+    running; runaway worker commands are bounded separately by the
+    parallel backend's per-request ``deadline``.)
+
+    ``name`` identifies this session in multi-tenant deployments and
+    labels every metric sample; ``metrics`` shares one
+    :class:`~repro.serve.metrics.MetricsRegistry` across sessions (a
+    private registry is created when omitted).
     """
 
     def __init__(self, store_dir: str, engine: str = "deltanet",
@@ -132,9 +263,48 @@ class StreamServer:
                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
                  scrub_interval: Optional[float] = None,
                  scrub_budget: int = 4096,
+                 name: str = "default",
+                 metrics: Optional[MetricsRegistry] = None,
                  **backend_options: Any) -> None:
-        self._lock = threading.RLock()
+        """Recover (or create) the session under ``store_dir`` and start
+        the background checkpoint/scrub tickers when configured.
+
+        Args:
+            store_dir: checkpoint/journal directory; recovered from
+                when it already holds state (``engine`` is then
+                ignored in favor of the store's backend).
+            engine: backend registry name for a fresh session.
+            width: packet header width in bits for a fresh session.
+            checkpoint_every: snapshot after this many journaled ops.
+            checkpoint_interval: also snapshot every this many seconds
+                in the background (``None`` disables the ticker).
+            properties: property names watched on a fresh session (and
+                added, with a checkpoint, to a recovered one).
+            log: sink for one-line operational notes.
+            request_timeout: max seconds a request may wait for the
+                session lock before an immediate ``busy`` response
+                (``None`` waits forever).
+            max_queue: max requests waiting for the session before
+                ``overloaded`` backpressure.
+            retry_after: the ``retry_after`` hint (seconds) carried by
+                backpressure responses.
+            max_line_bytes: request frame cap; longer lines are
+                refused with ``frame too large``.
+            scrub_interval: run one budgeted integrity-scrub step every
+                this many seconds (``None`` disables the ticker).
+            scrub_budget: max digest entries re-verified per scrub step.
+            name: session name (multi-tenant identity; metrics label).
+            metrics: shared registry; a private one when ``None``.
+            **backend_options: forwarded to the backend factory.
+
+        Raises:
+            repro.persist.CorruptStoreError: the store exists but fails
+                its integrity checks and cannot be recovered.
+        """
+        self._rw = ReadWriteLock()
+        self._lock = _WriteLockFacade(self._rw)
         self._log = log
+        self.name = name
         self.checkpoint_every = checkpoint_every
         self.request_timeout = request_timeout
         self.max_queue = max_queue
@@ -145,6 +315,8 @@ class StreamServer:
         self._draining = False
         self._busy = False
         self._closed = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._instrument()
         self.store = SessionStore(store_dir)
         self.recovery: Optional[RecoveryInfo] = None
         if self.store.exists():
@@ -164,8 +336,8 @@ class StreamServer:
             # checkpointed) rather than silently dropped.
             watching = {p.name for p in self.session.properties}
             missing = [name for name in properties if name not in watching]
-            for name in missing:
-                self._watch(name, {})
+            for prop_name in missing:
+                self._watch(prop_name, {})
             if missing:
                 log(f"watching additionally requested properties: "
                     f"{', '.join(missing)}")
@@ -174,12 +346,17 @@ class StreamServer:
         else:
             self.session = VerificationSession(engine, width=width,
                                                **backend_options)
-            for name in properties:
-                self._watch(name, {})
+            for prop_name in properties:
+                self._watch(prop_name, {})
             self.store.checkpoint(self.session)
             log(f"fresh session ({engine}, width={width}) in {store_dir}")
+        # Pure in-process backends declare their queries read-safe;
+        # anything else (worker pipes) keeps reads exclusive.
+        self._reads_shared = bool(getattr(
+            self.session.backend, "concurrent_read_safe", False))
         self._last_checkpoint = self.session.sequence
         self.scrubber = Scrubber(self.session, entries_per_step=scrub_budget)
+        self._m_sequence.watch((self.name,), lambda: self.session.sequence)
         self._shutdown = threading.Event()
         self._ticker: Optional[threading.Thread] = None
         if checkpoint_interval:
@@ -195,6 +372,38 @@ class StreamServer:
             self._scrub_ticker.start()
 
     # -- lifecycle ---------------------------------------------------------------
+
+    def _instrument(self) -> None:
+        """Register this session's instruments on the shared registry."""
+        registry = self.metrics
+        self._m_requests = registry.counter(
+            "deltanet_requests_total",
+            "Requests dispatched, by session and verb.",
+            ("session", "verb"))
+        self._m_rejected = registry.counter(
+            "deltanet_rejected_total",
+            "Requests refused before dispatch, by session and reason.",
+            ("session", "reason"))
+        self._m_errors = registry.counter(
+            "deltanet_errors_total",
+            "Dispatches that raised, by session and verb.",
+            ("session", "verb"))
+        self._m_violations = registry.counter(
+            "deltanet_violations_total",
+            "Property violations delivered, by session.",
+            ("session",))
+        self._m_checkpoints = registry.counter(
+            "deltanet_checkpoints_total",
+            "Snapshots written, by session.",
+            ("session",))
+        self._m_latency = registry.histogram(
+            "deltanet_request_seconds",
+            "Dispatch latency in seconds, by session and verb.",
+            ("session", "verb"))
+        self._m_sequence = registry.gauge(
+            "deltanet_session_sequence",
+            "Current committed sequence number, by session.",
+            ("session",))
 
     def _background_checkpoints(self, interval: float) -> None:
         while not self._shutdown.wait(interval):
@@ -237,13 +446,15 @@ class StreamServer:
     def _checkpoint(self) -> int:
         sequence = self.store.checkpoint(self.session)
         self._last_checkpoint = sequence
+        self._m_checkpoints.inc(session=self.name)
         self._log(f"checkpoint at sequence {sequence}")
         return sequence
 
     def close(self) -> None:
-        """Clean shutdown: final checkpoint, stop the ticker, reap
-        workers.  Idempotent — the drain path and a ``finally`` may both
-        reach it."""
+        """Clean shutdown: final checkpoint, stop the tickers, reap
+        workers, release the metric gauge.  Idempotent — the drain path
+        and a ``finally`` may both reach it.
+        """
         if self._closed:
             return
         self._closed = True
@@ -257,27 +468,49 @@ class StreamServer:
                 self._checkpoint()
             self.store.close()
             self.session.close()
+        self._m_sequence.unwatch((self.name,))
 
     def request_drain(self) -> None:
         """Stop admitting work; the transport loop exits after the
         in-flight request and the caller's ``close()`` writes the final
-        checkpoint.  Safe from a signal handler."""
+        checkpoint.  Safe from a signal handler.
+        """
         self._draining = True
 
     @property
     def draining(self) -> bool:
+        """Whether a drain was requested (new work is being refused)."""
         return self._draining
 
     # -- command dispatch --------------------------------------------------------
 
     def oversized_response(self) -> Dict[str, Any]:
         """The answer for a frame longer than ``max_line_bytes``."""
+        self._m_rejected.inc(session=self.name, reason="frame-too-large")
         return {"ok": False, "error": "frame too large",
                 "max_line_bytes": self.max_line_bytes}
 
     def handle_line(self, line: str) -> Tuple[Dict[str, Any], bool]:
-        """Process one request line; returns ``(response, keep_going)``."""
-        if len(line) > self.max_line_bytes + 1:  # +1 for the newline
+        """Process one raw request line.
+
+        Args:
+            line: one ndjson frame (the trailing newline may be
+                included).
+
+        Returns:
+            ``(response, keep_going)`` — the JSON-serializable response
+            object (empty dict for a blank line, which transports skip)
+            and whether the connection should stay open.
+        """
+        # The frame cap is in *bytes*; text transports hand us str, so
+        # re-measure in UTF-8 when the character count alone cannot
+        # prove the line fits (multi-byte characters must not let a
+        # frame 4x the cap sneak past a character-based check).
+        overlong = len(line) > self.max_line_bytes + 1
+        if not overlong and len(line) * 4 > self.max_line_bytes + 1:
+            overlong = (len(line.encode("utf-8", "replace"))
+                        > self.max_line_bytes + 1)
+        if overlong:  # +1 above allows for the newline
             return self.oversized_response(), True
         line = line.strip()
         if not line:
@@ -285,46 +518,88 @@ class StreamServer:
         try:
             request = json.loads(line)
         except ValueError as exc:
+            self._m_rejected.inc(session=self.name, reason="bad-json")
             return {"ok": False, "error": f"bad JSON: {exc}"}, True
+        return self.handle_request(request)
+
+    def handle_request(self, request: Any) -> Tuple[Dict[str, Any], bool]:
+        """Admit, lock and dispatch one parsed request object.
+
+        This is the transport-independent entry point (the asyncio hub
+        calls it from executor threads with already-parsed frames).
+        Lock-free commands (``health``, ``metrics``) answer
+        immediately; everything else passes admission control
+        (``max_queue`` → ``overloaded``), acquires the read or write
+        side of the session lock (``request_timeout`` → ``busy``) and
+        dispatches.
+
+        Args:
+            request: the decoded JSON value; anything but an object
+                with a ``cmd`` string is answered with an error.
+
+        Returns:
+            ``(response, keep_going)`` exactly as :meth:`handle_line`.
+        """
         cmd = request.get("cmd") if isinstance(request, dict) else None
         if cmd == "health":
             # Deliberately lock-free: health must answer while an
             # update holds the session (or a worker is wedged).  The
             # fields are snapshots, racy by design.
+            self._m_requests.inc(session=self.name, verb="health")
             return self._health(), not self._draining
+        if cmd == "metrics":
+            self._m_requests.inc(session=self.name, verb="metrics")
+            return {"ok": True,
+                    "metrics": self.metrics.render_text()}, \
+                not self._draining
         if self._draining:
+            self._m_rejected.inc(session=self.name, reason="draining")
             return {"ok": False, "error": "draining",
                     "retry_after": self.retry_after}, False
         with self._admission:
             if self._waiters >= self.max_queue:
+                self._m_rejected.inc(session=self.name, reason="overloaded")
                 return {"ok": False, "error": "overloaded",
                         "queue_depth": self._waiters,
                         "retry_after": self.retry_after}, True
             self._waiters += 1
+        exclusive = cmd in WRITE_CMDS or not self._reads_shared
         acquired = False
         try:
-            if self.request_timeout is None:
-                acquired = self._lock.acquire()
+            if exclusive:
+                acquired = self._rw.acquire_write(self.request_timeout)
             else:
-                acquired = self._lock.acquire(timeout=self.request_timeout)
+                acquired = self._rw.acquire_read(self.request_timeout)
             if not acquired:
+                self._m_rejected.inc(session=self.name, reason="busy")
                 return {"ok": False,
                         "error": f"busy: session held longer than "
                                  f"{self.request_timeout}s",
                         "retry_after": self.retry_after}, True
             self._busy = True
+            started = time.perf_counter()
             try:
                 response, keep_going = self._dispatch(request)
             finally:
                 self._busy = False
+            verb = cmd if isinstance(cmd, str) else "invalid"
+            self._m_requests.inc(session=self.name, verb=verb)
+            self._m_latency.observe(time.perf_counter() - started,
+                                    session=self.name, verb=verb)
             # A drain that arrived mid-dispatch still gets this
             # request's real response; the transport exits afterwards.
             return response, keep_going and not self._draining
         except Exception as exc:  # protocol errors must not kill the daemon
+            self._m_errors.inc(
+                session=self.name,
+                verb=cmd if isinstance(cmd, str) else "invalid")
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}, True
         finally:
             if acquired:
-                self._lock.release()
+                if exclusive:
+                    self._rw.release_write()
+                else:
+                    self._rw.release_read()
             with self._admission:
                 self._waiters -= 1
 
@@ -344,6 +619,7 @@ class StreamServer:
         return {
             "ok": True,
             "status": status,
+            "session": self.name,
             "seq": self.session.sequence,
             "backend": self.session.backend_name,
             "draining": self._draining,
@@ -356,12 +632,28 @@ class StreamServer:
         }
 
     def apply_op(self, op: Op) -> Dict[str, Any]:
-        """Apply one dataset op (the SDN-bridge entry point)."""
-        with self._lock:
-            result = self.session.apply(op)
-            self.store.record(op, self.session.sequence)
-            self._maybe_checkpoint()
-            return self._update_response(result)
+        """Apply one dataset op under the write lock (the SDN-bridge
+        entry point).
+
+        Args:
+            op: the :class:`~repro.datasets.format.Op` to apply.
+
+        Returns:
+            The protocol update response (``seq``, ``violations``,
+            ``latency_us``).
+        """
+        self._rw.acquire_write()
+        try:
+            return self._apply_op_locked(op)
+        finally:
+            self._rw.release_write()
+
+    def _apply_op_locked(self, op: Op) -> Dict[str, Any]:
+        """The journaled update path; caller holds the write lock."""
+        result = self.session.apply(op)
+        self.store.record(op, self.session.sequence)
+        self._maybe_checkpoint()
+        return self._update_response(result)
 
     def _maybe_checkpoint(self) -> None:
         if self.session.sequence - self._last_checkpoint \
@@ -369,6 +661,9 @@ class StreamServer:
             self._checkpoint()
 
     def _update_response(self, result) -> Dict[str, Any]:
+        if result.violations:
+            self._m_violations.inc(len(result.violations),
+                                   session=self.name)
         return {
             "ok": True,
             "seq": self.session.sequence,
@@ -380,7 +675,8 @@ class StreamServer:
         """Subscribe a property; idempotent — an identical subscription
         (same name and spec) is not added twice, so a defensive
         re-watch after a client reconnect cannot double every future
-        violation delivery.  Returns whether anything was added."""
+        violation delivery.  Returns whether anything was added.
+        """
         from repro.api.properties import property_spec
 
         cls = PROPERTY_TYPES.get(name)
@@ -401,9 +697,9 @@ class StreamServer:
         cmd = request.get("cmd")
         if cmd == "insert":
             rule = rule_from_payload(self.session, request["rule"])
-            return self.apply_op(Op.insert(rule)), True
+            return self._apply_op_locked(Op.insert(rule)), True
         if cmd == "remove":
-            return self.apply_op(Op.remove(request["rid"])), True
+            return self._apply_op_locked(Op.remove(request["rid"])), True
         if cmd == "batch":
             inserts = [rule_from_payload(self.session, payload)
                        for payload in request.get("insert", ())]
@@ -433,6 +729,9 @@ class StreamServer:
             stats = dict(self.session.stats())
             stats["sequence"] = self.session.sequence
             stats["watching"] = [p.name for p in self.session.properties]
+            digest = self.session.state_digest()
+            if digest is not None:
+                stats["state_digest"] = digest
             return {"ok": True, "stats": _jsonable(stats)}, True
         if cmd == "checkpoint":
             return {"ok": True, "seq": self._checkpoint()}, True
@@ -499,13 +798,25 @@ def _read_capped(readline: Callable[[int], Any], limit: int,
 
 def serve_stdio(server: StreamServer, in_stream: IO[str],
                 out_stream: IO[str]) -> int:
-    """The ndjson request/response loop over text streams; returns the
-    number of requests served.
+    """The ndjson request/response loop over text streams.
 
-    A :class:`DrainRequested` raised by the SIGTERM handler (while the
-    loop is blocked reading) exits the loop cleanly; the caller's
-    ``server.close()`` then writes the final checkpoint exactly as a
-    protocol ``shutdown`` would.
+    Every response — including backpressure refusals (``busy``,
+    ``overloaded``, ``frame too large``, ``draining``) — is written
+    *and flushed* before the loop blocks reading the next request, so
+    a client waiting on its reply never deadlocks against a daemon
+    waiting on its next line.
+
+    Args:
+        server: the session daemon to dispatch into.
+        in_stream: text stream of ndjson requests (e.g. ``sys.stdin``).
+        out_stream: text stream responses are written to.
+
+    Returns:
+        The number of requests served.  A :class:`DrainRequested`
+        raised by the SIGTERM handler (while the loop is blocked
+        reading) exits the loop cleanly; the caller's
+        ``server.close()`` then writes the final checkpoint exactly as
+        a protocol ``shutdown`` would.
     """
     served = 0
     try:
@@ -538,9 +849,18 @@ def serve_socket(server: StreamServer, host: str = "127.0.0.1",
     daemon — see :func:`install_sigterm_drain`).  ``ready(host, port)``
     fires once the socket is listening (port 0 picks a free port).
 
+    Responses — including error envelopes under backpressure — are
+    flushed to the wire before the handler blocks on the next frame
+    (the writer is unbuffered: each reply reaches ``sendall`` whole).
     A client that disconnects mid-request (reset, broken pipe) costs
     its own connection thread nothing but a log line — never a
     traceback, never the daemon.
+
+    Args:
+        server: the session daemon to dispatch into.
+        host: interface to bind.
+        port: TCP port (0 picks a free one).
+        ready: callback fired with the bound ``(host, port)``.
     """
     stop = threading.Event()
 
@@ -623,7 +943,18 @@ def install_sigterm_drain(server: StreamServer):
 def request_over_socket(host: str, port: int,
                         requests: Iterable[Dict[str, Any]],
                         timeout: float = 10.0) -> List[Dict[str, Any]]:
-    """Small client helper: send requests, collect the responses."""
+    """Small client helper: send requests in lockstep, collect responses.
+
+    Args:
+        host: daemon host.
+        port: daemon port.
+        requests: JSON-serializable request objects, sent one per line.
+        timeout: socket timeout in seconds.
+
+    Returns:
+        One decoded response per request (shorter if the daemon closed
+        the connection mid-conversation).
+    """
     responses: List[Dict[str, Any]] = []
     with socket.create_connection((host, port), timeout=timeout) as conn:
         stream = conn.makefile("rw", encoding="utf-8", newline="\n")

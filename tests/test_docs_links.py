@@ -1,0 +1,80 @@
+"""Link checker over ``docs/*.md``: relative links and anchors resolve.
+
+External (``http(s)://``) links are out of scope — CI must not depend
+on the network — but every relative link must point at a real file,
+and every fragment (``file.md#anchor``) at a real heading in it.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+REPO = DOCS.parent
+
+#: [text](target) — excluding images; target split from an optional title.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def markdown_files():
+    files = sorted(DOCS.glob("*.md"))
+    assert files, f"no markdown files under {DOCS}"
+    return files
+
+
+def github_anchor(heading):
+    """GitHub's anchor slug for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(match) for match in _HEADING.findall(text)}
+
+
+def links_of(path):
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    return _LINK.findall(text)
+
+
+@pytest.mark.parametrize("doc", markdown_files(),
+                         ids=lambda path: path.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in links_of(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part \
+            else doc
+        if not resolved.exists():
+            broken.append(f"{target} -> missing file {resolved}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                broken.append(f"{target} -> no heading #{fragment} "
+                              f"in {resolved.name}")
+    assert not broken, f"{doc.name}: broken links:\n  " + \
+        "\n  ".join(broken)
+
+
+def test_docs_stay_inside_the_repository():
+    for doc in markdown_files():
+        for target in links_of(doc):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (doc.parent / target.partition("#")[0]).resolve()
+            assert REPO in resolved.parents or resolved == REPO, (
+                f"{doc.name}: {target} escapes the repository")
+
+
+def test_index_links_every_document():
+    index = (DOCS / "README.md").read_text(encoding="utf-8")
+    missing = [path.name for path in markdown_files()
+               if path.name != "README.md" and path.name not in index]
+    assert not missing, f"docs/README.md does not link: {missing}"

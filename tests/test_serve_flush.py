@@ -1,0 +1,224 @@
+"""Regression tests: every reply is flushed before the daemon blocks again.
+
+The transports' contract (docs/protocol.md, "Framing") is that a
+response — *especially* a backpressure refusal — is written and
+flushed before the loop goes back to blocking on the next request
+frame.  A transport that buffers the refusal while it blocks reading
+deadlocks the very client it refused.  These tests wedge each
+transport on its next read and assert the previous (error) reply has
+already reached the client.
+
+Also pinned here: the frame cap counts UTF-8 *bytes*, not characters
+(a 100-character, 300-byte line must not slip under a 256-byte cap).
+"""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    AsyncSessionHub, SessionManager, StreamServer, serve_hub_stdio,
+    serve_socket, serve_stdio,
+)
+
+
+class BlockingIn:
+    """A text stream that serves scripted lines, then blocks forever.
+
+    ``blocked`` is set the moment the transport asks for input it does
+    not have — i.e. after it finished handling every scripted request.
+    """
+
+    def __init__(self, lines):
+        self._lines = list(lines)
+        self.blocked = threading.Event()
+        self._release = threading.Event()
+
+    def readline(self, _limit=-1):
+        if self._lines:
+            return self._lines.pop(0)
+        self.blocked.set()
+        self._release.wait(10)
+        return ""  # EOF once released
+
+    def release(self):
+        self._release.set()
+
+
+class RecordingOut:
+    """A text stream that records what was flushed (vs merely written)."""
+
+    def __init__(self):
+        self._pending = []
+        self.flushed = []
+
+    def write(self, text):
+        self._pending.append(text)
+
+    def flush(self):
+        self.flushed.extend(self._pending)
+        self._pending.clear()
+
+    def unflushed(self):
+        return list(self._pending)
+
+    def responses(self):
+        return [json.loads(line)
+                for line in "".join(self.flushed).splitlines()]
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = StreamServer(str(tmp_path / "store"), width=8, properties=(),
+                            max_line_bytes=256, max_queue=0)
+    yield instance
+    instance.close()
+
+
+def run_stdio_until_blocked(target, in_stream, out_stream):
+    thread = threading.Thread(
+        target=target, args=(in_stream, out_stream), daemon=True)
+    thread.start()
+    assert in_stream.blocked.wait(10), "transport never blocked on read"
+    in_stream.release()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestStdioFlush:
+    def test_error_replies_flush_before_blocking(self, server):
+        stdin = BlockingIn([
+            "this is not json\n",                      # bad JSON
+            json.dumps({"cmd": "insert",
+                        "rule": {"rid": 1, "lo": 0, "hi": 1,
+                                 "priority": 1, "source": "a",
+                                 "target": "b"}}) + "\n",  # overloaded
+            "x" * 4096 + "\n",                         # frame too large
+        ])
+        stdout = RecordingOut()
+        run_stdio_until_blocked(
+            lambda i, o: serve_stdio(server, i, o), stdin, stdout)
+        responses = stdout.responses()
+        assert stdout.unflushed() == []
+        assert "bad JSON" in responses[0]["error"]
+        assert responses[1]["error"] == "overloaded"
+        assert responses[2]["error"] == "frame too large"
+
+    def test_flush_happens_per_reply_not_at_exit(self, tmp_path):
+        plain = StreamServer(str(tmp_path / "plain"), width=8,
+                             properties=())
+        stdin = BlockingIn(['{"cmd": "ping"}\n'])
+        stdout = RecordingOut()
+        thread = threading.Thread(
+            target=serve_stdio, args=(plain, stdin, stdout), daemon=True)
+        thread.start()
+        try:
+            # While the daemon is *still blocked* reading, the ping
+            # reply must already have been flushed.
+            assert stdin.blocked.wait(10)
+            assert stdout.responses()[0]["ok"] is True
+            assert stdout.unflushed() == []
+        finally:
+            stdin.release()
+            thread.join(timeout=10)
+            plain.close()
+
+
+class TestHubStdioFlush:
+    def test_error_replies_flush_before_blocking(self, tmp_path):
+        manager = SessionManager(str(tmp_path / "root"),
+                                 defaults=dict(width=8, properties=(),
+                                               max_queue=0))
+        hub = AsyncSessionHub(manager, max_line_bytes=256)
+        stdin = BlockingIn([
+            "not json\n",
+            json.dumps({"cmd": "open", "session": "red"}) + "\n",
+            json.dumps({"cmd": "insert",
+                        "rule": {"rid": 1, "lo": 0, "hi": 1,
+                                 "priority": 1, "source": "a",
+                                 "target": "b"}}) + "\n",  # overloaded
+            "€" * 100 + "\n",                          # 300 bytes > 256
+        ])
+        stdout = RecordingOut()
+        run_stdio_until_blocked(
+            lambda i, o: serve_hub_stdio(hub, i, o), stdin, stdout)
+        responses = stdout.responses()
+        assert stdout.unflushed() == []
+        assert "bad JSON" in responses[0]["error"]
+        assert responses[1]["ok"] is True
+        assert responses[2]["error"] == "overloaded"
+        assert responses[3]["error"] == "frame too large"
+
+
+class TestSocketFlush:
+    def test_refusals_reach_a_client_that_keeps_the_connection(
+            self, server):
+        ready = threading.Event()
+        bound = {}
+
+        def on_ready(host, port):
+            bound["address"] = (host, port)
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_socket, args=(server,),
+            kwargs=dict(port=0, ready=on_ready), daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        sock = socket.create_connection(bound["address"])
+        rfile = sock.makefile("r", encoding="utf-8")
+        try:
+            # The client pipelines nothing: it sends one request and
+            # *waits*.  If the server buffered the refusal while
+            # blocking on the next read, this readline would hang.
+            sock.settimeout(10)
+            sock.sendall(b"x" * 4096 + b"\n")
+            assert json.loads(rfile.readline())["error"] == "frame too large"
+            sock.sendall(b"not json\n")
+            assert "bad JSON" in json.loads(rfile.readline())["error"]
+            sock.sendall(json.dumps(
+                {"cmd": "insert",
+                 "rule": {"rid": 1, "lo": 0, "hi": 1, "priority": 1,
+                          "source": "a", "target": "b"}}).encode() + b"\n")
+            assert json.loads(rfile.readline())["error"] == "overloaded"
+            # A draining refusal must flush too — and it is also how
+            # this max_queue=0 daemon (which refuses even "shutdown")
+            # gets stopped.
+            server.request_drain()
+            sock.sendall(b'{"cmd": "ping"}\n')
+            assert json.loads(rfile.readline())["error"] == "draining"
+        finally:
+            rfile.close()
+            sock.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+
+class TestByteAccurateFrameCap:
+    def test_multibyte_line_is_measured_in_bytes(self, server):
+        # 100 chars, 300 utf-8 bytes: over the 256-byte cap even
+        # though the *character* count is far under it.
+        response, keep = server.handle_line("€" * 100)
+        assert keep
+        assert response["error"] == "frame too large"
+        assert response["max_line_bytes"] == 256
+
+    def test_ascii_line_under_cap_still_passes(self, server):
+        response, _ = server.handle_line('{"cmd": "health"}')
+        assert response["ok"] is True
+
+    def test_ascii_line_at_exact_cap_passes(self, tmp_path):
+        server = StreamServer(str(tmp_path / "exact"), width=8,
+                              properties=(), max_line_bytes=256)
+        try:
+            base = json.dumps({"cmd": "ping", "pad": ""})
+            padded = json.dumps(
+                {"cmd": "ping", "pad": "x" * (256 - len(base))})
+            assert len(padded.encode()) == 256
+            response, _ = server.handle_line(padded + "\n")
+            assert response["ok"] is True
+        finally:
+            server.close()

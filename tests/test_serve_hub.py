@@ -1,0 +1,316 @@
+"""The asyncio multi-session hub, exercised over real TCP connections."""
+
+import asyncio
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AsyncSessionHub, SessionManager, serve_hub_stdio, serve_hub_tcp,
+)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def rule(rid, priority=None, lo=0, hi=10, source="a", target="b"):
+    return {"rid": rid, "lo": lo, "hi": hi,
+            "priority": rid if priority is None else priority,
+            "source": source, "target": target}
+
+
+class HubFixture:
+    """A hub served over TCP from a background thread."""
+
+    def __init__(self, root, defaults=None, **hub_kwargs):
+        self.manager = SessionManager(
+            root, defaults=defaults or dict(width=8, properties=()))
+        self.hub = AsyncSessionHub(self.manager, **hub_kwargs)
+        self.loop = None
+        self.address = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "hub did not come up"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+
+        def on_ready(host, port):
+            self.address = (host, port)
+            self._ready.set()
+
+        await serve_hub_tcp(self.hub, ready=on_ready)
+
+    def client(self):
+        return Client(self.address)
+
+    def stop(self):
+        if self.thread.is_alive() and self.loop is not None:
+            self.loop.call_soon_threadsafe(self.hub.request_stop)
+        self.thread.join(timeout=10)
+        assert not self.thread.is_alive(), "hub thread did not stop"
+
+
+class Client:
+    """One ndjson controller connection."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+
+    def send(self, **request):
+        self.sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def recv(self):
+        line = self.rfile.readline()
+        assert line, "connection closed while expecting a response"
+        return json.loads(line)
+
+    def request(self, **request):
+        self.send(**request)
+        return self.recv()
+
+    def close(self):
+        try:
+            self.rfile.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def hub(tmp_path):
+    fixture = HubFixture(str(tmp_path / "root"))
+    yield fixture
+    fixture.stop()
+
+
+class TestHubVerbs:
+    def test_open_insert_query_roundtrip(self, hub):
+        client = hub.client()
+        opened = client.request(cmd="open", session="red")
+        assert opened == {"ok": True, "session": "red", "seq": 0,
+                          "backend": "deltanet", "recovered": False}
+        assert client.request(cmd="insert", rule=rule(1))["ok"]
+        response = client.request(cmd="query", what="rules")
+        assert response["result"] == [1]
+        client.close()
+
+    def test_sessions_listing_covers_all_tenants(self, hub):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        client.request(cmd="open", session="blue")
+        listing = client.request(cmd="sessions")["sessions"]
+        assert [s["session"] for s in listing] == ["blue", "red"]
+        assert all(s["open"] for s in listing)
+        client.close()
+
+    def test_per_request_session_override(self, hub):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        client.request(cmd="open", session="blue")  # now attached to blue
+        client.request(cmd="insert", rule=rule(1), session="red")
+        assert client.request(cmd="query", what="rules",
+                              session="red")["result"] == [1]
+        assert client.request(cmd="query", what="rules")["result"] == []
+        client.close()
+
+    def test_detach_and_unattached_verbs_are_refused(self, hub):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        assert client.request(cmd="detach") == {"ok": True,
+                                                "detached": "red"}
+        refused = client.request(cmd="stats")
+        assert not refused["ok"]
+        assert "no session attached" in refused["error"]
+        client.close()
+
+    def test_unknown_session_error_keeps_connection(self, hub):
+        client = hub.client()
+        refused = client.request(cmd="stats", session="ghost")
+        assert not refused["ok"] and "unknown session" in refused["error"]
+        assert client.request(cmd="sessions")["ok"]  # still alive
+        client.close()
+
+    def test_attach_refuses_what_open_would_create(self, hub):
+        client = hub.client()
+        refused = client.request(cmd="attach", session="ghost")
+        assert not refused["ok"] and "unknown session" in refused["error"]
+        client.close()
+
+    def test_hub_health_detached_session_health_attached(self, hub):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        hub_health = client.request(cmd="health", session=None)
+        session_health = client.request(cmd="health")
+        client.close()
+        # "session": None is absent after JSON round-trip?  No: json
+        # keeps the key with null, and the hub treats null as detached.
+        assert hub_health["hub"] is True
+        assert hub_health["sessions"] == ["red"]
+        assert session_health["session"] == "red"
+        assert "hub" not in session_health
+
+    def test_hub_metrics_exposition(self, hub):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        client.request(cmd="detach")
+        text = client.request(cmd="metrics")["metrics"]
+        client.close()
+        assert "deltanet_open_sessions 1" in text
+        assert ('deltanet_requests_total{session="_hub",verb="open"} 1'
+                in text)
+        assert 'deltanet_connections_total{transport="tcp"} 1' in text
+
+    def test_bad_json_and_bad_request_keep_connection(self, hub):
+        client = hub.client()
+        client.send_raw(b"not json at all\n")
+        assert "bad JSON" in client.recv()["error"]
+        client.send_raw(b'"just a string"\n')
+        assert "bad request" in client.recv()["error"]
+        client.send_raw(b'{"cmd": 7}\n')
+        assert "bad request" in client.recv()["error"]
+        assert client.request(cmd="sessions")["ok"]
+        client.close()
+
+    def test_shutdown_reports_sessions_and_stops_hub(self, hub, tmp_path):
+        client = hub.client()
+        client.request(cmd="open", session="red")
+        client.request(cmd="insert", rule=rule(1))
+        closing = client.request(cmd="shutdown")
+        assert closing == {"ok": True, "closing": True, "sessions": ["red"]}
+        assert client.rfile.readline() == ""  # hub closed the connection
+        client.close()
+        hub.thread.join(timeout=10)
+        assert not hub.thread.is_alive()
+        # the final checkpoint made the session recoverable
+        fresh = SessionManager(str(tmp_path / "root"),
+                               defaults=dict(width=8, properties=()))
+        try:
+            assert fresh.attach("red").session.sequence == 1
+        finally:
+            fresh.close_all()
+
+
+class TestHubFraming:
+    @pytest.fixture
+    def hub(self, tmp_path):
+        fixture = HubFixture(str(tmp_path / "root"), max_line_bytes=256)
+        yield fixture
+        fixture.stop()
+
+    def test_oversized_frame_is_refused_and_stream_stays_framed(self, hub):
+        client = hub.client()
+        client.send_raw(b"x" * 4096 + b"\n")
+        refused = client.recv()
+        assert refused["error"] == "frame too large"
+        assert refused["max_line_bytes"] == 256
+        assert client.request(cmd="sessions")["ok"]
+        client.close()
+
+    def test_multibyte_frame_cap_is_measured_in_bytes(self, hub):
+        client = hub.client()
+        # 100 euro signs = 100 chars but 300 utf-8 bytes > 256.
+        client.send_raw(("€" * 100 + "\n").encode("utf-8"))
+        assert client.recv()["error"] == "frame too large"
+        assert client.request(cmd="sessions")["ok"]
+        client.close()
+
+
+class TestBackpressure:
+    def test_zero_queue_session_answers_overloaded(self, tmp_path):
+        fixture = HubFixture(str(tmp_path / "root"),
+                             defaults=dict(width=8, properties=(),
+                                           max_queue=0))
+        try:
+            client = fixture.client()
+            client.request(cmd="open", session="red")
+            refused = client.request(cmd="insert", rule=rule(1))
+            assert refused["error"] == "overloaded"
+            assert refused["retry_after"] > 0
+            client.close()
+        finally:
+            fixture.stop()
+
+    def test_full_writer_queue_refuses_immediately(self, tmp_path):
+        fixture = HubFixture(str(tmp_path / "root"),
+                             defaults=dict(width=8, properties=(),
+                                           max_queue=1))
+        try:
+            opener = fixture.client()
+            opener.request(cmd="open", session="red")
+            server = fixture.manager.get("red")
+            writer_queue = fixture.hub._writers["red"].queue
+
+            assert server._lock.acquire(timeout=5)  # wedge the session
+            try:
+                first = fixture.client()
+                first.send(cmd="open", session="red")
+                first.recv()
+                first.send(cmd="insert", rule=rule(1))
+                # the writer task dequeues it and blocks on the wedge
+                assert wait_until(lambda: server._waiters >= 1)
+
+                second = fixture.client()
+                second.send(cmd="open", session="red")
+                second.recv()
+                second.send(cmd="insert", rule=rule(2))
+                assert wait_until(lambda: writer_queue.qsize() >= 1)
+
+                third = fixture.client()
+                third.send(cmd="open", session="red")
+                third.recv()
+                refused = third.request(cmd="insert", rule=rule(3))
+                assert refused["error"] == "overloaded"
+                assert refused["retry_after"] > 0
+            finally:
+                server._lock.release()
+            assert first.recv()["ok"]   # wedged write completes
+            assert second.recv()["ok"]  # queued write follows
+            for client in (first, second, third, opener):
+                client.close()
+        finally:
+            fixture.stop()
+
+
+class TestStdioCompatibility:
+    def test_stdio_multi_tenant_script(self, tmp_path):
+        manager = SessionManager(str(tmp_path / "root"),
+                                 defaults=dict(width=8, properties=()))
+        hub = AsyncSessionHub(manager)
+        script = "\n".join([
+            json.dumps({"cmd": "open", "session": "red"}),
+            json.dumps({"cmd": "insert", "rule": rule(1)}),
+            json.dumps({"cmd": "open", "session": "blue"}),
+            json.dumps({"cmd": "query", "what": "rules",
+                        "session": "red"}),
+            json.dumps({"cmd": "query", "what": "rules"}),
+            json.dumps({"cmd": "shutdown"}),
+            json.dumps({"cmd": "never-reached"}),
+        ]) + "\n"
+        out = io.StringIO()
+        served = serve_hub_stdio(hub, io.StringIO(script), out)
+        responses = [json.loads(line)
+                     for line in out.getvalue().splitlines()]
+        assert served == 6
+        assert [r["ok"] for r in responses] == [True] * 6
+        assert responses[3]["result"] == [1]   # red has the rule
+        assert responses[4]["result"] == []    # blue does not
+        assert responses[5]["closing"] is True

@@ -1,0 +1,141 @@
+"""SessionManager: named per-tenant sessions under one root."""
+
+import pytest
+
+from repro.serve import (
+    MetricsRegistry, SessionError, SessionManager, validate_session_name,
+)
+
+
+@pytest.fixture
+def manager(tmp_path):
+    instance = SessionManager(str(tmp_path / "root"),
+                              defaults=dict(width=8, properties=()))
+    yield instance
+    instance.close_all()
+
+
+class TestNames:
+    @pytest.mark.parametrize("name", [
+        "red", "tenant-1", "net.backbone", "a" * 64, "0day",
+    ])
+    def test_legal_names_pass(self, name):
+        assert validate_session_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "", "..", "../evil", "a/b", "a\\b", ".hidden", "-flag",
+        "a" * 65, None, 7, "white space", "newline\n",
+    ])
+    def test_path_tricks_and_junk_are_refused(self, name):
+        with pytest.raises(SessionError):
+            validate_session_name(name)
+
+    def test_open_refuses_bad_names_without_touching_disk(self, manager,
+                                                          tmp_path):
+        with pytest.raises(SessionError):
+            manager.open("../escape")
+        assert not (tmp_path / "escape").exists()
+
+
+class TestLifecycle:
+    def test_open_is_idempotent(self, manager):
+        first = manager.open("red")
+        assert manager.open("red") is first
+
+    def test_sessions_are_isolated_stores(self, manager, tmp_path):
+        red = manager.open("red")
+        blue = manager.open("blue")
+        red.handle_line('{"cmd": "insert", "rule": {"rid": 1, "lo": 0, '
+                        '"hi": 10, "priority": 1, "source": "a", '
+                        '"target": "b"}}')
+        assert red.session.num_rules == 1
+        assert blue.session.num_rules == 0
+        assert (tmp_path / "root" / "red" / "snapshot.bin").exists()
+        assert (tmp_path / "root" / "blue" / "snapshot.bin").exists()
+
+    def test_attach_unknown_session_is_refused(self, manager):
+        with pytest.raises(SessionError):
+            manager.attach("ghost")
+
+    def test_attach_recovers_a_closed_session_from_disk(self, tmp_path):
+        root = str(tmp_path / "root")
+        manager = SessionManager(root, defaults=dict(width=8, properties=()))
+        server = manager.open("red")
+        response, _ = server.handle_line(
+            '{"cmd": "insert", "rule": {"rid": 5, "lo": 0, "hi": 3, '
+            '"priority": 1, "source": "a", "target": "b"}}')
+        assert response["ok"]
+        manager.close_all()
+
+        fresh = SessionManager(root, defaults=dict(width=8, properties=()))
+        try:
+            assert fresh.discover() == ["red"]
+            recovered = fresh.attach("red")
+            assert recovered.session.sequence == 1
+            assert recovered.recovery is not None
+        finally:
+            fresh.close_all()
+
+    def test_get_requires_an_open_session(self, manager):
+        manager.open("red")
+        assert manager.get("red") is manager.open("red")
+        with pytest.raises(SessionError):
+            manager.get("blue")
+
+    def test_listing_marks_open_and_on_disk_sessions(self, tmp_path):
+        root = str(tmp_path / "root")
+        manager = SessionManager(root, defaults=dict(width=8, properties=()))
+        manager.open("red")
+        manager.open("blue")
+        manager.close_all()
+        fresh = SessionManager(root, defaults=dict(width=8, properties=()))
+        try:
+            fresh.open("blue")
+            listing = {entry["session"]: entry for entry in fresh.sessions()}
+            assert listing["blue"]["open"] is True
+            assert listing["blue"]["seq"] == 0
+            assert listing["red"] == {"session": "red", "open": False}
+        finally:
+            fresh.close_all()
+
+    def test_close_all_refuses_further_opens(self, manager):
+        manager.open("red")
+        manager.close_all()
+        manager.close_all()  # idempotent
+        with pytest.raises(SessionError):
+            manager.open("blue")
+
+    def test_close_one_session_writes_its_final_checkpoint(self, tmp_path):
+        root = str(tmp_path / "root")
+        manager = SessionManager(
+            root, defaults=dict(width=8, properties=(),
+                                checkpoint_every=10_000))
+        server = manager.open("red")
+        server.handle_line('{"cmd": "insert", "rule": {"rid": 1, "lo": 0, '
+                           '"hi": 1, "priority": 1, "source": "a", '
+                           '"target": "b"}}')
+        assert manager.close("red")
+        assert not manager.close("red")
+        recovered = manager.attach("red")
+        assert recovered.session.sequence == 1
+        manager.close_all()
+
+
+class TestSharedMetrics:
+    def test_all_sessions_export_through_one_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        manager = SessionManager(str(tmp_path / "root"), metrics=registry,
+                                 defaults=dict(width=8, properties=()))
+        try:
+            for name in ("red", "blue"):
+                server = manager.open(name)
+                response, _ = server.handle_line('{"cmd": "ping"}')
+                assert response["ok"]
+            text = registry.render_text()
+            assert ('deltanet_requests_total{session="red",verb="ping"} 1'
+                    in text)
+            assert ('deltanet_requests_total{session="blue",verb="ping"} 1'
+                    in text)
+            assert 'deltanet_session_sequence{session="red"} 0' in text
+        finally:
+            manager.close_all()
