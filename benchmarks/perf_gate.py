@@ -48,6 +48,13 @@ Suites, selected with ``--suite``:
   ``BENCH_recovery_latency.json``, with a machine-independent >=
   :data:`TARGET_RECOVERY_SPEEDUP` x floor on cold/supervised at the
   acceptance scale.
+* ``whatif_latency`` — the Query API's what-if paths: goal-directed
+  single-link queries (``goal``) vs an undirected whole-network loop
+  sweep (``sweep``), and k-candidate speculative evaluation as
+  copy-on-write forks (``spec``) vs clone-then-apply (``clone``).
+  Baseline ``BENCH_whatif_latency.json``, with machine-independent >=
+  :data:`TARGET_GOAL_SPEEDUP` x and :data:`TARGET_SPEC_SPEEDUP` x
+  floors at the acceptance scale.
 
 Each suite writes machine-readable results at the repo root.  The
 committed copies are the performance baselines; the ``check`` subcommand
@@ -97,6 +104,7 @@ SCENARIO_BASELINE = os.path.join(REPO_ROOT, "BENCH_scenario_latency.json")
 RECOVERY_BASELINE = os.path.join(REPO_ROOT, "BENCH_recovery_latency.json")
 AUDIT_BASELINE = os.path.join(REPO_ROOT, "BENCH_audit_overhead.json")
 SERVE_BASELINE = os.path.join(REPO_ROOT, "BENCH_serve_throughput.json")
+WHATIF_BASELINE = os.path.join(REPO_ROOT, "BENCH_whatif_latency.json")
 WORKLOAD_SEED = 0xD31A
 SCHEMA_VERSION = 1
 
@@ -191,6 +199,32 @@ AUDIT_VARIANTS = ("digest", "nodigest")
 #: most this fraction of nodigest throughput on the per-update path
 #: (digest >= (1 - cap) x nodigest, ops/sec, every measured size).
 MAX_AUDIT_OVERHEAD = 0.10
+
+#: whatif_latency suite — the Query API's two headline fast paths.
+#: ``goal`` answers a single-link what-if (impact + loop check) through
+#: the goal-directed planner, which restricts the loop check to the
+#: affected atoms and links; ``sweep`` answers the same query the
+#: undirected way — impact plus a whole-network loop sweep.  ``spec``
+#: evaluates :data:`WHATIF_K` candidate updates as copy-on-write
+#: speculative forks of one base session; ``clone`` evaluates the same
+#: candidates by clone-then-apply (rebuild the base per candidate, the
+#: pre-speculation recipe).
+WHATIF_VARIANTS = ("goal", "sweep", "spec", "clone")
+
+#: Single-link queries timed per run.  The sweep variant runs fewer:
+#: each of its queries pays a whole-network loop check, and ops/sec
+#: normalizes the counts away.
+WHATIF_QUERIES = {"goal": 64, "sweep": 8}
+
+#: Candidate fan-out and per-candidate batch size for spec/clone.
+WHATIF_K = 8
+WHATIF_CANDIDATE_OPS = 24
+
+#: The whatif_latency acceptance ratios (machine-independent), gated at
+#: the acceptance scale only; smaller sizes are recorded for trend.
+TARGET_GOAL_SPEEDUP = 3.0
+TARGET_SPEC_SPEEDUP = 5.0
+WHATIF_FLOOR_SIZE = 50000
 
 #: scenario_latency suite — one variant per scenario family; the seed is
 #: fixed so the measured trace is identical across runs and machines.
@@ -1346,6 +1380,224 @@ def compare_serve_to_baseline(current: dict, baseline_path: str,
     return failures
 
 
+def _whatif_base_session(size: int):
+    """A deltanet session holding the synthetic data plane, unchecked."""
+    from repro.api import VerificationSession
+
+    session = VerificationSession("deltanet", width=32)
+    for op in synthetic_update_workload(size):
+        if op.is_insert:
+            session.insert(op.rule)
+        else:
+            session.remove(op.rid)
+    return session
+
+
+def _whatif_candidates(rng, switches: int = 40):
+    """:data:`WHATIF_K` insert-only candidate batches, disjoint rids."""
+    from repro.core.rules import Rule
+
+    candidates = []
+    for index in range(WHATIF_K):
+        base = 10_000_000 + index * WHATIF_CANDIDATE_OPS
+        batch = []
+        for n in range(WHATIF_CANDIDATE_OPS):
+            lo = rng.randrange(1 << 24) << 8
+            source = rng.randrange(switches)
+            target = (source + rng.randrange(1, switches)) % switches
+            batch.append(Rule.forward(base + n, lo, lo + (1 << 8), base + n,
+                                      f"s{source}", f"s{target}"))
+        candidates.append(batch)
+    return candidates
+
+
+def measure_whatif_variant(variant: str, size: int) -> dict:
+    """One whatif_latency measurement; runs inside its own process.
+
+    goal/sweep time single-link what-if queries (with loop check) over
+    the same deterministic link sample — goal through the planner's
+    restricted evaluation, sweep with an undirected whole-network loop
+    check.  spec/clone time the evaluation of one candidate batch each
+    — spec as a :meth:`~repro.api.VerificationSession.speculate` fork
+    (fork + checked candidate ops + discard), clone by rebuilding the
+    base data plane from its live rules before applying the candidate.
+    """
+    from repro.analysis.stats import percentile
+    from repro.api import LinkDown, LoopProperty, VerificationSession
+    from repro.checkers.loops import find_forwarding_loops
+    from repro.checkers.whatif import link_failure_impact
+
+    rng = random.Random(WORKLOAD_SEED ^ size)
+    session = _whatif_base_session(size)
+    clock = time.perf_counter
+    times: List[float] = []
+    extra: Dict[str, int] = {}
+    try:
+        if variant in ("goal", "sweep"):
+            links = sorted(set(session.links()), key=repr)
+            sample = [links[rng.randrange(len(links))]
+                      for _ in range(WHATIF_QUERIES[variant])]
+            native = session.native
+            violations = 0
+            for link in sample:
+                start = clock()
+                if variant == "goal":
+                    violations += len(
+                        session.query(LinkDown(link, loops=True)).violations)
+                else:
+                    link_failure_impact(native, link)
+                    violations += len(find_forwarding_loops(native))
+                times.append(clock() - start)
+            extra = {"links": len(links), "violations": violations}
+        elif variant == "spec":
+            session.watch(LoopProperty())
+            violations = 0
+            for batch in _whatif_candidates(rng):
+                start = clock()
+                child = session.speculate()
+                try:
+                    for rule in batch:
+                        violations += len(child.insert(rule).violations)
+                finally:
+                    child.discard()
+                times.append(clock() - start)
+            extra = {"k": WHATIF_K, "candidate_ops": WHATIF_CANDIDATE_OPS,
+                     "violations": violations}
+        else:
+            base_rules = list(session.rules().values())
+            violations = 0
+            for batch in _whatif_candidates(rng):
+                start = clock()
+                clone = VerificationSession("deltanet", width=32)
+                try:
+                    for rule in base_rules:
+                        clone.insert(rule)
+                    clone.watch(LoopProperty())
+                    for rule in batch:
+                        violations += len(clone.insert(rule).violations)
+                finally:
+                    clone.close()
+                times.append(clock() - start)
+            extra = {"k": WHATIF_K, "candidate_ops": WHATIF_CANDIDATE_OPS,
+                     "violations": violations}
+        elapsed = sum(times)
+        return {
+            "variant": variant,
+            "suite": "whatif_latency",
+            "size": size,
+            "ops": len(times),
+            "seconds": round(elapsed, 4),
+            "ops_per_sec": round(len(times) / elapsed, 2),
+            "p50_us": round(percentile(times, 50) * 1e6, 2),
+            "p95_us": round(percentile(times, 95) * 1e6, 2),
+            "p99_us": round(percentile(times, 99) * 1e6, 2),
+            "rules": session.num_rules,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            **extra,
+        }
+    finally:
+        session.close()
+
+
+def run_whatif_benchmark(sizes, echo=print) -> dict:
+    """The whatif_latency matrix, as the JSON-serializable document."""
+    results: Dict[str, dict] = {}
+    for size in sizes:
+        for variant in WHATIF_VARIANTS:
+            echo(f"  measuring whatif:{variant} @ {size} rules ...")
+            entry = _measure_in_subprocess(variant, size,
+                                           suite="whatif_latency")
+            results[f"{variant}@{size}"] = entry
+            unit = ("queries/s" if variant in ("goal", "sweep")
+                    else "candidates/s")
+            echo(f"    {entry['ops_per_sec']:,.2f} {unit}  "
+                 f"p50={entry['p50_us']}us p99={entry['p99_us']}us "
+                 f"rss={entry['peak_rss_kb']}KiB")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "workload": {
+            "name": "whatif-latency",
+            "seed": WORKLOAD_SEED,
+            "sizes": list(sizes),
+            "k": WHATIF_K,
+            "candidate_ops": WHATIF_CANDIDATE_OPS,
+            "description": "single-link what-if queries with loop check "
+                           "(goal = goal-directed planner, sweep = "
+                           "whole-network loop check) and k-candidate "
+                           "evaluation (spec = copy-on-write speculative "
+                           "forks, clone = clone-then-apply) over the "
+                           "synthetic prefix-pool data plane",
+        },
+        "calibration_score": round(calibration_score(), 1),
+        "results": results,
+    }
+    for size in sizes:
+        speedups = document.setdefault("speedups", {})
+        for fast, slow in (("goal", "sweep"), ("spec", "clone")):
+            lead = results.get(f"{fast}@{size}")
+            trail = results.get(f"{slow}@{size}")
+            if lead and trail:
+                speedups[f"{fast}-vs-{slow}@{size}"] = round(
+                    lead["ops_per_sec"] / trail["ops_per_sec"], 2)
+    return document
+
+
+def compare_whatif_to_baseline(current: dict, baseline_path: str,
+                               tolerance: float, echo=print) -> List[str]:
+    """Regressed keys of a whatif_latency run vs the baseline.
+
+    Gates the ``goal`` and ``spec`` variants' calibration-normalized
+    throughput and the two machine-independent acceptance ratios at the
+    acceptance scale: goal-directed >= :data:`TARGET_GOAL_SPEEDUP` x the
+    undirected sweep, and speculative forks >=
+    :data:`TARGET_SPEC_SPEEDUP` x clone-then-apply.  The sweep and
+    clone references are recorded for the ratios but not gated — they
+    are the superseded recipes, not hot paths.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    factor = current["calibration_score"] / baseline["calibration_score"]
+    echo(f"calibration: baseline={baseline['calibration_score']:,.0f} "
+         f"current={current['calibration_score']:,.0f} "
+         f"(machine factor {factor:.2f}x)")
+    failures = []
+    for key, entry in current["results"].items():
+        if key.split("@")[0] not in ("goal", "spec"):
+            continue
+        reference = baseline["results"].get(key)
+        if reference is None:
+            echo(f"  {key}: no baseline entry, skipping")
+            continue
+        expected = reference["ops_per_sec"] * factor
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if entry["ops_per_sec"] >= floor else "REGRESSION"
+        echo(f"  {key}: {entry['ops_per_sec']:,.2f} evals/s "
+             f"(baseline-normalized {expected:,.2f}, floor {floor:,.2f}) "
+             f"{status}")
+        if status != "ok":
+            failures.append(key)
+    for size in current["workload"]["sizes"]:
+        for fast, slow, target in (
+                ("goal", "sweep", TARGET_GOAL_SPEEDUP),
+                ("spec", "clone", TARGET_SPEC_SPEEDUP)):
+            lead = current["results"].get(f"{fast}@{size}")
+            trail = current["results"].get(f"{slow}@{size}")
+            if not (lead and trail):
+                continue
+            ratio = lead["ops_per_sec"] / trail["ops_per_sec"]
+            if size < WHATIF_FLOOR_SIZE:
+                echo(f"  {fast}-vs-{slow} speedup @ {size}: {ratio:.2f}x "
+                     f"(recorded; floor gated at >= {WHATIF_FLOOR_SIZE} "
+                     f"rules only)")
+                continue
+            status = "ok" if ratio >= target else "REGRESSION"
+            echo(f"  {fast}-vs-{slow} speedup @ {size}: {ratio:.2f}x "
+                 f"(target >= {target}x) {status}")
+            if status != "ok":
+                failures.append(f"{fast}-speedup@{size}")
+    return failures
+
+
 def check_regressions(baseline_path: str, sizes, tolerance: float,
                       suite: str = "update_latency", echo=print) -> int:
     """Re-measure the gated variants and compare against the baseline."""
@@ -1373,6 +1625,10 @@ def check_regressions(baseline_path: str, sizes, tolerance: float,
         current = run_serve_benchmark(sizes, echo=echo)
         failures = compare_serve_to_baseline(current, baseline_path,
                                              tolerance, echo=echo)
+    elif suite == "whatif_latency":
+        current = run_whatif_benchmark(sizes, echo=echo)
+        failures = compare_whatif_to_baseline(current, baseline_path,
+                                              tolerance, echo=echo)
     else:
         current = run_benchmark(sizes, variants=GATED_VARIANTS, echo=echo)
         failures = compare_to_baseline(current, baseline_path, tolerance,
@@ -1404,6 +1660,10 @@ _SUITES = {
     # serve sizes are total requests across all controllers; the PR
     # gate re-checks the 100-controller point, nightly runs both.
     "serve_throughput": (SERVE_BASELINE, [5000, 20000], [5000]),
+    # the PR gate re-checks the query/speculation paths at 10k; the
+    # committed baseline demonstrates the >= 3x goal-directed and
+    # >= 5x speculative-fork floors at the 50k acceptance scale.
+    "whatif_latency": (WHATIF_BASELINE, [10000, 50000], [10000]),
 }
 
 
@@ -1471,6 +1731,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error(f"--variant must be one of {SERVE_VARIANTS} "
                              f"for the serve_throughput suite")
             entry = measure_serve_variant(args.variant, args.size)
+        elif args.suite == "whatif_latency":
+            if args.variant not in WHATIF_VARIANTS:
+                parser.error(f"--variant must be one of {WHATIF_VARIANTS} "
+                             f"for the whatif_latency suite")
+            entry = measure_whatif_variant(args.variant, args.size)
         else:
             if args.variant not in VARIANTS:
                 parser.error(f"--variant must be one of "
@@ -1494,6 +1759,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             document = run_audit_benchmark(sizes)
         elif args.suite == "serve_throughput":
             document = run_serve_benchmark(sizes)
+        elif args.suite == "whatif_latency":
+            document = run_whatif_benchmark(sizes)
         else:
             document = run_benchmark(sizes)
         with open(output, "w") as handle:

@@ -30,9 +30,17 @@ Quickstart — the unified session API::
         session.remove(2)
     txn.result.violations
 
-    session.flows_on(("s1", "s2"))      # uniform queries, any backend
-    session.reachable("s1", "s2")
-    session.what_if_link_down(("s1", "s2"))
+    from repro import FlowsOn, Reachable, LinkDown, Loops
+
+    session.query(FlowsOn(("s1", "s2")))        # uniform typed queries,
+    session.query(Reachable("s1", "s2"))        # any backend — one
+    session.query(LinkDown(("s1", "s2")))       # QueryResult envelope
+    session.query(Loops())
+
+    child = session.speculate()         # copy-on-write what-if fork
+    child.insert(candidate_rule)        # invisible to the parent
+    child.query(Loops())                # evaluated against the fork
+    child.commit()                      # or child.discard()
 
 Every backend is constructed, fed updates, and queried identically; see
 ``available_backends()`` and ``docs/api.md``.  The original classes
@@ -55,10 +63,12 @@ from repro.apv import APVerifier
 from repro.netplumber import NetPlumber
 from repro.libra import ShardedDeltaNet, even_shards
 from repro.api import (
-    BackendAdapter, BackendUpdate, BlackholeProperty, IsolationProperty,
-    LoopProperty, Property, ReachabilityProperty, UnknownBackendError,
-    UpdateResult, VerificationSession, Violation, WaypointProperty,
-    available_backends, create_backend, register_backend,
+    BackendAdapter, BackendUpdate, BlackholeProperty, FlowsOn,
+    IsolationProperty, LinkDown, LoopProperty, Loops, Property,
+    QueryResult, Reachable, ReachabilityProperty, SpeculativeSession,
+    StaleSpeculationError, UnknownBackendError, UpdateResult,
+    VerificationSession, Violation, WaypointProperty, available_backends,
+    create_backend, register_backend,
 )
 
 __version__ = "1.1.0"
@@ -66,6 +76,8 @@ __version__ = "1.1.0"
 __all__ = [
     # the unified API (preferred entry point)
     "VerificationSession", "UpdateResult", "Violation",
+    "FlowsOn", "Reachable", "LinkDown", "Loops", "QueryResult",
+    "SpeculativeSession", "StaleSpeculationError",
     "BackendAdapter", "BackendUpdate", "UnknownBackendError",
     "available_backends", "create_backend", "register_backend",
     "Property", "LoopProperty", "BlackholeProperty",

@@ -2,7 +2,10 @@
 
 One façade (:class:`VerificationSession`) over five pluggable backends
 (:func:`available_backends`), with property subscriptions delivering
-violations on every update.  See ``docs/api.md`` for the full tour.
+violations on every update, typed queries through
+:meth:`VerificationSession.query`, and copy-on-write what-if forks
+through :meth:`VerificationSession.speculate`.  See ``docs/api.md`` for
+the full tour.
 """
 
 from repro.api.registry import (
@@ -18,12 +21,22 @@ from repro.api.properties import (
     WaypointProperty, propagate_intervals,
 )
 from repro.api.session import (
-    BatchTransaction, OpRecord, UpdateResult, VerificationSession,
+    BatchTransaction, OpRecord, SpeculativeSession, UpdateResult,
+    VerificationSession,
+)
+from repro.core.speculative import StaleSpeculationError
+from repro.query import (
+    FlowsOn, LinkDown, Loops, Query, QueryResult, Reachable,
+    query_from_payload, query_to_payload,
 )
 
 __all__ = [
     # session
     "VerificationSession", "UpdateResult", "OpRecord", "BatchTransaction",
+    "SpeculativeSession", "StaleSpeculationError",
+    # queries
+    "FlowsOn", "Reachable", "LinkDown", "Loops", "Query", "QueryResult",
+    "query_from_payload", "query_to_payload",
     # registry
     "BackendAdapter", "BackendBatch", "BackendUpdate", "UnknownBackendError",
     "available_backends", "backend_description", "backend_factory",

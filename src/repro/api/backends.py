@@ -149,6 +149,21 @@ class DeltaNetBackend(BackendAdapter):
             seen.setdefault(canonical_cycle(loop.cycle))
         return list(seen)
 
+    def run_query(self, query):
+        from repro.query.planner import evaluate_deltanet
+
+        return evaluate_deltanet(self.native, query, backend=self.name)
+
+    def speculate(self) -> "DeltaNetBackend":
+        """Copy-on-write what-if child: O(boundaries + links) fork."""
+        from repro.core.speculative import SpeculativeDeltaNet
+
+        child = DeltaNetBackend.__new__(DeltaNetBackend)
+        BackendAdapter.__init__(child, width=self.width)
+        child.native = SpeculativeDeltaNet.from_parent(self.native)
+        child._rules = dict(self._rules)
+        return child
+
     def loops_for_commit(self, updates, delta) -> List[Cycle]:
         if delta is None:
             return super().loops_for_commit(updates, delta)
@@ -263,6 +278,20 @@ class ShardedBackend(BackendAdapter):
             seen.setdefault(canonical_cycle(loop.cycle))
         return list(seen)
 
+    def run_query(self, query):
+        from repro.query.planner import evaluate_sharded
+
+        return evaluate_sharded(self.native, query, backend=self.name)
+
+    def speculate(self) -> "ShardedBackend":
+        """Copy-on-write fork: every shard forks per-shard CoW children."""
+        child = ShardedBackend.__new__(ShardedBackend)
+        BackendAdapter.__init__(child, width=self.width)
+        child.native = self.native.speculate()
+        child._check_loops = self._check_loops
+        child._rules = dict(self._rules)
+        return child
+
     def state_digest(self):
         return self.native.state_digest()
 
@@ -373,6 +402,23 @@ class ParallelShardedBackend(BackendAdapter):
 
     def find_blackholes(self) -> Dict[object, Spans]:
         return self.native.find_blackholes()
+
+    def speculate(self) -> "ParallelShardedBackend":
+        """Fleet-wide fork: each worker holds a per-shard CoW child.
+
+        The child routes updates/queries through the parent's worker
+        pool under a speculation id; a worker restart loses that
+        worker's speculative state, surfacing as
+        :class:`~repro.core.speculative.StaleSpeculationError` on the
+        child's next touch.  ``close()`` on the child discards the
+        speculation — the shared pool stays up.
+        """
+        child = ParallelShardedBackend.__new__(ParallelShardedBackend)
+        BackendAdapter.__init__(child, width=self.width)
+        child.native = self.native.speculate()
+        child._check_loops = self._check_loops
+        child._rules = dict(self._rules)
+        return child
 
     def check_invariants(self) -> None:
         self.native.check_invariants()

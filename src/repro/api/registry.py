@@ -289,6 +289,40 @@ class BackendAdapter(abc.ABC):
                 holes[node] = lost.spans
         return holes
 
+    def run_query(self, query) -> "Any":
+        """Answer a typed :class:`repro.query.Query` with a
+        :class:`~repro.query.model.QueryResult`.
+
+        The default composes the uniform query primitives above
+        (:func:`repro.query.planner.evaluate_generic`); the Delta-net
+        backends override it with goal-directed planners that also fill
+        the atom-currency fields (``atoms``, ``subgraph``).
+        """
+        from repro.query.planner import evaluate_generic
+
+        return evaluate_generic(self, query)
+
+    # -- speculation -----------------------------------------------------------
+
+    def speculate(self) -> "BackendAdapter":
+        """Fork an independent what-if child of this backend.
+
+        The child answers updates and queries against a private copy of
+        the current state; the parent is never mutated.  The generic
+        fallback clones through ``snapshot_state``/``restore_state`` —
+        O(state) per fork.  The Delta-net backends override this with
+        copy-on-write children (:mod:`repro.core.speculative`) that fork
+        in O(boundaries + links) pointer copies and detect a parent that
+        advanced underneath them (:class:`~repro.core.speculative.
+        StaleSpeculationError`).  Callers own the child: ``close()`` it
+        when the speculation is discarded.
+        """
+        state = self.snapshot_state()
+        child = create_backend(self.name, width=self.width,
+                               **state.get("options", {}))
+        child.restore_state(state)
+        return child
+
     def loops_for_commit(self, updates: List[BackendUpdate],
                          delta: Optional[DeltaGraph]) -> List[Cycle]:
         """Loops attributable to a committed update batch.

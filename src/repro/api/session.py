@@ -43,6 +43,7 @@ liveness itself for the same effect.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any, Dict, Iterable, List, Optional, Set, Tuple, Union,
@@ -55,7 +56,11 @@ from repro.api.registry import (
 )
 from repro.core.delta_graph import DeltaGraph
 from repro.core.rules import Action, Link, Rule
+from repro.core.speculative import StaleSpeculationError
 from repro.datasets.format import Op
+from repro.query.model import (
+    FlowsOn, LinkDown, Loops, Query, QueryResult, Reachable,
+)
 
 #: Sentinel distinguishing "compute the delta" from an explicit ``None``.
 _UNSET = object()
@@ -373,26 +378,97 @@ class VerificationSession:
                for update in updates]
         return self._commit(updates, ops, delta=delta)
 
-    # -- queries (fan out on sharded backends) ---------------------------------
+    # -- the unified Query API ---------------------------------------------------
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer a typed query (:class:`~repro.query.FlowsOn`,
+        :class:`~repro.query.Reachable`, :class:`~repro.query.LinkDown`,
+        :class:`~repro.query.Loops`) with one uniform
+        :class:`~repro.query.QueryResult` envelope.
+
+        Delta-net backends evaluate goal-directed — restricted to the
+        atom set and link subgraph the query can touch — and fill the
+        atom-currency fields (``atoms``, ``subgraph``); every backend
+        fills ``spans``/``violations``.  ``result.seconds`` reports the
+        evaluation wall-clock.
+        """
+        clock = time.perf_counter
+        start = clock()
+        run = getattr(self.backend, "run_query", None)
+        if run is not None:
+            result = run(query)
+        else:
+            # Duck-typed backend instance without the planner hook.
+            from repro.query.planner import evaluate_generic
+
+            result = evaluate_generic(self.backend, query)
+        result.seconds = clock() - start
+        return result
+
+    # -- speculation -------------------------------------------------------------
+
+    def speculate(self) -> "SpeculativeSession":
+        """Fork a copy-on-write what-if child of this session.
+
+        The child answers updates/queries against a private fork of the
+        backend state (CoW on the Delta-net backends — no clone) plus
+        clones of the watched properties, and buffers its operations;
+        ``child.commit()`` replays them here, ``child.discard()`` drops
+        everything.  Fork ``k`` children to evaluate ``k`` candidate
+        changes concurrently against the same base state.  A child is
+        only coherent while this session stays unchanged — once it
+        advances, the child raises :class:`~repro.core.speculative.
+        StaleSpeculationError`.
+        """
+        return SpeculativeSession(self)
+
+    # -- queries (deprecated per-method surface; use session.query) --------------
 
     def flows_on(self, link: Union[Link, Tuple[object, object]]) -> Spans:
-        """Return the header intervals currently forwarded over ``link``."""
-        return self.backend.flows_on(link)
+        """Return the header intervals currently forwarded over ``link``.
+
+        .. deprecated:: use ``query(FlowsOn(link)).spans``.
+        """
+        warnings.warn(
+            "session.flows_on() is deprecated; use "
+            "session.query(FlowsOn(link)).spans",
+            DeprecationWarning, stacklevel=2)
+        return self.query(FlowsOn(link)).spans
 
     def reachable(self, src: object, dst: object) -> Spans:
-        """Return the header intervals that can travel ``src`` → ``dst``."""
-        return self.backend.reachable(src, dst)
+        """Return the header intervals that can travel ``src`` → ``dst``.
+
+        .. deprecated:: use ``query(Reachable(src, dst)).spans``.
+        """
+        warnings.warn(
+            "session.reachable() is deprecated; use "
+            "session.query(Reachable(src, dst)).spans",
+            DeprecationWarning, stacklevel=2)
+        return self.query(Reachable(src, dst)).spans
 
     def what_if_link_down(self,
                           link: Union[Link, Tuple[object, object]]) -> Spans:
         """Return the header intervals that would lose their path if
         ``link`` failed (a hypothetical — nothing is mutated).
+
+        .. deprecated:: use ``query(LinkDown(link)).spans``.
         """
-        return self.backend.what_if_link_down(link)
+        warnings.warn(
+            "session.what_if_link_down() is deprecated; use "
+            "session.query(LinkDown(link)).spans",
+            DeprecationWarning, stacklevel=2)
+        return self.query(LinkDown(link)).spans
 
     def find_loops(self) -> List[Cycle]:
-        """Return every forwarding loop as a canonical node cycle."""
-        return self.backend.find_loops()
+        """Return every forwarding loop as a canonical node cycle.
+
+        .. deprecated:: use ``query(Loops()).violations``.
+        """
+        warnings.warn(
+            "session.find_loops() is deprecated; use "
+            "session.query(Loops()).violations",
+            DeprecationWarning, stacklevel=2)
+        return self.query(Loops()).violations
 
     def find_blackholes(self) -> Dict[object, Spans]:
         """Return, per node, the header intervals it silently drops."""
@@ -465,3 +541,180 @@ class VerificationSession:
         return (f"VerificationSession(backend={self.backend_name!r}, "
                 f"rules={self.num_rules}, "
                 f"properties={[p.name for p in self._properties]})")
+
+
+class SpeculativeSession(VerificationSession):
+    """A copy-on-write what-if child of a live session.
+
+    Forked by :meth:`VerificationSession.speculate`.  The child holds a
+    speculative fork of the parent's backend (CoW on the Delta-net
+    backends, a snapshot clone elsewhere) plus clones of the watched
+    properties — including their dedup state, so a violation the parent
+    already delivered is not re-alerted speculatively.  Every update the
+    child applies is also buffered as a dataset
+    :class:`~repro.datasets.format.Op`; :meth:`commit` replays the
+    buffer on the parent (producing the parent's own
+    :class:`UpdateResult` stream), :meth:`discard` drops it.
+
+    The child is only coherent while the parent stays at the sequence
+    recorded at fork time; any parent advance makes every subsequent
+    child update or query raise :class:`~repro.core.speculative.
+    StaleSpeculationError` — including a sibling's ``commit()``, so of
+    ``k`` concurrent candidates the first commit wins and the rest must
+    re-speculate.
+    """
+
+    def __init__(self, parent: VerificationSession) -> None:
+        import copy
+
+        from repro.api.properties import (
+            property_from_spec, property_spec, property_state,
+        )
+
+        self.backend = parent.backend.speculate()
+        self.parent = parent
+        self._properties = []
+        self._seen = {}
+        self._violation_log = []
+        self._batch = None
+        self.sequence = parent.sequence
+        self._spec_base_sequence = parent.sequence
+        self._spec_buffer: List[Op] = []
+        self._spec_closed = False
+        for prop in parent.properties:
+            clone = property_from_spec(prop.name, property_spec(prop))
+            if clone is None:
+                # Not a registered/spec-carrying property: a deep copy
+                # still isolates its mutable check state from the parent.
+                clone = copy.deepcopy(prop)
+            else:
+                state = property_state(prop)
+                load = getattr(clone, "load_state_dict", None)
+                if state is not None and callable(load):
+                    load(state)
+            self._properties.append(clone)
+            self._seen[id(clone)] = set(parent._seen.get(id(prop), ()))
+
+    # -- freshness ---------------------------------------------------------------
+
+    def assert_fresh(self) -> None:
+        """Raise unless this child still reflects the parent's state."""
+        if self._spec_closed:
+            raise StaleSpeculationError(
+                "speculation was already committed or discarded")
+        if self.parent.sequence != self._spec_base_sequence:
+            raise StaleSpeculationError(
+                "parent session advanced since this speculation was "
+                f"forked ({self.parent.sequence - self._spec_base_sequence} "
+                "op(s) behind); discard and re-speculate")
+
+    # -- buffered updates --------------------------------------------------------
+
+    def insert(self, rule: Rule):
+        """Insert ``rule`` into the speculative state and buffer it for
+        :meth:`commit`; checked like a normal insert, invisible to the
+        parent.  Raises :class:`StaleSpeculationError` if the parent
+        advanced since the fork."""
+        self.assert_fresh()
+        result = super().insert(rule)
+        self._spec_buffer.append(Op.insert(rule))
+        return result
+
+    def remove(self, rid: int):
+        """Remove rule ``rid`` from the speculative state and buffer the
+        removal for :meth:`commit`; invisible to the parent.  Raises
+        :class:`StaleSpeculationError` if the parent advanced since the
+        fork."""
+        self.assert_fresh()
+        result = super().remove(rid)
+        self._spec_buffer.append(Op.remove(rid))
+        return result
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = ()) -> UpdateResult:
+        """Apply a batch to the speculative state (removals first, then
+        insertions, as on the parent session) and buffer the ops in that
+        replay order for :meth:`commit`.  Raises
+        :class:`StaleSpeculationError` if the parent advanced since the
+        fork."""
+        self.assert_fresh()
+        inserts = list(rules_to_insert)
+        removals = list(rids_to_remove)
+        result = super().apply_batch(inserts, removals)
+        # Buffer in the order the batch semantics applied them
+        # (removals first), so a sequential replay reproduces the
+        # child-observed state exactly.
+        self._spec_buffer.extend(Op.remove(rid) for rid in removals)
+        self._spec_buffer.extend(Op.insert(rule) for rule in inserts)
+        return result
+
+    # -- checked queries ---------------------------------------------------------
+
+    def query(self, query: Query) -> QueryResult:
+        """Evaluate a typed query against the speculative state (base
+        rules plus buffered changes).  Raises
+        :class:`StaleSpeculationError` if the parent advanced since the
+        fork."""
+        self.assert_fresh()
+        return super().query(query)
+
+    def find_blackholes(self) -> Dict[object, Spans]:
+        """Find black holes in the speculative state; raises
+        :class:`StaleSpeculationError` if the parent advanced since the
+        fork."""
+        self.assert_fresh()
+        return super().find_blackholes()
+
+    def links(self) -> List[Link]:
+        """The links present in the speculative state; raises
+        :class:`StaleSpeculationError` if the parent advanced since the
+        fork."""
+        self.assert_fresh()
+        return super().links()
+
+    # -- resolution --------------------------------------------------------------
+
+    def buffered_ops(self) -> List[Op]:
+        """The child's applied operations, in replay order (a copy)."""
+        return list(self._spec_buffer)
+
+    def commit(self) -> List[UpdateResult]:
+        """Replay the buffered ops on the parent; retires this child.
+
+        Returns the parent's per-op results (with the parent's own
+        property checking and violation dedup).  Raises
+        :class:`~repro.core.speculative.StaleSpeculationError` — before
+        touching the parent — if the parent advanced since the fork.
+        """
+        self.assert_fresh()
+        ops = self.buffered_ops()
+        try:
+            return [self.parent.apply(op) for op in ops]
+        finally:
+            self.discard()
+
+    def discard(self) -> None:
+        """Drop the speculative state; idempotent."""
+        if self._spec_closed:
+            return
+        self._spec_closed = True
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def close(self) -> None:
+        """Alias for :meth:`discard` — closing a speculative session
+        drops its state without touching the parent."""
+        self.discard()
+
+    def save(self, target) -> None:
+        """Refused: speculative state is never durable.  Always raises
+        :class:`RuntimeError`; :meth:`commit` or :meth:`discard` instead."""
+        raise RuntimeError("speculative sessions are ephemeral; "
+                           "commit() or discard() them instead of saving")
+
+    def __repr__(self) -> str:
+        return (f"SpeculativeSession(backend={self.backend_name!r}, "
+                f"rules={self.num_rules}, "
+                f"buffered={len(self._spec_buffer)}, "
+                f"closed={self._spec_closed})")

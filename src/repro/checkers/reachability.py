@@ -41,18 +41,30 @@ def reachable_atoms(deltanet: DeltaNet, src: object, dst: object) -> Set[int]:
     A packet injected at ``src`` follows, at each hop, the unique link
     whose label contains its atom; this propagates the full atom universe
     from ``src`` and reports what arrives at ``dst``.
+
+    Goal-directed: label masks are materialized lazily, only for the
+    links the propagation frontier actually crosses, so a query touching
+    a small corner of a large network pays for that corner — not one
+    ``label_bitmask`` per link in the network.
     """
-    masks, adjacency = _masks_and_adjacency(deltanet)
+    by_source = deltanet.findex.by_source
     full = (1 << deltanet.atoms.num_ids_allocated) - 1
+    masks: Dict[Link, int] = {}
     reached: Dict[object, int] = {src: full}
     queue = deque([src])
     while queue:
         node = queue.popleft()
         mask = reached[node]
-        for link in adjacency.get(node, ()):
-            if link.target == DROP:
+        out_links = by_source.get(node)
+        if not out_links:
+            continue
+        for link, runs in out_links.items():
+            if link.target == DROP or not runs:
                 continue
-            passed = mask & masks[link]
+            link_mask = masks.get(link)
+            if link_mask is None:
+                link_mask = masks[link] = label_bitmask(runs)
+            passed = mask & link_mask
             if not passed:
                 continue
             previous = reached.get(link.target, 0)
@@ -61,9 +73,13 @@ def reachable_atoms(deltanet: DeltaNet, src: object, dst: object) -> Set[int]:
                 reached[link.target] = previous | fresh
                 queue.append(link.target)
     arrived = reached.get(dst, 0)
-    # Restrict to live atoms (GC may have retired identifiers).
-    live = atoms_to_bitmask(a for a, _ in deltanet.atoms.intervals())
-    return bitmask_to_atoms(arrived & live)
+    if dst == src:
+        # Only the seed mask can carry identifiers no label vouches for;
+        # labels hold live atoms exclusively (GC erases retired ids), so
+        # anything that crossed a link is already live.
+        live = atoms_to_bitmask(a for a, _ in deltanet.atoms.intervals())
+        arrived &= live
+    return bitmask_to_atoms(arrived)
 
 
 def reachable_nodes(deltanet: DeltaNet, src: object, atom: int) -> List[object]:

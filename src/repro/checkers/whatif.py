@@ -16,7 +16,7 @@ which is where the orders-of-magnitude gap of Table 4 comes from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.checkers.loops import Loop, find_forwarding_loops
 from repro.core.atomset import bitmask_to_atoms, label_bitmask
@@ -51,11 +51,19 @@ class LinkFailureImpact:
 
 def link_failure_impact(deltanet: DeltaNet,
                         link: Union[Link, Tuple[object, object]],
-                        check_loops: bool = False) -> LinkFailureImpact:
+                        check_loops: bool = False,
+                        label_masks: Optional[Dict[Link, int]] = None
+                        ) -> LinkFailureImpact:
     """Answer the what-if query for failing ``link`` (Delta-net side).
 
     With ``check_loops=True`` this additionally sweeps the affected
     subgraph for forwarding loops, mirroring Table 4's "+Loops" column.
+
+    Each pairwise intersection is a word-parallel big-int AND of label
+    bitmasks.  A sweep over *all* links (:func:`sweep_all_links`) passes
+    ``label_masks``, the per-link bitmask table built once for the whole
+    sweep, so the L queries share one mask build instead of rebuilding
+    every mask L times.
     """
     if not isinstance(link, Link):
         link = Link(*link)
@@ -64,13 +72,28 @@ def link_failure_impact(deltanet: DeltaNet,
     if not affected:
         return impact
     impact.affected_atoms = set(affected)
-    affected_mask = label_bitmask(affected)
-    for other_link, atoms in deltanet.label.items():
-        if not atoms:
-            continue
-        shared = label_bitmask(atoms) & affected_mask
-        if shared:
-            impact.affected_subgraph[other_link] = bitmask_to_atoms(shared)
+    subgraph = impact.affected_subgraph
+    if label_masks is not None:
+        affected_mask = label_masks.get(link)
+        if affected_mask is None:
+            affected_mask = label_bitmask(affected)
+        for other_link, atoms in deltanet.label.items():
+            if not atoms:
+                continue
+            mask = label_masks.get(other_link)
+            if mask is None:
+                mask = label_bitmask(atoms)
+            shared = mask & affected_mask
+            if shared:
+                subgraph[other_link] = bitmask_to_atoms(shared)
+    else:
+        affected_mask = label_bitmask(affected)
+        for other_link, atoms in deltanet.label.items():
+            if not atoms:
+                continue
+            shared = label_bitmask(atoms) & affected_mask
+            if shared:
+                subgraph[other_link] = bitmask_to_atoms(shared)
     if check_loops:
         impact.loops = find_forwarding_loops(
             deltanet, atoms=impact.affected_atoms,
@@ -79,6 +102,14 @@ def link_failure_impact(deltanet: DeltaNet,
 
 
 def sweep_all_links(deltanet: DeltaNet, check_loops: bool = False) -> Dict[Link, LinkFailureImpact]:
-    """Run the what-if query for every labelled link (Table 4 workload)."""
-    return {link: link_failure_impact(deltanet, link, check_loops=check_loops)
+    """Run the what-if query for every labelled link (Table 4 workload).
+
+    The per-link bitmask table is built once here and passed down, so
+    the sweep costs one ``label_bitmask`` per link plus one AND per link
+    pair — not the O(L^2) mask rebuilds per-query calls would pay.
+    """
+    masks = {link: label_bitmask(atoms)
+             for link, atoms in deltanet.label.items() if atoms}
+    return {link: link_failure_impact(deltanet, link, check_loops=check_loops,
+                                      label_masks=masks)
             for link in list(deltanet.label)}

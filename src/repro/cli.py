@@ -33,9 +33,9 @@ from repro.analysis.cdf import ascii_cdf
 from repro.analysis.memory import deep_size, format_bytes
 from repro.analysis.tables import render_table
 from repro.api import (
-    UnknownBackendError, available_backends, backend_description,
+    LinkDown, Loops, UnknownBackendError, available_backends,
+    backend_description,
 )
-from repro.checkers.whatif import link_failure_impact
 from repro.datasets import (
     DATASET_BUILDERS, PAPER_TABLE2, build_dataset, load_ops, save_ops,
 )
@@ -276,17 +276,50 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     for op in dataset.ops:
         if op.is_insert:
             engine.process(op)
-    deltanet = engine.session.native
-    links = list(deltanet.label)
+    session = engine.session
+    links = sorted(session.links(), key=repr)
+    if args.speculate:
+        return _whatif_speculate(session, dataset, links, args)
     start = time.perf_counter()
-    total_flows = 0
+    total_classes = 0
     for link in links:
-        impact = link_failure_impact(deltanet, link, check_loops=args.loops)
-        total_flows += impact.num_affected_flows
+        result = session.query(LinkDown(link, loops=args.loops))
+        total_classes += len(result.atoms or ())
     elapsed = time.perf_counter() - start
     print(f"{dataset.name}: {len(links)} link-failure queries in "
           f"{elapsed:.3f}s ({elapsed / max(1, len(links)) * 1e3:.2f} ms avg), "
-          f"{total_flows} affected flows total")
+          f"{total_classes} affected packet classes total")
+    return 0
+
+
+def _whatif_speculate(session, dataset, links, args: argparse.Namespace) -> int:
+    """Speculative what-if: fork a copy-on-write child per link, remove
+    the link's rules in the child, check loops there, and discard — the
+    base session is never touched.
+    """
+    by_link = {}
+    for op in dataset.ops:
+        if op.is_insert and op.rule.target is not None:
+            by_link.setdefault((op.rule.source, op.rule.target),
+                               []).append(op.rule.rid)
+    live = set(session.rules())
+    start = time.perf_counter()
+    loops_total = 0
+    for link in links:
+        child = session.speculate()
+        try:
+            rids = [rid for rid in by_link.get(link, ()) if rid in live]
+            if rids:
+                child.apply_batch([], rids)
+            loops_total += len(child.query(Loops()).violations)
+        finally:
+            child.discard()
+    elapsed = time.perf_counter() - start
+    print(f"{dataset.name}: {len(links)} speculative link-removal forks "
+          f"in {elapsed:.3f}s "
+          f"({elapsed / max(1, len(links)) * 1e3:.2f} ms avg), "
+          f"{loops_total} loops found across candidates "
+          f"(base session untouched at seq {session.sequence})")
     return 0
 
 
@@ -356,9 +389,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("--chaos (process faults) and --corrupt (state corruption) "
               "are separate campaigns; pick one", file=sys.stderr)
         return 2
-    if args.replay and (args.chaos or args.corrupt):
+    if args.speculate and (args.chaos or args.corrupt):
+        print("--speculate replays fault-free traces through speculative "
+              "forks; it is incompatible with --chaos/--corrupt",
+              file=sys.stderr)
+        return 2
+    if args.replay and (args.chaos or args.corrupt or args.speculate):
         print("--replay re-runs a saved repro fault-free; it is "
-              "incompatible with --chaos/--corrupt", file=sys.stderr)
+              "incompatible with --chaos/--corrupt/--speculate",
+              file=sys.stderr)
         return 2
     if args.replay:
         # Without --backends, replay what the file recorded; an
@@ -381,7 +420,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   time_budget=args.time_budget,
                   shrink_probes=args.shrink_probes,
                   chaos=args.chaos, chaos_faults=args.chaos_faults,
-                  corrupt=args.corrupt,
+                  corrupt=args.corrupt, speculate=args.speculate,
                   log=None if args.quiet else print)
     print(report.describe())
     return 0 if report.ok else 1
@@ -616,6 +655,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "daemon frame mutation — failures must be "
                                "loud or answers correct, never silently "
                                "wrong")
+    fuzz_cmd.add_argument("--speculate", action="store_true",
+                          help="additionally replay every trace through "
+                               "copy-on-write speculative forks (random "
+                               "chunks, randomized commit/discard) and "
+                               "require the committed stream to match "
+                               "both the fork's preview and a straight "
+                               "replay")
     fuzz_cmd.add_argument("--replay", metavar="FILE", default=None,
                           help="re-run a saved .repro file instead of "
                                "fuzzing (exit 1 if it still diverges)")
@@ -684,6 +730,11 @@ def build_parser() -> argparse.ArgumentParser:
     whatif.add_argument("--scale", type=float, default=1.0)
     whatif.add_argument("--loops", action="store_true",
                         help="also check loops in affected subgraphs")
+    whatif.add_argument("--speculate", action="store_true",
+                        help="evaluate each link failure in a "
+                             "copy-on-write speculative fork (remove the "
+                             "link's rules, check loops, discard) instead "
+                             "of the goal-directed read-only query")
 
     allpairs = sub.add_parser(
         "allpairs", help="Algorithm 3: all-pairs reachability of all atoms")

@@ -256,6 +256,33 @@ class AtomTable:
         self._free.append(atom)
         return atom, survivor
 
+    def copy(self) -> "AtomTable":
+        """An independent copy in O(boundaries) — the speculative-fork path.
+
+        The boundary treap is copied structurally (shape and future
+        priority draws match, so a committed speculation replays into
+        identical atom ids), allocation and GC bookkeeping are
+        duplicated, and the incremental digest's accumulator rides along
+        when enabled.  Far cheaper than :meth:`from_state`, which
+        re-inserts every boundary.
+        """
+        dup = AtomTable.__new__(AtomTable)
+        dup.width = self.width
+        dup.min = self.min
+        dup.max = self.max
+        dup._map = self._map.copy()
+        if self.digest is None:
+            dup.digest = None
+        else:
+            dup.digest = BoundaryDigest()
+            dup.digest.count = self.digest.count
+            dup.digest.xor = self.digest.xor
+            dup.digest.total = self.digest.total
+        dup._start = list(self._start)
+        dup._free = list(self._free)
+        dup._bound_refs = dict(self._bound_refs)
+        return dup
+
     def recompute_digest(self) -> BoundaryDigest:
         """A from-scratch :class:`BoundaryDigest` of ``M`` (scrub
         reference), independent of the incremental :attr:`digest`."""

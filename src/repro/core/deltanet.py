@@ -63,6 +63,10 @@ class DeltaNet:
         self.rules: Dict[int, Rule] = {}
         self._owner: List[Optional[OwnerMap]] = [{}]  # slot per atom id; alpha_0 exists
         self.nodes: Set[object] = set()
+        #: Count of committed mutations (insert/remove/batch).  Speculative
+        #: children record it at fork time and refuse to run once the
+        #: parent has moved on (see :mod:`repro.core.speculative`).
+        self.mutations = 0
 
     # -- public queries --------------------------------------------------------
 
@@ -148,6 +152,7 @@ class DeltaNet:
             raise ValueError(
                 f"rule {rule.rid} interval [{rule.lo}:{rule.hi}) outside "
                 f"the {self.width}-bit header space")
+        self.mutations += 1
         self.rules[rule.rid] = rule
         self.nodes.add(rule.source)
         if rule.target is not None:
@@ -226,6 +231,7 @@ class DeltaNet:
         rule = self.rules.pop(rid, None)
         if rule is None:
             raise KeyError(f"unknown rule id {rid}")
+        self.mutations += 1
         delta_graph = DeltaGraph()
         self._remove_ownership(rule, delta_graph)
         return delta_graph
@@ -315,6 +321,8 @@ class DeltaNet:
         inserts = list(rules_to_insert)
         removals = list(rids_to_remove)
         validate_batch_ops(inserts, removals, self.rules, self.width)
+        if inserts or removals:
+            self.mutations += 1
 
         delta_graph = DeltaGraph()
 

@@ -8,7 +8,7 @@ diffed; failing traces shrunk to 1-minimal repro files.  CLI:
 
 from repro.fuzz.differential import (
     FuzzFailure, FuzzReport, fuzz, minimize_failure, replay_repro,
-    save_failure_artifacts,
+    save_failure_artifacts, speculative_trial,
 )
 from repro.fuzz.reprofile import (
     REPRO_VERSION, ReproFile, load_repro, save_repro,
@@ -27,4 +27,5 @@ __all__ = [
     "save_failure_artifacts",
     "save_repro",
     "shrink_trace",
+    "speculative_trial",
 ]

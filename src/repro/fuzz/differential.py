@@ -88,29 +88,42 @@ class FuzzReport:
     stopped_early: bool = False
     chaos: bool = False
     corrupt: bool = False
+    speculate: bool = False
     #: Corruption mode only: daemon frame-mutation trials run and the
     #: protocol problems they surfaced (accepted mutants, sequence
     #: drift, oracle divergence).
     frame_trials: int = 0
     frame_problems: List[str] = field(default_factory=list)
+    #: Speculation mode only: per-backend speculative replay trials and
+    #: the divergences they surfaced (speculative preview != committed
+    #: stream, or a discarded child leaking into the parent).
+    spec_trials: int = 0
+    spec_problems: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures and not self.frame_problems
+        return (not self.failures and not self.frame_problems
+                and not self.spec_problems)
 
     def describe(self) -> str:
         status = "OK" if self.ok else (
             f"{len(self.failures)} FAILURE(S), "
-            f"{len(self.frame_problems)} frame problem(s)")
+            f"{len(self.frame_problems)} frame problem(s), "
+            f"{len(self.spec_problems)} speculation problem(s)")
         early = " (time budget hit)" if self.stopped_early else ""
         mode = ("corruption fuzz" if self.corrupt
-                else "chaos fuzz" if self.chaos else "fuzz")
+                else "chaos fuzz" if self.chaos
+                else "speculation fuzz" if self.speculate else "fuzz")
         out = (f"{mode}: {self.attempted}/{self.budget} traces{early}, "
                f"{self.passed} agreed, {status}, {self.elapsed:.1f}s")
         if self.corrupt:
             out += f" ({self.frame_trials} frame trials)"
+        if self.speculate:
+            out += f" ({self.spec_trials} speculative replays)"
         for problem in self.frame_problems:
             out += f"\n  frame problem: {problem}"
+        for problem in self.spec_problems:
+            out += f"\n  speculation problem: {problem}"
         return out
 
 
@@ -174,6 +187,82 @@ def save_failure_artifacts(failure: FuzzFailure, report: ScenarioReport,
         notes=notes, ops=failure.shrunk_ops)
 
 
+def speculative_trial(scenario: Scenario, backend: str,
+                      rng: random.Random,
+                      max_chunk: int = 8) -> List[str]:
+    """Replay one trace speculatively and diff it against a straight run.
+
+    The trace is split into random chunks; each chunk is first applied
+    to a copy-on-write speculative child, the child's loop answer is
+    recorded, and the chunk is then either committed (the buffered ops
+    replay onto the parent) or discarded and re-applied directly.  Three
+    invariants are checked after every chunk: the committed parent
+    answer matches the child's preview, a discarded child left no trace,
+    and the speculative session tracks a session that never speculated
+    (same loops, same state digest).  Returns human-readable problem
+    strings (empty = clean).
+    """
+    from repro.api import Loops, VerificationSession
+
+    problems: List[str] = []
+    straight = VerificationSession(backend, width=scenario.width)
+    spec = VerificationSession(backend, width=scenario.width)
+    try:
+        ops = list(scenario.ops)
+        index = 0
+        while index < len(ops) and not problems:
+            chunk = ops[index:index + rng.randint(1, max_chunk)]
+            index += len(chunk)
+            for op in chunk:
+                straight.apply(op)
+            before = sorted(spec.query(Loops()).violations, key=repr)
+            child = spec.speculate()
+            try:
+                for op in chunk:
+                    child.apply(op)
+                preview = sorted(child.query(Loops()).violations, key=repr)
+                if rng.random() < 0.25:
+                    child.discard()
+                    leaked = sorted(spec.query(Loops()).violations, key=repr)
+                    if leaked != before:
+                        problems.append(
+                            f"{backend}: discarded child leaked into the "
+                            f"parent at op {index} ({before!r} -> "
+                            f"{leaked!r})")
+                    for op in chunk:
+                        spec.apply(op)
+                else:
+                    child.commit()
+            finally:
+                child.discard()
+            committed = sorted(spec.query(Loops()).violations, key=repr)
+            if committed != preview:
+                problems.append(
+                    f"{backend}: committed loops != speculative preview "
+                    f"at op {index} ({preview!r} -> {committed!r})")
+            reference = sorted(straight.query(Loops()).violations, key=repr)
+            if committed != reference:
+                problems.append(
+                    f"{backend}: speculative replay diverged from the "
+                    f"straight replay at op {index} ({reference!r} vs "
+                    f"{committed!r})")
+        spec_digest = spec.state_digest()
+        straight_digest = straight.state_digest()
+        if (spec_digest is not None and straight_digest is not None
+                and spec_digest != straight_digest):
+            problems.append(
+                f"{backend}: final state digest differs from the "
+                f"straight replay ({straight_digest[:16]}… vs "
+                f"{spec_digest[:16]}…)")
+    except Exception as exc:
+        problems.append(f"{backend}: speculative replay crashed: "
+                        f"{type(exc).__name__}: {exc}")
+    finally:
+        straight.close()
+        spec.close()
+    return problems
+
+
 def fuzz(budget: int, seed: int = 0,
          backends: Optional[Iterable[str]] = None,
          families: Optional[Iterable[str]] = None,
@@ -184,6 +273,7 @@ def fuzz(budget: int, seed: int = 0,
          chaos: bool = False,
          chaos_faults: int = 4,
          corrupt: bool = False,
+         speculate: bool = False,
          log: Optional[Log] = None) -> FuzzReport:
     """Run a differential fuzzing campaign of ``budget`` random traces.
 
@@ -205,6 +295,14 @@ def fuzz(budget: int, seed: int = 0,
     (:mod:`repro.fuzz.frames`).  The invariant tightens to "loud
     failure or correct answers, never silently wrong".  Like chaos
     failures, corruption failures skip shrinking.
+
+    With ``speculate=True`` each trace additionally replays through
+    :func:`speculative_trial` on every chosen backend — random chunks
+    applied to copy-on-write speculative children with randomized
+    commit/discard interleavings — and the committed stream must match
+    both the child's preview and a never-speculated straight replay.
+    Divergences land in ``spec_problems`` (no shrinking: the chunking
+    is seed-derived and the seed pair reproduces it).
     """
     import shutil
     import tempfile
@@ -213,6 +311,9 @@ def fuzz(budget: int, seed: int = 0,
 
     if chaos and corrupt:
         raise ValueError("chaos and corrupt modes are mutually exclusive")
+    if speculate and (chaos or corrupt):
+        raise ValueError("speculate mode is incompatible with "
+                         "chaos/corrupt fault injection")
     if chaos:
         from repro.faults.chaos import ChaosPlan
         from repro.scenarios.runner import run_chaos_scenario
@@ -224,7 +325,8 @@ def fuzz(budget: int, seed: int = 0,
     chosen = sorted(backends) if backends is not None \
         else list(available_backends())
     rng = random.Random(seed)
-    report = FuzzReport(budget=budget, chaos=chaos, corrupt=corrupt)
+    report = FuzzReport(budget=budget, chaos=chaos, corrupt=corrupt,
+                        speculate=speculate)
     emit = log or (lambda line: None)
     start = time.perf_counter()
     if artifacts_dir:
@@ -273,6 +375,17 @@ def fuzz(budget: int, seed: int = 0,
                 shutil.rmtree(work_dir, ignore_errors=True)
         else:
             scenario_report = run_scenario(scenario, chosen)
+            if speculate:
+                for backend in chosen:
+                    report.spec_trials += 1
+                    problems = speculative_trial(
+                        scenario, backend,
+                        random.Random(scenario.seed ^ 0x5BEC))
+                    for problem in problems:
+                        report.spec_problems.append(
+                            f"{scenario.name}: {problem}")
+                        emit(f"[{index + 1}/{budget}] {scenario.name}: "
+                             f"SPECULATION PROBLEM {problem}")
         if scenario_report.ok:
             report.passed += 1
             if plan is not None:

@@ -83,6 +83,10 @@ class _ShardServer:
     def __init__(self, width: int, gc: bool) -> None:
         self.net = DeltaNet(width=width, gc=gc)
         self.checker = LoopChecker(self.net)
+        #: Live speculative forks of this shard, by speculation id.
+        #: They live in this process's memory only: a restart loses
+        #: them, which the unknown-id path reports as staleness.
+        self._specs: Dict[int, DeltaNet] = {}
 
     def handle(self, method: str, args: tuple):
         return getattr(self, "do_" + method)(*args)
@@ -155,6 +159,55 @@ class _ShardServer:
                 runs.discard(0)
                 return True
         return False
+
+    # -- speculation (per-shard CoW forks; see repro.core.speculative) -----------
+
+    def _spec(self, spec_id: int) -> DeltaNet:
+        net = self._specs.get(spec_id)
+        if net is None:
+            from repro.core.speculative import StaleSpeculationError
+
+            raise StaleSpeculationError(
+                f"speculation {spec_id} is not held by this worker "
+                "(restarted since the fork?); discard and re-speculate")
+        net.assert_fresh()
+        return net
+
+    def do_spec_begin(self, spec_id: int) -> None:
+        from repro.core.speculative import SpeculativeDeltaNet
+
+        self._specs[spec_id] = SpeculativeDeltaNet.from_parent(self.net)
+
+    def do_spec_apply_batch(self, spec_id: int, inserts: List[Rule],
+                            removals: List[int], check: bool) -> List[Cycle]:
+        net = self._spec(spec_id)
+        delta = net.apply_batch(inserts, removals)
+        if not check or delta.is_empty():
+            return []
+        return [loop.cycle for loop in LoopChecker(net).check_update(delta)]
+
+    def do_spec_query(self, spec_id: int, method: str, args: tuple):
+        net = self._spec(spec_id)
+        if method == "flows_on":
+            return net.flows_on(*args)
+        if method == "links":
+            return list(net.links())
+        if method == "find_loops":
+            return [loop.cycle for loop in find_forwarding_loops(net)]
+        if method == "reachable":
+            atoms = reachable_atoms(net, *args)
+            return atoms_to_interval_set(atoms, net.atoms)
+        if method == "find_blackholes":
+            return {node: atoms_to_interval_set(atoms, net.atoms)
+                    for node, atoms in _shard_blackholes(net).items()}
+        if method == "stats":
+            return net.num_rules, net.num_atoms
+        if method == "check_invariants":
+            return net.check_invariants()
+        raise ValueError(f"unknown speculative query {method!r}")
+
+    def do_spec_discard(self, spec_id: int) -> None:
+        self._specs.pop(spec_id, None)
 
     # -- persistence (per-shard snapshot fan-out) --------------------------------
 
@@ -347,6 +400,10 @@ class ParallelShardedDeltaNet(ShardRouter):
         self.events: List[dict] = []
         #: Completed worker restarts across the instance's lifetime.
         self.restarts = 0
+        #: Committed-mutation counter — the staleness epoch speculative
+        #: forks (:meth:`speculate`) record and re-check.
+        self.mutations = 0
+        self._spec_counter = 0
         #: Integrity-audit counters (see :meth:`audit_shard`).
         self.audits = 0
         self.audit_mismatches = 0
@@ -673,6 +730,10 @@ class ParallelShardedDeltaNet(ShardRouter):
             applied.append(index)
             for cycle in cycles:
                 loops.setdefault(cycle)
+        if applied:
+            # Even a partially applied batch advances the epoch: any
+            # open speculation's shared state has drifted.
+            self.mutations += 1
         if first_error is not None:
             # Some shards may have applied their sub-batch while others
             # did not — without two-phase commit the instance cannot be
@@ -887,9 +948,172 @@ class ParallelShardedDeltaNet(ShardRouter):
     def check_invariants(self) -> None:
         self._fan_out("check_invariants")
 
+    # -- speculation (see repro.core.speculative) --------------------------------
+
+    def speculate(self) -> "ParallelSpeculation":
+        """Fork a fleet-wide copy-on-write what-if child.
+
+        Every worker forks a :class:`~repro.core.speculative.
+        SpeculativeDeltaNet` of its shard in place — no state crosses
+        the pipes — and the returned handle routes updates and queries
+        to those forks under a speculation id.  Always ``discard()``
+        (or ``close()``) the handle; the forks hold worker memory.
+        """
+        spec_id = self._spec_counter
+        self._spec_counter += 1
+        self._fan_out("spec_begin", (spec_id,))
+        return ParallelSpeculation(self, spec_id)
+
     def __repr__(self) -> str:
         mode = "processes" if self.parallel else "inline"
         if self.degraded:
             mode += " (degraded)"
         return (f"ParallelShardedDeltaNet(shards={self.num_shards}, "
                 f"rules={self.num_rules}, mode={mode})")
+
+
+class ParallelSpeculation(ShardRouter):
+    """Parent-side handle of one fleet-wide speculative fork.
+
+    Mirrors the :class:`ParallelShardedDeltaNet` update/query surface
+    against the per-worker :class:`~repro.core.speculative.
+    SpeculativeDeltaNet` forks.  Router bookkeeping is forked shallowly
+    (placement lists are popped/created whole, never mutated in place);
+    staleness is enforced on both sides — the handle re-checks the
+    parent's committed-mutation epoch before every touch, and a worker
+    that restarted (its fork died with its memory) reports
+    :class:`~repro.core.speculative.StaleSpeculationError` itself.
+    Unknown attributes delegate to the parent, so pool-shape
+    diagnostics (``parallel``, ``degraded``, ...) keep answering.
+    """
+
+    def __init__(self, parent: "ParallelShardedDeltaNet",
+                 spec_id: int) -> None:
+        self._parent = parent
+        self.spec_id = spec_id
+        self.width = parent.width
+        self.slices = list(parent.slices)
+        self._starts = list(parent._starts)
+        self._placement = dict(parent._placement)
+        self._next_clipped = parent._next_clipped
+        self._base_mutations = parent.mutations
+        self._discarded = False
+
+    def assert_fresh(self) -> None:
+        """Raise unless this fork still reflects the parent's state."""
+        from repro.core.speculative import StaleSpeculationError
+
+        if self._discarded:
+            raise StaleSpeculationError(
+                f"speculation {self.spec_id} was already discarded")
+        if self._parent.mutations != self._base_mutations:
+            raise StaleSpeculationError(
+                "parent advanced since this speculation was forked "
+                f"({self._parent.mutations - self._base_mutations} "
+                "batch(es) behind); discard and re-speculate")
+
+    def _spec_fan_out(self, method: str, args: tuple = ()) -> List[object]:
+        self.assert_fresh()
+        return self._parent._fan_out(
+            "spec_query", (self.spec_id, method, args))
+
+    # -- updates -----------------------------------------------------------------
+
+    def apply_batch(self, rules_to_insert: Iterable[Rule] = (),
+                    rids_to_remove: Iterable[int] = (),
+                    check: bool = True) -> List[Cycle]:
+        self.assert_fresh()
+        per_shard = self.route_batch(list(rules_to_insert),
+                                     list(rids_to_remove))
+        loops: Dict[Cycle, None] = {}
+        for index, (shard_inserts, shard_removals) in enumerate(per_shard):
+            if not shard_inserts and not shard_removals:
+                continue
+            cycles = self._parent._call(
+                index, "spec_apply_batch",
+                (self.spec_id, shard_inserts, shard_removals, check))
+            for cycle in cycles:
+                loops.setdefault(cycle)
+        return list(loops)
+
+    def insert_rule(self, rule: Rule, check: bool = True) -> List[Cycle]:
+        return self.apply_batch([rule], (), check=check)
+
+    def remove_rule(self, rid: int, check: bool = True) -> List[Cycle]:
+        return self.apply_batch((), [rid], check=check)
+
+    # -- queries (reduce over the forks) ------------------------------------------
+
+    def flows_on(self, link) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for shard_spans in self._spec_fan_out("flows_on", (link,)):
+            spans.extend(shard_spans)
+        return normalize(spans)
+
+    def links(self) -> List[Link]:
+        seen: Dict[Link, None] = {}
+        for shard_links in self._spec_fan_out("links"):
+            for link in shard_links:
+                seen.setdefault(link)
+        return list(seen)
+
+    def find_loops(self) -> List[Cycle]:
+        seen: Dict[Cycle, None] = {}
+        for shard_loops in self._spec_fan_out("find_loops"):
+            for cycle in shard_loops:
+                seen.setdefault(cycle)
+        return list(seen)
+
+    def reachable(self, src: object, dst: object) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for shard_spans in self._spec_fan_out("reachable", (src, dst)):
+            spans.extend(shard_spans)
+        return normalize(spans)
+
+    def find_blackholes(self) -> Dict[object, List[Tuple[int, int]]]:
+        merged: Dict[object, IntervalSet] = {}
+        for shard_holes in self._spec_fan_out("find_blackholes"):
+            for node, spans in shard_holes.items():
+                merged[node] = merged.get(node, IntervalSet()) | IntervalSet(spans)
+        return {node: spans.spans for node, spans in merged.items()}
+
+    def shard_sizes(self) -> List[Tuple[int, int]]:
+        return list(self._spec_fan_out("stats"))
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(atoms for _rules, atoms in self.shard_sizes())
+
+    def check_invariants(self) -> None:
+        self._spec_fan_out("check_invariants")
+
+    def state_digest(self):
+        """Speculative state is ephemeral: no digest is maintained."""
+        return None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def discard(self) -> None:
+        """Drop the per-worker forks; idempotent."""
+        if self._discarded:
+            return
+        self._discarded = True
+        try:
+            self._parent._fan_out("spec_discard", (self.spec_id,))
+        except Exception:
+            # A shard that lost its fork (restart) has nothing to drop.
+            pass
+
+    def close(self) -> None:
+        self.discard()
+
+    def __getattr__(self, name: str):
+        parent = self.__dict__.get("_parent")
+        if parent is None:
+            raise AttributeError(name)
+        return getattr(parent, name)
+
+    def __repr__(self) -> str:
+        return (f"ParallelSpeculation(id={self.spec_id}, "
+                f"shards={self.num_shards}, rules={self.num_rules}, "
+                f"discarded={self._discarded})")

@@ -288,6 +288,48 @@ class ShardedDeltaNet(ShardRouter):
         sharded.checkers = [LoopChecker(net) for net in sharded.nets]
         return sharded
 
+    # -- speculation (see repro.core.speculative) --------------------------------
+
+    def speculate(self) -> "SpeculativeShardedDeltaNet":
+        """Fork a copy-on-write what-if child sharing this net's state."""
+        return SpeculativeShardedDeltaNet.from_parent(self)
+
     def __repr__(self) -> str:
         return (f"ShardedDeltaNet(shards={self.num_shards}, "
+                f"rules={self.num_rules}, total_atoms={self.total_atoms})")
+
+
+class SpeculativeShardedDeltaNet(ShardedDeltaNet):
+    """A sharded net whose shards are copy-on-write speculative children.
+
+    Router bookkeeping is copied shallowly — placement lists are popped
+    and created whole, never mutated in place, so sharing the list
+    objects with the parent is safe — and each shard forks via
+    :meth:`repro.core.speculative.SpeculativeDeltaNet.from_parent`.
+    Staleness is enforced per shard: once the parent applies any update,
+    the child's next mutation raises
+    :class:`~repro.core.speculative.StaleSpeculationError`.
+    """
+
+    @classmethod
+    def from_parent(cls, parent: ShardedDeltaNet) -> "SpeculativeShardedDeltaNet":
+        from repro.core.speculative import SpeculativeDeltaNet
+
+        child = cls.__new__(cls)
+        child.width = parent.width
+        child.slices = list(parent.slices)
+        child._starts = list(parent._starts)
+        child._placement = dict(parent._placement)
+        child._next_clipped = parent._next_clipped
+        child.nets = [SpeculativeDeltaNet.from_parent(net)
+                      for net in parent.nets]
+        child.checkers = [LoopChecker(net) for net in child.nets]
+        return child
+
+    def state_digest(self):
+        """Speculative state is ephemeral: no digest is maintained."""
+        return None
+
+    def __repr__(self) -> str:
+        return (f"SpeculativeShardedDeltaNet(shards={self.num_shards}, "
                 f"rules={self.num_rules}, total_atoms={self.total_atoms})")

@@ -1,0 +1,167 @@
+"""Typed queries and the uniform result envelope (the Query API).
+
+The session's historical query surface grew one method — and one return
+shape — per question: ``flows_on`` returned spans, ``reachable`` spans,
+``what_if_link_down`` spans with the subgraph dropped on the floor, and
+``find_loops`` node cycles.  This module unifies them: a query is a
+small frozen dataclass (:class:`FlowsOn`, :class:`Reachable`,
+:class:`LinkDown`, :class:`Loops`), an answer is always a
+:class:`QueryResult` carrying every currency the backends can produce —
+packet-space spans, atom ids, the affected link subgraph, loop
+violations and the evaluation time — with fields the backend cannot
+fill left ``None``/empty.
+
+The payload helpers define the daemon wire form of both sides
+(``{"cmd": "query", "query": {"kind": ...}}``; see docs/protocol.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.rules import Link
+
+#: A forwarding cycle as an ordered node tuple; a packet-space answer as
+#: canonical half-open ``(lo, hi)`` interval pairs.
+Cycle = Tuple[object, ...]
+Spans = List[Tuple[int, int]]
+
+LinkLike = Union[Link, Tuple[object, object]]
+
+
+def as_link(link: LinkLike) -> Link:
+    """Normalize a ``(source, target)`` pair into a :class:`Link`."""
+    return link if isinstance(link, Link) else Link(*link)
+
+
+@dataclass(frozen=True)
+class FlowsOn:
+    """Which packets currently flow along ``link``?"""
+
+    link: LinkLike
+
+
+@dataclass(frozen=True)
+class Reachable:
+    """Which packets can travel from ``src`` to ``dst``?"""
+
+    src: object
+    dst: object
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """What is the fate of packets using ``link`` if it fails (§4.3.2)?
+
+    With ``loops=True`` the affected subgraph is additionally swept for
+    forwarding loops (Table 4's "+Loops" column).
+    """
+
+    link: LinkLike
+    loops: bool = False
+
+
+@dataclass(frozen=True)
+class Loops:
+    """Enumerate all forwarding loops in the current state."""
+
+
+Query = Union[FlowsOn, Reachable, LinkDown, Loops]
+
+QUERY_KINDS: Dict[type, str] = {
+    FlowsOn: "flows_on",
+    Reachable: "reachable",
+    LinkDown: "link_down",
+    Loops: "loops",
+}
+
+
+@dataclass
+class QueryResult:
+    """The uniform answer envelope every :class:`Query` resolves to.
+
+    ``spans`` is always populated (the packet-space view every backend
+    shares); ``atoms`` and ``subgraph`` are filled by the in-process
+    Delta-net backends and ``None`` where the backend has no atom
+    currency; ``violations`` carries forwarding cycles for
+    :class:`Loops` and ``LinkDown(loops=True)``.
+    """
+
+    kind: str
+    backend: str
+    spans: Spans = field(default_factory=list)
+    #: Affected/arriving atom ids, ascending — in-process backends only.
+    atoms: Optional[List[int]] = None
+    #: ``link -> affected atom ids`` restriction of the labelled graph.
+    subgraph: Optional[Dict[Link, List[int]]] = None
+    #: Forwarding cycles found, canonicalized node tuples.
+    violations: List[Cycle] = field(default_factory=list)
+    #: Wall-clock evaluation time in seconds.
+    seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        """The deterministic wire form (daemon ``query`` responses)."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "backend": self.backend,
+            "spans": [[lo, hi] for lo, hi in self.spans],
+            "violations": [list(cycle) for cycle in self.violations],
+            "micros": int(self.seconds * 1_000_000),
+        }
+        payload["atoms"] = list(self.atoms) if self.atoms is not None else None
+        if self.subgraph is None:
+            payload["subgraph"] = None
+        else:
+            payload["subgraph"] = [
+                [[link.source, link.target], list(atoms)]
+                for link, atoms in sorted(self.subgraph.items(),
+                                          key=lambda item: repr(item[0]))]
+        return payload
+
+
+class QueryPayloadError(ValueError):
+    """A wire-form query payload that does not parse into a Query."""
+
+
+def query_to_payload(query: Query) -> dict:
+    """The wire form of ``query`` (the client side of ``cmd: query``)."""
+    if isinstance(query, FlowsOn):
+        link = as_link(query.link)
+        return {"kind": "flows_on", "source": link.source,
+                "target": link.target}
+    if isinstance(query, Reachable):
+        return {"kind": "reachable", "src": query.src, "dst": query.dst}
+    if isinstance(query, LinkDown):
+        link = as_link(query.link)
+        return {"kind": "link_down", "source": link.source,
+                "target": link.target, "loops": query.loops}
+    if isinstance(query, Loops):
+        return {"kind": "loops"}
+    raise QueryPayloadError(f"not a Query: {query!r}")
+
+
+def query_from_payload(payload: Any) -> Query:
+    """Parse the wire form back into a typed :class:`Query`."""
+    if not isinstance(payload, dict):
+        raise QueryPayloadError("query payload must be an object")
+    kind = payload.get("kind")
+    if kind == "flows_on":
+        return FlowsOn(link=_payload_link(payload))
+    if kind == "reachable":
+        if "src" not in payload or "dst" not in payload:
+            raise QueryPayloadError("reachable query needs src and dst")
+        return Reachable(src=payload["src"], dst=payload["dst"])
+    if kind == "link_down":
+        return LinkDown(link=_payload_link(payload),
+                        loops=bool(payload.get("loops", False)))
+    if kind == "loops":
+        return Loops()
+    raise QueryPayloadError(f"unknown query kind {kind!r}")
+
+
+def _payload_link(payload: dict) -> Link:
+    if "source" not in payload or "target" not in payload:
+        raise QueryPayloadError(
+            f"{payload.get('kind')} query needs source and target")
+    return Link(payload["source"], payload["target"])

@@ -5,10 +5,13 @@
 is the one the wire protocol promises (``docs/protocol.md``):
 
 - **one writer task per session** — mutating verbs (``insert``,
-  ``remove``, ``batch``, ``watch``, ``checkpoint``, ``audit``) are
+  ``remove``, ``batch``, ``watch``, ``checkpoint``, ``audit``, and the
+  speculative ``speculate`` / ``commit`` / ``discard``) are
   enqueued onto the target session's bounded queue and applied by that
   session's single writer task, so writes serialize per tenant while
-  different tenants proceed in parallel;
+  different tenants proceed in parallel (speculative children live
+  inside their session's :class:`StreamServer` and inherit its
+  admission control and metrics scope);
 - **concurrent readers** — ``query``, ``violations``, ``stats``,
   ``ping`` run straight on the executor pool under the session's
   shared read lock, never waiting behind another tenant's writes;

@@ -18,7 +18,11 @@ carrying ``retry_after``).
 Concurrency model: commands that mutate the session (``insert``,
 ``remove``, ``batch``, ``watch``, ``checkpoint``, ``audit``) take the
 session's *write* lock, so updates, checkpoints and scrub steps
-serialize.  Read-only commands (``query``, ``violations``, ``stats``,
+serialize.  Speculative verbs (``speculate`` / ``commit`` /
+``discard``) and any request addressed to a speculative child (a
+``spec`` key) are writes too: the children share ownership structures
+with the parent copy-on-write, so their mutations must not race
+parent updates.  Read-only commands (``query``, ``violations``, ``stats``,
 ``ping``) take the *read* side and run concurrently with each other —
 on backends that declare ``concurrent_read_safe`` (pure in-process
 traversals); backends whose queries fan out over worker pipes fall
@@ -36,7 +40,10 @@ import threading
 import time
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple
 
-from repro.api import PROPERTY_TYPES, VerificationSession, Violation
+from repro.api import (
+    FlowsOn, LinkDown, Loops, PROPERTY_TYPES, Reachable, SpeculativeSession,
+    VerificationSession, Violation, query_from_payload,
+)
 from repro.core.rules import Action, Rule
 from repro.datasets.format import Op
 from repro.integrity import Scrubber
@@ -53,7 +60,7 @@ DEFAULT_MAX_LINE_BYTES = 1 << 20
 #: (exclusive) side of the session lock.  Everything else is a read.
 WRITE_CMDS = frozenset({
     "insert", "remove", "batch", "watch", "checkpoint", "audit",
-    "shutdown",
+    "speculate", "commit", "discard", "shutdown",
 })
 
 #: Commands answered without taking the session lock at all.
@@ -316,6 +323,8 @@ class StreamServer:
         self._busy = False
         self._closed = False
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._specs: Dict[str, SpeculativeSession] = {}
+        self._spec_counter = 0
         self._instrument()
         self.store = SessionStore(store_dir)
         self.recovery: Optional[RecoveryInfo] = None
@@ -464,6 +473,9 @@ class StreamServer:
         if self._scrub_ticker is not None:
             self._scrub_ticker.join(timeout=5)
         with self._lock:
+            for child in self._specs.values():
+                child.discard()
+            self._specs.clear()
             if self.session.sequence > self._last_checkpoint:
                 self._checkpoint()
             self.store.close()
@@ -563,7 +575,8 @@ class StreamServer:
                         "queue_depth": self._waiters,
                         "retry_after": self.retry_after}, True
             self._waiters += 1
-        exclusive = cmd in WRITE_CMDS or not self._reads_shared
+        exclusive = (cmd in WRITE_CMDS or not self._reads_shared
+                     or (isinstance(request, dict) and "spec" in request))
         acquired = False
         try:
             if exclusive:
@@ -695,6 +708,25 @@ class StreamServer:
 
     def _dispatch(self, request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
         cmd = request.get("cmd")
+        if cmd == "speculate":
+            spec_id = f"spec-{self._spec_counter}"
+            self._spec_counter += 1
+            self._specs[spec_id] = self.session.speculate()
+            return {"ok": True, "seq": self.session.sequence,
+                    "spec": spec_id}, True
+        if cmd == "commit":
+            return self._commit_spec(request["spec"]), True
+        if cmd == "discard":
+            spec_id = request["spec"]
+            child = self._specs.pop(spec_id, None)
+            if child is None:
+                return {"ok": False,
+                        "error": f"unknown speculation {spec_id!r}"}, True
+            child.discard()
+            return {"ok": True, "seq": self.session.sequence,
+                    "spec": spec_id, "discarded": True}, True
+        if "spec" in request:
+            return self._dispatch_speculative(cmd, request), True
         if cmd == "insert":
             rule = rule_from_payload(self.session, request["rule"])
             return self._apply_op_locked(Op.insert(rule)), True
@@ -719,8 +751,13 @@ class StreamServer:
             return {"ok": True, "seq": self.session.sequence,
                     "watching": [p.name for p in self.session.properties]}, True
         if cmd == "query":
+            if "query" in request:
+                result = self.session.query(
+                    query_from_payload(request["query"]))
+                return {"ok": True, "seq": self.session.sequence,
+                        "result": _jsonable(result.to_payload())}, True
             return {"ok": True, "seq": self.session.sequence,
-                    "result": self._query(request)}, True
+                    "result": self._query(self.session, request)}, True
         if cmd == "violations":
             return {"ok": True, "seq": self.session.sequence,
                     "violations": [_violation_payload(v)
@@ -752,26 +789,95 @@ class StreamServer:
                     "closing": True}, False
         return {"ok": False, "error": f"unknown cmd {cmd!r}"}, True
 
-    def _query(self, request: Dict[str, Any]) -> Any:
+    def _commit_spec(self, spec_id: str) -> Dict[str, Any]:
+        """Replay a speculative child's buffered ops through the
+        journaled update path, then discard the child.  Every replayed
+        op is recorded exactly as a direct update would be, so the
+        committed state survives a crash like any other.
+        """
+        child = self._specs.get(spec_id)
+        if child is None:
+            return {"ok": False, "error": f"unknown speculation {spec_id!r}"}
+        child.assert_fresh()
+        ops = child.buffered_ops()
+        del self._specs[spec_id]
+        try:
+            responses = [self._apply_op_locked(op) for op in ops]
+        finally:
+            child.discard()
+        violations = [v for response in responses
+                      for v in response["violations"]]
+        return {"ok": True, "seq": self.session.sequence, "spec": spec_id,
+                "committed": len(ops), "violations": violations}
+
+    def _dispatch_speculative(self, cmd: Any,
+                              request: Dict[str, Any]) -> Dict[str, Any]:
+        """Route an update or query to a named speculative child.
+
+        Speculative updates are *not* journaled — they exist only in
+        the child until ``commit`` replays them through the durable
+        path — so the response reports the buffered-op count instead
+        of a committed sequence number.
+        """
+        spec_id = request["spec"]
+        child = self._specs.get(spec_id)
+        if child is None:
+            return {"ok": False, "error": f"unknown speculation {spec_id!r}"}
+        if cmd == "insert":
+            rule = rule_from_payload(child, request["rule"])
+            return self._spec_update_response(spec_id, child,
+                                              child.insert(rule))
+        if cmd == "remove":
+            return self._spec_update_response(spec_id, child,
+                                              child.remove(request["rid"]))
+        if cmd == "batch":
+            inserts = [rule_from_payload(child, payload)
+                       for payload in request.get("insert", ())]
+            removals = list(request.get("remove", ()))
+            result = child.apply_batch(inserts, removals)
+            return self._spec_update_response(spec_id, child, result)
+        if cmd == "query":
+            if "query" in request:
+                result = child.query(query_from_payload(request["query"]))
+                return {"ok": True, "spec": spec_id,
+                        "result": _jsonable(result.to_payload())}
+            return {"ok": True, "spec": spec_id,
+                    "result": self._query(child, request)}
+        return {"ok": False,
+                "error": f"cmd {cmd!r} cannot target a speculation"}
+
+    def _spec_update_response(self, spec_id: str, child: SpeculativeSession,
+                              result) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "spec": spec_id,
+            "buffered": len(child.buffered_ops()),
+            "violations": [_violation_payload(v) for v in result.violations],
+            "latency_us": round(result.latency * 1e6, 1),
+        }
+
+    def _query(self, session: VerificationSession,
+               request: Dict[str, Any]) -> Any:
         what = request.get("what")
         if what == "loops":
-            return [_jsonable(cycle) for cycle in self.session.find_loops()]
+            return [_jsonable(cycle)
+                    for cycle in session.query(Loops()).violations]
         if what == "blackholes":
             return {str(node): _jsonable(spans) for node, spans
-                    in self.session.find_blackholes().items()}
+                    in session.find_blackholes().items()}
         if what == "reachable":
-            return _jsonable(self.session.reachable(request["src"],
-                                                    request["dst"]))
+            return _jsonable(session.query(
+                Reachable(request["src"], request["dst"])).spans)
         if what == "flows_on":
-            return _jsonable(self.session.flows_on(
-                (request["source"], request["target"])))
+            return _jsonable(session.query(
+                FlowsOn((request["source"], request["target"]))).spans)
         if what == "what_if_link_down":
-            return _jsonable(self.session.what_if_link_down(
-                (request["source"], request["target"])))
+            return _jsonable(session.query(
+                LinkDown((request["source"], request["target"]))).spans)
         if what == "links":
-            return [_jsonable(tuple(link)) for link in self.session.links()]
+            return [_jsonable(tuple(link)) for link in session.links()]
         if what == "rules":
-            return sorted(self.session.rules())
+            return sorted(session.rules())
         raise ValueError(f"unknown query {what!r}")
 
 

@@ -274,6 +274,40 @@ class TreapMap:
                     node = node.left
         return out
 
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self) -> "TreapMap":
+        """A structurally independent O(n) copy.
+
+        ``_split``/``_merge`` rewrite child pointers in place, so a root
+        can never be shared between two live instances; the copy
+        duplicates every node (keys and values are shared references).
+        The priority PRNG is cloned too, so the copy's future draws —
+        and therefore future tree shapes — match the original's.
+        """
+        dup = TreapMap.__new__(TreapMap)
+        dup._len = self._len
+        dup._rng = random.Random()
+        dup._rng.setstate(self._rng.getstate())
+        root = self._root
+        if root is None:
+            dup._root = None
+            return dup
+        top = _Node(root.key, root.value, root.prio)
+        stack = [(root, top)]
+        push = stack.append
+        while stack:
+            src, dst = stack.pop()
+            left, right = src.left, src.right
+            if left is not None:
+                dst.left = _Node(left.key, left.value, left.prio)
+                push((left, dst.left))
+            if right is not None:
+                dst.right = _Node(right.key, right.value, right.prio)
+                push((right, dst.right))
+        dup._root = top
+        return dup
+
     # -- persistence hooks (see repro.persist) --------------------------------
 
     def rng_state(self) -> tuple:

@@ -1,0 +1,58 @@
+"""Lint: nothing in ``src/`` may call the deprecated query shims.
+
+The Query API redesign kept ``session.flows_on`` /
+``session.reachable`` / ``session.what_if_link_down`` /
+``session.find_loops`` alive as :class:`DeprecationWarning` shims for
+external callers — but internal code must be fully migrated to
+``session.query(...)``.  This test tokenizes every source file (so
+docstrings and comments may still *mention* the old names) and fails if
+any session-like receiver calls a shimmed method outside the shims'
+own home, ``src/repro/api/session.py``.
+"""
+
+import io
+import pathlib
+import re
+import tokenize
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: The only file allowed to reference the shimmed methods in code: the
+#: module that defines (and deprecates) them.
+ALLOWED = {SRC / "repro" / "api" / "session.py"}
+
+#: A call of a shimmed method on a session-like receiver.  Backend
+#: adapters and natives legitimately expose same-named *primitives*
+#: (``backend.flows_on``, ``net.find_loops``) — those are the Query
+#: API's own building blocks, so the lint keys on the receiver name.
+SHIM_CALL = re.compile(
+    r"\b(?:\w*session|sess|child|parent)\s*\.\s*"
+    r"(?:flows_on|reachable|what_if_link_down|find_loops)\s*\(")
+
+
+def _code_text(path):
+    """The file's source with string literals and comments blanked."""
+    out = []
+    with open(path, "rb") as handle:
+        try:
+            tokens = list(tokenize.tokenize(handle.readline))
+        except tokenize.TokenError:  # pragma: no cover
+            return path.read_text()
+    for token in tokens:
+        if token.type in (tokenize.STRING, tokenize.COMMENT):
+            continue
+        out.append(token.string)
+    return " ".join(out)
+
+
+def test_no_internal_callers_of_deprecated_query_shims():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for match in SHIM_CALL.finditer(_code_text(path)):
+            offenders.append(f"{path.relative_to(SRC)}: "
+                             f"{match.group(0).strip()}...")
+    assert not offenders, (
+        "internal code must use session.query(...) instead of the "
+        "deprecated per-method shims:\n  " + "\n  ".join(offenders))
